@@ -1,0 +1,216 @@
+// Package farm's repository-root benchmarks regenerate each table and
+// figure of the paper's evaluation through internal/experiments, one
+// testing.B target per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report the headline quantity of their experiment as a
+// custom metric next to the usual ns/op (which here measures the cost
+// of regenerating the artifact, not the artifact itself). cmd/farm-bench
+// prints the full tables.
+package farm_test
+
+import (
+	"testing"
+	"time"
+
+	"farm/internal/experiments"
+	"farm/internal/placement"
+)
+
+func BenchmarkTab1UseCases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Tab1()
+		if len(res.Rows) < 16 {
+			b.Fatalf("catalogue rows = %d", len(res.Rows))
+		}
+		b.ReportMetric(float64(len(res.Rows)), "use-cases")
+	}
+}
+
+func BenchmarkTab4DetectionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Tab4(experiments.Tab4Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var farm, sonata time.Duration
+		for _, r := range res.Rows {
+			switch r.System {
+			case "FARM":
+				farm = r.Time
+			case "Sonata":
+				sonata = r.Time
+			}
+		}
+		b.ReportMetric(float64(farm.Microseconds()), "farm-detect-us")
+		b.ReportMetric(float64(sonata)/float64(farm), "sonata/farm-x")
+	}
+}
+
+func BenchmarkFig4NetworkLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.Fig4Config{
+			PortCounts: []int{48, 192},
+			Duration:   4 * time.Second,
+			Churn:      time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		farm := res.Systems["FARM"]
+		sflow := res.Systems["sFlow 10ms"]
+		last := len(farm) - 1
+		if farm[last].BytesPerSec > 0 {
+			b.ReportMetric(sflow[last].BytesPerSec/farm[last].BytesPerSec, "sflow/farm-bytes-x")
+		} else {
+			b.ReportMetric(sflow[last].BytesPerSec, "sflow-bytes-per-sec")
+		}
+	}
+}
+
+func BenchmarkFig5CPULoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(experiments.Fig5Config{
+			FlowCounts: []int{100, 10000},
+			Duration:   time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FARM[1].Load*100, "farm-cpu-pct-10k")
+		b.ReportMetric(res.SFlow[1].Load*100, "sflow-cpu-pct-10k")
+	}
+}
+
+func BenchmarkFig6SeedScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(experiments.Fig6Config{
+			HHSeedCounts: []int{100},
+			MLSeedCounts: []int{250},
+			Duration:     time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Variants["HH 10ms"][0].Load*100, "hh100-cpu-pct")
+		b.ReportMetric(res.Variants["ML 10ms x10iter (partitioned)"][0].Load*100, "ml250-cpu-pct")
+	}
+}
+
+func BenchmarkFig7Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(experiments.Fig7Config{
+			SeedCounts:    []int{30},
+			Runs:          1,
+			MILPShort:     200 * time.Millisecond,
+			MILPLong:      3 * time.Second,
+			SkipMILPAbove: 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := res.Heuristic[0]
+		b.ReportMetric(h.Utility, "heuristic-utility")
+		b.ReportMetric(float64(h.Runtime.Microseconds()), "heuristic-us")
+		if len(res.MILPLong) > 0 && res.MILPLong[0].Utility > 0 {
+			b.ReportMetric(h.Utility/res.MILPLong[0].Utility, "heur/milp-utility")
+		}
+	}
+}
+
+// BenchmarkFig7HeuristicPaperScale runs the heuristic alone at the
+// paper's largest grid point (10200 seeds, 1040 switches). Skipped in
+// -short mode; this is the scalability claim of §VI-D.
+func BenchmarkFig7HeuristicPaperScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale placement skipped in -short")
+	}
+	in := placement.RandomScenario(placement.ScenarioConfig{
+		Switches: 1040, Seeds: 10200, Tasks: 10, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := placement.Heuristic(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Utility, "utility")
+		b.ReportMetric(float64(len(res.Placed)), "seeds-placed")
+	}
+}
+
+func BenchmarkFig8PCIe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(experiments.Fig8Config{
+			SeedCounts: []int{1, 32},
+			Duration:   time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NoAggregation[1].Utilization*100, "bus-pct-noagg-32")
+		b.ReportMetric(res.WithAggregation[1].Utilization*100, "bus-pct-agg-32")
+	}
+}
+
+func BenchmarkFig9Aggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(experiments.Fig9Config{
+			SeedCounts: []int{150},
+			Duration:   time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Configs["threads + aggregation"][0].Load*100, "threads-cpu-pct")
+		b.ReportMetric(res.Configs["processes + aggregation"][0].Load*100, "processes-cpu-pct")
+	}
+}
+
+func BenchmarkFig10Transport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(experiments.Fig10Config{
+			SeedCounts:   []int{50},
+			CallsPerSeed: 200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SharedBuf[0].MeanLatency.Nanoseconds()), "sharedbuf-ns")
+		b.ReportMetric(float64(res.TCPRPC[0].MeanLatency.Nanoseconds()), "tcprpc-ns")
+	}
+}
+
+func BenchmarkAblationHeuristicPasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(experiments.AblationConfig{
+			Switches: 8, Seeds: 50, Tasks: 6, Runs: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Passes.Rows) != 3 {
+			b.Fatal("missing ablation rows")
+		}
+	}
+}
+
+func BenchmarkAblationMigrationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := placement.RandomScenario(placement.ScenarioConfig{
+			Switches: 8, Seeds: 50, Tasks: 6, Seed: int64(i),
+		})
+		prior, err := placement.Heuristic(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.Current = prior.Placed
+		in.MigrationCost = 0.5
+		res, err := placement.Heuristic(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Migrations), "migrations")
+	}
+}

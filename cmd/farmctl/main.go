@@ -1,0 +1,293 @@
+// farmctl is the operator CLI: compile Almanac sources, inspect the
+// static analysis the seeder would perform (placement directives,
+// utility polynomials, polling subjects), export the XML wire format,
+// and run a task from the built-in catalogue on an emulated fabric.
+//
+// Usage:
+//
+//	farmctl compile  <file.alm>           # parse + compile + report
+//	farmctl analyze  <file.alm> [machine] # placement/utility/poll analysis
+//	farmctl xml      <file.alm> [machine] # emit the XML wire format
+//	farmctl fmt      <file.alm>           # reprint in canonical form
+//	farmctl tasks                         # list the Tab. I catalogue
+//	farmctl run <task> [-leaves N] [-seconds S]
+//	farmctl builtins                      # runtime library functions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"farm/internal/almanac"
+	"farm/internal/core"
+	"farm/internal/fabric"
+	"farm/internal/harvest"
+	"farm/internal/netmodel"
+	"farm/internal/seeder"
+	"farm/internal/simclock"
+	"farm/internal/soil"
+	"farm/internal/tasks"
+	"farm/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "xml":
+		err = cmdXML(os.Args[2:])
+	case "fmt":
+		err = cmdFmt(os.Args[2:])
+	case "tasks":
+		err = cmdTasks()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "builtins":
+		for _, n := range core.BuiltinNames() {
+			fmt.Println(n)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "farmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: farmctl <compile|analyze|xml|fmt|tasks|run|builtins> ...`)
+}
+
+func loadProgram(path string) (*almanac.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return almanac.Parse(string(data))
+}
+
+func pickMachine(prog *almanac.Program, args []string) (string, error) {
+	if len(args) > 0 {
+		return args[0], nil
+	}
+	if len(prog.Machines) == 0 {
+		return "", fmt.Errorf("source declares no machines")
+	}
+	return prog.Machines[0].Name, nil
+}
+
+func cmdCompile(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("compile needs a source file")
+	}
+	prog, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	cms, err := almanac.Compile(prog)
+	if err != nil {
+		return err
+	}
+	for _, cm := range cms {
+		fmt.Printf("machine %s: %d states (initial %s), %d vars (%d external), %d triggers, %d placements\n",
+			cm.Name, len(cm.States), cm.InitialState, len(cm.Vars), len(cm.ExternalVars()), len(cm.Triggers), len(cm.Placements))
+	}
+	fmt.Printf("ok: %d machine(s), %d function(s), %d struct(s)\n",
+		len(cms), len(prog.Funcs), len(prog.Structs))
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("analyze needs a source file")
+	}
+	prog, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	name, err := pickMachine(prog, args[1:])
+	if err != nil {
+		return err
+	}
+	cm, err := almanac.CompileMachine(prog, name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine %s\n", cm.Name)
+	for _, warn := range almanac.Lint(cm) {
+		fmt.Printf("WARNING: %s\n", warn)
+	}
+	fmt.Println("placement directives:")
+	for _, pl := range cm.Placements {
+		if pl.HasRange {
+			fmt.Printf("  place %s %s range %s ...\n", pl.Quant, pl.Anchor, pl.RangeOp)
+		} else if len(pl.Switches) > 0 {
+			fmt.Printf("  place %s on %d named switches\n", pl.Quant, len(pl.Switches))
+		} else {
+			fmt.Printf("  place %s (all switches)\n", pl.Quant)
+		}
+	}
+	fmt.Println("per-state utility (C^s >= 0 -> u^s):")
+	for _, st := range cm.States {
+		u, err := almanac.AnalyzeUtility(st.Util, nil)
+		if err != nil {
+			fmt.Printf("  %s: needs deployment-time constants (%v)\n", st.Name, err)
+			continue
+		}
+		for i, c := range u {
+			fmt.Printf("  %s case %d:\n", st.Name, i)
+			for _, con := range c.Constraints {
+				fmt.Printf("    constraint: %s >= 0\n", con)
+			}
+			fmt.Printf("    utility:    %s\n", c.Util)
+		}
+	}
+	fmt.Println("trigger variables:")
+	pis, err := almanac.AnalyzePolls(cm, nil)
+	if err != nil {
+		return err
+	}
+	for _, pi := range pis {
+		fmt.Printf("  %s (%s): rate/s = %s", pi.Name, pi.TType, pi.RatePerSec)
+		if pi.What.Kind == almanac.ConstFilter {
+			if key, err := soil.SubjectKey(pi.What); err == nil {
+				fmt.Printf(", subject = %s", key)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// cmdFmt reprints a source file in canonical form.
+func cmdFmt(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("fmt needs a source file")
+	}
+	prog, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(almanac.Print(prog))
+	return nil
+}
+
+func cmdXML(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("xml needs a source file")
+	}
+	prog, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	name, err := pickMachine(prog, args[1:])
+	if err != nil {
+		return err
+	}
+	cm, err := almanac.CompileMachine(prog, name)
+	if err != nil {
+		return err
+	}
+	data, err := almanac.EncodeXML(cm)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func cmdTasks() error {
+	for _, d := range tasks.All() {
+		fmt.Printf("  %-16s %s\n", d.Name, d.Description)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	leaves := fs.Int("leaves", 4, "leaf switches")
+	seconds := fs.Int("seconds", 2, "simulated seconds")
+	// Accept the task name anywhere among the flags.
+	taskName := ""
+	var flagArgs []string
+	for _, a := range args {
+		if taskName == "" && len(a) > 0 && a[0] != '-' {
+			taskName = a
+			continue
+		}
+		flagArgs = append(flagArgs, a)
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if taskName == "" {
+		return fmt.Errorf("run needs a task name (see farmctl tasks)")
+	}
+	d, err := tasks.ByName(taskName)
+	if err != nil {
+		return err
+	}
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
+		Spines: 2, Leaves: *leaves, HostsPerLeaf: 8,
+	})
+	if err != nil {
+		return err
+	}
+	loop := simclock.New()
+	fab := fabric.New(topo, loop, fabric.Options{})
+	sd := seeder.New(fab, seeder.Options{})
+	reports := 0
+	spec := seeder.TaskSpec{
+		Name: d.Name, Source: d.Source, Machines: d.Machines,
+		Externals: d.DefaultExternals,
+		Harvester: harvest.FuncLogic{
+			Message: func(ctx harvest.Context, from soil.SeedRef, v core.Value) {
+				reports++
+				if reports <= 10 {
+					fmt.Printf("[%10v] %s: %s\n", ctx.Now(), from.Switch, core.FormatValue(v))
+				}
+			},
+		},
+	}
+	if err := sd.AddTask(spec); err != nil {
+		return err
+	}
+	fmt.Printf("running %s on %d switches with mixed traffic for %ds (simulated)\n",
+		d.Name, topo.NumSwitches(), *seconds)
+
+	// A workload cocktail so most tasks have something to see.
+	gen := traffic.NewGenerator(fab, time.Now().UnixNano()%1000)
+	stops := []func(){
+		gen.SYNFlood(fabric.HostIP(0, 0), 8, 4000),
+		gen.PortScan(fabric.HostIP(1, 0), fabric.HostIP(0, 1), 1000),
+		gen.SuperSpreader(fabric.HostIP(2%(*leaves), 0), 16, 2000),
+		gen.SSHBruteForce(fabric.HostIP(1, 2), fabric.HostIP(0, 2), 200),
+		gen.DNSReflection(fabric.HostIP(0, 3), 4, 1000),
+		gen.Slowloris(fabric.HostIP(0, 4), 12, 50),
+	}
+	defer func() {
+		for _, s := range stops {
+			s()
+		}
+	}()
+	w := traffic.NewBulkWorkload(fab, traffic.BulkConfig{
+		Tick: 10 * time.Millisecond, HeavyRatio: 0.1, Churn: time.Second, Seed: 5,
+	})
+	defer w.Stop()
+
+	loop.RunFor(time.Duration(*seconds) * time.Second)
+	fmt.Printf("done: %d harvester reports, %d packets dropped by local reactions\n",
+		reports, fab.DroppedInFabric())
+	return nil
+}

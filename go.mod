@@ -1,0 +1,3 @@
+module farm
+
+go 1.22

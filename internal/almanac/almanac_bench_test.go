@@ -1,0 +1,54 @@
+package almanac
+
+import "testing"
+
+func BenchmarkParseHH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(hhSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileHH(b *testing.B) {
+	prog, err := Parse(hhSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileMachine(prog, "HH"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMLRoundTrip(b *testing.B) {
+	prog, _ := Parse(hhSource)
+	cm, err := CompileMachine(prog, "HH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeXML(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeXML(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeUtility(b *testing.B) {
+	prog, _ := Parse(hhSource)
+	cm, _ := CompileMachine(prog, "HH")
+	ut := cm.States[0].Util
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeUtility(ut, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

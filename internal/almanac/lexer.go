@@ -1,0 +1,226 @@
+package almanac
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer converts Almanac source text into tokens. Comments use the
+// C-like // and /* */ forms.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: tokEOF, Line: line, Col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			b.WriteRune(l.advance())
+		}
+		text := b.String()
+		if kind, ok := keywords[text]; ok {
+			return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Kind: tokIdent, Text: text, Line: line, Col: col}, nil
+
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		isFloat := false
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+			isFloat = true
+			b.WriteRune(l.advance())
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				b.WriteRune(l.advance())
+			}
+		}
+		kind := tokInt
+		if isFloat {
+			kind = tokFloat
+		}
+		return Token{Kind: kind, Text: b.String(), Line: line, Col: col}, nil
+
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, errAt(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return Token{}, errAt(line, col, "unterminated string escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteRune('\n')
+				case 't':
+					b.WriteRune('\t')
+				case '"':
+					b.WriteRune('"')
+				case '\\':
+					b.WriteRune('\\')
+				default:
+					return Token{}, errAt(l.line, l.col, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+		return Token{Kind: tokString, Text: b.String(), Line: line, Col: col}, nil
+	}
+
+	mk := func(kind TokenKind, text string) (Token, error) {
+		for range text {
+			l.advance()
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	}
+	two := string(r) + string(l.peek2())
+	switch two {
+	case "==":
+		return mk(tokEq, two)
+	case "<=":
+		return mk(tokLe, two)
+	case ">=":
+		return mk(tokGe, two)
+	case "<>":
+		return mk(tokNeq, two)
+	}
+	switch r {
+	case '{':
+		return mk(tokLBrace, "{")
+	case '}':
+		return mk(tokRBrace, "}")
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case '[':
+		return mk(tokLBracket, "[")
+	case ']':
+		return mk(tokRBracket, "]")
+	case ';':
+		return mk(tokSemicolon, ";")
+	case ',':
+		return mk(tokComma, ",")
+	case '.':
+		return mk(tokDot, ".")
+	case '@':
+		return mk(tokAt, "@")
+	case '=':
+		return mk(tokAssign, "=")
+	case '<':
+		return mk(tokLt, "<")
+	case '>':
+		return mk(tokGt, ">")
+	case '+':
+		return mk(tokPlus, "+")
+	case '-':
+		return mk(tokMinus, "-")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", r)
+}

@@ -1,0 +1,78 @@
+package almanac
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintFlagsMissingTCAMDemand(t *testing.T) {
+	src := `
+machine Bad {
+  place all;
+  state s {
+    util (res) { if (res.vCPU >= 1) then { return 1; } }
+    when (recv long p from harvester) do {
+      addTCAMRule(port p, drop(), 1);
+    }
+  }
+}
+`
+	cm := mustCompile(t, src, "Bad")
+	warns := Lint(cm)
+	if len(warns) != 1 || !strings.Contains(warns[0], "res.TCAM") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestLintAcceptsTCAMDemand(t *testing.T) {
+	src := `
+machine Good {
+  place all;
+  state s {
+    util (res) { if (res.vCPU >= 1 and res.TCAM >= 2) then { return 1; } }
+    when (recv long p from harvester) do {
+      addTCAMRule(port p, drop(), 1);
+    }
+  }
+}
+`
+	cm := mustCompile(t, src, "Good")
+	if warns := Lint(cm); len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %v", warns)
+	}
+}
+
+func TestLintAcceptsNoRules(t *testing.T) {
+	src := `
+machine Passive {
+  place all;
+  state s {
+    util (res) { return 1; }
+    when (recv long p from harvester) do { }
+  }
+}
+`
+	cm := mustCompile(t, src, "Passive")
+	if warns := Lint(cm); len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %v", warns)
+	}
+}
+
+func TestLintSeesRulesInFunctions(t *testing.T) {
+	src := `
+function react(long p) {
+  addTCAMRule(port p, drop(), 1);
+}
+machine ViaFunc {
+  place all;
+  state s {
+    util (res) { return 1; }
+    when (recv long p from harvester) do { react(p); }
+  }
+}
+`
+	cm := mustCompile(t, src, "ViaFunc")
+	if warns := Lint(cm); len(warns) != 1 {
+		t.Fatalf("warnings = %v, want the TCAM warning via function body", warns)
+	}
+}

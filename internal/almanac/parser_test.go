@@ -1,0 +1,357 @@
+package almanac
+
+import (
+	"strings"
+	"testing"
+)
+
+// hhSource is the paper's List. 2 heavy-hitter seed, with the abstracted
+// auxiliary functions spelled out as builtin calls.
+const hhSource = `
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = 10 / res().PCIe, .what = port ANY
+  };
+  external long threshold;
+  action hitterAction;
+  list hitters;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (not is_list_empty(hitters)) then {
+        transit HHdetected;
+      }
+    }
+  }
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+  when (recv long newTh from harvester)
+  do { threshold = newTh; }
+  when (recv action hitAct from harvester)
+  do { hitterAction = hitAct; }
+}
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestParsePaperHH(t *testing.T) {
+	prog := mustParse(t, hhSource)
+	if len(prog.Machines) != 1 {
+		t.Fatalf("machines = %d", len(prog.Machines))
+	}
+	m := prog.Machines[0]
+	if m.Name != "HH" {
+		t.Fatalf("name = %s", m.Name)
+	}
+	if len(m.Placements) != 1 || m.Placements[0].Quant != QAll || m.Placements[0].HasRange {
+		t.Fatalf("placement = %+v", m.Placements)
+	}
+	if len(m.Triggers) != 1 || m.Triggers[0].TType != TrigPoll || m.Triggers[0].Name != "pollStats" {
+		t.Fatalf("triggers = %+v", m.Triggers)
+	}
+	if len(m.Vars) != 3 {
+		t.Fatalf("vars = %d, want 3", len(m.Vars))
+	}
+	if !m.Vars[0].External || m.Vars[0].Name != "threshold" || m.Vars[0].Type != TLong {
+		t.Fatalf("threshold decl = %+v", m.Vars[0])
+	}
+	if len(m.States) != 2 {
+		t.Fatalf("states = %d", len(m.States))
+	}
+	if m.States[0].Name != "observe" || m.States[1].Name != "HHdetected" {
+		t.Fatalf("state names: %s, %s", m.States[0].Name, m.States[1].Name)
+	}
+	if m.States[0].Util == nil || m.States[0].Util.Param != "res" {
+		t.Fatal("observe util missing")
+	}
+	if len(m.Events) != 2 {
+		t.Fatalf("machine events = %d, want 2", len(m.Events))
+	}
+	recv := m.Events[0].Trigger
+	if recv.Kind != TrigOnRecv || !recv.FromHarvester || recv.RecvType != TLong || recv.RecvVar != "newTh" {
+		t.Fatalf("recv trigger = %+v", recv)
+	}
+}
+
+func TestParseEventBodies(t *testing.T) {
+	prog := mustParse(t, hhSource)
+	m := prog.Machines[0]
+	ev := m.States[0].Events[0]
+	if ev.Trigger.Kind != TrigOnVar || ev.Trigger.VarName != "pollStats" || ev.Trigger.AsName != "stats" {
+		t.Fatalf("poll trigger = %+v", ev.Trigger)
+	}
+	if len(ev.Body) != 2 {
+		t.Fatalf("body = %d stmts", len(ev.Body))
+	}
+	if _, ok := ev.Body[0].(*AssignStmt); !ok {
+		t.Fatalf("stmt 0 = %T", ev.Body[0])
+	}
+	ifs, ok := ev.Body[1].(*IfStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", ev.Body[1])
+	}
+	if _, ok := ifs.Then[0].(*TransitStmt); !ok {
+		t.Fatalf("then 0 = %T", ifs.Then[0])
+	}
+	enter := m.States[1].Events[0]
+	if enter.Trigger.Kind != TrigOnEnter {
+		t.Fatalf("trigger = %+v", enter.Trigger)
+	}
+	if _, ok := enter.Body[0].(*SendStmt); !ok {
+		t.Fatalf("send stmt = %T", enter.Body[0])
+	}
+	if !enter.Body[0].(*SendStmt).To.Harvester {
+		t.Fatal("send target should be harvester")
+	}
+}
+
+func TestParsePlacementVariants(t *testing.T) {
+	src := `
+machine M {
+  place any;
+  place all "leaf0", "leaf1";
+  place any receiver (srcIP "10.1.1.4" and dstIP "10.0.1.0/24") range == 1;
+  place all midpoint range == 0;
+  place any range <= 2;
+  state s { when (enter) do { } }
+}
+`
+	prog := mustParse(t, src)
+	pls := prog.Machines[0].Placements
+	if len(pls) != 5 {
+		t.Fatalf("placements = %d", len(pls))
+	}
+	if pls[0].Quant != QAny || pls[0].HasRange || len(pls[0].Switches) != 0 {
+		t.Fatalf("pl0 = %+v", pls[0])
+	}
+	if pls[1].Quant != QAll || len(pls[1].Switches) != 2 {
+		t.Fatalf("pl1 = %+v", pls[1])
+	}
+	if !pls[2].HasRange || pls[2].Anchor != "receiver" || pls[2].RangeOp != "==" || pls[2].PathExpr == nil {
+		t.Fatalf("pl2 = %+v", pls[2])
+	}
+	if !pls[3].HasRange || pls[3].Anchor != "midpoint" || pls[3].PathExpr != nil {
+		t.Fatalf("pl3 = %+v", pls[3])
+	}
+	if !pls[4].HasRange || pls[4].Anchor != "" || pls[4].RangeOp != "<=" {
+		t.Fatalf("pl4 = %+v", pls[4])
+	}
+}
+
+func TestParseFunctionsAndStructs(t *testing.T) {
+	src := `
+struct Pair { long a; long b; }
+function sum(long a, long b) {
+  return a + b;
+}
+machine M {
+  place all;
+  state s {
+    when (enter) do {
+      long x = sum(1, 2);
+      Pair p = Pair { .a = 1, .b = x };
+    }
+  }
+}
+`
+	prog := mustParse(t, src)
+	if len(prog.Structs) != 1 || prog.Structs[0].Name != "Pair" || len(prog.Structs[0].Fields) != 2 {
+		t.Fatalf("structs = %+v", prog.Structs)
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "sum" || len(prog.Funcs[0].Params) != 2 {
+		t.Fatalf("funcs = %+v", prog.Funcs)
+	}
+	body := prog.Machines[0].States[0].Events[0].Body
+	if len(body) != 2 {
+		t.Fatalf("body = %d", len(body))
+	}
+	decl, ok := body[1].(*DeclStmt)
+	if !ok || decl.Var.Type != TStruct || decl.Var.TypeName != "Pair" {
+		t.Fatalf("decl = %+v", body[1])
+	}
+	if _, ok := decl.Var.Init.(*StructLit); !ok {
+		t.Fatalf("init = %T", decl.Var.Init)
+	}
+}
+
+func TestParseWhileAndElse(t *testing.T) {
+	src := `
+machine M {
+  place all;
+  state s {
+    when (enter) do {
+      long i = 0;
+      while (i <= 10) { i = i + 1; }
+      if (i == 11) then { transit s; } else { i = 0; }
+      if (i > 5) then { i = 1; } else if (i > 2) then { i = 2; }
+    }
+  }
+}
+`
+	prog := mustParse(t, src)
+	body := prog.Machines[0].States[0].Events[0].Body
+	if _, ok := body[1].(*WhileStmt); !ok {
+		t.Fatalf("stmt 1 = %T", body[1])
+	}
+	ifs := body[2].(*IfStmt)
+	if len(ifs.Else) != 1 {
+		t.Fatalf("else = %d stmts", len(ifs.Else))
+	}
+	chain := body[3].(*IfStmt)
+	if len(chain.Else) != 1 {
+		t.Fatalf("else-if chain = %d", len(chain.Else))
+	}
+	if _, ok := chain.Else[0].(*IfStmt); !ok {
+		t.Fatalf("else-if = %T", chain.Else[0])
+	}
+}
+
+func TestParseSendVariants(t *testing.T) {
+	src := `
+machine M {
+  place all;
+  state s {
+    when (enter) do {
+      send 1 to harvester;
+      send 2 to Other;
+      send 3 to Other @ "leaf1";
+    }
+  }
+  when (recv long v from Other @ "leaf2") do { }
+}
+`
+	prog := mustParse(t, src)
+	body := prog.Machines[0].States[0].Events[0].Body
+	s1 := body[0].(*SendStmt)
+	s2 := body[1].(*SendStmt)
+	s3 := body[2].(*SendStmt)
+	if !s1.To.Harvester || s2.To.Machine != "Other" || s2.To.Dst != nil {
+		t.Fatalf("sends = %+v %+v", s1.To, s2.To)
+	}
+	if s3.To.Dst == nil {
+		t.Fatal("s3 dst missing")
+	}
+	recv := prog.Machines[0].Events[0].Trigger
+	if recv.FromMachine != "Other" || recv.FromDst == nil {
+		t.Fatalf("recv = %+v", recv)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	src := `
+machine M { place all; state s { when (enter) do { long x = 1 + 2 * 3; } } }
+`
+	prog := mustParse(t, src)
+	decl := prog.Machines[0].States[0].Events[0].Body[0].(*DeclStmt)
+	add := decl.Var.Init.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s, want +", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("right op = %s, want *", mul.Op)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+machine M { /* block
+comment */ place all; state s { when (enter) do { } } }
+`
+	mustParse(t, src)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing brace", `machine M { place all;`, "expected"},
+		{"bad placement", `machine M { place sometimes; }`, "all or any"},
+		{"unterminated string", `machine M { place all "abc }`, "unterminated string"},
+		{"bad char", `machine M { place all; state s { when (enter) do { x = 1 ? 2; } } }`, "unexpected character"},
+		{"trigger garbage", `machine M { place all; state s { when (123) do {} } }`, "event trigger"},
+		{"unterminated comment", `machine M { /* nope`, "unterminated block comment"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Lex("machine\n  HH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("tok0 at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Fatalf("tok1 at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexerNumbersAndStrings(t *testing.T) {
+	toks, err := Lex(`42 3.25 "a\nb" <> <= >=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != tokInt || toks[0].Text != "42" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != tokFloat || toks[1].Text != "3.25" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Kind != tokString || toks[2].Text != "a\nb" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+	if toks[3].Kind != tokNeq || toks[4].Kind != tokLe || toks[5].Kind != tokGe {
+		t.Fatalf("operators wrong: %+v %+v %+v", toks[3], toks[4], toks[5])
+	}
+}
+
+func TestParseFilterExpressions(t *testing.T) {
+	src := `
+machine M {
+  place all;
+  poll p = Poll { .ival = 5, .what = srcIP "10.0.0.0/8" and dstPort 80 and proto "tcp" };
+  state s { when (p as st) do { } }
+}
+`
+	prog := mustParse(t, src)
+	trig := prog.Machines[0].Triggers[0]
+	lit := trig.Init.(*StructLit)
+	if len(lit.Fields) != 2 {
+		t.Fatalf("fields = %d", len(lit.Fields))
+	}
+	what := lit.Fields[1].Val.(*BinaryExpr)
+	if what.Op != "and" {
+		t.Fatalf("what top = %s", what.Op)
+	}
+}

@@ -1,0 +1,274 @@
+package almanac
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a Program back to canonical Almanac source. The output
+// re-parses to an equivalent program (parse ∘ Print ∘ parse is a fixed
+// point up to formatting), which the printer property tests assert.
+func Print(prog *Program) string {
+	var b strings.Builder
+	for _, s := range prog.Structs {
+		printStruct(&b, s)
+		b.WriteString("\n")
+	}
+	for _, f := range prog.Funcs {
+		printFunc(&b, f)
+		b.WriteString("\n")
+	}
+	for i, m := range prog.Machines {
+		printMachine(&b, m)
+		if i < len(prog.Machines)-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func printStruct(b *strings.Builder, s StructDecl) {
+	fmt.Fprintf(b, "struct %s {\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(b, "  %s %s;\n", typeSyntax(f.Type, f.TypeName), f.Name)
+	}
+	b.WriteString("}\n")
+}
+
+func printFunc(b *strings.Builder, f FuncDecl) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = typeSyntax(p.Type, p.TypeName) + " " + p.Name
+	}
+	fmt.Fprintf(b, "function %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	printStmts(b, f.Body, 1)
+	b.WriteString("}\n")
+}
+
+func printMachine(b *strings.Builder, m MachineDecl) {
+	fmt.Fprintf(b, "machine %s", m.Name)
+	if m.Extends != "" {
+		fmt.Fprintf(b, " extends %s", m.Extends)
+	}
+	b.WriteString(" {\n")
+	for _, pl := range m.Placements {
+		b.WriteString("  " + placementSyntax(pl) + "\n")
+	}
+	for _, tv := range m.Triggers {
+		fmt.Fprintf(b, "  %s %s", tv.TType, tv.Name)
+		if tv.Init != nil {
+			fmt.Fprintf(b, " = %s", ExprString(tv.Init))
+		}
+		b.WriteString(";\n")
+	}
+	for _, v := range m.Vars {
+		b.WriteString("  " + varSyntax(v) + "\n")
+	}
+	for _, st := range m.States {
+		printState(b, st)
+	}
+	for _, ev := range m.Events {
+		printEvent(b, ev, 1)
+	}
+	b.WriteString("}\n")
+}
+
+func printState(b *strings.Builder, st StateDecl) {
+	fmt.Fprintf(b, "  state %s {\n", st.Name)
+	for _, v := range st.Vars {
+		b.WriteString("    " + varSyntax(v) + "\n")
+	}
+	if st.Util != nil {
+		fmt.Fprintf(b, "    util (%s) {\n", st.Util.Param)
+		printStmts(b, st.Util.Body, 3)
+		b.WriteString("    }\n")
+	}
+	for _, ev := range st.Events {
+		printEvent(b, ev, 2)
+	}
+	b.WriteString("  }\n")
+}
+
+func printEvent(b *strings.Builder, ev EventDecl, depth int) {
+	pad := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%swhen (%s) do {\n", pad, triggerSyntax(ev.Trigger))
+	printStmts(b, ev.Body, depth+1)
+	b.WriteString(pad + "}\n")
+}
+
+func varSyntax(v VarDecl) string {
+	s := ""
+	if v.External {
+		s = "external "
+	}
+	s += typeSyntax(v.Type, v.TypeName) + " " + v.Name
+	if v.Init != nil {
+		s += " = " + ExprString(v.Init)
+	}
+	return s + ";"
+}
+
+func typeSyntax(t Type, name string) string {
+	if t == TStruct {
+		return name
+	}
+	return t.String()
+}
+
+func placementSyntax(pl Placement) string {
+	s := "place " + pl.Quant.String()
+	if pl.HasRange {
+		if pl.Anchor != "" {
+			s += " " + pl.Anchor
+		}
+		if pl.PathExpr != nil {
+			s += " (" + ExprString(pl.PathExpr) + ")"
+		}
+		s += " range " + pl.RangeOp + " " + ExprString(pl.RangeBound)
+	} else if len(pl.Switches) > 0 {
+		parts := make([]string, len(pl.Switches))
+		for i, ex := range pl.Switches {
+			parts[i] = ExprString(ex)
+		}
+		s += " " + strings.Join(parts, ", ")
+	}
+	return s + ";"
+}
+
+func triggerSyntax(trg EventTrigger) string {
+	switch trg.Kind {
+	case TrigOnEnter:
+		return "enter"
+	case TrigOnExit:
+		return "exit"
+	case TrigOnRealloc:
+		return "realloc"
+	case TrigOnVar:
+		if trg.AsName != "" {
+			return trg.VarName + " as " + trg.AsName
+		}
+		return trg.VarName
+	case TrigOnRecv:
+		s := "recv "
+		if trg.RecvType != TUnknown {
+			s += typeSyntax(trg.RecvType, trg.RecvTypeName) + " "
+		}
+		s += trg.RecvVar + " from "
+		if trg.FromHarvester {
+			s += "harvester"
+		} else {
+			s += trg.FromMachine
+			if trg.FromDst != nil {
+				s += " @ " + ExprString(trg.FromDst)
+			}
+		}
+		return s
+	}
+	return "?"
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	pad := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignStmt:
+			target := st.Target
+			if st.Field != "" {
+				target += "." + st.Field
+			}
+			fmt.Fprintf(b, "%s%s = %s;\n", pad, target, ExprString(st.Val))
+		case *DeclStmt:
+			b.WriteString(pad + varSyntax(st.Var) + "\n")
+		case *TransitStmt:
+			fmt.Fprintf(b, "%stransit %s;\n", pad, st.State)
+		case *ReturnStmt:
+			if st.Val != nil {
+				fmt.Fprintf(b, "%sreturn %s;\n", pad, ExprString(st.Val))
+			} else {
+				b.WriteString(pad + "return;\n")
+			}
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif (%s) then {\n", pad, ExprString(st.Cond))
+			printStmts(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				b.WriteString(pad + "} else {\n")
+				printStmts(b, st.Else, depth+1)
+			}
+			b.WriteString(pad + "}\n")
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile (%s) {\n", pad, ExprString(st.Cond))
+			printStmts(b, st.Body, depth+1)
+			b.WriteString(pad + "}\n")
+		case *SendStmt:
+			target := "harvester"
+			if !st.To.Harvester {
+				target = st.To.Machine
+				if st.To.Dst != nil {
+					target += " @ " + ExprString(st.To.Dst)
+				}
+			}
+			fmt.Fprintf(b, "%ssend %s to %s;\n", pad, ExprString(st.Val), target)
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", pad, ExprString(st.X))
+		}
+	}
+}
+
+// ExprString renders an expression in Almanac syntax. Parentheses are
+// emitted conservatively around every binary operation, which keeps the
+// printer simple and the output unambiguous.
+func ExprString(e Expr) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(ex.Val, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(ex.Val, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".e") {
+			s += ".0"
+		}
+		return s
+	case *StringLit:
+		return strconv.Quote(ex.Val)
+	case *BoolLit:
+		if ex.Val {
+			return "true"
+		}
+		return "false"
+	case *Ident:
+		return ex.Name
+	case *FieldExpr:
+		return ExprString(ex.X) + "." + ex.Field
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = ExprString(a)
+		}
+		return ex.Name + "(" + strings.Join(args, ", ") + ")"
+	case *UnaryExpr:
+		if ex.Op == "not" {
+			return "not (" + ExprString(ex.X) + ")"
+		}
+		return "(0 - " + ExprString(ex.X) + ")"
+	case *BinaryExpr:
+		return "(" + ExprString(ex.L) + " " + ex.Op + " " + ExprString(ex.R) + ")"
+	case *FilterAtom:
+		if ex.Any {
+			return ex.Field + " ANY"
+		}
+		return ex.Field + " " + ExprString(ex.Arg)
+	case *StructLit:
+		parts := make([]string, len(ex.Fields))
+		for i, f := range ex.Fields {
+			parts[i] = "." + f.Name + " = " + ExprString(f.Val)
+		}
+		return ex.TypeName + " { " + strings.Join(parts, ", ") + " }"
+	case *ListLit:
+		parts := make([]string, len(ex.Elems))
+		for i, el := range ex.Elems {
+			parts[i] = ExprString(el)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "?"
+}

@@ -1,0 +1,99 @@
+package almanac
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic, whatever bytes arrive: fuzz-style random
+// mutations of a valid program must produce either a Program or an
+// error, nothing else.
+func TestParserRobustToMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := hhSource
+	tokens := []string{"{", "}", "(", ")", ";", "state", "when", "place",
+		"\"", "0", "machine", ".", "=", "<>", "util", "recv"}
+	for i := 0; i < 500; i++ {
+		src := []byte(base)
+		// Apply 1-4 random mutations: delete a span, insert a token, or
+		// flip a byte.
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			switch rng.Intn(3) {
+			case 0: // delete
+				if len(src) > 10 {
+					at := rng.Intn(len(src) - 5)
+					n := rng.Intn(5) + 1
+					src = append(src[:at], src[at+n:]...)
+				}
+			case 1: // insert
+				tok := tokens[rng.Intn(len(tokens))]
+				at := rng.Intn(len(src))
+				src = append(src[:at], append([]byte(tok), src[at:]...)...)
+			case 2: // flip
+				at := rng.Intn(len(src))
+				src[at] = byte(rng.Intn(94) + 32)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated input: %v\n---\n%s", r, src)
+				}
+			}()
+			prog, err := Parse(string(src))
+			if err == nil && prog != nil {
+				// If it still parses, compilation must also not panic.
+				_, _ = Compile(prog)
+			}
+		}()
+	}
+}
+
+// Compiled machines survive an XML round trip even after mutation-driven
+// compilation (whatever compiles, encodes).
+func TestWhateverCompilesEncodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		src := hhSource
+		// Random but syntactically safe tweaks: rename identifiers.
+		src = strings.ReplaceAll(src, "hitters", "h"+string(rune('a'+rng.Intn(26))))
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		cms, err := Compile(prog)
+		if err != nil {
+			continue
+		}
+		for _, cm := range cms {
+			data, err := EncodeXML(cm)
+			if err != nil {
+				t.Fatalf("encode failed for compiling machine: %v", err)
+			}
+			if _, err := DecodeXML(data); err != nil {
+				t.Fatalf("decode failed: %v", err)
+			}
+		}
+	}
+}
+
+// The lexer reports positions, never panics, on arbitrary strings.
+func TestLexerRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked: %v", r)
+				}
+			}()
+			_, _ = Lex(string(b))
+		}()
+	}
+}

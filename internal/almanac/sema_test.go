@@ -1,0 +1,252 @@
+package almanac
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCompile(t *testing.T, src, machine string) *CompiledMachine {
+	t.Helper()
+	prog := mustParse(t, src)
+	cm, err := CompileMachine(prog, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestCompileHH(t *testing.T) {
+	cm := mustCompile(t, hhSource, "HH")
+	if cm.InitialState != "observe" {
+		t.Fatalf("initial = %s", cm.InitialState)
+	}
+	if len(cm.States) != 2 {
+		t.Fatalf("states = %d", len(cm.States))
+	}
+	// Machine-level recv events merged into both states.
+	for _, st := range cm.States {
+		recvs := 0
+		for _, ev := range st.Events {
+			if ev.Trigger.Kind == TrigOnRecv {
+				recvs++
+			}
+		}
+		if recvs != 2 {
+			t.Fatalf("state %s has %d recv events, want 2", st.Name, recvs)
+		}
+	}
+	if ext := cm.ExternalVars(); len(ext) != 1 || ext[0] != "threshold" {
+		t.Fatalf("externals = %v", ext)
+	}
+}
+
+func TestInheritanceOverridesStates(t *testing.T) {
+	src := `
+machine Base {
+  place all;
+  long x;
+  state first {
+    when (enter) do { x = 1; }
+  }
+  state second {
+    when (enter) do { x = 2; }
+  }
+}
+machine Child extends Base {
+  state second {
+    when (enter) do { x = 20; transit first; }
+  }
+  state third {
+    when (enter) do { x = 3; }
+  }
+}
+`
+	cm := mustCompile(t, src, "Child")
+	if len(cm.States) != 3 {
+		t.Fatalf("states = %d, want 3", len(cm.States))
+	}
+	// Initial state comes from the base machine.
+	if cm.InitialState != "first" {
+		t.Fatalf("initial = %s", cm.InitialState)
+	}
+	// The overridden state has the child's body (2 statements).
+	st, _ := cm.State("second")
+	if len(st.Events[0].Body) != 2 {
+		t.Fatalf("override not applied: %d stmts", len(st.Events[0].Body))
+	}
+	// Parent variable visible.
+	if len(cm.Vars) != 1 || cm.Vars[0].Name != "x" {
+		t.Fatalf("vars = %+v", cm.Vars)
+	}
+}
+
+func TestInheritanceForbidsVariableShadowing(t *testing.T) {
+	src := `
+machine Base { place all; long x; state s { when (enter) do { } } }
+machine Child extends Base { long x; }
+`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "Child")
+	if err == nil || !strings.Contains(err.Error(), "already declared") {
+		t.Fatalf("err = %v, want shadowing error", err)
+	}
+}
+
+func TestInheritanceCycle(t *testing.T) {
+	src := `
+machine A extends B { state s { when (enter) do {} } }
+machine B extends A { state s { when (enter) do {} } }
+`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "A")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want cycle error", err)
+	}
+}
+
+func TestUnknownParent(t *testing.T) {
+	prog := mustParse(t, `machine A extends Nope { state s { when (enter) do {} } }`)
+	if _, err := CompileMachine(prog, "A"); err == nil {
+		t.Fatal("expected unknown-parent error")
+	}
+}
+
+func TestMachineNeedsStates(t *testing.T) {
+	prog := mustParse(t, `machine A { place all; }`)
+	if _, err := CompileMachine(prog, "A"); err == nil {
+		t.Fatal("expected no-states error")
+	}
+}
+
+func TestTransitTargetValidated(t *testing.T) {
+	src := `machine A { place all; state s { when (enter) do { transit nowhere; } } }`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "A")
+	if err == nil || !strings.Contains(err.Error(), "undeclared state") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEventTriggerVarValidated(t *testing.T) {
+	src := `machine A { place all; state s { when (nosuch as x) do { } } }`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "A")
+	if err == nil || !strings.Contains(err.Error(), "undeclared trigger") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStateEventOverridesMachineEvent(t *testing.T) {
+	src := `
+machine A {
+  place all;
+  long x;
+  when (recv long v from harvester) do { x = 1; }
+  state s {
+    when (recv long v from harvester) do { x = 2; x = 3; }
+  }
+  state t {
+    when (enter) do { }
+  }
+}
+`
+	cm := mustCompile(t, src, "A")
+	s, _ := cm.State("s")
+	recvCount := 0
+	for _, ev := range s.Events {
+		if ev.Trigger.Kind == TrigOnRecv {
+			recvCount++
+			if len(ev.Body) != 2 {
+				t.Fatalf("state override body = %d stmts, want 2", len(ev.Body))
+			}
+		}
+	}
+	if recvCount != 1 {
+		t.Fatalf("state s recv events = %d, want 1 (override, not duplicate)", recvCount)
+	}
+	// State t keeps the machine-level version.
+	tt, _ := cm.State("t")
+	for _, ev := range tt.Events {
+		if ev.Trigger.Kind == TrigOnRecv && len(ev.Body) != 1 {
+			t.Fatalf("state t recv body = %d stmts, want 1", len(ev.Body))
+		}
+	}
+}
+
+func TestUtilRestrictionBadCall(t *testing.T) {
+	src := `
+machine A {
+  place all;
+  state s {
+    util (res) { return getHH(res); }
+    when (enter) do { }
+  }
+}
+`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "A")
+	if err == nil || !strings.Contains(err.Error(), "min and max") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUtilRestrictionBadStatement(t *testing.T) {
+	src := `
+machine A {
+  place all;
+  state s {
+    util (res) { while (true) { return 1; } }
+    when (enter) do { }
+  }
+}
+`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "A")
+	if err == nil || !strings.Contains(err.Error(), "if-then-else and return") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUtilRestrictionBadOperator(t *testing.T) {
+	src := `
+machine A {
+  place all;
+  state s {
+    util (res) { if (res.vCPU <> 1) then { return 1; } }
+    when (enter) do { }
+  }
+}
+`
+	prog := mustParse(t, src)
+	_, err := CompileMachine(prog, "A")
+	if err == nil || !strings.Contains(err.Error(), "not allowed in util") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlacementInheritedAndReplaced(t *testing.T) {
+	src := `
+machine Base { place all; state s { when (enter) do {} } }
+machine KeepsPlacement extends Base { }
+machine NewPlacement extends Base { place any; }
+`
+	keep := mustCompile(t, src, "KeepsPlacement")
+	if len(keep.Placements) != 1 || keep.Placements[0].Quant != QAll {
+		t.Fatalf("inherited placement = %+v", keep.Placements)
+	}
+	repl := mustCompile(t, src, "NewPlacement")
+	if len(repl.Placements) != 1 || repl.Placements[0].Quant != QAny {
+		t.Fatalf("replaced placement = %+v", repl.Placements)
+	}
+}
+
+func TestCompileAll(t *testing.T) {
+	prog := mustParse(t, hhSource)
+	cms, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cms) != 1 || cms[0].Name != "HH" {
+		t.Fatalf("compiled = %d machines", len(cms))
+	}
+}

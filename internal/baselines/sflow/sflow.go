@@ -1,0 +1,192 @@
+// Package sflow emulates an sFlow-style collection-centric monitoring
+// system (RFC 3176): per-switch agents periodically read every port's
+// counters and sample packets, forwarding everything unfiltered to a
+// logically centralized collector that performs all analysis.
+//
+// This is the paper's primary generic baseline (§VI-B): detection
+// latency is dominated by the collector's analysis interval, network
+// load toward the collector grows linearly with the number of ports,
+// and the agent CPU cost is flat (sample-and-forward, no switch-local
+// filtering).
+package sflow
+
+import (
+	"time"
+
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/metrics"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+// Config parameterizes the deployment.
+type Config struct {
+	// PollInterval is the agents' counter-export period (the paper runs
+	// 1 ms to match FARM's responsiveness, and 10 ms to reduce load).
+	PollInterval time.Duration
+	// SampleOneInN enables 1-in-N packet sampling when > 0.
+	SampleOneInN int
+	// AnalysisInterval is the collector's processing period; detection
+	// happens at analysis boundaries. 0 means PollInterval.
+	AnalysisInterval time.Duration
+	// HHThresholdBytesPerSec classifies a port as a heavy hitter.
+	HHThresholdBytesPerSec float64
+}
+
+// Detection is one heavy hitter identified by the collector.
+type Detection struct {
+	Switch netmodel.SwitchID
+	Port   int
+	At     time.Duration
+}
+
+// System is a deployed sFlow instance.
+type System struct {
+	fab  *fabric.Fabric
+	loop *simclock.Loop
+	cfg  Config
+
+	// OnHH fires on each new detection (optional).
+	OnHH func(Detection)
+
+	detections []Detection
+	active     map[[2]int]bool // (switch,port) currently flagged
+	pendingHH  map[[2]int]bool // classified, awaiting the analysis tick
+	// collector state: last seen counters and arrival times
+	lastCounters map[[2]int]counterRecord
+	tickers      []*simclock.Ticker
+	stopSamplers []func()
+	samplesRecv  uint64
+}
+
+type counterRecord struct {
+	at time.Duration
+	st dataplane.PortStats
+}
+
+// counterExportBytes is the wire size of one port's counter record in
+// an sFlow datagram.
+const counterExportBytes = 88
+
+// Deploy installs agents on every switch and starts the collector.
+func Deploy(fab *fabric.Fabric, cfg Config) *System {
+	if cfg.AnalysisInterval == 0 {
+		cfg.AnalysisInterval = cfg.PollInterval
+	}
+	s := &System{
+		fab:          fab,
+		loop:         fab.Loop(),
+		cfg:          cfg,
+		active:       map[[2]int]bool{},
+		pendingHH:    map[[2]int]bool{},
+		lastCounters: map[[2]int]counterRecord{},
+	}
+	costs := fab.Costs()
+	for _, sw := range fab.Topology().Switches() {
+		swID := sw.ID
+		drv := fab.Driver(swID)
+		cpu := fab.CPU(swID)
+		// Counter polling agent: read all ports, forward unfiltered.
+		tk := s.loop.Every(cfg.PollInterval, func() {
+			cpu.Charge(costs.PollIssue)
+			drv.PollPortStats(nil, func(stats map[int]dataplane.PortStats) {
+				// The agent does NOT analyze: it serializes and ships.
+				cpu.Charge(time.Duration(len(stats)) * costs.PollPerRecord)
+				size := len(stats) * counterExportBytes
+				at := s.loop.Now()
+				recs := stats
+				fab.SendToCentral(swID, size, func() {
+					s.ingestCounters(swID, at, recs)
+				})
+			})
+		})
+		s.tickers = append(s.tickers, tk)
+		if cfg.SampleOneInN > 0 {
+			stop := drv.StartSampling(dataplane.Filter{}, cfg.SampleOneInN, func(p dataplane.Packet) {
+				cpu.Charge(costs.SampleProcess)
+				fab.SendToCentral(swID, sampleBytes(p), func() { s.samplesRecv++ })
+			})
+			s.stopSamplers = append(s.stopSamplers, stop)
+		}
+	}
+	// Collector analysis loop.
+	s.tickers = append(s.tickers, s.loop.Every(cfg.AnalysisInterval, s.analyze))
+	return s
+}
+
+func sampleBytes(p dataplane.Packet) int {
+	n := p.Size
+	if n > 128 {
+		n = 128
+	}
+	return n + 28 // truncated header + encapsulation
+}
+
+func (s *System) ingestCounters(sw netmodel.SwitchID, at time.Duration, stats map[int]dataplane.PortStats) {
+	for port, st := range stats {
+		key := [2]int{int(sw), port}
+		prev, ok := s.lastCounters[key]
+		if !ok {
+			s.lastCounters[key] = counterRecord{at: at, st: st}
+			continue
+		}
+		// Keep the newest record; rate computed at analysis time uses
+		// the previous analysis window baseline, so store both.
+		if at > prev.at {
+			s.lastCounters[key] = counterRecord{at: at, st: st}
+			s.analyzeRate(sw, port, prev, counterRecord{at: at, st: st})
+		}
+	}
+}
+
+// analyzeRate classifies based on the rate between two consecutive
+// reports; detection is only surfaced at the collector's analysis tick,
+// so here we just stage the classification.
+func (s *System) analyzeRate(sw netmodel.SwitchID, port int, prev, cur counterRecord) {
+	elapsed := cur.at - prev.at
+	if elapsed <= 0 {
+		return
+	}
+	rate := float64(cur.st.TxBytes-prev.st.TxBytes) / elapsed.Seconds()
+	key := [2]int{int(sw), port}
+	if rate >= s.cfg.HHThresholdBytesPerSec {
+		s.pendingHH[key] = true
+	} else {
+		delete(s.pendingHH, key)
+		delete(s.active, key)
+	}
+}
+
+func (s *System) analyze() {
+	for key := range s.pendingHH {
+		if s.active[key] {
+			continue
+		}
+		s.active[key] = true
+		d := Detection{Switch: netmodel.SwitchID(key[0]), Port: key[1], At: s.loop.Now()}
+		s.detections = append(s.detections, d)
+		if s.OnHH != nil {
+			s.OnHH(d)
+		}
+	}
+}
+
+// Detections returns all heavy hitters found so far.
+func (s *System) Detections() []Detection { return s.detections }
+
+// SamplesReceived returns how many packet samples reached the collector.
+func (s *System) SamplesReceived() uint64 { return s.samplesRecv }
+
+// CentralTraffic exposes the collector-side network meter.
+func (s *System) CentralTraffic() *metrics.NetMeter { return s.fab.CentralNet }
+
+// Stop halts agents and collector.
+func (s *System) Stop() {
+	for _, tk := range s.tickers {
+		tk.Stop()
+	}
+	for _, stop := range s.stopSamplers {
+		stop()
+	}
+}

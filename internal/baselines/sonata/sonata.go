@@ -1,0 +1,249 @@
+// Package sonata emulates a Sonata-style stream-telemetry system
+// (Gupta et al., SIGCOMM'18): declarative dataflow queries whose simple
+// aggregation steps run in the switch data plane (P4) and whose
+// remaining operators run in a centralized micro-batch stream processor
+// (the Spark Streaming role).
+//
+// Characteristics reproduced from the paper's comparison (§VI-B, §VII):
+//   - state on switches is limited to per-key aggregates within a
+//     window; results only surface at window boundaries, so detection
+//     latency ≈ window + micro-batch processing + collection delay
+//     (the 3427 ms row in Tab. 4);
+//   - no cross-switch stream merging: heavy hitters are switch-local;
+//   - each window's partial aggregates stream to the central processor,
+//     scaled by a data-plane aggregation factor.
+package sonata
+
+import (
+	"sort"
+	"time"
+
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+// ReduceOp is the aggregation applied per key within a window.
+type ReduceOp int
+
+const (
+	Count ReduceOp = iota + 1
+	SumBytes
+)
+
+// KeyFunc extracts the grouping key from a packet.
+type KeyFunc func(p dataplane.Packet, inPort int) string
+
+// KeyByDstIP groups by destination address (classic HH query).
+func KeyByDstIP(p dataplane.Packet, _ int) string { return p.DstIP.String() }
+
+// KeyBySrcIP groups by source address (super-spreader style).
+func KeyBySrcIP(p dataplane.Packet, _ int) string { return p.SrcIP.String() }
+
+// KeyByInPort groups by ingress port (port-level HH, comparable to
+// FARM's HH seed).
+func KeyByInPort(_ dataplane.Packet, inPort int) string {
+	return portKey(inPort)
+}
+
+func portKey(port int) string {
+	return "port:" + itoa(port)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Query is one Sonata dataflow: filter → key → reduce within Window,
+// then `having value >= Threshold` evaluated centrally per (switch,key).
+type Query struct {
+	Name      string
+	Filter    dataplane.Filter
+	Key       KeyFunc
+	Reduce    ReduceOp
+	Window    time.Duration
+	Threshold float64
+}
+
+// Config tunes the system-level behaviour.
+type Config struct {
+	// BatchDelay models the stream processor's micro-batch scheduling
+	// and computation time; results of a window surface this long after
+	// the window closes. 0 means DefaultBatchDelay.
+	BatchDelay time.Duration
+	// AggregationFactor is the fraction of raw records the data-plane
+	// reduction eliminates before export (the paper grants Sonata 75%,
+	// the best achievable with the HH ratio changing once a minute).
+	AggregationFactor float64
+	// RecordBytes is the export size per surviving record; 0 means 64.
+	RecordBytes int
+}
+
+// DefaultBatchDelay approximates Spark Streaming micro-batch scheduling
+// plus query execution on the paper's collector hardware.
+const DefaultBatchDelay = 400 * time.Millisecond
+
+// Detection is one `having` match emitted by the stream processor.
+type Detection struct {
+	Query  string
+	Switch netmodel.SwitchID
+	Key    string
+	Value  float64
+	At     time.Duration
+}
+
+// System is a deployed Sonata instance.
+type System struct {
+	fab  *fabric.Fabric
+	loop *simclock.Loop
+	cfg  Config
+
+	// OnDetect fires per having-match (optional).
+	OnDetect func(Detection)
+
+	detections []Detection
+	tickers    []*simclock.Ticker
+	stops      []func()
+	// exported counts records shipped to the stream processor.
+	exported uint64
+}
+
+// Deploy installs the queries on every switch.
+//
+// The data-plane part taps packets inside the ASIC (P4 stage), so the
+// per-packet path costs no PCIe bandwidth and no management CPU — but
+// its state is only a per-key aggregate, flushed at window boundaries
+// to the central processor over the collection network.
+func Deploy(fab *fabric.Fabric, queries []Query, cfg Config) *System {
+	if cfg.BatchDelay == 0 {
+		cfg.BatchDelay = DefaultBatchDelay
+	}
+	if cfg.RecordBytes == 0 {
+		cfg.RecordBytes = 64
+	}
+	s := &System{fab: fab, loop: fab.Loop(), cfg: cfg}
+	for _, swInfo := range fab.Topology().Switches() {
+		swID := swInfo.ID
+		for _, q := range queries {
+			q := q
+			agg := map[string]float64{}
+			// In-ASIC tap: direct sampler on the emulated switch, not
+			// through the PCIe-limited driver.
+			remove := fab.Switch(swID).AddSampler(q.Filter, 1, func(p dataplane.Packet) {
+				// The emulated sampler sees egress-bound packets once
+				// per switch; reduce in place.
+				key := q.Key(p, 0)
+				switch q.Reduce {
+				case SumBytes:
+					agg[key] += float64(p.Size)
+				default:
+					agg[key]++
+				}
+			})
+			s.stops = append(s.stops, remove)
+			tk := s.loop.Every(q.Window, func() {
+				if len(agg) == 0 {
+					return
+				}
+				// Export surviving records to the stream processor.
+				records := len(agg)
+				exported := int(float64(records)*(1-cfg.AggregationFactor) + 0.999)
+				if exported < 1 {
+					exported = 1
+				}
+				s.exported += uint64(records)
+				size := exported * cfg.RecordBytes
+				batch := agg
+				agg = map[string]float64{}
+				fab.SendToCentral(swID, size, func() {
+					// Micro-batch processing delay before results.
+					s.loop.After(cfg.BatchDelay, func() {
+						s.processBatch(q, swID, batch)
+					})
+				})
+			})
+			s.tickers = append(s.tickers, tk)
+		}
+	}
+	return s
+}
+
+// IngestCounterWindow feeds the data-plane aggregation from bulk port
+// counters (used by large-scale workloads that do not generate
+// per-packet events): each port with traffic contributes one record per
+// window with its byte count.
+func (s *System) IngestCounterWindow(q Query, sw netmodel.SwitchID, portBytes map[int]float64) {
+	batch := map[string]float64{}
+	for port, bytes := range portBytes {
+		batch[portKey(port)] = bytes
+	}
+	records := len(batch)
+	if records == 0 {
+		return
+	}
+	exported := int(float64(records)*(1-s.cfg.AggregationFactor) + 0.999)
+	if exported < 1 {
+		exported = 1
+	}
+	s.exported += uint64(records)
+	s.fab.SendToCentral(sw, exported*s.cfg.RecordBytes, func() {
+		s.loop.After(s.cfg.BatchDelay, func() {
+			s.processBatch(q, sw, batch)
+		})
+	})
+}
+
+func (s *System) processBatch(q Query, sw netmodel.SwitchID, batch map[string]float64) {
+	keys := make([]string, 0, len(batch))
+	for k := range batch {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := batch[k]
+		if v < q.Threshold {
+			continue
+		}
+		d := Detection{Query: q.Name, Switch: sw, Key: k, Value: v, At: s.loop.Now()}
+		s.detections = append(s.detections, d)
+		if s.OnDetect != nil {
+			s.OnDetect(d)
+		}
+	}
+}
+
+// Detections returns all having-matches so far.
+func (s *System) Detections() []Detection { return s.detections }
+
+// RecordsAggregated returns the raw record count reduced in the data
+// plane (before the aggregation factor was applied for export).
+func (s *System) RecordsAggregated() uint64 { return s.exported }
+
+// Stop halts the deployment.
+func (s *System) Stop() {
+	for _, tk := range s.tickers {
+		tk.Stop()
+	}
+	for _, stop := range s.stops {
+		stop()
+	}
+}

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"farm/internal/almanac"
+	"farm/internal/dataplane"
+)
+
+// Aliases keeping eval.go terse.
+const (
+	flagSYN = dataplane.FlagSYN
+	flagACK = dataplane.FlagACK
+	flagFIN = dataplane.FlagFIN
+	flagRST = dataplane.FlagRST
+)
+
+func dataplanePacket(p PacketVal) dataplane.Packet { return dataplane.Packet(p) }
+
+func dataplaneProtoName(p PacketVal) string { return p.Proto.String() }
+
+// evalCall dispatches user functions and the runtime library
+// (List. 1 of the paper plus list/map/math helpers the Tab. I tasks use).
+func (s *Seed) evalCall(ex *almanac.CallExpr, sc *scope) (Value, error) {
+	// User-defined auxiliary functions shadow nothing: builtins win to
+	// keep the runtime library stable.
+	if fn, ok := builtins[ex.Name]; ok {
+		args := make([]Value, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := s.eval(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return fn(s, args, ex.Line())
+	}
+	if fd, ok := s.funcs[ex.Name]; ok {
+		if len(ex.Args) != len(fd.Params) {
+			return nil, fmt.Errorf("core: %s expects %d arguments, got %d (line %d)", ex.Name, len(fd.Params), len(ex.Args), ex.Line())
+		}
+		bind := map[string]Value{}
+		for i, p := range fd.Params {
+			v, err := s.eval(ex.Args[i], sc)
+			if err != nil {
+				return nil, err
+			}
+			bind[p.Name] = v
+		}
+		res, err := s.exec(fd.Body, newScope(s, bind))
+		if err != nil {
+			return nil, err
+		}
+		if res.kind == ctrlTransit {
+			return nil, fmt.Errorf("core: transit inside function %s is not allowed", ex.Name)
+		}
+		return res.val, nil
+	}
+	return nil, fmt.Errorf("core: unknown function %s (line %d)", ex.Name, ex.Line())
+}
+
+type builtinFn func(s *Seed, args []Value, line int) (Value, error)
+
+var builtins map[string]builtinFn
+
+func init() {
+	// Assigned in init to allow the table to reference helper functions
+	// defined below without an initialization cycle.
+	builtins = map[string]builtinFn{
+		// Runtime library (List. 1).
+		"res":            biRes,
+		"addTCAMRule":    biAddTCAMRule,
+		"removeTCAMRule": biRemoveTCAMRule,
+		"getTCAMRule":    biGetTCAMRule,
+		"exec":           biExec,
+		// Actions for TCAM rules.
+		"drop":      func(*Seed, []Value, int) (Value, error) { return ActionVal(dataplane.ActDrop), nil },
+		"allow":     func(*Seed, []Value, int) (Value, error) { return ActionVal(dataplane.ActAllow), nil },
+		"rateLimit": func(*Seed, []Value, int) (Value, error) { return ActionVal(dataplane.ActRateLimit), nil },
+		"mirror":    func(*Seed, []Value, int) (Value, error) { return ActionVal(dataplane.ActMirror), nil },
+		"countAct":  func(*Seed, []Value, int) (Value, error) { return ActionVal(dataplane.ActCount), nil },
+		"setQoS":    func(*Seed, []Value, int) (Value, error) { return ActionVal(dataplane.ActSetQoS), nil },
+		// Math.
+		"min":   biMin,
+		"max":   biMax,
+		"abs":   biAbs,
+		"log":   biLog,
+		"log2":  biLog2,
+		"floor": biFloor,
+		// Lists.
+		"list_append":   biListAppend,
+		"list_len":      biListLen,
+		"is_list_empty": biListEmpty,
+		"list_contains": biListContains,
+		"list_get":      biListGet,
+		"list_clear":    func(*Seed, []Value, int) (Value, error) { return List(nil), nil },
+		// Maps.
+		"map_new":  func(*Seed, []Value, int) (Value, error) { return MapVal{}, nil },
+		"map_get":  biMapGet,
+		"map_set":  biMapSet,
+		"map_has":  biMapHas,
+		"map_del":  biMapDel,
+		"map_len":  biMapLen,
+		"map_keys": biMapKeys,
+		// Misc.
+		"now": biNow,
+		"str": biStr,
+		"log_msg": func(s *Seed, args []Value, _ int) (Value, error) {
+			parts := make([]any, len(args))
+			for i, a := range args {
+				parts[i] = FormatValue(a)
+			}
+			s.host.Log("%v", parts)
+			return nil, nil
+		},
+		// Statistics helpers for the canonical tasks.
+		"getHH": biGetHH,
+	}
+}
+
+func biRes(s *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("core: res() takes no arguments (line %d)", line)
+	}
+	return ResourcesVal(s.host.Resources()), nil
+}
+
+// biAddTCAMRule accepts either a Rule struct {.pattern, .act, .priority}
+// or (filter, action [, priority]).
+func biAddTCAMRule(s *Seed, args []Value, line int) (Value, error) {
+	var rule dataplane.Rule
+	switch {
+	case len(args) == 1:
+		sv, ok := args[0].(StructVal)
+		if !ok || sv.Type != "Rule" {
+			return nil, fmt.Errorf("core: addTCAMRule needs a Rule struct (line %d)", line)
+		}
+		f, ok := sv.Fields["pattern"].(FilterVal)
+		if !ok {
+			return nil, fmt.Errorf("core: Rule.pattern must be a filter (line %d)", line)
+		}
+		a, ok := sv.Fields["act"].(ActionVal)
+		if !ok {
+			return nil, fmt.Errorf("core: Rule.act must be an action (line %d)", line)
+		}
+		rule.Filter, rule.Action = f.F, dataplane.Action(a)
+		if p, ok := AsFloat(sv.Fields["priority"]); ok {
+			rule.Priority = int(p)
+		}
+	case len(args) >= 2:
+		f, ok := args[0].(FilterVal)
+		if !ok {
+			return nil, fmt.Errorf("core: addTCAMRule: first argument must be a filter (line %d)", line)
+		}
+		a, ok := args[1].(ActionVal)
+		if !ok {
+			return nil, fmt.Errorf("core: addTCAMRule: second argument must be an action (line %d)", line)
+		}
+		rule.Filter, rule.Action = f.F, dataplane.Action(a)
+		if len(args) == 3 {
+			p, ok := AsFloat(args[2])
+			if !ok {
+				return nil, fmt.Errorf("core: addTCAMRule: priority must be a number (line %d)", line)
+			}
+			rule.Priority = int(p)
+		}
+	default:
+		return nil, fmt.Errorf("core: addTCAMRule needs a rule (line %d)", line)
+	}
+	rule.Note = s.machine.Name
+	if err := s.host.AddTCAMRule(rule); err != nil {
+		return nil, fmt.Errorf("core: addTCAMRule: %w (line %d)", err, line)
+	}
+	return nil, nil
+}
+
+func biRemoveTCAMRule(s *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: removeTCAMRule needs a filter (line %d)", line)
+	}
+	f, ok := args[0].(FilterVal)
+	if !ok {
+		return nil, fmt.Errorf("core: removeTCAMRule needs a filter, got %s (line %d)", TypeName(args[0]), line)
+	}
+	return s.host.RemoveTCAMRule(f.F), nil
+}
+
+func biGetTCAMRule(s *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: getTCAMRule needs a filter (line %d)", line)
+	}
+	f, ok := args[0].(FilterVal)
+	if !ok {
+		return nil, fmt.Errorf("core: getTCAMRule needs a filter (line %d)", line)
+	}
+	r, found := s.host.GetTCAMRule(f.F)
+	if !found {
+		return nil, nil
+	}
+	return StructVal{Type: "Rule", Fields: MapVal{
+		"pattern":  FilterVal{F: r.Filter},
+		"act":      ActionVal(r.Action),
+		"priority": int64(r.Priority),
+	}}, nil
+}
+
+func biExec(s *Seed, args []Value, line int) (Value, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("core: exec needs a command (line %d)", line)
+	}
+	cmd, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("core: exec command must be a string (line %d)", line)
+	}
+	var arg Value
+	if len(args) == 2 {
+		arg = args[1]
+	}
+	return s.host.Exec(cmd, arg)
+}
+
+func numericArgs(name string, args []Value, line int) ([]float64, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("core: %s needs arguments (line %d)", name, line)
+	}
+	out := make([]float64, len(args))
+	for i, a := range args {
+		f, ok := AsFloat(a)
+		if !ok {
+			return nil, fmt.Errorf("core: %s: argument %d is %s, not numeric (line %d)", name, i+1, TypeName(a), line)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func allInts(args []Value) bool {
+	for _, a := range args {
+		if _, ok := a.(int64); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func biMin(_ *Seed, args []Value, line int) (Value, error) {
+	fs, err := numericArgs("min", args, line)
+	if err != nil {
+		return nil, err
+	}
+	best := fs[0]
+	for _, f := range fs[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	if allInts(args) {
+		return int64(best), nil
+	}
+	return best, nil
+}
+
+func biMax(_ *Seed, args []Value, line int) (Value, error) {
+	fs, err := numericArgs("max", args, line)
+	if err != nil {
+		return nil, err
+	}
+	best := fs[0]
+	for _, f := range fs[1:] {
+		if f > best {
+			best = f
+		}
+	}
+	if allInts(args) {
+		return int64(best), nil
+	}
+	return best, nil
+}
+
+func biAbs(_ *Seed, args []Value, line int) (Value, error) {
+	fs, err := numericArgs("abs", args, line)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := args[0].(int64); ok {
+		if v < 0 {
+			return -v, nil
+		}
+		return v, nil
+	}
+	return math.Abs(fs[0]), nil
+}
+
+func biLog(_ *Seed, args []Value, line int) (Value, error) {
+	fs, err := numericArgs("log", args, line)
+	if err != nil {
+		return nil, err
+	}
+	if fs[0] <= 0 {
+		return nil, fmt.Errorf("core: log of non-positive %g (line %d)", fs[0], line)
+	}
+	return math.Log(fs[0]), nil
+}
+
+func biLog2(_ *Seed, args []Value, line int) (Value, error) {
+	fs, err := numericArgs("log2", args, line)
+	if err != nil {
+		return nil, err
+	}
+	if fs[0] <= 0 {
+		return nil, fmt.Errorf("core: log2 of non-positive %g (line %d)", fs[0], line)
+	}
+	return math.Log2(fs[0]), nil
+}
+
+func biFloor(_ *Seed, args []Value, line int) (Value, error) {
+	fs, err := numericArgs("floor", args, line)
+	if err != nil {
+		return nil, err
+	}
+	return int64(math.Floor(fs[0])), nil
+}
+
+func biListAppend(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: list_append(list, value) (line %d)", line)
+	}
+	l, ok := args[0].(List)
+	if !ok && args[0] != nil {
+		return nil, fmt.Errorf("core: list_append: first argument is %s (line %d)", TypeName(args[0]), line)
+	}
+	out := make(List, 0, len(l)+1)
+	out = append(out, l...)
+	return append(out, args[1]), nil
+}
+
+func asList(v Value, name string, line int) (List, error) {
+	if v == nil {
+		return nil, nil
+	}
+	l, ok := v.(List)
+	if !ok {
+		return nil, fmt.Errorf("core: %s needs a list, got %s (line %d)", name, TypeName(v), line)
+	}
+	return l, nil
+}
+
+func biListLen(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: list_len(list) (line %d)", line)
+	}
+	l, err := asList(args[0], "list_len", line)
+	if err != nil {
+		return nil, err
+	}
+	return int64(len(l)), nil
+}
+
+func biListEmpty(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: is_list_empty(list) (line %d)", line)
+	}
+	l, err := asList(args[0], "is_list_empty", line)
+	if err != nil {
+		return nil, err
+	}
+	return len(l) == 0, nil
+}
+
+func biListContains(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: list_contains(list, value) (line %d)", line)
+	}
+	l, err := asList(args[0], "list_contains", line)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range l {
+		if Equal(e, args[1]) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func biListGet(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: list_get(list, index) (line %d)", line)
+	}
+	l, err := asList(args[0], "list_get", line)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := AsFloat(args[1])
+	if !ok {
+		return nil, fmt.Errorf("core: list_get index must be numeric (line %d)", line)
+	}
+	i := int(idx)
+	if i < 0 || i >= len(l) {
+		return nil, fmt.Errorf("core: list_get index %d out of range [0,%d) (line %d)", i, len(l), line)
+	}
+	return l[i], nil
+}
+
+func asMap(v Value, name string, line int) (MapVal, error) {
+	m, ok := v.(MapVal)
+	if !ok {
+		return nil, fmt.Errorf("core: %s needs a map, got %s (line %d)", name, TypeName(v), line)
+	}
+	return m, nil
+}
+
+func keyString(v Value) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return FormatValue(v)
+}
+
+func biMapGet(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("core: map_get(map, key, default) (line %d)", line)
+	}
+	m, err := asMap(args[0], "map_get", line)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := m[keyString(args[1])]; ok {
+		return v, nil
+	}
+	return args[2], nil
+}
+
+func biMapSet(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("core: map_set(map, key, value) (line %d)", line)
+	}
+	m, err := asMap(args[0], "map_set", line)
+	if err != nil {
+		return nil, err
+	}
+	m[keyString(args[1])] = args[2]
+	return m, nil
+}
+
+func biMapHas(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: map_has(map, key) (line %d)", line)
+	}
+	m, err := asMap(args[0], "map_has", line)
+	if err != nil {
+		return nil, err
+	}
+	_, ok := m[keyString(args[1])]
+	return ok, nil
+}
+
+func biMapDel(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: map_del(map, key) (line %d)", line)
+	}
+	m, err := asMap(args[0], "map_del", line)
+	if err != nil {
+		return nil, err
+	}
+	delete(m, keyString(args[1]))
+	return m, nil
+}
+
+func biMapLen(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: map_len(map) (line %d)", line)
+	}
+	m, err := asMap(args[0], "map_len", line)
+	if err != nil {
+		return nil, err
+	}
+	return int64(len(m)), nil
+}
+
+func biMapKeys(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: map_keys(map) (line %d)", line)
+	}
+	m, err := asMap(args[0], "map_keys", line)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(List, len(keys))
+	for i, k := range keys {
+		out[i] = k
+	}
+	return out, nil
+}
+
+func biNow(s *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("core: now() takes no arguments (line %d)", line)
+	}
+	return float64(s.host.Now().Milliseconds()), nil
+}
+
+func biStr(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("core: str(value) (line %d)", line)
+	}
+	if s, ok := args[0].(string); ok {
+		return s, nil
+	}
+	return FormatValue(args[0]), nil
+}
+
+// biGetHH is the paper's abstracted getHH helper: given a list of
+// PortStats records and a byte threshold, return the ports whose
+// transmitted bytes since the last poll reach the threshold.
+func biGetHH(_ *Seed, args []Value, line int) (Value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: getHH(stats, threshold) (line %d)", line)
+	}
+	stats, err := asList(args[0], "getHH", line)
+	if err != nil {
+		return nil, err
+	}
+	th, ok := AsFloat(args[1])
+	if !ok {
+		return nil, fmt.Errorf("core: getHH threshold must be numeric (line %d)", line)
+	}
+	var hitters List
+	for _, rec := range stats {
+		sv, ok := rec.(StructVal)
+		if !ok || sv.Type != "PortStats" {
+			return nil, fmt.Errorf("core: getHH expects PortStats records, got %s (line %d)", TypeName(rec), line)
+		}
+		d, _ := AsFloat(sv.Fields["dTxBytes"])
+		if d >= th {
+			hitters = append(hitters, sv.Fields["port"])
+		}
+	}
+	return hitters, nil
+}
+
+// BuiltinNames returns the sorted runtime library function names
+// (documentation and farmctl introspection).
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

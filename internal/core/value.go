@@ -1,0 +1,283 @@
+// Package core implements the seed runtime: executable state machines
+// compiled from Almanac (§II-B-a of the FARM paper). A Seed holds the
+// machine's variables and current state, reacts to triggers (poll,
+// probe, time), messages, and reallocation events, and performs local
+// (re)actions — state transitions, TCAM updates, sends — through a Host
+// interface implemented by the soil.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"farm/internal/dataplane"
+	"farm/internal/netmodel"
+)
+
+// Value is an Almanac runtime value. The concrete types are:
+//
+//	int64            int/long
+//	float64          float
+//	bool             bool
+//	string           string
+//	List             list
+//	MapVal           map (string-keyed)
+//	FilterVal        filter
+//	ActionVal        action
+//	PacketVal        packet
+//	StructVal        user/runtime structs (incl. poll records)
+//	ResourcesVal     the res() result
+type Value any
+
+// List is an Almanac list.
+type List []Value
+
+// MapVal is an Almanac map with string keys.
+type MapVal map[string]Value
+
+// FilterVal wraps a packet filter; PortAny marks `port ANY`.
+type FilterVal struct {
+	F       dataplane.Filter
+	PortAny bool
+}
+
+// ActionVal is a data-plane action (drop, rate-limit, ...).
+type ActionVal dataplane.Action
+
+// PacketVal is a sampled packet.
+type PacketVal dataplane.Packet
+
+// StructVal is a struct instance.
+type StructVal struct {
+	Type   string
+	Fields MapVal
+}
+
+// ResourcesVal is the allocation returned by res().
+type ResourcesVal netmodel.Resources
+
+// TypeName returns a human-readable type tag for diagnostics.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case int64:
+		return "long"
+	case float64:
+		return "float"
+	case bool:
+		return "bool"
+	case string:
+		return "string"
+	case List:
+		return "list"
+	case MapVal:
+		return "map"
+	case FilterVal:
+		return "filter"
+	case ActionVal:
+		return "action"
+	case PacketVal:
+		return "packet"
+	case StructVal:
+		return "struct"
+	case ResourcesVal:
+		return "resources"
+	}
+	return fmt.Sprintf("%T", Value(nil))
+}
+
+// Truthy converts a value to a boolean condition.
+func Truthy(v Value) (bool, error) {
+	switch x := v.(type) {
+	case bool:
+		return x, nil
+	case int64:
+		return x != 0, nil
+	case float64:
+		return x != 0, nil
+	case nil:
+		return false, nil
+	}
+	return false, fmt.Errorf("core: %s is not usable as a condition", TypeName(v))
+}
+
+// AsFloat widens numeric values.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// Equal compares two values structurally.
+func Equal(a, b Value) bool {
+	if fa, ok := AsFloat(a); ok {
+		if fb, ok2 := AsFloat(b); ok2 {
+			return fa == fb
+		}
+		return false
+	}
+	switch x := a.(type) {
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case nil:
+		return b == nil
+	case FilterVal:
+		y, ok := b.(FilterVal)
+		return ok && x == y
+	case ActionVal:
+		y, ok := b.(ActionVal)
+		return ok && x == y
+	case PacketVal:
+		y, ok := b.(PacketVal)
+		return ok && x == y
+	case List:
+		y, ok := b.(List)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case MapVal:
+		y, ok := b.(MapVal)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			w, present := y[k]
+			if !present || !Equal(v, w) {
+				return false
+			}
+		}
+		return true
+	case StructVal:
+		y, ok := b.(StructVal)
+		return ok && x.Type == y.Type && Equal(x.Fields, y.Fields)
+	}
+	return false
+}
+
+// CloneValue deep-copies a value (used for migration snapshots and
+// message passing between seeds, which must not share mutable state).
+func CloneValue(v Value) Value {
+	switch x := v.(type) {
+	case List:
+		out := make(List, len(x))
+		for i, e := range x {
+			out[i] = CloneValue(e)
+		}
+		return out
+	case MapVal:
+		out := make(MapVal, len(x))
+		for k, e := range x {
+			out[k] = CloneValue(e)
+		}
+		return out
+	case StructVal:
+		return StructVal{Type: x.Type, Fields: CloneValue(x.Fields).(MapVal)}
+	case ResourcesVal:
+		return ResourcesVal(netmodel.Resources(x).Clone())
+	case SketchVal:
+		return SketchVal{S: x.S.Clone()}
+	case DistinctVal:
+		return DistinctVal{D: x.D.Clone()}
+	default:
+		return v // scalars and immutable wrappers
+	}
+}
+
+// FormatValue renders a value deterministically for logs and tests.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case string:
+		return fmt.Sprintf("%q", x)
+	case List:
+		s := "["
+		for i, e := range x {
+			if i > 0 {
+				s += ", "
+			}
+			s += FormatValue(e)
+		}
+		return s + "]"
+	case MapVal:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s := "{"
+		for i, k := range keys {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s: %s", k, FormatValue(x[k]))
+		}
+		return s + "}"
+	case StructVal:
+		return x.Type + FormatValue(x.Fields)
+	case FilterVal:
+		if x.PortAny {
+			return "filter(port ANY)"
+		}
+		return x.F.String()
+	case ActionVal:
+		return dataplane.Action(x).String()
+	case PacketVal:
+		return dataplane.Packet(x).Flow().String()
+	case SketchVal:
+		return fmt.Sprintf("sketch(%dx%d,total=%d)", x.S.Width(), x.S.Depth(), x.S.Total())
+	case DistinctVal:
+		return fmt.Sprintf("distinct(~%.0f)", x.D.Estimate())
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// PortStatsRecord builds the struct value delivered per port by a
+// statistics poll: cumulative counters plus deltas since the previous
+// poll of the same subject.
+func PortStatsRecord(port int, cur, prev dataplane.PortStats) StructVal {
+	return StructVal{
+		Type: "PortStats",
+		Fields: MapVal{
+			"port":     int64(port),
+			"rxBytes":  int64(cur.RxBytes),
+			"txBytes":  int64(cur.TxBytes),
+			"rxPkts":   int64(cur.RxPackets),
+			"txPkts":   int64(cur.TxPackets),
+			"dRxBytes": int64(cur.RxBytes - prev.RxBytes),
+			"dTxBytes": int64(cur.TxBytes - prev.TxBytes),
+			"dRxPkts":  int64(cur.RxPackets - prev.RxPackets),
+			"dTxPkts":  int64(cur.TxPackets - prev.TxPackets),
+		},
+	}
+}
+
+// RuleStatsRecord builds the struct value delivered by a rule-counter
+// poll.
+func RuleStatsRecord(cur, prev dataplane.RuleStats) StructVal {
+	return StructVal{
+		Type: "RuleStats",
+		Fields: MapVal{
+			"packets":  int64(cur.Packets),
+			"bytes":    int64(cur.Bytes),
+			"dPackets": int64(cur.Packets - prev.Packets),
+			"dBytes":   int64(cur.Bytes - prev.Bytes),
+		},
+	}
+}

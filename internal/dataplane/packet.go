@@ -1,0 +1,187 @@
+// Package dataplane emulates a data center switch ASIC: ports with
+// traffic counters, a priority TCAM with match/action rules, packet
+// sampling, and the PCIe bus connecting the ASIC to the switch's
+// management CPU.
+//
+// This is the substitution for the Tofino/Trident hardware the paper
+// deploys on (§V-A): FARM's switch-local components only ever observe
+// the ASIC through statistics polling, packet samples, and TCAM rule
+// updates, and this package exposes exactly that surface. The PCIe bus
+// is modelled as a rate-limited channel because its limited polling
+// capacity (8 Mbps vs. the ASIC's 100 Gbps — a 1:12500 ratio, Fig. 8)
+// is the key bottleneck FARM's polling aggregation addresses.
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Proto is an IP protocol.
+type Proto uint8
+
+const (
+	ProtoAny  Proto = 0
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+	ProtoICMP Proto = 1
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoAny:
+		return "any"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoICMP:
+		return "icmp"
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// TCPFlags is a TCP flag bitmask.
+type TCPFlags uint8
+
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// Has reports whether all flags in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// AppKind tags application-level packet content that payload-inspecting
+// M&M tasks (DNS reflection, SSH brute force, Slowloris) react to.
+type AppKind uint8
+
+const (
+	AppNone AppKind = iota
+	AppDNS
+	AppSSH
+	AppHTTP
+)
+
+// AppInfo carries the payload hints the Tab. I tasks inspect. On real
+// hardware these come from parsing sampled packet payloads; the
+// generators set them directly.
+type AppInfo struct {
+	Kind AppKind
+	// DNS
+	DNSResponse bool
+	DNSQName    string
+	// SSH
+	SSHAuthFail bool
+	// HTTP
+	HTTPPartial bool // incomplete request header (Slowloris signature)
+}
+
+// Packet is a single packet as seen by the ASIC.
+type Packet struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+	Flags   TCPFlags
+	Size    int // total bytes on the wire
+	App     AppInfo
+}
+
+// FlowKey identifies the 5-tuple flow of a packet.
+type FlowKey struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// Flow returns the packet's 5-tuple.
+func (p Packet) Flow() FlowKey {
+	return FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%s", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, k.Proto)
+}
+
+// Filter is a ternary match over packet headers and ingress port. The
+// zero value matches everything ("port ANY" in Almanac terms).
+type Filter struct {
+	SrcPrefix netip.Prefix // invalid (zero) = any
+	DstPrefix netip.Prefix // invalid (zero) = any
+	SrcPort   uint16       // 0 = any
+	DstPort   uint16       // 0 = any
+	Proto     Proto        // 0 = any
+	FlagsSet  TCPFlags     // all listed flags must be set
+	InPort    int          // 0 = any; ports are 1-based
+}
+
+// IsZero reports whether f matches everything.
+func (f Filter) IsZero() bool { return f == Filter{} }
+
+// Match reports whether packet p arriving on inPort matches f.
+func (f Filter) Match(p Packet, inPort int) bool {
+	if f.SrcPrefix.IsValid() && !f.SrcPrefix.Contains(p.SrcIP) {
+		return false
+	}
+	if f.DstPrefix.IsValid() && !f.DstPrefix.Contains(p.DstIP) {
+		return false
+	}
+	if f.SrcPort != 0 && f.SrcPort != p.SrcPort {
+		return false
+	}
+	if f.DstPort != 0 && f.DstPort != p.DstPort {
+		return false
+	}
+	if f.Proto != ProtoAny && f.Proto != p.Proto {
+		return false
+	}
+	if f.FlagsSet != 0 && !p.Flags.Has(f.FlagsSet) {
+		return false
+	}
+	if f.InPort != 0 && f.InPort != inPort {
+		return false
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the filter. Two filters with equal
+// keys poll the same ASIC state; this is the φ_enc polling-subject
+// encoding used for aggregation (§III-B-c).
+func (f Filter) Key() string {
+	var b strings.Builder
+	if f.SrcPrefix.IsValid() {
+		fmt.Fprintf(&b, "src=%s;", f.SrcPrefix)
+	}
+	if f.DstPrefix.IsValid() {
+		fmt.Fprintf(&b, "dst=%s;", f.DstPrefix)
+	}
+	if f.SrcPort != 0 {
+		fmt.Fprintf(&b, "sport=%d;", f.SrcPort)
+	}
+	if f.DstPort != 0 {
+		fmt.Fprintf(&b, "dport=%d;", f.DstPort)
+	}
+	if f.Proto != ProtoAny {
+		fmt.Fprintf(&b, "proto=%d;", uint8(f.Proto))
+	}
+	if f.FlagsSet != 0 {
+		fmt.Fprintf(&b, "flags=%d;", uint8(f.FlagsSet))
+	}
+	if f.InPort != 0 {
+		fmt.Fprintf(&b, "in=%d;", f.InPort)
+	}
+	if b.Len() == 0 {
+		return "any"
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+func (f Filter) String() string { return "filter(" + f.Key() + ")" }

@@ -1,0 +1,355 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Action is what a TCAM rule does to matching packets.
+type Action int
+
+const (
+	ActAllow Action = iota + 1
+	ActDrop
+	ActRateLimit // forwards but marks the flow rate-limited
+	ActMirror    // forwards and copies to the management CPU
+	ActCount     // forwards; exists only for its counters
+	ActSetQoS    // forwards with altered QoS class
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActAllow:
+		return "allow"
+	case ActDrop:
+		return "drop"
+	case ActRateLimit:
+		return "rate-limit"
+	case ActMirror:
+		return "mirror"
+	case ActCount:
+		return "count"
+	case ActSetQoS:
+		return "set-qos"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Rule is one TCAM entry: a ternary filter with an action. Higher
+// Priority wins; ties resolve to the earlier-installed rule.
+type Rule struct {
+	Priority int
+	Filter   Filter
+	Action   Action
+	Note     string // free-form, e.g. the installing task's name
+}
+
+// RuleStats are the per-rule match counters.
+type RuleStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+type tcamEntry struct {
+	rule  Rule
+	seq   int
+	stats RuleStats
+}
+
+// TCAM is a priority-matched ternary rule table with per-rule counters.
+//
+// Following iSTAMP's division (§II-B-b), the monitoring TCAM modelled
+// here is the slice the soil carves out for M&M; forwarding rules live
+// outside it and are unaffected by monitoring rule churn.
+type TCAM struct {
+	capacity int
+	entries  []*tcamEntry
+	// byFilter indexes entries by exact filter for the management-path
+	// operations (install/remove/poll), which address rules by filter.
+	byFilter map[Filter]*tcamEntry
+	seq      int
+}
+
+// NewTCAM returns a TCAM with the given entry capacity.
+func NewTCAM(capacity int) *TCAM {
+	return &TCAM{capacity: capacity, byFilter: make(map[Filter]*tcamEntry)}
+}
+
+// Capacity returns the maximum number of entries.
+func (t *TCAM) Capacity() int { return t.capacity }
+
+// Size returns the current number of entries.
+func (t *TCAM) Size() int { return len(t.entries) }
+
+// Free returns the remaining entry capacity.
+func (t *TCAM) Free() int { return t.capacity - len(t.entries) }
+
+// ErrTCAMFull is returned by AddRule when the table is at capacity.
+var ErrTCAMFull = fmt.Errorf("dataplane: TCAM full")
+
+// AddRule installs a rule. Installing a rule with a filter identical to
+// an existing rule replaces it (preserving its counters would be
+// surprising; counters reset).
+func (t *TCAM) AddRule(r Rule) error {
+	if old, ok := t.byFilter[r.Filter]; ok {
+		repl := &tcamEntry{rule: r, seq: old.seq}
+		for i, e := range t.entries {
+			if e == old {
+				t.entries[i] = repl
+				break
+			}
+		}
+		t.byFilter[r.Filter] = repl
+		t.sortEntries()
+		return nil
+	}
+	if len(t.entries) >= t.capacity {
+		return ErrTCAMFull
+	}
+	e := &tcamEntry{rule: r, seq: t.seq}
+	t.entries = append(t.entries, e)
+	t.byFilter[r.Filter] = e
+	t.seq++
+	t.sortEntries()
+	return nil
+}
+
+func (t *TCAM) sortEntries() {
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].rule.Priority != t.entries[j].rule.Priority {
+			return t.entries[i].rule.Priority > t.entries[j].rule.Priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+}
+
+// RemoveRule removes the rule with exactly the given filter. It reports
+// whether a rule was removed.
+func (t *TCAM) RemoveRule(f Filter) bool {
+	e, ok := t.byFilter[f]
+	if !ok {
+		return false
+	}
+	delete(t.byFilter, f)
+	for i, cur := range t.entries {
+		if cur == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// GetRule returns the rule with exactly the given filter.
+func (t *TCAM) GetRule(f Filter) (Rule, bool) {
+	if e, ok := t.byFilter[f]; ok {
+		return e.rule, true
+	}
+	return Rule{}, false
+}
+
+// Rules returns all installed rules in match order.
+func (t *TCAM) Rules() []Rule {
+	out := make([]Rule, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.rule
+	}
+	return out
+}
+
+// Stats returns the counters of the rule with exactly the given filter.
+func (t *TCAM) Stats(f Filter) (RuleStats, bool) {
+	if e, ok := t.byFilter[f]; ok {
+		return e.stats, true
+	}
+	return RuleStats{}, false
+}
+
+// StatsMatching returns aggregate counters over all rules whose filter
+// key is matched by the query filter's key prefix semantics — here
+// simplified to: rules whose own filter equals the query, or, when the
+// query is broader, rules whose filter matches every packet the rule
+// would count. For polling purposes the soil uses exact filter keys, so
+// exact equality is the hot path.
+func (t *TCAM) StatsMatching(f Filter) RuleStats {
+	var agg RuleStats
+	for _, e := range t.entries {
+		if e.rule.Filter == f || f.IsZero() {
+			agg.Packets += e.stats.Packets
+			agg.Bytes += e.stats.Bytes
+		}
+	}
+	return agg
+}
+
+// Lookup returns the highest-priority matching rule for the packet.
+func (t *TCAM) Lookup(p Packet, inPort int) (Rule, bool) {
+	for _, e := range t.entries {
+		if e.rule.Filter.Match(p, inPort) {
+			e.stats.Packets++
+			e.stats.Bytes += uint64(p.Size)
+			return e.rule, true
+		}
+	}
+	return Rule{}, false
+}
+
+// lookupReference is a non-mutating linear scan used by property tests
+// to validate Lookup's priority semantics.
+func (t *TCAM) lookupReference(p Packet, inPort int) (Rule, bool) {
+	best := -1
+	for i, e := range t.entries {
+		if !e.rule.Filter.Match(p, inPort) {
+			continue
+		}
+		if best == -1 ||
+			e.rule.Priority > t.entries[best].rule.Priority ||
+			(e.rule.Priority == t.entries[best].rule.Priority && e.seq < t.entries[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Rule{}, false
+	}
+	return t.entries[best].rule, true
+}
+
+// PortStats are per-port traffic counters.
+type PortStats struct {
+	RxPackets uint64
+	RxBytes   uint64
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+// Sampler copies matching packets to a callback at a 1-in-N rate
+// (deterministic: every Nth matching packet), emulating sFlow-style
+// packet sampling and FARM probe triggers.
+type Sampler struct {
+	Filter  Filter
+	OneInN  int
+	fn      func(Packet)
+	counter int
+}
+
+// Verdict reports what the ASIC did with an injected packet.
+type Verdict struct {
+	Rule    Rule
+	Matched bool
+	Dropped bool
+}
+
+// Switch is the emulated ASIC of one switch: ports, TCAM, samplers.
+// It is not safe for concurrent use; in simulation everything runs on
+// the single-threaded event loop.
+type Switch struct {
+	name     string
+	ports    []PortStats // 1-based; index 0 unused
+	tcam     *TCAM
+	samplers []*Sampler
+	dropped  uint64
+}
+
+// NewSwitch returns a switch with numPorts ports and the given
+// monitoring-TCAM capacity.
+func NewSwitch(name string, numPorts, tcamCapacity int) *Switch {
+	return &Switch{
+		name:  name,
+		ports: make([]PortStats, numPorts+1),
+		tcam:  NewTCAM(tcamCapacity),
+	}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return len(s.ports) - 1 }
+
+// TCAM exposes the monitoring TCAM.
+func (s *Switch) TCAM() *TCAM { return s.tcam }
+
+// PortStats returns counters for a 1-based port.
+func (s *Switch) PortStats(port int) (PortStats, error) {
+	if port < 1 || port >= len(s.ports) {
+		return PortStats{}, fmt.Errorf("dataplane: switch %s has no port %d", s.name, port)
+	}
+	return s.ports[port], nil
+}
+
+// Dropped returns the total packets dropped by TCAM rules.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// AddSampler registers a packet sampler and returns a remove function.
+func (s *Switch) AddSampler(f Filter, oneInN int, fn func(Packet)) (remove func()) {
+	if oneInN < 1 {
+		oneInN = 1
+	}
+	sm := &Sampler{Filter: f, OneInN: oneInN, fn: fn}
+	s.samplers = append(s.samplers, sm)
+	return func() {
+		for i, cur := range s.samplers {
+			if cur == sm {
+				s.samplers = append(s.samplers[:i], s.samplers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// CreditPort adds traffic to a port's counters in bulk without per-packet
+// processing. Large-scale workloads (thousands of ports, Fig. 4) use this
+// to drive counter-polling tasks cheaply; per-packet features (TCAM
+// matching, sampling) require Inject.
+func (s *Switch) CreditPort(port int, rxPackets, rxBytes, txPackets, txBytes uint64) error {
+	if port < 1 || port >= len(s.ports) {
+		return fmt.Errorf("dataplane: switch %s has no port %d", s.name, port)
+	}
+	s.ports[port].RxPackets += rxPackets
+	s.ports[port].RxBytes += rxBytes
+	s.ports[port].TxPackets += txPackets
+	s.ports[port].TxBytes += txBytes
+	return nil
+}
+
+// CreditRule adds matches to the rule with exactly the given filter,
+// the bulk analogue of TCAM counting.
+func (s *Switch) CreditRule(f Filter, packets, bytes uint64) bool {
+	if e, ok := s.tcam.byFilter[f]; ok {
+		e.stats.Packets += packets
+		e.stats.Bytes += bytes
+		return true
+	}
+	return false
+}
+
+// Inject passes a packet through the ASIC: ingress counters, TCAM
+// lookup (counting and possibly dropping), samplers, egress counters.
+// inPort/outPort are 1-based; outPort 0 means locally destined.
+func (s *Switch) Inject(p Packet, inPort, outPort int) Verdict {
+	if inPort >= 1 && inPort < len(s.ports) {
+		s.ports[inPort].RxPackets++
+		s.ports[inPort].RxBytes += uint64(p.Size)
+	}
+	var v Verdict
+	if r, ok := s.tcam.Lookup(p, inPort); ok {
+		v.Rule, v.Matched = r, true
+		if r.Action == ActDrop {
+			v.Dropped = true
+			s.dropped++
+		}
+	}
+	for _, sm := range s.samplers {
+		if sm.Filter.Match(p, inPort) {
+			sm.counter++
+			if sm.counter%sm.OneInN == 0 {
+				sm.fn(p)
+			}
+		}
+	}
+	if !v.Dropped && outPort >= 1 && outPort < len(s.ports) {
+		s.ports[outPort].TxPackets++
+		s.ports[outPort].TxBytes += uint64(p.Size)
+	}
+	return v
+}

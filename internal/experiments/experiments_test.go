@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTab4Shape(t *testing.T) {
+	res, err := Tab4(Tab4Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Tab4Row{}
+	for _, r := range res.Rows {
+		byName[r.System] = r
+	}
+	farm := byName["FARM"].Time
+	sf := byName["sFlow"].Time
+	so := byName["Sonata"].Time
+	if farm <= 0 || sf <= 0 || so <= 0 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	// The ordering claim of Tab. 4: FARM << Planck < Helios < sFlow << Sonata.
+	if farm > 5*time.Millisecond {
+		t.Fatalf("FARM detection %v, want low single-digit ms", farm)
+	}
+	if sf < 10*farm {
+		t.Fatalf("sFlow %v should be >=10x FARM %v", sf, farm)
+	}
+	if so < 10*sf {
+		t.Fatalf("Sonata %v should be >=10x sFlow %v", so, sf)
+	}
+	// Headline factor: Sonata/FARM in the thousands (paper: 3427x).
+	if ratio := float64(so) / float64(farm); ratio < 500 {
+		t.Fatalf("Sonata/FARM ratio = %.0fx, want >= 500x", ratio)
+	}
+	out := res.Table().Render()
+	for _, want := range []string{"FARM", "Planck", "Helios", "sFlow", "Sonata"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(Fig4Config{
+		PortCounts: []int{48, 192},
+		Duration:   4 * time.Second,
+		Churn:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := res.Systems["FARM"]
+	sf1 := res.Systems["sFlow 1ms"]
+	sf10 := res.Systems["sFlow 10ms"]
+	so := res.Systems["Sonata (75% agg)"]
+	if len(farm) != 2 || len(sf1) != 2 || len(sf10) != 2 || len(so) != 2 {
+		t.Fatalf("series lengths: %d %d %d %d", len(farm), len(sf1), len(sf10), len(so))
+	}
+	// FARM reports changes (nonzero under churn) but stays orders of
+	// magnitude below the collectors.
+	if farm[1].BytesPerSec <= 0 {
+		t.Fatal("FARM sent nothing despite churn")
+	}
+	if farm[1].BytesPerSec*100 > sf10[1].BytesPerSec {
+		t.Fatalf("FARM %.0f B/s not <<100x sFlow10 %.0f B/s", farm[1].BytesPerSec, sf10[1].BytesPerSec)
+	}
+	// sFlow 1ms is ~10x sFlow 10ms.
+	if sf1[1].BytesPerSec < 5*sf10[1].BytesPerSec {
+		t.Fatalf("sFlow1ms %.0f vs sFlow10ms %.0f: expected ~10x", sf1[1].BytesPerSec, sf10[1].BytesPerSec)
+	}
+	// Collector load grows with ports; FARM grows much slower.
+	if sf10[1].BytesPerSec < 2*sf10[0].BytesPerSec {
+		t.Fatalf("sFlow10 did not scale with ports: %.0f -> %.0f", sf10[0].BytesPerSec, sf10[1].BytesPerSec)
+	}
+	// Sonata exports something but far less often than sFlow 1ms.
+	if so[1].BytesPerSec <= 0 {
+		t.Fatal("Sonata exported nothing")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Fig5(Fig5Config{
+		FlowCounts: []int{100, 2000, 10000},
+		Duration:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FARM grows with flows.
+	if res.FARM[2].Load <= res.FARM[0].Load*5 {
+		t.Fatalf("FARM load did not grow with flows: %v", res.FARM)
+	}
+	// sFlow is roughly flat (within 3x across a 100x flow range) and
+	// higher than FARM across the sweep.
+	if res.SFlow[2].Load > res.SFlow[0].Load*3 {
+		t.Fatalf("sFlow load not flat: %v", res.SFlow)
+	}
+	for i := range res.FARM {
+		if i > 0 && res.FARM[i].Load > res.SFlow[i].Load {
+			t.Fatalf("FARM above sFlow at %d flows: %v vs %v",
+				res.FARM[i].Flows, res.FARM[i].Load, res.SFlow[i].Load)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(Fig6Config{
+		HHSeedCounts: []int{10, 60},
+		MLSeedCounts: []int{10, 60, 120},
+		Duration:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh1 := res.Variants["HH 1ms"]
+	hh10 := res.Variants["HH 10ms"]
+	ml1 := res.Variants["ML 1ms x1iter"]
+	ml10 := res.Variants["ML 10ms x10iter (partitioned)"]
+	// 1ms polling costs ~10x the 10ms variant.
+	if hh1[1].Load < 4*hh10[1].Load {
+		t.Fatalf("HH 1ms %v not >>4x HH 10ms %v", hh1[1].Load, hh10[1].Load)
+	}
+	// ML dominates HH at the same rate (Fig. 6c is much higher than 6a).
+	if ml1[1].Load < 2*hh1[1].Load {
+		t.Fatalf("ML@1ms %v not >> HH@1ms %v", ml1[1].Load, hh1[1].Load)
+	}
+	// The partitioned ML panel scales to more seeds at lower load than
+	// the unpartitioned one at the same seed count.
+	if ml10[1].Load >= ml1[1].Load {
+		t.Fatalf("partitioned ML %v not cheaper than unpartitioned %v", ml10[1].Load, ml1[1].Load)
+	}
+	// Accuracy degrades when load exceeds the 4 cores.
+	for _, p := range ml1 {
+		if p.Load > 4 && p.Accuracy >= 1 {
+			t.Fatalf("saturated run reports full accuracy: %+v", p)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Fig7(Fig7Config{
+		SeedCounts:    []int{20, 60},
+		Runs:          2,
+		MILPShort:     200 * time.Millisecond,
+		MILPLong:      10 * time.Second,
+		SkipMILPAbove: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heuristic) != 2 || len(res.MILPLong) == 0 {
+		t.Fatalf("series: heuristic=%d milp=%d", len(res.Heuristic), len(res.MILPLong))
+	}
+	h := res.Heuristic[0]
+	l := res.MILPLong[0]
+	// Heuristic utility within a reasonable factor of the long-budget MILP.
+	if h.Utility < 0.5*l.Utility {
+		t.Fatalf("heuristic utility %.1f << MILP %.1f", h.Utility, l.Utility)
+	}
+	// And much faster than the long-budget exact solve at equal size.
+	if h.Runtime > l.Runtime {
+		t.Fatalf("heuristic %v slower than MILP long %v", h.Runtime, l.Runtime)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(Fig8Config{SeedCounts: []int{1, 8, 32}, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noAgg := res.NoAggregation
+	agg := res.WithAggregation
+	// Without aggregation the bus saturates as seeds multiply.
+	if noAgg[2].Utilization < 0.9 {
+		t.Fatalf("bus not saturated at 32 seeds without aggregation: %v", noAgg[2].Utilization)
+	}
+	if noAgg[0].Utilization > 0.9 {
+		t.Fatalf("bus already saturated at 1 seed: %v", noAgg[0].Utilization)
+	}
+	// With aggregation utilization is flat in the seed count.
+	if agg[2].Utilization > agg[0].Utilization*1.5+0.05 {
+		t.Fatalf("aggregation did not flatten bus use: %v vs %v", agg[2].Utilization, agg[0].Utilization)
+	}
+	if res.ASICRatio < 10000 {
+		t.Fatalf("ASIC ratio = %g", res.ASICRatio)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(Fig9Config{SeedCounts: []int{1, 50, 150}, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrAgg := res.Configs["threads + aggregation"]
+	prcAgg := res.Configs["processes + aggregation"]
+	// Processes cost more CPU than threads at scale (context switches).
+	if prcAgg[2].Load <= thrAgg[2].Load {
+		t.Fatalf("processes %v not costlier than threads %v", prcAgg[2].Load, thrAgg[2].Load)
+	}
+	// Thread seeds stay cheap even with 150 seeds (paper: perform
+	// equally well regardless of aggregation, >100 seeds).
+	if thrAgg[2].Load > 0.5 {
+		t.Fatalf("thread soil load %v too high", thrAgg[2].Load)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10(Fig10Config{SeedCounts: []int{1, 32}, CallsPerSeed: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RPC path is slower than the shared buffer at every point.
+	for i := range res.SharedBuf {
+		if res.TCPRPC[i].MeanLatency <= res.SharedBuf[i].MeanLatency {
+			t.Fatalf("TCP %v not slower than shared buffer %v at %d seeds",
+				res.TCPRPC[i].MeanLatency, res.SharedBuf[i].MeanLatency, res.SharedBuf[i].Seeds)
+		}
+	}
+}
+
+func TestTab1Catalogue(t *testing.T) {
+	res := Tab1()
+	if len(res.Rows) < 16 {
+		t.Fatalf("catalogue rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SeedLoC < 7 {
+			t.Fatalf("task %s LoC = %d", r.Name, r.SeedLoC)
+		}
+	}
+	out := res.Table().Render()
+	if !strings.Contains(out, "total") {
+		t.Fatal("render missing total row")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	res, err := Ablation(AblationConfig{Switches: 6, Seeds: 30, Tasks: 5, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Passes.Rows) != 3 || len(res.Migration.Rows) == 0 {
+		t.Fatalf("rows: passes=%d migration=%d", len(res.Passes.Rows), len(res.Migration.Rows))
+	}
+	// Redistribution must add utility over greedy-only.
+	greedy := res.Passes.Rows[0].Values[0]
+	withLP := res.Passes.Rows[1].Values[0]
+	if greedy == withLP {
+		t.Log("warning: LP redistribution added no utility in this configuration")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "x", Values: []string{"1", "2"}}},
+		Notes:   []string{"n"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"== t ==", "x", "1", "2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTab5Matrix(t *testing.T) {
+	tab := Tab5()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 systems", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Label != "FARM" {
+		t.Fatalf("last row = %s, want FARM", last.Label)
+	}
+	for _, v := range last.Values {
+		if v != "yes" {
+			t.Fatalf("FARM row = %v, want all yes", last.Values)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"time"
+
+	"farm/internal/baselines/sflow"
+	"farm/internal/baselines/sonata"
+	"farm/internal/core"
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/seeder"
+	"farm/internal/traffic"
+)
+
+// farmChangeReportHH is the HH seed used for network-load measurements:
+// like List. 2 but it only reports when the hitter set changes, which is
+// what makes FARM's central traffic a function of the HH churn rate
+// instead of the detection rate ("1 packet per minute for every 100
+// additional ports", §VI-B-b).
+const farmChangeReportHH = `
+machine HHDelta {
+  place all;
+  poll pollStats = Poll { .ival = 10, .what = port ANY };
+  external long threshold;
+  list hitters;
+  list reported;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 64) then { return res.vCPU; }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (hitters <> reported) then {
+        send hitters to harvester;
+        reported = hitters;
+      }
+    }
+  }
+}
+`
+
+// Fig4Config parameterizes the network-load sweep.
+type Fig4Config struct {
+	// PortCounts is the x-axis (total monitored host ports); nil means
+	// the default sweep.
+	PortCounts []int
+	// HeavyRatio and Churn follow the production observations (§VI-B-b):
+	// 1-10% heavy, changing up to once a minute. Defaults: 5%, 10 s
+	// (scaled from 1/min to keep runs short; see EXPERIMENTS.md).
+	HeavyRatio float64
+	Churn      time.Duration
+	// Duration is the measured window per point; 0 means 20 s.
+	Duration time.Duration
+}
+
+// Fig4Point is one (system, ports) measurement.
+type Fig4Point struct {
+	Ports       int
+	PktPerSec   float64
+	BytesPerSec float64
+}
+
+// Fig4Result is the reproduced Fig. 4 (network load toward the central
+// components for HH detection).
+type Fig4Result struct {
+	Systems map[string][]Fig4Point // keyed by system label
+	Order   []string
+}
+
+// Fig4 sweeps fabric sizes and measures central-link load for FARM,
+// sFlow at 1 ms and 10 ms export, and Sonata with 75% aggregation.
+func Fig4(cfg Fig4Config) (*Fig4Result, error) {
+	if cfg.PortCounts == nil {
+		cfg.PortCounts = []int{96, 240, 480, 960, 1920}
+	}
+	if cfg.HeavyRatio == 0 {
+		cfg.HeavyRatio = 0.05
+	}
+	if cfg.Churn == 0 {
+		cfg.Churn = 10 * time.Second
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 20 * time.Second
+	}
+	res := &Fig4Result{
+		Systems: map[string][]Fig4Point{},
+		Order:   []string{"FARM", "sFlow 1ms", "sFlow 10ms", "Sonata (75% agg)"},
+	}
+	for _, ports := range cfg.PortCounts {
+		leaves := ports / 48
+		if leaves < 1 {
+			leaves = 1
+		}
+		hosts := ports / leaves
+		if hosts > 250 {
+			hosts = 250
+		}
+
+		farm, err := fig4FARM(leaves, hosts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Systems["FARM"] = append(res.Systems["FARM"], farm)
+
+		for _, sf := range []struct {
+			label string
+			poll  time.Duration
+		}{{"sFlow 1ms", time.Millisecond}, {"sFlow 10ms", 10 * time.Millisecond}} {
+			p, err := fig4SFlow(leaves, hosts, sf.poll, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Systems[sf.label] = append(res.Systems[sf.label], p)
+		}
+
+		p, err := fig4Sonata(leaves, hosts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Systems["Sonata (75% agg)"] = append(res.Systems["Sonata (75% agg)"], p)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 4: network load toward central components vs. monitored ports",
+		Columns: []string{"ports", "pkts/s", "bytes/s"},
+	}
+	for _, sys := range r.Order {
+		for _, p := range r.Systems[sys] {
+			t.Rows = append(t.Rows, Row{
+				Label:  sys,
+				Values: []string{fmtFloat(float64(p.Ports)), fmtFloat(p.PktPerSec), fmtFloat(p.BytesPerSec)},
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"FARM reports only hitter-set changes; collector approaches report every interval",
+		"HH ratio 5%, churn scaled to 10s (paper: <=1/min) to keep runs short")
+	return t
+}
+
+func fig4Workload(fab *fabric.Fabric, cfg Fig4Config) *traffic.BulkWorkload {
+	return traffic.NewBulkWorkload(fab, traffic.BulkConfig{
+		Tick:       10 * time.Millisecond,
+		BaseRate:   1e5,
+		HeavyRate:  5e7,
+		HeavyRatio: cfg.HeavyRatio,
+		Churn:      cfg.Churn,
+		Seed:       7,
+	})
+}
+
+func fig4FARM(leaves, hosts int, cfg Fig4Config) (Fig4Point, error) {
+	fab, loop, err := newFabric(2, leaves, hosts)
+	if err != nil {
+		return Fig4Point{}, err
+	}
+	sd := seeder.New(fab, seeder.Options{})
+	if err := sd.AddTask(seeder.TaskSpec{
+		Name: "hh", Source: farmChangeReportHH,
+		Externals: map[string]map[string]core.Value{"HHDelta": {"threshold": int64(400_000)}},
+	}); err != nil {
+		return Fig4Point{}, err
+	}
+	w := fig4Workload(fab, cfg)
+	defer w.Stop()
+	loop.RunFor(time.Second) // settle
+	snap := fab.CentralNet.Snapshot()
+	loop.RunFor(cfg.Duration)
+	pps, bps := fab.CentralNet.RateSince(snap)
+	return Fig4Point{Ports: leaves * hosts, PktPerSec: pps, BytesPerSec: bps}, nil
+}
+
+func fig4SFlow(leaves, hosts int, poll time.Duration, cfg Fig4Config) (Fig4Point, error) {
+	fab, loop, err := newFabric(2, leaves, hosts)
+	if err != nil {
+		return Fig4Point{}, err
+	}
+	sys := sflow.Deploy(fab, sflow.Config{
+		PollInterval:           poll,
+		HHThresholdBytesPerSec: 10_000_000,
+	})
+	defer sys.Stop()
+	w := fig4Workload(fab, cfg)
+	defer w.Stop()
+	loop.RunFor(200 * time.Millisecond)
+	snap := fab.CentralNet.Snapshot()
+	// sFlow runs are expensive at 1 ms; a shorter window suffices since
+	// its load is strictly periodic.
+	loop.RunFor(cfg.Duration / 4)
+	pps, bps := fab.CentralNet.RateSince(snap)
+	return Fig4Point{Ports: leaves * hosts, PktPerSec: pps, BytesPerSec: bps}, nil
+}
+
+func fig4Sonata(leaves, hosts int, cfg Fig4Config) (Fig4Point, error) {
+	fab, loop, err := newFabric(2, leaves, hosts)
+	if err != nil {
+		return Fig4Point{}, err
+	}
+	window := 3 * time.Second
+	q := sonata.Query{
+		Name: "hh", Key: sonata.KeyByInPort, Reduce: sonata.SumBytes,
+		Window: window, Threshold: 1e12,
+	}
+	sys := sonata.Deploy(fab, nil, sonata.Config{AggregationFactor: 0.75})
+	defer sys.Stop()
+	w := fig4Workload(fab, cfg)
+	defer w.Stop()
+	// Window flushes carry per-port byte counts from every leaf.
+	prev := map[netmodel.SwitchID]map[int]dataplane.PortStats{}
+	flush := loop.Every(window, func() {
+		for _, sw := range fab.Topology().Switches() {
+			if sw.Role != netmodel.Leaf {
+				continue
+			}
+			cur := map[int]dataplane.PortStats{}
+			bytesByPort := map[int]float64{}
+			for port := 1; port <= fab.NumPorts(sw.ID); port++ {
+				st, err := fab.Switch(sw.ID).PortStats(port)
+				if err != nil {
+					continue
+				}
+				cur[port] = st
+				d := float64(st.TxBytes - prev[sw.ID][port].TxBytes)
+				if d > 0 {
+					bytesByPort[port] = d
+				}
+			}
+			prev[sw.ID] = cur
+			if len(bytesByPort) > 0 {
+				sys.IngestCounterWindow(q, sw.ID, bytesByPort)
+			}
+		}
+	})
+	defer flush.Stop()
+	loop.RunFor(time.Second)
+	snap := fab.CentralNet.Snapshot()
+	loop.RunFor(cfg.Duration)
+	pps, bps := fab.CentralNet.RateSince(snap)
+	return Fig4Point{Ports: leaves * hosts, PktPerSec: pps, BytesPerSec: bps}, nil
+}

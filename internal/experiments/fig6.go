@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+	"farm/internal/soil"
+)
+
+// fig6SeedSource builds an HH-style seed polling one dedicated rule at
+// a fixed interval; mlIterations > 0 additionally runs that many ML
+// iterations (the SVR matrix workload) per poll via exec().
+func fig6SeedSource(ivalMs, rulePort int, mlIterations int) string {
+	body := `hot = r.dBytes;`
+	if mlIterations > 0 {
+		body = fmt.Sprintf(`hot = exec("svr", r.dBytes);
+      iters = iters + %d;`, mlIterations)
+	}
+	return fmt.Sprintf(`
+machine Fig6Seed {
+  place all;
+  poll stats = Poll { .ival = %d, .what = dstPort %d };
+  long hot;
+  long iters;
+  state run {
+    util (res) { if (res.vCPU >= 0.01) then { return 1; } }
+    when (stats as recs) do {
+      RuleStats r = list_get(recs, 0);
+      %s
+    }
+  }
+}
+`, ivalMs, rulePort, body)
+}
+
+// Fig6Variant selects one of the four panels.
+type Fig6Variant struct {
+	Name         string
+	IvalMs       int
+	MLIterations int // 0 = the light HH task
+}
+
+// Fig6Variants returns the paper's four panels.
+func Fig6Variants() []Fig6Variant {
+	return []Fig6Variant{
+		{Name: "HH 1ms", IvalMs: 1},
+		{Name: "HH 10ms", IvalMs: 10},
+		{Name: "ML 1ms x1iter", IvalMs: 1, MLIterations: 1},
+		{Name: "ML 10ms x10iter (partitioned)", IvalMs: 10, MLIterations: 10},
+	}
+}
+
+// Fig6Point is one (variant, seeds) measurement.
+type Fig6Point struct {
+	Seeds    int
+	Load     float64 // CPU load, 1.0 = one core (may exceed core count = demand)
+	Accuracy float64 // achieved fraction of the requested polling rate
+}
+
+// Fig6Result is the reproduced Fig. 6.
+type Fig6Result struct {
+	Variants map[string][]Fig6Point
+	Order    []string
+}
+
+// Fig6Config parameterizes the seed-scaling experiment.
+type Fig6Config struct {
+	// SeedCounts per variant; nil uses the paper's axes (10..100 for HH,
+	// 10..250 for ML-partitioned).
+	HHSeedCounts []int
+	MLSeedCounts []int
+	// Duration is the measured window; 0 means 2 s.
+	Duration time.Duration
+}
+
+// Fig6 deploys increasing numbers of collocated seeds on one switch and
+// measures CPU load and achieved polling accuracy. Every seed polls a
+// distinct rule (distinct tasks monitor distinct flows), so polling does
+// not aggregate away. ML iterations charge the modelled Atom cost of the
+// 1000x1000 SVR multiplication (§VI-A-c); when total demand exceeds the
+// 4 cores, load reports the demand and accuracy degrades accordingly —
+// the saturation regime of Fig. 6c.
+func Fig6(cfg Fig6Config) (*Fig6Result, error) {
+	if cfg.HHSeedCounts == nil {
+		cfg.HHSeedCounts = []int{10, 20, 40, 60, 80, 100}
+	}
+	if cfg.MLSeedCounts == nil {
+		cfg.MLSeedCounts = []int{10, 20, 40, 50, 100, 150, 200, 250}
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	res := &Fig6Result{Variants: map[string][]Fig6Point{}}
+	for _, v := range Fig6Variants() {
+		res.Order = append(res.Order, v.Name)
+		counts := cfg.HHSeedCounts
+		if v.MLIterations > 0 {
+			counts = cfg.MLSeedCounts
+			if v.IvalMs == 1 {
+				// The unpartitioned ML panel stops at 100 seeds like the
+				// paper's Fig. 6c.
+				counts = cfg.HHSeedCounts
+			}
+		}
+		for _, n := range counts {
+			p, err := fig6Run(v, n, cfg.Duration)
+			if err != nil {
+				return nil, err
+			}
+			res.Variants[v.Name] = append(res.Variants[v.Name], p)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 6: CPU load and polling accuracy vs. collocated seeds",
+		Columns: []string{"seeds", "CPU load", "accuracy"},
+	}
+	for _, v := range r.Order {
+		for _, p := range r.Variants[v] {
+			t.Rows = append(t.Rows, Row{
+				Label:  v,
+				Values: []string{fmt.Sprint(p.Seeds), fmtPercent(p.Load), fmtPercent(p.Accuracy)},
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"load above 400% = demand exceeding the 4-core management CPU (Fig. 6c regime)",
+		"accuracy = delivered polls / requested polls, degraded by CPU saturation")
+	return t
+}
+
+func fig6Run(v Fig6Variant, seeds int, duration time.Duration) (Fig6Point, error) {
+	topo := netmodel.New()
+	// One big switch with per-seed-scaled capacity so admission control
+	// is not the variable under test.
+	capacity := netmodel.Resources{
+		netmodel.ResVCPU: 4, netmodel.ResRAM: 32768,
+		netmodel.ResTCAM: float64(seeds + 64), netmodel.ResPCIe: 64,
+		netmodel.ResPoll: 1e9,
+	}
+	swID := topo.AddSwitch("bench", netmodel.Leaf, capacity)
+	loop := simclock.New()
+	fab := fabric.New(topo, loop, fabric.Options{
+		BusBytesPerSec: 64 * dataplane.DefaultPCIePollBytesPerSec,
+	})
+	costs := fab.Costs()
+	// The unpartitioned ML panel (Fig. 6c) runs its seeds at 1 ms as
+	// separate processes — the paper attributes its blow-up to the many
+	// context switches; the partitioned panel (6d) uses threads.
+	opts := soil.DefaultOptions()
+	if v.MLIterations > 0 && v.IvalMs == 1 {
+		opts.ExecModel = soil.Processes
+	}
+	s := soil.New(fab, swID, opts)
+	s.SetSendFunc(func(soil.SeedRef, core.SendDest, core.Value) {})
+	cpu := fab.CPU(swID)
+	s.SetExecFunc(func(cmd string, arg core.Value) (core.Value, error) {
+		// One exec() call = one modelled SVR iteration on this CPU.
+		cpu.Charge(costs.MLIteration)
+		return arg, nil
+	})
+
+	alloc := netmodel.Resources{
+		netmodel.ResVCPU: 0.01, netmodel.ResRAM: 16,
+		netmodel.ResTCAM: 1, netmodel.ResPoll: 2000,
+	}
+	for i := 0; i < seeds; i++ {
+		port := i + 1
+		if err := fab.Switch(swID).TCAM().AddRule(dataplane.Rule{
+			Priority: 1, Filter: dataplane.Filter{DstPort: uint16(port)}, Action: dataplane.ActCount,
+		}); err != nil {
+			return Fig6Point{}, err
+		}
+		src := fig6SeedSource(v.IvalMs, port, v.MLIterations)
+		cm, err := compileMachine(src, "Fig6Seed")
+		if err != nil {
+			return Fig6Point{}, err
+		}
+		ref := soil.SeedRef{Task: fmt.Sprintf("t%d", i), Machine: "Fig6Seed", Switch: "bench"}
+		if err := s.DeployCompiled(ref, cm, nil, alloc); err != nil {
+			return Fig6Point{}, err
+		}
+	}
+	// Traffic credits every rule.
+	loop.Every(10*time.Millisecond, func() {
+		for i := 0; i < seeds; i++ {
+			fab.Switch(swID).CreditRule(dataplane.Filter{DstPort: uint16(i + 1)}, 10, 10000)
+		}
+	})
+	loop.RunFor(200 * time.Millisecond)
+	snap := cpu.Snapshot()
+	pollsBefore := s.PollsDelivered()
+	loop.RunFor(duration)
+	load := cpu.LoadSince(snap)
+	delivered := float64(s.PollsDelivered() - pollsBefore)
+	requested := float64(seeds) * duration.Seconds() * 1000 / float64(v.IvalMs)
+	accuracy := 1.0
+	if requested > 0 {
+		accuracy = delivered / requested
+	}
+	// CPU saturation throttles delivery on real hardware ("the CPU
+	// unable to handle all seeds in parallel", §VI-C); the simulated
+	// loop always keeps up, so accuracy is additionally capped by the
+	// demand/core ratio.
+	if load > cpu.Cores() {
+		accuracy *= cpu.Cores() / load
+	}
+	if accuracy > 1 {
+		accuracy = 1
+	}
+	return Fig6Point{Seeds: seeds, Load: load, Accuracy: accuracy}, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+	"farm/internal/soil"
+)
+
+// fig8SeedSource polls the whole port table at 1 ms — the heaviest
+// legitimate statistics consumer.
+const fig8SeedSource = `
+machine BusHog {
+  place all;
+  poll stats = Poll { .ival = 1, .what = port ANY };
+  long seen;
+  state run {
+    util (res) { if (res.vCPU >= 0.001) then { return 1; } }
+    when (stats as recs) do { seen = seen + list_len(recs); }
+  }
+}
+`
+
+// Fig8Point is one (seeds, aggregation) bus measurement.
+type Fig8Point struct {
+	Seeds       int
+	Utilization float64       // fraction of PCIe polling capacity used
+	Backlog     time.Duration // request queue depth in time
+	PollsServed uint64
+}
+
+// Fig8Result is the reproduced Fig. 8 (PCIe congestion).
+type Fig8Result struct {
+	NoAggregation   []Fig8Point
+	WithAggregation []Fig8Point
+	// ASICRatio is the PCIe:ASIC bandwidth ratio (the paper's 1:12500).
+	ASICRatio float64
+}
+
+// Fig8Config parameterizes the bus-congestion sweep.
+type Fig8Config struct {
+	SeedCounts []int
+	Ports      int           // ports polled per request; 0 means 48
+	Duration   time.Duration // 0 means 2 s
+}
+
+// Fig8 deploys N seeds that all poll the full port table at 1 ms, with
+// the soil's polling aggregation off and on, and measures PCIe bus
+// utilization and backlog. Without aggregation the 8 Mbps bus saturates
+// after a handful of seeds — the 1:12500 PCIe:ASIC gap of §VI-E-a;
+// aggregation collapses the demand to a single poll stream.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	if cfg.SeedCounts == nil {
+		cfg.SeedCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if cfg.Ports == 0 {
+		cfg.Ports = 8
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	res := &Fig8Result{
+		// 8 Mbps polling vs 100 Gbps ASIC.
+		ASICRatio: 100e9 / 8e6,
+	}
+	for _, n := range cfg.SeedCounts {
+		p, err := fig8Run(n, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		res.NoAggregation = append(res.NoAggregation, p)
+		p, err = fig8Run(n, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		res.WithAggregation = append(res.WithAggregation, p)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 8: PCIe bus congestion under statistics polling (1 ms, full port table)",
+		Columns: []string{"seeds", "bus util", "backlog", "polls"},
+	}
+	for _, p := range r.NoAggregation {
+		t.Rows = append(t.Rows, Row{Label: "no aggregation", Values: []string{
+			fmt.Sprint(p.Seeds), fmtPercent(p.Utilization), fmtDuration(p.Backlog), fmt.Sprint(p.PollsServed),
+		}})
+	}
+	for _, p := range r.WithAggregation {
+		t.Rows = append(t.Rows, Row{Label: "soil aggregation", Values: []string{
+			fmt.Sprint(p.Seeds), fmtPercent(p.Utilization), fmtDuration(p.Backlog), fmt.Sprint(p.PollsServed),
+		}})
+	}
+	t.Rows = append(t.Rows, Row{Label: "ASIC headroom", Values: []string{
+		"-", fmt.Sprintf("1:%.0f", r.ASICRatio), "-", "-"}})
+	t.Notes = append(t.Notes, "PCIe polling capacity 8 Mbps vs 100 Gbps ASIC (paper's 1:12500)")
+	return t
+}
+
+func fig8Run(seeds int, cfg Fig8Config, aggregate bool) (Fig8Point, error) {
+	topo := netmodel.New()
+	capacity := netmodel.Resources{
+		netmodel.ResVCPU: 64, netmodel.ResRAM: 1 << 20,
+		netmodel.ResTCAM: 1024, netmodel.ResPCIe: 64, netmodel.ResPoll: 1e9,
+	}
+	swID := topo.AddSwitch("bench", netmodel.Leaf, capacity)
+	for i := 0; i < cfg.Ports; i++ {
+		_, err := topo.AddHost(swID, fabric.HostIP(0, i))
+		if err != nil {
+			return Fig8Point{}, err
+		}
+	}
+	loop := simclock.New()
+	fab := fabric.New(topo, loop, fabric.Options{}) // default 8 Mbps bus
+	s := soil.New(fab, swID, soil.Options{ExecModel: soil.Threads, Aggregation: aggregate})
+	s.SetSendFunc(func(soil.SeedRef, core.SendDest, core.Value) {})
+	cm, err := compileMachine(fig8SeedSource, "BusHog")
+	if err != nil {
+		return Fig8Point{}, err
+	}
+	alloc := netmodel.Resources{netmodel.ResVCPU: 0.001, netmodel.ResRAM: 1, netmodel.ResPoll: 1000}
+	for i := 0; i < seeds; i++ {
+		ref := soil.SeedRef{Task: fmt.Sprintf("t%d", i), Machine: "BusHog", Switch: "bench"}
+		if err := s.DeployCompiled(ref, cm, nil, alloc); err != nil {
+			return Fig8Point{}, err
+		}
+	}
+	bus := fab.Driver(swID).Bus()
+	loop.RunFor(100 * time.Millisecond)
+	snap := bus.Snapshot()
+	polls := s.PollsIssued()
+	loop.RunFor(cfg.Duration)
+	var _ = dataplane.DefaultPCIePollBytesPerSec
+	return Fig8Point{
+		Seeds:       seeds,
+		Utilization: bus.UtilizationSince(snap),
+		Backlog:     bus.Backlog(),
+		PollsServed: s.PollsIssued() - polls,
+	}, nil
+}

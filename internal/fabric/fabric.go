@@ -1,0 +1,318 @@
+// Package fabric ties the pieces of the emulated data center together:
+// it instantiates one emulated ASIC (dataplane.Switch), PCIe bus, driver,
+// and CPU meter per topology switch, routes generated packets hop-by-hop
+// along ECMP paths, and models control-plane communication latency
+// between switches and centralized components.
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"time"
+
+	"farm/internal/dataplane"
+	"farm/internal/metrics"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+// Options configures fabric construction.
+type Options struct {
+	// BusBytesPerSec is the PCIe polling capacity per switch;
+	// 0 means dataplane.DefaultPCIePollBytesPerSec.
+	BusBytesPerSec float64
+	// HopLatency is the per-switch-hop propagation+forwarding delay;
+	// 0 means DefaultHopLatency.
+	HopLatency time.Duration
+	// ControlBaseLatency is the fixed software overhead of any
+	// control-plane message; 0 means DefaultControlBaseLatency.
+	ControlBaseLatency time.Duration
+	// CPUCores is the management CPU core count per switch; 0 means 4.
+	CPUCores float64
+	// Costs is the CPU cost model; the zero value means
+	// metrics.DefaultCostModel().
+	Costs metrics.CostModel
+	// CentralAt is the switch the centralized components (seeder,
+	// harvesters, collectors) attach behind. Defaults to switch 0
+	// (a spine under the SpineLeaf builder).
+	CentralAt netmodel.SwitchID
+}
+
+// Default latency constants for an intra-DC fabric.
+const (
+	DefaultHopLatency         = 50 * time.Microsecond
+	DefaultControlBaseLatency = 100 * time.Microsecond
+)
+
+// Fabric is the assembled emulated data center.
+type Fabric struct {
+	topo  *netmodel.Topology
+	loop  *simclock.Loop
+	opts  Options
+	costs metrics.CostModel
+
+	switches map[netmodel.SwitchID]*dataplane.Switch
+	drivers  map[netmodel.SwitchID]*dataplane.EmuDriver
+	cpus     map[netmodel.SwitchID]*metrics.CPUMeter
+	// ports[sw] maps neighbor switch IDs and host IDs to 1-based ports.
+	swPorts   map[netmodel.SwitchID]map[netmodel.SwitchID]int
+	hostPorts map[netmodel.SwitchID]map[netmodel.HostID]int
+	numPorts  map[netmodel.SwitchID]int
+
+	// CentralNet meters all traffic into centralized components: the
+	// collector-bottleneck measurement of Fig. 4.
+	CentralNet *metrics.NetMeter
+
+	hopDist map[netmodel.SwitchID]int // hops to CentralAt
+
+	delivered uint64
+	dropped   uint64
+}
+
+// New assembles a fabric over the topology.
+func New(topo *netmodel.Topology, loop *simclock.Loop, opts Options) *Fabric {
+	if opts.HopLatency == 0 {
+		opts.HopLatency = DefaultHopLatency
+	}
+	if opts.ControlBaseLatency == 0 {
+		opts.ControlBaseLatency = DefaultControlBaseLatency
+	}
+	if opts.CPUCores == 0 {
+		opts.CPUCores = 4
+	}
+	if opts.Costs == (metrics.CostModel{}) {
+		opts.Costs = metrics.DefaultCostModel()
+	}
+	f := &Fabric{
+		topo:       topo,
+		loop:       loop,
+		opts:       opts,
+		costs:      opts.Costs,
+		switches:   make(map[netmodel.SwitchID]*dataplane.Switch),
+		drivers:    make(map[netmodel.SwitchID]*dataplane.EmuDriver),
+		cpus:       make(map[netmodel.SwitchID]*metrics.CPUMeter),
+		swPorts:    make(map[netmodel.SwitchID]map[netmodel.SwitchID]int),
+		hostPorts:  make(map[netmodel.SwitchID]map[netmodel.HostID]int),
+		numPorts:   make(map[netmodel.SwitchID]int),
+		CentralNet: metrics.NewNetMeter(loop),
+	}
+
+	// Port assignment: hosts first (in host-ID order), then neighbor
+	// switches (in ID order).
+	hostsBySwitch := map[netmodel.SwitchID][]netmodel.HostID{}
+	for _, h := range topo.Hosts() {
+		hostsBySwitch[h.Leaf] = append(hostsBySwitch[h.Leaf], h.ID)
+	}
+	for _, sw := range topo.Switches() {
+		port := 1
+		f.hostPorts[sw.ID] = map[netmodel.HostID]int{}
+		for _, h := range hostsBySwitch[sw.ID] {
+			f.hostPorts[sw.ID][h] = port
+			port++
+		}
+		nbs := append([]netmodel.SwitchID(nil), topo.Neighbors(sw.ID)...)
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+		f.swPorts[sw.ID] = map[netmodel.SwitchID]int{}
+		for _, nb := range nbs {
+			f.swPorts[sw.ID][nb] = port
+			port++
+		}
+		f.numPorts[sw.ID] = port - 1
+
+		tcamCap := int(sw.Capacity[netmodel.ResTCAM])
+		if tcamCap <= 0 {
+			tcamCap = 1024
+		}
+		ds := dataplane.NewSwitch(sw.Name, port-1, tcamCap)
+		f.switches[sw.ID] = ds
+		bus := dataplane.NewBus(loop, opts.BusBytesPerSec)
+		f.drivers[sw.ID] = dataplane.NewEmuDriver(ds, bus)
+		f.cpus[sw.ID] = metrics.NewCPUMeter(loop, opts.CPUCores)
+	}
+
+	// BFS hop distance to the central attachment point.
+	f.hopDist = map[netmodel.SwitchID]int{opts.CentralAt: 0}
+	queue := []netmodel.SwitchID{opts.CentralAt}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range topo.Neighbors(cur) {
+			if _, seen := f.hopDist[nb]; !seen {
+				f.hopDist[nb] = f.hopDist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return f
+}
+
+// Loop returns the simulation loop.
+func (f *Fabric) Loop() *simclock.Loop { return f.loop }
+
+// Topology returns the underlying topology.
+func (f *Fabric) Topology() *netmodel.Topology { return f.topo }
+
+// Costs returns the CPU cost model.
+func (f *Fabric) Costs() metrics.CostModel { return f.costs }
+
+// Switch returns the emulated ASIC of a switch.
+func (f *Fabric) Switch(id netmodel.SwitchID) *dataplane.Switch { return f.switches[id] }
+
+// Driver returns the ASIC driver of a switch.
+func (f *Fabric) Driver(id netmodel.SwitchID) *dataplane.EmuDriver { return f.drivers[id] }
+
+// CPU returns the management CPU meter of a switch.
+func (f *Fabric) CPU(id netmodel.SwitchID) *metrics.CPUMeter { return f.cpus[id] }
+
+// NumPorts returns the port count of a switch.
+func (f *Fabric) NumPorts(id netmodel.SwitchID) int { return f.numPorts[id] }
+
+// HostPort returns the 1-based port a host attaches to on its leaf.
+func (f *Fabric) HostPort(sw netmodel.SwitchID, h netmodel.HostID) (int, bool) {
+	p, ok := f.hostPorts[sw][h]
+	return p, ok
+}
+
+// PortToward returns the 1-based port of sw facing neighbor nb.
+func (f *Fabric) PortToward(sw, nb netmodel.SwitchID) (int, bool) {
+	p, ok := f.swPorts[sw][nb]
+	return p, ok
+}
+
+// Delivered returns the number of packets that reached their last hop.
+func (f *Fabric) Delivered() uint64 { return f.delivered }
+
+// DroppedInFabric returns packets dropped by TCAM rules en route.
+func (f *Fabric) DroppedInFabric() uint64 { return f.dropped }
+
+// PathFor returns the ECMP path a flow takes between two hosts,
+// selected deterministically by flow hash.
+func (f *Fabric) PathFor(p dataplane.Packet) (netmodel.Path, error) {
+	src, ok := f.topo.HostByIP(p.SrcIP)
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown source host %v", p.SrcIP)
+	}
+	dst, ok := f.topo.HostByIP(p.DstIP)
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown destination host %v", p.DstIP)
+	}
+	paths := f.topo.Paths(src.Leaf, dst.Leaf)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("fabric: no path %v -> %v", src.Leaf, dst.Leaf)
+	}
+	h := fnv.New32a()
+	flow := p.Flow()
+	fmt.Fprintf(h, "%v", flow)
+	return paths[int(h.Sum32())%len(paths)], nil
+}
+
+// Send injects a packet at its source host's leaf and forwards it
+// hop-by-hop along its ECMP path, applying each switch's TCAM. The
+// packet is dropped mid-path if a rule says so.
+func (f *Fabric) Send(p dataplane.Packet) error {
+	path, err := f.PathFor(p)
+	if err != nil {
+		return err
+	}
+	src, _ := f.topo.HostByIP(p.SrcIP)
+	dst, _ := f.topo.HostByIP(p.DstIP)
+
+	var step func(i int)
+	step = func(i int) {
+		sw := path[i]
+		inPort := 0
+		if i == 0 {
+			inPort = f.hostPorts[sw][src.ID]
+		} else {
+			inPort = f.swPorts[sw][path[i-1]]
+		}
+		outPort := 0
+		if i == len(path)-1 {
+			outPort = f.hostPorts[sw][dst.ID]
+		} else {
+			outPort = f.swPorts[sw][path[i+1]]
+		}
+		v := f.switches[sw].Inject(p, inPort, outPort)
+		if v.Dropped {
+			f.dropped++
+			return
+		}
+		if i == len(path)-1 {
+			f.delivered++
+			return
+		}
+		f.loop.After(f.opts.HopLatency, func() { step(i + 1) })
+	}
+	step(0)
+	return nil
+}
+
+// MustSend is Send for callers holding pre-validated addresses.
+func (f *Fabric) MustSend(p dataplane.Packet) {
+	if err := f.Send(p); err != nil {
+		panic(err)
+	}
+}
+
+// HostIP returns the i-th host IP on the given leaf index under the
+// SpineLeaf addressing scheme (convenience for generators/tests).
+func HostIP(leafIndex, hostIndex int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(leafIndex), byte(hostIndex / 250), byte(hostIndex%250 + 1)})
+}
+
+// ControlLatency returns the one-way latency for a control-plane message
+// from a switch's CPU to the centralized components.
+func (f *Fabric) ControlLatency(from netmodel.SwitchID) time.Duration {
+	hops, ok := f.hopDist[from]
+	if !ok {
+		hops = 3
+	}
+	return f.opts.ControlBaseLatency + time.Duration(hops)*f.opts.HopLatency
+}
+
+// SwitchLatency returns the one-way control-plane latency between two
+// switch CPUs.
+func (f *Fabric) SwitchLatency(a, b netmodel.SwitchID) time.Duration {
+	if a == b {
+		return f.opts.ControlBaseLatency / 2
+	}
+	paths := f.topo.Paths(a, b)
+	hops := 3
+	if len(paths) > 0 {
+		hops = len(paths[0]) - 1
+	}
+	return f.opts.ControlBaseLatency + time.Duration(hops)*f.opts.HopLatency
+}
+
+// MTU is the payload capacity used to convert message sizes into
+// packet counts on the central links.
+const MTU = 1400
+
+// SendToCentral models a control message from a switch to a centralized
+// component: it meters the bytes (and MTU-derived packet count) on the
+// central links, charges serialization cost to the switch CPU, and
+// delivers fn after the control latency.
+func (f *Fabric) SendToCentral(from netmodel.SwitchID, bytes int, fn func()) {
+	pkts := (bytes + MTU - 1) / MTU
+	if pkts < 1 {
+		pkts = 1
+	}
+	f.CentralNet.Add(pkts, bytes)
+	f.cpus[from].Charge(time.Duration(bytes) * f.costs.SerializePerByte)
+	f.loop.After(f.ControlLatency(from), fn)
+}
+
+// SendFromCentral models a control message from a centralized component
+// to a switch CPU.
+func (f *Fabric) SendFromCentral(to netmodel.SwitchID, bytes int, fn func()) {
+	f.loop.After(f.ControlLatency(to), fn)
+}
+
+// SendSwitchToSwitch models a control message between two switch CPUs
+// (seed-to-seed communication, §II-C-b).
+func (f *Fabric) SendSwitchToSwitch(from, to netmodel.SwitchID, bytes int, fn func()) {
+	f.cpus[from].Charge(time.Duration(bytes) * f.costs.SerializePerByte)
+	f.loop.After(f.SwitchLatency(from, to), fn)
+}

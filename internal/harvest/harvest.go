@@ -1,0 +1,117 @@
+// Package harvest implements the harvester framework: the optional
+// per-task centralized component that collects reports from a task's
+// seeds and takes global management actions when seed-local decisions
+// are insufficient (§II-C-a of the FARM paper).
+package harvest
+
+import (
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/soil"
+)
+
+// Context is what harvester logic may do: talk back to the task's seeds
+// and observe time. The seeder wires the implementation (message routing
+// over the control network with its latency).
+type Context interface {
+	// SendToSeeds delivers v to seeds of the given machine type;
+	// switchName "" broadcasts to all instances.
+	SendToSeeds(machine, switchName string, v core.Value)
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Log records a diagnostic line.
+	Log(format string, args ...any)
+}
+
+// Logic is user-supplied harvester behaviour.
+type Logic interface {
+	// OnStart runs once when the task deploys.
+	OnStart(ctx Context)
+	// OnSeedMessage handles one report from a seed.
+	OnSeedMessage(ctx Context, from soil.SeedRef, v core.Value)
+}
+
+// FuncLogic adapts plain functions to Logic. Either field may be nil.
+type FuncLogic struct {
+	Start   func(ctx Context)
+	Message func(ctx Context, from soil.SeedRef, v core.Value)
+}
+
+// OnStart implements Logic.
+func (f FuncLogic) OnStart(ctx Context) {
+	if f.Start != nil {
+		f.Start(ctx)
+	}
+}
+
+// OnSeedMessage implements Logic.
+func (f FuncLogic) OnSeedMessage(ctx Context, from soil.SeedRef, v core.Value) {
+	if f.Message != nil {
+		f.Message(ctx, from, v)
+	}
+}
+
+// Record is one message retained in the harvester's history.
+type Record struct {
+	At   time.Duration
+	From soil.SeedRef
+	Val  core.Value
+}
+
+// Harvester hosts one task's Logic and keeps a bounded history of
+// received reports for inspection by tests and operators.
+type Harvester struct {
+	Task    string
+	logic   Logic
+	ctx     Context
+	history []Record
+	// HistoryLimit bounds retained records; 0 means DefaultHistoryLimit.
+	HistoryLimit int
+}
+
+// DefaultHistoryLimit bounds the report history.
+const DefaultHistoryLimit = 4096
+
+// New creates a harvester for a task. logic may be nil (collect-only).
+func New(task string, logic Logic) *Harvester {
+	return &Harvester{Task: task, logic: logic}
+}
+
+// Bind attaches the seeder-provided context and runs OnStart.
+func (h *Harvester) Bind(ctx Context) {
+	h.ctx = ctx
+	if h.logic != nil {
+		h.logic.OnStart(ctx)
+	}
+}
+
+// Deliver hands a seed report to the logic and records it.
+func (h *Harvester) Deliver(from soil.SeedRef, v core.Value) {
+	at := time.Duration(0)
+	if h.ctx != nil {
+		at = h.ctx.Now()
+	}
+	limit := h.HistoryLimit
+	if limit == 0 {
+		limit = DefaultHistoryLimit
+	}
+	if len(h.history) >= limit {
+		h.history = h.history[1:]
+	}
+	h.history = append(h.history, Record{At: at, From: from, Val: v})
+	if h.logic != nil && h.ctx != nil {
+		h.logic.OnSeedMessage(h.ctx, from, v)
+	}
+}
+
+// History returns the retained reports (callers must not modify).
+func (h *Harvester) History() []Record { return h.history }
+
+// LastReport returns the most recent report, if any.
+func (h *Harvester) LastReport() (Record, bool) {
+	if len(h.history) == 0 {
+		return Record{}, false
+	}
+	return h.history[len(h.history)-1], true
+}

@@ -1,0 +1,98 @@
+package harvest
+
+import (
+	"testing"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/soil"
+)
+
+type fakeCtx struct {
+	now  time.Duration
+	sent []struct {
+		machine, sw string
+		v           core.Value
+	}
+	logs []string
+}
+
+func (c *fakeCtx) SendToSeeds(machine, switchName string, v core.Value) {
+	c.sent = append(c.sent, struct {
+		machine, sw string
+		v           core.Value
+	}{machine, switchName, v})
+}
+func (c *fakeCtx) Now() time.Duration             { return c.now }
+func (c *fakeCtx) Log(format string, args ...any) { c.logs = append(c.logs, format) }
+
+func TestFuncLogicDispatch(t *testing.T) {
+	started := false
+	var got core.Value
+	logic := FuncLogic{
+		Start: func(ctx Context) { started = true },
+		Message: func(ctx Context, from soil.SeedRef, v core.Value) {
+			got = v
+			ctx.SendToSeeds("HH", "", int64(1))
+		},
+	}
+	ctx := &fakeCtx{}
+	h := New("t", logic)
+	h.Bind(ctx)
+	if !started {
+		t.Fatal("OnStart not called on Bind")
+	}
+	h.Deliver(soil.SeedRef{Task: "t", Machine: "HH", Switch: "leaf0"}, int64(42))
+	if got != int64(42) {
+		t.Fatalf("got = %v", got)
+	}
+	if len(ctx.sent) != 1 || ctx.sent[0].machine != "HH" {
+		t.Fatalf("sent = %+v", ctx.sent)
+	}
+}
+
+func TestNilLogicCollectsOnly(t *testing.T) {
+	h := New("t", nil)
+	h.Bind(&fakeCtx{now: 5 * time.Millisecond})
+	h.Deliver(soil.SeedRef{Switch: "leaf0"}, "a")
+	h.Deliver(soil.SeedRef{Switch: "leaf1"}, "b")
+	if len(h.History()) != 2 {
+		t.Fatalf("history = %d", len(h.History()))
+	}
+	rec, ok := h.LastReport()
+	if !ok || rec.Val != "b" || rec.From.Switch != "leaf1" || rec.At != 5*time.Millisecond {
+		t.Fatalf("last = %+v, %v", rec, ok)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	h := New("t", nil)
+	h.HistoryLimit = 3
+	h.Bind(&fakeCtx{})
+	for i := 0; i < 10; i++ {
+		h.Deliver(soil.SeedRef{}, int64(i))
+	}
+	hist := h.History()
+	if len(hist) != 3 {
+		t.Fatalf("history = %d, want 3", len(hist))
+	}
+	if hist[0].Val != int64(7) || hist[2].Val != int64(9) {
+		t.Fatalf("history kept wrong records: %v %v", hist[0].Val, hist[2].Val)
+	}
+}
+
+func TestLastReportEmpty(t *testing.T) {
+	h := New("t", nil)
+	if _, ok := h.LastReport(); ok {
+		t.Fatal("empty history should report none")
+	}
+}
+
+func TestDeliverBeforeBind(t *testing.T) {
+	// Delivery before Bind must not panic; records at time zero.
+	h := New("t", FuncLogic{})
+	h.Deliver(soil.SeedRef{}, "x")
+	if len(h.History()) != 1 || h.History()[0].At != 0 {
+		t.Fatalf("history = %+v", h.History())
+	}
+}

@@ -1,0 +1,701 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs and a branch-and-bound solver for mixed-integer linear
+// programs, using only the standard library.
+//
+// FARM's placement optimizer (§IV of the paper) has two consumers for
+// this package: the full MILP formulation of the placement problem (the
+// Gurobi role in Fig. 7) and the per-switch LP used by step 3 of the
+// Alg. 1 heuristic ("redistribute resources using linear programming").
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Inf is a convenience positive infinity for variable bounds.
+var Inf = math.Inf(1)
+
+// Sense selects the optimization direction.
+type Sense int
+
+const (
+	Maximize Sense = iota + 1
+	Minimize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	LE Op = iota + 1 // <=
+	GE               // >=
+	EQ               // ==
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+	DeadlineExceeded // MILP hit its deadline; Solution holds the incumbent
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case DeadlineExceeded:
+		return "deadline-exceeded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Var is a handle to a decision variable within one Problem.
+type Var int
+
+// Coef pairs a variable with its coefficient in a linear expression.
+type Coef struct {
+	Var Var
+	Val float64
+}
+
+type variable struct {
+	name    string
+	lb, ub  float64
+	integer bool
+}
+
+type constraint struct {
+	coefs []Coef
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear or mixed-integer linear program under
+// construction. The zero value is not usable; call New.
+type Problem struct {
+	sense    Sense
+	vars     []variable
+	cons     []constraint
+	objCoefs []Coef
+	objConst float64
+	// deadline, when nonzero, aborts long simplex runs with
+	// ErrDeadline (set by SolveMILP so a single huge relaxation cannot
+	// blow through the branch-and-bound budget).
+	deadline time.Time
+}
+
+// ErrDeadline is returned when a solve exceeds the configured deadline.
+var ErrDeadline = errors.New("lp: deadline exceeded during simplex")
+
+// New returns an empty problem with the given optimization sense.
+func New(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// NumVars returns the number of declared variables.
+func (p *Problem) NumVars() int { return len(p.vars) }
+
+// NumConstraints returns the number of added constraints.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVar declares a continuous variable with bounds [lb, ub]; ub may be
+// lp.Inf. lb must be finite (free variables are not needed by FARM's
+// formulations, where every quantity is a nonnegative resource amount or
+// a 0/1 indicator).
+func (p *Problem) AddVar(name string, lb, ub float64) Var {
+	p.vars = append(p.vars, variable{name: name, lb: lb, ub: ub})
+	return Var(len(p.vars) - 1)
+}
+
+// AddBinary declares a 0/1 integer variable.
+func (p *Problem) AddBinary(name string) Var {
+	v := p.AddVar(name, 0, 1)
+	p.vars[v].integer = true
+	return v
+}
+
+// AddIntVar declares an integer variable with bounds [lb, ub].
+func (p *Problem) AddIntVar(name string, lb, ub float64) Var {
+	v := p.AddVar(name, lb, ub)
+	p.vars[v].integer = true
+	return v
+}
+
+// SetInteger marks an existing variable as integral.
+func (p *Problem) SetInteger(v Var) { p.vars[v].integer = true }
+
+// AddConstraint adds sum(coefs) op rhs.
+func (p *Problem) AddConstraint(coefs []Coef, op Op, rhs float64) {
+	cs := make([]Coef, len(coefs))
+	copy(cs, coefs)
+	p.cons = append(p.cons, constraint{coefs: cs, op: op, rhs: rhs})
+}
+
+// SetObjective sets the objective sum(coefs) + constant.
+func (p *Problem) SetObjective(coefs []Coef, constant float64) {
+	p.objCoefs = make([]Coef, len(coefs))
+	copy(p.objCoefs, coefs)
+	p.objConst = constant
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	Values    []float64 // indexed by Var
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v Var) float64 { return s.Values[v] }
+
+const (
+	eps        = 1e-9
+	ratioEps   = 1e-9
+	intFeasTol = 1e-6
+)
+
+// ErrNumerical is returned when the simplex cannot make progress
+// (cycling beyond the anti-cycling fallback's iteration budget).
+var ErrNumerical = errors.New("lp: simplex failed to converge")
+
+// Solve solves the continuous relaxation of the problem (integrality
+// markers are ignored) with the two-phase primal simplex method.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.solveRelaxation(nil, nil)
+}
+
+// solveRelaxation solves the LP relaxation with optional per-variable
+// bound overrides (used by branch & bound; nil means no override).
+func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solution, error) {
+	n := len(p.vars)
+	lb := make([]float64, n)
+	ub := make([]float64, n)
+	for i, v := range p.vars {
+		lb[i], ub[i] = v.lb, v.ub
+	}
+	for v, b := range lbOverride {
+		if b > lb[v] {
+			lb[v] = b
+		}
+	}
+	for v, b := range ubOverride {
+		if b < ub[v] {
+			ub[v] = b
+		}
+	}
+	for i := range p.vars {
+		if lb[i] > ub[i]+eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if math.IsInf(lb[i], -1) {
+			return nil, fmt.Errorf("lp: variable %q has no finite lower bound", p.vars[i].name)
+		}
+	}
+
+	// Shift every variable by its lower bound: x = x' + lb, x' >= 0.
+	// Finite upper bounds become extra rows x' <= ub-lb.
+	type row struct {
+		coefs []float64
+		op    Op
+		rhs   float64
+	}
+	rows := make([]row, 0, len(p.cons)+n)
+	for _, c := range p.cons {
+		r := row{coefs: make([]float64, n), op: c.op, rhs: c.rhs}
+		for _, cf := range c.coefs {
+			r.coefs[cf.Var] += cf.Val
+			r.rhs -= cf.Val * lb[cf.Var]
+		}
+		rows = append(rows, r)
+	}
+	for i := 0; i < n; i++ {
+		if !math.IsInf(ub[i], 1) && ub[i]-lb[i] > eps {
+			r := row{coefs: make([]float64, n), op: LE, rhs: ub[i] - lb[i]}
+			r.coefs[i] = 1
+			rows = append(rows, r)
+		} else if !math.IsInf(ub[i], 1) {
+			// Fixed variable: pin with an equality so the tableau
+			// cannot drift.
+			r := row{coefs: make([]float64, n), op: EQ, rhs: ub[i] - lb[i]}
+			r.coefs[i] = 1
+			rows = append(rows, r)
+		}
+	}
+
+	// Objective in "minimize" form over shifted variables.
+	objSign := 1.0
+	if p.sense == Maximize {
+		objSign = -1
+	}
+	cost := make([]float64, n)
+	objShift := p.objConst
+	for _, cf := range p.objCoefs {
+		cost[cf.Var] += objSign * cf.Val
+		objShift += cf.Val * lb[cf.Var]
+	}
+
+	m := len(rows)
+	// Column layout: [structural n][slack/surplus][artificial].
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	total := n + nSlack + m // upper bound on artificials: one per row
+	t := newTableau(m, total)
+	t.deadline = p.deadline
+	slackCol := n
+	artCol := n + nSlack
+	nArt := 0
+	for i, r := range rows {
+		rhs := r.rhs
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+		}
+		for j, c := range r.coefs {
+			t.a[i][j] = sign * c
+		}
+		t.b[i] = rhs
+		op := r.op
+		if sign < 0 {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		needArt := false
+		switch op {
+		case LE:
+			t.a[i][slackCol] = 1
+			// Slack can serve as the initial basic variable.
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			needArt = true
+		case EQ:
+			needArt = true
+		}
+		if needArt {
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+			nArt++
+		}
+	}
+	t.ncols = artCol
+	artStart := n + nSlack
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		c1 := make([]float64, t.ncols)
+		for j := artStart; j < artStart+nArt; j++ {
+			c1[j] = 1
+		}
+		if err := t.setObjective(c1); err != nil {
+			return nil, err
+		}
+		if status, err := t.iterate(t.ncols); err != nil {
+			return nil, err
+		} else if status == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded
+			// here means a numerical failure.
+			return nil, ErrNumerical
+		}
+		if t.objValue() > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Pivot remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > 1e-7 {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; leave the artificial basic at zero
+				// but forbid artificials from re-entering below.
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: minimize the real cost; artificial columns are frozen.
+	c2 := make([]float64, t.ncols)
+	copy(c2, cost)
+	t.frozenFrom = artStart
+	if err := t.setObjective(c2); err != nil {
+		return nil, err
+	}
+	status, err := t.iterate(artStart)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	// Extract the solution, undoing the lower-bound shift.
+	xs := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			xs[t.basis[i]] = t.b[i]
+		}
+	}
+	vals := make([]float64, n)
+	obj := objShift
+	for i := 0; i < n; i++ {
+		vals[i] = xs[i] + lb[i]
+	}
+	for _, cf := range p.objCoefs {
+		obj += cf.Val * xs[cf.Var]
+	}
+	return &Solution{Status: Optimal, Objective: obj, Values: vals}, nil
+}
+
+// tableau is a dense simplex tableau for min c'x, Ax=b, x>=0, b>=0.
+type tableau struct {
+	m, ncols   int
+	a          [][]float64
+	b          []float64
+	obj        []float64 // reduced costs
+	objConst   float64
+	basis      []int
+	frozenFrom int // columns >= frozenFrom may not enter the basis (-1: none)
+	deadline   time.Time
+}
+
+func newTableau(m, maxCols int) *tableau {
+	t := &tableau{m: m, ncols: maxCols, frozenFrom: -1}
+	t.a = make([][]float64, m)
+	backing := make([]float64, m*maxCols)
+	for i := range t.a {
+		t.a[i] = backing[i*maxCols : (i+1)*maxCols]
+	}
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	for i := range t.basis {
+		t.basis[i] = -1
+	}
+	return t
+}
+
+// setObjective installs cost vector c and prices out the current basis.
+func (t *tableau) setObjective(c []float64) error {
+	t.obj = make([]float64, t.ncols)
+	copy(t.obj, c)
+	t.objConst = 0
+	for i := 0; i < t.m; i++ {
+		k := t.basis[i]
+		if k < 0 {
+			return fmt.Errorf("lp: row %d has no basic variable", i)
+		}
+		ck := c[k]
+		if ck == 0 {
+			continue
+		}
+		for j := 0; j < t.ncols; j++ {
+			t.obj[j] -= ck * t.a[i][j]
+		}
+		t.objConst -= ck * t.b[i]
+	}
+	return nil
+}
+
+func (t *tableau) objValue() float64 { return -t.objConst }
+
+// iterate runs simplex pivots until optimality or unboundedness.
+// enterLimit restricts entering columns to [0, enterLimit).
+func (t *tableau) iterate(enterLimit int) (Status, error) {
+	maxIters := 200 * (t.m + t.ncols)
+	bland := false
+	blandBudget := maxIters
+	for iter := 0; ; iter++ {
+		if !t.deadline.IsZero() && iter%64 == 0 && time.Now().After(t.deadline) {
+			return 0, ErrDeadline
+		}
+		if iter > maxIters {
+			if !bland {
+				bland = true
+				maxIters += blandBudget
+				continue
+			}
+			return 0, ErrNumerical
+		}
+		limit := enterLimit
+		if t.frozenFrom >= 0 && t.frozenFrom < limit {
+			limit = t.frozenFrom
+		}
+		// Entering column.
+		enter := -1
+		if bland {
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if t.obj[j] < best {
+					best = t.obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= ratioEps {
+				continue
+			}
+			r := t.b[i] / aij
+			if r < bestRatio-eps || (r < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = r
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	rowL := t.a[leave]
+	for j := 0; j < t.ncols; j++ {
+		rowL[j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.ncols; j++ {
+			row[j] -= f * rowL[j]
+		}
+		t.b[i] -= f * t.b[leave]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := 0; j < t.ncols; j++ {
+			t.obj[j] -= f * rowL[j]
+		}
+		t.objConst -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// MILPOptions configures branch & bound.
+type MILPOptions struct {
+	Deadline time.Time     // zero: no deadline
+	Timeout  time.Duration // alternative to Deadline; 0: none
+	MaxNodes int           // 0: default 200000
+}
+
+// SolveMILP runs branch & bound on the integer-marked variables. If the
+// deadline expires, the best incumbent found so far is returned with
+// Status DeadlineExceeded (or Infeasible if none was found).
+func (p *Problem) SolveMILP(opts MILPOptions) (*Solution, error) {
+	deadline := opts.Deadline
+	if deadline.IsZero() && opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+
+	hasInt := false
+	for _, v := range p.vars {
+		if v.integer {
+			hasInt = true
+			break
+		}
+	}
+	if !hasInt {
+		return p.Solve()
+	}
+	p.deadline = deadline
+	defer func() { p.deadline = time.Time{} }()
+
+	type node struct {
+		lb, ub map[Var]float64
+	}
+	cloneBounds := func(m map[Var]float64) map[Var]float64 {
+		c := make(map[Var]float64, len(m)+1)
+		for k, v := range m {
+			c[k] = v
+		}
+		return c
+	}
+
+	var incumbent *Solution
+	better := func(obj float64) bool {
+		if incumbent == nil {
+			return true
+		}
+		if p.sense == Maximize {
+			return obj > incumbent.Objective+1e-9
+		}
+		return obj < incumbent.Objective-1e-9
+	}
+	bounds := func(obj float64) bool { // can this relaxation beat the incumbent?
+		if incumbent == nil {
+			return true
+		}
+		if p.sense == Maximize {
+			return obj > incumbent.Objective+1e-9
+		}
+		return obj < incumbent.Objective-1e-9
+	}
+
+	stack := []node{{lb: map[Var]float64{}, ub: map[Var]float64{}}}
+	nodes := 0
+	timedOut := false
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			timedOut = true
+			break
+		}
+		if !deadline.IsZero() && nodes%16 == 0 && nodes > 0 && time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if nodes == 1 {
+			// The root relaxation always runs to completion (the bound
+			// a budgeted exact solver would report); the deadline
+			// governs the branch-and-bound search after it.
+			p.deadline = time.Time{}
+		} else {
+			p.deadline = deadline
+		}
+		sol, err := p.solveRelaxation(nd.lb, nd.ub)
+		if err != nil {
+			if errors.Is(err, ErrNumerical) {
+				continue // prune the numerically troubled subtree
+			}
+			if errors.Is(err, ErrDeadline) {
+				timedOut = true
+				break
+			}
+			return nil, err
+		}
+		if sol.Status == Infeasible {
+			continue
+		}
+		if sol.Status == Unbounded {
+			return &Solution{Status: Unbounded}, nil
+		}
+		if !bounds(sol.Objective) {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branch := Var(-1)
+		worst := intFeasTol
+		for i, v := range p.vars {
+			if !v.integer {
+				continue
+			}
+			x := sol.Values[i]
+			frac := math.Abs(x - math.Round(x))
+			if frac > worst {
+				worst = frac
+				branch = Var(i)
+			}
+		}
+		if branch < 0 {
+			// Integer feasible: round and accept.
+			if better(sol.Objective) {
+				vals := make([]float64, len(sol.Values))
+				copy(vals, sol.Values)
+				for i, v := range p.vars {
+					if v.integer {
+						vals[i] = math.Round(vals[i])
+					}
+				}
+				incumbent = &Solution{Status: Optimal, Objective: sol.Objective, Values: vals}
+			}
+			continue
+		}
+		x := sol.Values[branch]
+		down := node{lb: cloneBounds(nd.lb), ub: cloneBounds(nd.ub)}
+		down.ub[branch] = math.Floor(x)
+		up := node{lb: cloneBounds(nd.lb), ub: cloneBounds(nd.ub)}
+		up.lb[branch] = math.Ceil(x)
+		// Explore the side closer to the relaxation value first
+		// (pushed last, popped first).
+		if x-math.Floor(x) < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	if incumbent == nil {
+		if timedOut {
+			return &Solution{Status: DeadlineExceeded}, nil
+		}
+		return &Solution{Status: Infeasible}, nil
+	}
+	if timedOut {
+		incumbent.Status = DeadlineExceeded
+	}
+	return incumbent, nil
+}

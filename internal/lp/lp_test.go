@@ -1,0 +1,437 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj=12.
+	p := New(Maximize)
+	x := p.AddVar("x", 0, Inf)
+	y := p.AddVar("y", 0, Inf)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint([]Coef{{x, 1}, {y, 3}}, LE, 6)
+	p.SetObjective([]Coef{{x, 3}, {y, 2}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, 12, 1e-6, "objective")
+	approx(t, sol.Value(x), 4, 1e-6, "x")
+	approx(t, sol.Value(y), 0, 1e-6, "y")
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 -> x=10 y=0? obj: coefficient of x
+	// smaller, so push x: x=10, y=0, obj=20.
+	p := New(Minimize)
+	x := p.AddVar("x", 0, Inf)
+	y := p.AddVar("y", 0, Inf)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, GE, 10)
+	p.AddConstraint([]Coef{{x, 1}}, GE, 2)
+	p.SetObjective([]Coef{{x, 2}, {y, 3}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, 20, 1e-6, "objective")
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y s.t. x + y == 5, x <= 3 -> obj = 5.
+	p := New(Maximize)
+	x := p.AddVar("x", 0, 3)
+	y := p.AddVar("y", 0, Inf)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, EQ, 5)
+	p.SetObjective([]Coef{{x, 1}, {y, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, 5, 1e-6, "objective")
+	approx(t, sol.Value(x)+sol.Value(y), 5, 1e-6, "x+y")
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(Maximize)
+	x := p.AddVar("x", 0, Inf)
+	p.AddConstraint([]Coef{{x, 1}}, LE, 1)
+	p.AddConstraint([]Coef{{x, 1}}, GE, 2)
+	p.SetObjective([]Coef{{x, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(Maximize)
+	x := p.AddVar("x", 0, Inf)
+	p.AddConstraint([]Coef{{x, -1}}, LE, 1)
+	p.SetObjective([]Coef{{x, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestVariableBounds(t *testing.T) {
+	// max x + y with 1 <= x <= 2, 0 <= y <= 3, x + y <= 4 -> x=2 (or 1..2), y up to 3; obj=4+? x+y<=4 binds: obj=4.
+	p := New(Maximize)
+	x := p.AddVar("x", 1, 2)
+	y := p.AddVar("y", 0, 3)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, LE, 4)
+	p.SetObjective([]Coef{{x, 1}, {y, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 4, 1e-6, "objective")
+	if sol.Value(x) < 1-1e-9 || sol.Value(x) > 2+1e-9 {
+		t.Fatalf("x = %g out of bounds", sol.Value(x))
+	}
+}
+
+func TestLowerBoundShift(t *testing.T) {
+	// min x with x >= 5 via bound -> 5.
+	p := New(Minimize)
+	x := p.AddVar("x", 5, Inf)
+	p.SetObjective([]Coef{{x, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 5, 1e-6, "objective")
+	approx(t, sol.Value(x), 5, 1e-6, "x")
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := New(Maximize)
+	x := p.AddVar("x", 2, 2)
+	y := p.AddVar("y", 0, Inf)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, LE, 5)
+	p.SetObjective([]Coef{{x, 1}, {y, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Value(x), 2, 1e-6, "x")
+	approx(t, sol.Objective, 5, 1e-6, "objective")
+}
+
+func TestObjectiveConstant(t *testing.T) {
+	p := New(Maximize)
+	x := p.AddVar("x", 0, 1)
+	p.SetObjective([]Coef{{x, 1}}, 10)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 11, 1e-6, "objective")
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -2 with max x, x <= 5 -> y >= x+2 always satisfiable; obj=5.
+	p := New(Maximize)
+	x := p.AddVar("x", 0, 5)
+	y := p.AddVar("y", 0, Inf)
+	p.AddConstraint([]Coef{{x, 1}, {y, -1}}, LE, -2)
+	p.SetObjective([]Coef{{x, 1}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 5, 1e-6, "objective")
+	if sol.Value(y) < sol.Value(x)+2-1e-6 {
+		t.Fatalf("constraint violated: x=%g y=%g", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP; checks anti-cycling survives.
+	p := New(Minimize)
+	x1 := p.AddVar("x1", 0, Inf)
+	x2 := p.AddVar("x2", 0, Inf)
+	x3 := p.AddVar("x3", 0, Inf)
+	x4 := p.AddVar("x4", 0, Inf)
+	p.AddConstraint([]Coef{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	p.AddConstraint([]Coef{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	p.AddConstraint([]Coef{{x3, 1}}, LE, 1)
+	p.SetObjective([]Coef{{x1, -0.75}, {x2, 150}, {x3, -0.02}, {x4, 6}}, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, -0.05, 1e-6, "objective (Beale's example)")
+}
+
+// Property-style test: on random feasible programs the simplex solution
+// must satisfy every constraint and variable bound.
+func TestRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := New(Maximize)
+		vars := make([]Var, n)
+		for i := 0; i < n; i++ {
+			vars[i] = p.AddVar("v", 0, 10)
+		}
+		type consT struct {
+			coefs []Coef
+			rhs   float64
+		}
+		var cons []consT
+		for j := 0; j < m; j++ {
+			coefs := make([]Coef, 0, n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					coefs = append(coefs, Coef{vars[i], float64(rng.Intn(5) + 1)})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = append(coefs, Coef{vars[0], 1})
+			}
+			rhs := float64(rng.Intn(40) + 5)
+			p.AddConstraint(coefs, LE, rhs)
+			cons = append(cons, consT{coefs, rhs})
+		}
+		obj := make([]Coef, n)
+		for i := 0; i < n; i++ {
+			obj[i] = Coef{vars[i], rng.Float64()*4 - 1}
+		}
+		p.SetObjective(obj, 0)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		for i := 0; i < n; i++ {
+			v := sol.Value(vars[i])
+			if v < -1e-6 || v > 10+1e-6 {
+				t.Fatalf("trial %d: var %d = %g out of [0,10]", trial, i, v)
+			}
+		}
+		for j, c := range cons {
+			lhs := 0.0
+			for _, cf := range c.coefs {
+				lhs += cf.Val * sol.Value(cf.Var)
+			}
+			if lhs > c.rhs+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %g > %g", trial, j, lhs, c.rhs)
+			}
+		}
+	}
+}
+
+// Weak duality style optimality spot-check: perturbing the optimum along
+// feasible directions should not improve the objective. We instead verify
+// against a brute-force grid on small integer-coefficient problems.
+func TestOptimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		p := New(Maximize)
+		x := p.AddVar("x", 0, 6)
+		y := p.AddVar("y", 0, 6)
+		a1, b1 := float64(rng.Intn(3)+1), float64(rng.Intn(3)+1)
+		r1 := float64(rng.Intn(12) + 4)
+		a2, b2 := float64(rng.Intn(3)+1), float64(rng.Intn(3)+1)
+		r2 := float64(rng.Intn(12) + 4)
+		cx, cy := float64(rng.Intn(5)+1), float64(rng.Intn(5)+1)
+		p.AddConstraint([]Coef{{x, a1}, {y, b1}}, LE, r1)
+		p.AddConstraint([]Coef{{x, a2}, {y, b2}}, LE, r2)
+		p.SetObjective([]Coef{{x, cx}, {y, cy}}, 0)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fine grid brute force.
+		best := 0.0
+		for xi := 0.0; xi <= 6.0001; xi += 0.01 {
+			// For fixed x, best y is bounded by constraints.
+			ymax := 6.0
+			if b1 > 0 {
+				ymax = math.Min(ymax, (r1-a1*xi)/b1)
+			}
+			if b2 > 0 {
+				ymax = math.Min(ymax, (r2-a2*xi)/b2)
+			}
+			if ymax < 0 {
+				continue
+			}
+			if v := cx*xi + cy*ymax; v > best {
+				best = v
+			}
+		}
+		if sol.Objective < best-1e-2 {
+			t.Fatalf("trial %d: simplex %g < brute force %g", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary -> a=1,c=1 (17)
+	// vs b=1,c=1 (20; weight 6 ok) -> optimal 20.
+	p := New(Maximize)
+	a := p.AddBinary("a")
+	b := p.AddBinary("b")
+	c := p.AddBinary("c")
+	p.AddConstraint([]Coef{{a, 3}, {b, 4}, {c, 2}}, LE, 6)
+	p.SetObjective([]Coef{{a, 10}, {b, 13}, {c, 7}}, 0)
+	sol, err := p.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, 20, 1e-6, "objective")
+	approx(t, sol.Value(b), 1, 1e-6, "b")
+	approx(t, sol.Value(c), 1, 1e-6, "c")
+}
+
+func TestMILPIntegerVar(t *testing.T) {
+	// max x s.t. 2x <= 7, x integer -> 3.
+	p := New(Maximize)
+	x := p.AddIntVar("x", 0, 100)
+	p.AddConstraint([]Coef{{x, 2}}, LE, 7)
+	p.SetObjective([]Coef{{x, 1}}, 0)
+	sol, err := p.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 3, 1e-6, "objective")
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	p := New(Maximize)
+	x := p.AddBinary("x")
+	p.AddConstraint([]Coef{{x, 1}}, GE, 0.4)
+	p.AddConstraint([]Coef{{x, 1}}, LE, 0.6)
+	p.SetObjective([]Coef{{x, 1}}, 0)
+	sol, err := p.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMILPMixed(t *testing.T) {
+	// max 2x + y, x binary, y continuous <= 1.5, x + y <= 2 -> x=1, y=1 -> 3.
+	p := New(Maximize)
+	x := p.AddBinary("x")
+	y := p.AddVar("y", 0, 1.5)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, LE, 2)
+	p.SetObjective([]Coef{{x, 2}, {y, 1}}, 0)
+	sol, err := p.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 3, 1e-6, "objective")
+	approx(t, sol.Value(x), 1, 1e-6, "x")
+}
+
+func TestMILPDeadline(t *testing.T) {
+	// A larger random knapsack; a 0 deadline in the past must return
+	// quickly with DeadlineExceeded.
+	rng := rand.New(rand.NewSource(3))
+	p := New(Maximize)
+	var coefs, weights []Coef
+	for i := 0; i < 40; i++ {
+		v := p.AddBinary("b")
+		coefs = append(coefs, Coef{v, float64(rng.Intn(50) + 1)})
+		weights = append(weights, Coef{v, float64(rng.Intn(30) + 1)})
+	}
+	p.AddConstraint(weights, LE, 120)
+	p.SetObjective(coefs, 0)
+	start := time.Now()
+	sol, err := p.SolveMILP(MILPOptions{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != DeadlineExceeded {
+		t.Fatalf("status = %v, want deadline-exceeded", sol.Status)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not honored promptly")
+	}
+}
+
+// Property: branch & bound yields integral values and never exceeds the
+// LP relaxation bound.
+func TestMILPIntegralityAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		p := New(Maximize)
+		vars := make([]Var, n)
+		var weight []Coef
+		var objc []Coef
+		for i := 0; i < n; i++ {
+			vars[i] = p.AddBinary("b")
+			weight = append(weight, Coef{vars[i], float64(rng.Intn(9) + 1)})
+			objc = append(objc, Coef{vars[i], float64(rng.Intn(20) + 1)})
+		}
+		cap := float64(rng.Intn(20) + 5)
+		p.AddConstraint(weight, LE, cap)
+		p.SetObjective(objc, 0)
+
+		relax, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := p.SolveMILP(MILPOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if sol.Objective > relax.Objective+1e-6 {
+			t.Fatalf("trial %d: MILP %g beats relaxation %g", trial, sol.Objective, relax.Objective)
+		}
+		total := 0.0
+		for i, v := range vars {
+			x := sol.Value(v)
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				t.Fatalf("trial %d: var %d = %g not integral", trial, i, x)
+			}
+			total += weight[i].Val * x
+		}
+		if total > cap+1e-6 {
+			t.Fatalf("trial %d: knapsack overweight %g > %g", trial, total, cap)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package mlwork implements the CPU-intensive machine-learning task of
+// the paper's evaluation (§VI-A-c): support-vector-regression-style
+// prediction built on matrix-matrix multiplications, invoked by seeds
+// through the runtime library's exec() hook.
+//
+// The paper runs 1000x1000 multiplications in Python on the switch CPU;
+// here the workload is native Go with a configurable dimension so the
+// Fig. 6c/d experiments can charge either real CPU time (microbenchmarks)
+// or modelled cost scaled by FLOP count (simulation).
+package mlwork
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// RandomMatrix fills a matrix from a deterministic source.
+func RandomMatrix(rows, cols int, seed int64) Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Mul returns a*b.
+func Mul(a, b Matrix) (Matrix, error) {
+	if a.Cols != b.Rows {
+		return Matrix{}, fmt.Errorf("mlwork: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// FLOPs returns the floating-point operation count of one n x n
+// multiplication (2n^3), used to scale modelled CPU cost.
+func FLOPs(n int) float64 { return 2 * float64(n) * float64(n) * float64(n) }
+
+// SVR is a trained support vector regression model (RBF kernel) in its
+// dual form: prediction is a kernel expansion over support vectors.
+type SVR struct {
+	Support Matrix    // one support vector per row
+	Alpha   []float64 // dual coefficients
+	Bias    float64
+	Gamma   float64 // RBF width
+}
+
+// NewSVR builds a deterministic synthetic model with the given number
+// of support vectors and feature dimension.
+func NewSVR(supportVectors, dims int, seed int64) *SVR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &SVR{
+		Support: RandomMatrix(supportVectors, dims, seed+1),
+		Alpha:   make([]float64, supportVectors),
+		Gamma:   1.0 / float64(dims),
+		Bias:    rng.NormFloat64(),
+	}
+	for i := range m.Alpha {
+		m.Alpha[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// Predict evaluates the model on one feature vector.
+func (m *SVR) Predict(x []float64) (float64, error) {
+	if len(x) != m.Support.Cols {
+		return 0, fmt.Errorf("mlwork: feature dimension %d, model expects %d", len(x), m.Support.Cols)
+	}
+	out := m.Bias
+	for i := 0; i < m.Support.Rows; i++ {
+		d2 := 0.0
+		row := m.Support.Data[i*m.Support.Cols : (i+1)*m.Support.Cols]
+		for j, v := range row {
+			diff := x[j] - v
+			d2 += diff * diff
+		}
+		out += m.Alpha[i] * math.Exp(-m.Gamma*d2)
+	}
+	return out, nil
+}
+
+// Task is the seed-facing ML workload: each iteration multiplies two
+// n x n matrices (the paper's SVR training kernel computation) and then
+// runs one prediction parameterized by the polled statistic.
+type Task struct {
+	N     int // matrix dimension (the paper uses 1000)
+	model *SVR
+	a, b  Matrix
+	// Iterations executed so far (for tests/metrics).
+	Iterations uint64
+}
+
+// NewTask builds the workload at the given matrix dimension.
+func NewTask(n int, seed int64) *Task {
+	return &Task{
+		N:     n,
+		model: NewSVR(16, 8, seed),
+		a:     RandomMatrix(n, n, seed+2),
+		b:     RandomMatrix(n, n, seed+3),
+	}
+}
+
+// Run executes iterations of the kernel computation and returns a
+// prediction for the input statistic. This burns real CPU proportional
+// to iterations * 2N^3 FLOPs.
+func (t *Task) Run(stat float64, iterations int) (float64, error) {
+	var checksum float64
+	for i := 0; i < iterations; i++ {
+		prod, err := Mul(t.a, t.b)
+		if err != nil {
+			return 0, err
+		}
+		checksum += prod.At(0, 0)
+		t.Iterations++
+	}
+	x := make([]float64, t.model.Support.Cols)
+	x[0] = stat
+	x[1] = checksum * 1e-9 // keep the multiply observable
+	return t.model.Predict(x)
+}

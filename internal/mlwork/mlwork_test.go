@@ -1,0 +1,109 @@
+package mlwork
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixMulIdentity(t *testing.T) {
+	n := 8
+	id := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	a := RandomMatrix(n, n, 1)
+	got, err := Mul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(got.At(i, j)-a.At(i, j)) > 1e-12 {
+				t.Fatalf("A*I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMulKnown(t *testing.T) {
+	a := Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := Matrix{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Fatalf("result = %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestMatrixMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSVRDeterministic(t *testing.T) {
+	m1 := NewSVR(8, 4, 42)
+	m2 := NewSVR(8, 4, 42)
+	x := []float64{0.5, -1, 2, 0}
+	p1, err := m1.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m2.Predict(x)
+	if p1 != p2 {
+		t.Fatalf("same seed, different predictions: %g vs %g", p1, p2)
+	}
+	if math.IsNaN(p1) || math.IsInf(p1, 0) {
+		t.Fatalf("prediction = %g", p1)
+	}
+}
+
+func TestSVRDimensionCheck(t *testing.T) {
+	m := NewSVR(4, 4, 1)
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestTaskRun(t *testing.T) {
+	task := NewTask(16, 7)
+	p1, err := task.Run(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Iterations != 3 {
+		t.Fatalf("iterations = %d", task.Iterations)
+	}
+	if math.IsNaN(p1) {
+		t.Fatal("NaN prediction")
+	}
+	// Deterministic across identical fresh tasks.
+	task2 := NewTask(16, 7)
+	p2, _ := task2.Run(100, 3)
+	if p1 != p2 {
+		t.Fatalf("non-deterministic: %g vs %g", p1, p2)
+	}
+}
+
+func TestFLOPs(t *testing.T) {
+	if FLOPs(10) != 2000 {
+		t.Fatalf("FLOPs(10) = %g", FLOPs(10))
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	task := NewTask(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Run(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package netmodel
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustSpineLeaf(t *testing.T, spines, leaves, hosts int) *Topology {
+	t.Helper()
+	top, err := SpineLeaf(SpineLeafOptions{Spines: spines, Leaves: leaves, HostsPerLeaf: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestResourcesOps(t *testing.T) {
+	a := Resources{ResVCPU: 2, ResRAM: 100}
+	b := Resources{ResVCPU: 1, ResTCAM: 10}
+	sum := a.Add(b)
+	if sum[ResVCPU] != 3 || sum[ResRAM] != 100 || sum[ResTCAM] != 10 {
+		t.Fatalf("add = %v", sum)
+	}
+	diff := a.Sub(b)
+	if diff[ResVCPU] != 1 || diff[ResTCAM] != -10 {
+		t.Fatalf("sub = %v", diff)
+	}
+	if a[ResVCPU] != 2 {
+		t.Fatal("Add/Sub must not mutate operands")
+	}
+	if !a.AtLeast(Resources{ResVCPU: 2}, 0) {
+		t.Fatal("AtLeast equal should hold")
+	}
+	if a.AtLeast(Resources{ResVCPU: 2.1}, 0) {
+		t.Fatal("AtLeast should fail")
+	}
+	half := a.Scale(0.5)
+	if half[ResVCPU] != 1 || half[ResRAM] != 50 {
+		t.Fatalf("scale = %v", half)
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	r := Resources{ResVCPU: 2, ResRAM: 100}
+	if got, want := r.String(), "{RAM=100 vCPU=2}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSpineLeafShape(t *testing.T) {
+	top := mustSpineLeaf(t, 2, 4, 3)
+	if got := top.NumSwitches(); got != 6 {
+		t.Fatalf("switches = %d, want 6", got)
+	}
+	if got := len(top.Hosts()); got != 12 {
+		t.Fatalf("hosts = %d, want 12", got)
+	}
+	spines, leaves := 0, 0
+	for _, s := range top.Switches() {
+		switch s.Role {
+		case Spine:
+			spines++
+			if len(top.Neighbors(s.ID)) != 4 {
+				t.Fatalf("spine %v has %d neighbors, want 4", s.Name, len(top.Neighbors(s.ID)))
+			}
+		case Leaf:
+			leaves++
+			if len(top.Neighbors(s.ID)) != 2 {
+				t.Fatalf("leaf %v has %d neighbors, want 2", s.Name, len(top.Neighbors(s.ID)))
+			}
+		}
+	}
+	if spines != 2 || leaves != 4 {
+		t.Fatalf("spines=%d leaves=%d", spines, leaves)
+	}
+}
+
+func TestSpineLeafValidation(t *testing.T) {
+	if _, err := SpineLeaf(SpineLeafOptions{Spines: 0, Leaves: 2}); err == nil {
+		t.Fatal("zero spines should error")
+	}
+	if _, err := SpineLeaf(SpineLeafOptions{Spines: 1, Leaves: 251}); err == nil {
+		t.Fatal("too many leaves should error")
+	}
+}
+
+func TestHostLookup(t *testing.T) {
+	top := mustSpineLeaf(t, 2, 3, 5)
+	ip := netip.AddrFrom4([4]byte{10, 1, 0, 3})
+	h, ok := top.HostByIP(ip)
+	if !ok {
+		t.Fatalf("host %v not found", ip)
+	}
+	if top.Switch(h.Leaf).Name != "leaf1" {
+		t.Fatalf("host on %s, want leaf1", top.Switch(h.Leaf).Name)
+	}
+	if _, ok := top.HostByIP(netip.AddrFrom4([4]byte{192, 168, 0, 1})); ok {
+		t.Fatal("unexpected host found")
+	}
+}
+
+func TestDuplicateHostIP(t *testing.T) {
+	top := New()
+	leaf := top.AddSwitch("leaf0", Leaf, DefaultLeafCapacity())
+	ip := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	if _, err := top.AddHost(leaf, ip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.AddHost(leaf, ip); err == nil {
+		t.Fatal("duplicate IP should error")
+	}
+}
+
+func TestPathsLeafToLeaf(t *testing.T) {
+	top := mustSpineLeaf(t, 3, 4, 1)
+	// Find two leaves.
+	var leaves []SwitchID
+	for _, s := range top.Switches() {
+		if s.Role == Leaf {
+			leaves = append(leaves, s.ID)
+		}
+	}
+	paths := top.Paths(leaves[0], leaves[1])
+	if len(paths) != 3 {
+		t.Fatalf("got %d ECMP paths, want 3 (one per spine)", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 3 {
+			t.Fatalf("path %v has %d hops, want 3 (leaf-spine-leaf)", p, len(p))
+		}
+		if p[0] != leaves[0] || p[2] != leaves[1] {
+			t.Fatalf("path %v endpoints wrong", p)
+		}
+		if top.Switch(p[1]).Role != Spine {
+			t.Fatalf("middle of %v is not a spine", p)
+		}
+	}
+}
+
+func TestPathsSelf(t *testing.T) {
+	top := mustSpineLeaf(t, 2, 2, 1)
+	paths := top.Paths(0, 0)
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("self path = %v", paths)
+	}
+}
+
+func TestPathsDisconnected(t *testing.T) {
+	top := New()
+	a := top.AddSwitch("a", Leaf, nil)
+	b := top.AddSwitch("b", Leaf, nil)
+	if paths := top.Paths(a, b); paths != nil {
+		t.Fatalf("disconnected pair has paths %v", paths)
+	}
+}
+
+func TestECMPCap(t *testing.T) {
+	top, err := SpineLeaf(SpineLeafOptions{Spines: 40, Leaves: 2, HostsPerLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaves []SwitchID
+	for _, s := range top.Switches() {
+		if s.Role == Leaf {
+			leaves = append(leaves, s.ID)
+		}
+	}
+	if got := len(top.Paths(leaves[0], leaves[1])); got != DefaultMaxECMP {
+		t.Fatalf("paths = %d, want cap %d", got, DefaultMaxECMP)
+	}
+	top.SetMaxECMP(5)
+	if got := len(top.Paths(leaves[0], leaves[1])); got != 5 {
+		t.Fatalf("paths = %d, want 5", got)
+	}
+}
+
+// Property: in a spine-leaf fabric every leaf-to-leaf shortest path has
+// length 1 (same leaf) or 3 (leaf-spine-leaf).
+func TestSpineLeafPathLengthProperty(t *testing.T) {
+	top := mustSpineLeaf(t, 3, 6, 1)
+	var leaves []SwitchID
+	for _, s := range top.Switches() {
+		if s.Role == Leaf {
+			leaves = append(leaves, s.ID)
+		}
+	}
+	f := func(i, j uint8) bool {
+		a := leaves[int(i)%len(leaves)]
+		b := leaves[int(j)%len(leaves)]
+		for _, p := range top.Paths(a, b) {
+			if a == b && len(p) != 1 {
+				return false
+			}
+			if a != b && len(p) != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: paths are symmetric — reversing src/dst yields reversed paths.
+func TestPathSymmetry(t *testing.T) {
+	top := mustSpineLeaf(t, 2, 4, 1)
+	ids := top.SwitchIDs()
+	for _, a := range ids {
+		for _, b := range ids {
+			fwd := top.Paths(a, b)
+			rev := top.Paths(b, a)
+			if len(fwd) != len(rev) {
+				t.Fatalf("asymmetric path count %v->%v: %d vs %d", a, b, len(fwd), len(rev))
+			}
+			seen := map[string]bool{}
+			for _, p := range fwd {
+				seen[p.Key()] = true
+			}
+			for _, p := range rev {
+				r := make(Path, len(p))
+				for i := range p {
+					r[len(p)-1-i] = p[i]
+				}
+				if !seen[r.Key()] {
+					t.Fatalf("reverse of %v not in forward set", p)
+				}
+			}
+		}
+	}
+}
+
+func TestPathsBetweenPrefixes(t *testing.T) {
+	top := mustSpineLeaf(t, 2, 4, 2)
+	paths := top.PathsBetweenPrefixes(LeafPrefix(0), LeafPrefix(2))
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (one per spine)", len(paths))
+	}
+	// Whole-fabric prefixes: every leaf pair contributes; paths dedup.
+	all := netip.MustParsePrefix("10.0.0.0/8")
+	paths = top.PathsBetweenPrefixes(all, all)
+	if len(paths) == 0 {
+		t.Fatal("no paths for whole fabric")
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate path %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestQualifyingNodesPaperExample(t *testing.T) {
+	// Paths from the paper's §III-B example.
+	p1 := Path{1, 2, 5, 3, 4}
+	p2 := Path{1, 2, 6, 3, 4}
+	p3 := Path{1, 2, 7, 8, 9}
+
+	// receiver range == 1 on p1 -> {3}; on p3 -> {8}.
+	if got := QualifyingNodes(p1, Receiver, RangeEQ, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("p1 receiver==1: %v", got)
+	}
+	if got := QualifyingNodes(p3, Receiver, RangeEQ, 1); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("p3 receiver==1: %v", got)
+	}
+	// midpoint range == 0 -> center node.
+	if got := QualifyingNodes(p1, Midpoint, RangeEQ, 0); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("p1 midpoint==0: %v", got)
+	}
+	if got := QualifyingNodes(p2, Midpoint, RangeEQ, 0); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("p2 midpoint==0: %v", got)
+	}
+	// receiver range <= 1 -> last two nodes.
+	if got := QualifyingNodes(p1, Receiver, RangeLE, 1); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("p1 receiver<=1: %v", got)
+	}
+	// sender range == 0 -> first node.
+	if got := QualifyingNodes(p1, Sender, RangeEQ, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("p1 sender==0: %v", got)
+	}
+}
+
+func TestQualifyingNodesEvenPath(t *testing.T) {
+	p := Path{1, 2, 3, 4}
+	got := QualifyingNodes(p, Midpoint, RangeEQ, 0)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("even-path midpoint==0: %v, want [2 3]", got)
+	}
+}
+
+func TestCandidateSetsAnyUnions(t *testing.T) {
+	paths := []Path{{1, 2, 5, 3, 4}, {1, 2, 6, 3, 4}, {1, 2, 7, 8, 9}}
+	sets := CandidateSets(paths, Any, Receiver, RangeEQ, 1)
+	if len(sets) != 1 {
+		t.Fatalf("any: %d sets, want 1", len(sets))
+	}
+	if len(sets[0]) != 2 || sets[0][0] != 3 || sets[0][1] != 8 {
+		t.Fatalf("any receiver==1: %v, want [3 8]", sets[0])
+	}
+}
+
+func TestCandidateSetsAllPerPath(t *testing.T) {
+	paths := []Path{{1, 2, 5, 3, 4}, {1, 2, 6, 3, 4}, {1, 2, 7, 8, 9}}
+	sets := CandidateSets(paths, All, Midpoint, RangeEQ, 0)
+	if len(sets) != 3 {
+		t.Fatalf("all midpoint==0: %d sets, want 3 (%v)", len(sets), sets)
+	}
+	want := []SwitchID{5, 6, 7}
+	for i, s := range sets {
+		if len(s) != 1 || s[0] != want[i] {
+			t.Fatalf("set %d = %v, want [%d]", i, s, want[i])
+		}
+	}
+}
+
+func TestCandidateSetsAllDedups(t *testing.T) {
+	paths := []Path{{1, 2, 5, 3, 4}, {1, 2, 6, 3, 4}, {1, 2, 7, 8, 9}}
+	// receiver <= 1: per-path sets {3,4},{3,4},{8,9} -> dedup to 2.
+	sets := CandidateSets(paths, All, Receiver, RangeLE, 1)
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2 after dedup (%v)", len(sets), sets)
+	}
+}
+
+func TestCandidateSetsEmpty(t *testing.T) {
+	paths := []Path{{1, 2, 3}}
+	if sets := CandidateSets(paths, Any, Receiver, RangeEQ, 99); sets != nil {
+		t.Fatalf("expected no sets, got %v", sets)
+	}
+}
+
+func TestRangeOpHolds(t *testing.T) {
+	cases := []struct {
+		op    RangeOp
+		d, b  int
+		holds bool
+	}{
+		{RangeEQ, 1, 1, true}, {RangeEQ, 2, 1, false},
+		{RangeLE, 1, 1, true}, {RangeLE, 2, 1, false},
+		{RangeGE, 1, 1, true}, {RangeGE, 0, 1, false},
+		{RangeLT, 0, 1, true}, {RangeLT, 1, 1, false},
+		{RangeGT, 2, 1, true}, {RangeGT, 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Holds(c.d, c.b); got != c.holds {
+			t.Fatalf("%v.Holds(%d,%d) = %v, want %v", c.op, c.d, c.b, got, c.holds)
+		}
+	}
+}

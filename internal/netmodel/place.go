@@ -1,0 +1,194 @@
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Anchor names the reference point of a range placement constraint.
+type Anchor int
+
+const (
+	Sender   Anchor = iota + 1 // first switch on the path
+	Receiver                   // last switch on the path
+	Midpoint                   // central switch(es); both centers are distance 0 on even-length paths
+)
+
+func (a Anchor) String() string {
+	switch a {
+	case Sender:
+		return "sender"
+	case Receiver:
+		return "receiver"
+	case Midpoint:
+		return "midpoint"
+	}
+	return fmt.Sprintf("Anchor(%d)", int(a))
+}
+
+// RangeOp compares a node's distance from the anchor to a bound.
+type RangeOp int
+
+const (
+	RangeEQ RangeOp = iota + 1
+	RangeLE
+	RangeGE
+	RangeLT
+	RangeGT
+)
+
+func (o RangeOp) String() string {
+	switch o {
+	case RangeEQ:
+		return "=="
+	case RangeLE:
+		return "<="
+	case RangeGE:
+		return ">="
+	case RangeLT:
+		return "<"
+	case RangeGT:
+		return ">"
+	}
+	return fmt.Sprintf("RangeOp(%d)", int(o))
+}
+
+// Holds reports whether distance d satisfies "d op bound".
+func (o RangeOp) Holds(d, bound int) bool {
+	switch o {
+	case RangeEQ:
+		return d == bound
+	case RangeLE:
+		return d <= bound
+	case RangeGE:
+		return d >= bound
+	case RangeLT:
+		return d < bound
+	case RangeGT:
+		return d > bound
+	}
+	return false
+}
+
+// QualifyingNodes returns the switches of path p whose hop distance from
+// the anchor satisfies "distance op bound", in path order.
+//
+// Distances: sender — hops from p[0]; receiver — hops from p[len-1];
+// midpoint — hops from the path center, where on even-length paths both
+// central nodes have distance 0 (so `midpoint range == 0` always selects
+// at least one node on a non-empty path).
+func QualifyingNodes(p Path, anchor Anchor, op RangeOp, bound int) []SwitchID {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	dist := func(i int) int {
+		switch anchor {
+		case Sender:
+			return i
+		case Receiver:
+			return n - 1 - i
+		case Midpoint:
+			if n%2 == 1 {
+				mid := n / 2
+				return abs(i - mid)
+			}
+			// Even length: two centers at n/2-1 and n/2.
+			d1, d2 := abs(i-(n/2-1)), abs(i-n/2)
+			if d1 < d2 {
+				return d1
+			}
+			return d2
+		}
+		return i
+	}
+	var out []SwitchID
+	for i, node := range p {
+		if op.Holds(dist(i), bound) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Quantifier selects how qualifying nodes map to seeds.
+type Quantifier int
+
+const (
+	// Any deploys a single seed; the placement optimizer may put it on
+	// any qualifying node (across all matching paths).
+	Any Quantifier = iota + 1
+	// All deploys one seed per matching path (or per switch when no
+	// range constraint applies), each restricted to that path's
+	// qualifying nodes. Identical candidate sets are deduplicated.
+	All
+)
+
+func (q Quantifier) String() string {
+	if q == Any {
+		return "any"
+	}
+	return "all"
+}
+
+// CandidateSets applies the π placement interpretation (§III-B) for a
+// range constraint over a set of paths: each returned set is the
+// non-empty candidate switch set N^s of one seed.
+//
+// Note on semantics: the paper's illustrating example is internally
+// inconsistent about `any` over multiple paths (it shows both a single
+// merged set and per-path sets). We adopt the interpretation consistent
+// with the base case π[[any]] = {N}: `any` yields ONE seed whose
+// candidates are the union of qualifying nodes across paths; `all`
+// yields one seed per path (deduplicating identical candidate sets).
+func CandidateSets(paths []Path, q Quantifier, anchor Anchor, op RangeOp, bound int) [][]SwitchID {
+	switch q {
+	case Any:
+		union := map[SwitchID]bool{}
+		for _, p := range paths {
+			for _, n := range QualifyingNodes(p, anchor, op, bound) {
+				union[n] = true
+			}
+		}
+		if len(union) == 0 {
+			return nil
+		}
+		return [][]SwitchID{sortedIDs(union)}
+	case All:
+		var out [][]SwitchID
+		seen := map[string]bool{}
+		for _, p := range paths {
+			set := map[SwitchID]bool{}
+			for _, n := range QualifyingNodes(p, anchor, op, bound) {
+				set[n] = true
+			}
+			if len(set) == 0 {
+				continue
+			}
+			ids := sortedIDs(set)
+			key := Path(ids).Key()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, ids)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func sortedIDs(set map[SwitchID]bool) []SwitchID {
+	ids := make([]SwitchID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

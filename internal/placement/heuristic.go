@@ -1,0 +1,647 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"farm/internal/lp"
+	"farm/internal/netmodel"
+)
+
+// Heuristic runs Alg. 1: (1) sort tasks by decreasing minimum utility,
+// (2) greedily place each task's seeds at their cheapest viable
+// configuration — keeping already-placed seeds where they are — dropping
+// whole tasks that do not fit, (3) redistribute resources with one LP
+// per switch, (4+5) evaluate migration benefits and apply them in
+// decreasing order.
+func Heuristic(in *Input) (*Result, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	st := newHeurState(in)
+
+	// Step 1: task order by decreasing minimum utility.
+	taskOrder := st.sortTasks()
+
+	// Step 2: greedy placement.
+	var dropped []string
+	for _, task := range taskOrder {
+		if !st.placeTask(task) {
+			dropped = append(dropped, task)
+		}
+	}
+
+	// Step 3: LP resource redistribution per switch.
+	if !in.SkipRedistribution {
+		for _, sw := range in.Switches {
+			if err := st.redistribute(sw); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Steps 4+5: migration by decreasing benefit.
+	migrations := 0
+	if !in.DisableMigration && len(in.Current) > 0 {
+		migrations = st.migrate()
+	}
+
+	res := &Result{
+		Placed:       st.placed,
+		DroppedTasks: dropped,
+		Utility:      TotalUtility(in, st.placed),
+		Migrations:   migrations,
+		Runtime:      time.Since(start),
+	}
+	sort.Strings(res.DroppedTasks)
+	return res, nil
+}
+
+type seedPrep struct {
+	spec *SeedSpec
+	// per case: minimal allocation and its utility (nil = infeasible
+	// everywhere).
+	minAllocs []netmodel.Resources
+	minUtils  []float64
+	bestMin   float64 // max over cases of minUtils
+}
+
+type heurState struct {
+	in     *Input
+	preps  map[string]*seedPrep
+	tasks  map[string][]*seedPrep
+	placed map[string]Assignment
+
+	remaining map[netmodel.SwitchID]netmodel.Resources
+	// pollMax[n][subject] = current max demand for the subject on n
+	// (shared consumption = max across subscribers at group rate).
+	pollMax map[netmodel.SwitchID]map[string]float64
+	// seedsOn[n] = IDs placed on n (sorted when consumed).
+	seedsOn map[netmodel.SwitchID][]string
+}
+
+func newHeurState(in *Input) *heurState {
+	st := &heurState{
+		in:        in,
+		preps:     map[string]*seedPrep{},
+		tasks:     map[string][]*seedPrep{},
+		placed:    map[string]Assignment{},
+		remaining: map[netmodel.SwitchID]netmodel.Resources{},
+		pollMax:   map[netmodel.SwitchID]map[string]float64{},
+		seedsOn:   map[netmodel.SwitchID][]string{},
+	}
+	for _, sw := range in.Switches {
+		st.remaining[sw.ID] = sw.Capacity.Clone()
+		st.pollMax[sw.ID] = map[string]float64{}
+	}
+	// The largest capacity any switch offers — feasibility screen for
+	// minimal allocations.
+	maxCap := netmodel.Resources{}
+	for _, sw := range in.Switches {
+		for r, v := range sw.Capacity {
+			if v > maxCap[r] {
+				maxCap[r] = v
+			}
+		}
+	}
+	for i := range in.Seeds {
+		s := &in.Seeds[i]
+		p := &seedPrep{spec: s, bestMin: math.Inf(-1)}
+		for _, c := range s.Utility {
+			alloc, ok := minimalAlloc(c, maxCap)
+			if !ok {
+				p.minAllocs = append(p.minAllocs, nil)
+				p.minUtils = append(p.minUtils, math.Inf(-1))
+				continue
+			}
+			u := caseUtilityAt(c, alloc)
+			p.minAllocs = append(p.minAllocs, alloc)
+			p.minUtils = append(p.minUtils, u)
+			if u > p.bestMin {
+				p.bestMin = u
+			}
+		}
+		st.preps[s.ID] = p
+		st.tasks[s.Task] = append(st.tasks[s.Task], p)
+	}
+	return st
+}
+
+// sortTasks orders tasks by decreasing minimum utility (the utility of
+// the task's weakest seed at its cheapest configuration).
+func (st *heurState) sortTasks() []string {
+	type taskScore struct {
+		name string
+		min  float64
+	}
+	var scores []taskScore
+	for name, seeds := range st.tasks {
+		minU := math.Inf(1)
+		for _, p := range seeds {
+			if p.bestMin < minU {
+				minU = p.bestMin
+			}
+		}
+		scores = append(scores, taskScore{name, minU})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].min != scores[j].min {
+			return scores[i].min > scores[j].min
+		}
+		return scores[i].name < scores[j].name
+	})
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = s.name
+	}
+	return out
+}
+
+// normalizedSlack scores a switch's remaining headroom as the mean of
+// remaining/capacity over its resource types.
+func (st *heurState) normalizedSlack(n netmodel.SwitchID) float64 {
+	sw, _ := st.in.switchByID(n)
+	rem := st.remaining[n]
+	total, count := 0.0, 0
+	for r, c := range sw.Capacity {
+		if c <= 0 || r == netmodel.ResPoll {
+			continue
+		}
+		total += rem[r] / c
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// pollFits computes the increase in total shared polling consumption on
+// switch n if a seed with the given demands is added, and reports
+// whether it fits the remaining poll budget.
+func (st *heurState) pollDelta(n netmodel.SwitchID, spec *SeedSpec, alloc netmodel.Resources) float64 {
+	delta := 0.0
+	for _, pd := range spec.Polls {
+		demand := st.in.alphaPoll() * pd.Rate.Eval(alloc.AsFloats())
+		cur := st.pollMax[n][pd.Subject]
+		if demand > cur {
+			delta += demand - cur
+		}
+	}
+	return delta
+}
+
+func (st *heurState) commitPolls(n netmodel.SwitchID, spec *SeedSpec, alloc netmodel.Resources) {
+	for _, pd := range spec.Polls {
+		demand := st.in.alphaPoll() * pd.Rate.Eval(alloc.AsFloats())
+		if demand > st.pollMax[n][pd.Subject] {
+			st.pollMax[n][pd.Subject] = demand
+		}
+	}
+}
+
+// recomputePolls rebuilds the poll-sharing maxima of one switch from
+// scratch (after removals, a max cannot be updated incrementally).
+func (st *heurState) recomputePolls(n netmodel.SwitchID) {
+	m := map[string]float64{}
+	for _, id := range st.seedsOn[n] {
+		a := st.placed[id]
+		spec := st.preps[id].spec
+		for _, pd := range spec.Polls {
+			demand := st.in.alphaPoll() * pd.Rate.Eval(a.Alloc.AsFloats())
+			if demand > m[pd.Subject] {
+				m[pd.Subject] = demand
+			}
+		}
+	}
+	st.pollMax[n] = m
+}
+
+func pollTotal(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// fits reports whether (alloc, polls) fit the remaining capacity of n.
+func (st *heurState) fits(n netmodel.SwitchID, spec *SeedSpec, alloc netmodel.Resources) bool {
+	rem := st.remaining[n]
+	for r, v := range alloc {
+		if r == netmodel.ResPoll {
+			continue
+		}
+		if rem[r] < v-1e-9 {
+			return false
+		}
+	}
+	sw, _ := st.in.switchByID(n)
+	if pollTotal(st.pollMax[n])+st.pollDelta(n, spec, alloc) > sw.Capacity[netmodel.ResPoll]+1e-9 {
+		return false
+	}
+	return true
+}
+
+// placeSeed commits one seed.
+func (st *heurState) placeSeed(p *seedPrep, n netmodel.SwitchID, caseIdx int) {
+	alloc := p.minAllocs[caseIdx].Clone()
+	st.placed[p.spec.ID] = Assignment{
+		Switch:  n,
+		Alloc:   alloc,
+		Case:    caseIdx,
+		Utility: p.minUtils[caseIdx],
+	}
+	st.remaining[n] = st.remaining[n].Sub(allocSansPoll(alloc))
+	st.commitPolls(n, p.spec, alloc)
+	st.seedsOn[n] = append(st.seedsOn[n], p.spec.ID)
+}
+
+func allocSansPoll(a netmodel.Resources) netmodel.Resources {
+	c := a.Clone()
+	delete(c, netmodel.ResPoll)
+	return c
+}
+
+// unplaceSeed rolls a seed back out.
+func (st *heurState) unplaceSeed(id string) {
+	a, ok := st.placed[id]
+	if !ok {
+		return
+	}
+	delete(st.placed, id)
+	st.remaining[a.Switch] = st.remaining[a.Switch].Add(allocSansPoll(a.Alloc))
+	list := st.seedsOn[a.Switch]
+	for i, x := range list {
+		if x == id {
+			st.seedsOn[a.Switch] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	st.recomputePolls(a.Switch)
+}
+
+// placeTask greedily places all seeds of a task; false (with rollback)
+// if any seed cannot be placed (C1).
+func (st *heurState) placeTask(task string) bool {
+	seeds := st.tasks[task]
+	var committed []string
+	unplaced := map[string]*seedPrep{}
+	for _, p := range seeds {
+		unplaced[p.spec.ID] = p
+	}
+
+	for len(unplaced) > 0 {
+		type choice struct {
+			p       *seedPrep
+			n       netmodel.SwitchID
+			caseIdx int
+			util    float64
+			slack   float64 // remaining headroom on the target switch
+			keeps   bool    // keeps an existing valid placement (no migration)
+		}
+		var best *choice
+		better := func(a, b *choice) bool {
+			if b == nil {
+				return true
+			}
+			if a.keeps != b.keeps {
+				return a.keeps // avoid unnecessary migration first
+			}
+			if a.util != b.util {
+				return a.util > b.util
+			}
+			if a.slack != b.slack {
+				// Spread load: equal utility goes to the emptier
+				// switch so step 3's redistribution has headroom.
+				return a.slack > b.slack
+			}
+			return a.p.spec.ID < b.p.spec.ID
+		}
+		ids := make([]string, 0, len(unplaced))
+		for id := range unplaced {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			p := unplaced[id]
+			cur, hasCur := st.in.Current[id]
+			for _, n := range p.spec.Candidates {
+				for k := range p.spec.Utility {
+					if p.minAllocs[k] == nil {
+						continue
+					}
+					if !st.fits(n, p.spec, p.minAllocs[k]) {
+						continue
+					}
+					c := &choice{
+						p: p, n: n, caseIdx: k,
+						util:  p.minUtils[k],
+						slack: st.normalizedSlack(n),
+						keeps: hasCur && cur.Switch == n,
+					}
+					if better(c, best) {
+						best = c
+					}
+				}
+			}
+		}
+		if best == nil {
+			// Task cannot be completed: roll back (C1).
+			for _, id := range committed {
+				st.unplaceSeed(id)
+			}
+			return false
+		}
+		st.placeSeed(best.p, best.n, best.caseIdx)
+		committed = append(committed, best.p.spec.ID)
+		delete(unplaced, best.p.spec.ID)
+	}
+	return true
+}
+
+// redistribute solves the per-switch LP of step 3: maximize the sum of
+// the placed seeds' utilities subject to their selected cases, the
+// switch capacities, and the shared polling budget.
+func (st *heurState) redistribute(sw SwitchInfo) error {
+	ids := append([]string(nil), st.seedsOn[sw.ID]...)
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Strings(ids)
+
+	prob := lp.New(lp.Maximize)
+	type seedVars struct {
+		res  map[string]lp.Var
+		util lp.Var
+	}
+	sv := map[string]*seedVars{}
+	var obj []lp.Coef
+
+	// Per-resource usage sums (excluding poll, handled via subjects).
+	usage := map[string][]lp.Coef{}
+	// Poll subject vars.
+	pollres := map[string]lp.Var{}
+
+	for _, id := range ids {
+		p := st.preps[id]
+		a := st.placed[id]
+		c := p.spec.Utility[a.Case]
+		vars := &seedVars{res: map[string]lp.Var{}}
+		// Variables: every resource the case or polls mention.
+		names := map[string]bool{}
+		for _, con := range c.Constraints {
+			for _, v := range con.Vars() {
+				names[v] = true
+			}
+		}
+		for _, term := range c.Util {
+			for _, v := range term.Vars() {
+				names[v] = true
+			}
+		}
+		for _, pd := range p.spec.Polls {
+			for _, v := range pd.Rate.Vars() {
+				names[v] = true
+			}
+		}
+		ordered := make([]string, 0, len(names))
+		for v := range names {
+			ordered = append(ordered, v)
+		}
+		sort.Strings(ordered)
+		for _, r := range ordered {
+			if r == netmodel.ResPoll {
+				continue
+			}
+			v := prob.AddVar(id+"."+r, 0, sw.Capacity[r])
+			vars.res[r] = v
+			usage[r] = append(usage[r], lp.Coef{Var: v, Val: 1})
+		}
+		// Utility variable with t <= each min-term.
+		vars.util = prob.AddVar(id+".u", 0, lp.Inf)
+		obj = append(obj, lp.Coef{Var: vars.util, Val: 1})
+		for _, term := range c.Util {
+			coefs := []lp.Coef{{Var: vars.util, Val: 1}}
+			for _, r := range term.Vars() {
+				if rv, ok := vars.res[r]; ok {
+					coefs = append(coefs, lp.Coef{Var: rv, Val: -term.CoefOf(r)})
+				}
+			}
+			prob.AddConstraint(coefs, lp.LE, term.Const)
+		}
+		// Case constraints.
+		for _, con := range c.Constraints {
+			var coefs []lp.Coef
+			for _, r := range con.Vars() {
+				if rv, ok := vars.res[r]; ok {
+					coefs = append(coefs, lp.Coef{Var: rv, Val: con.CoefOf(r)})
+				}
+			}
+			if len(coefs) == 0 {
+				continue
+			}
+			prob.AddConstraint(coefs, lp.GE, -con.Const)
+		}
+		// Poll demands: pollres_p >= alpha * rate(res).
+		for _, pd := range p.spec.Polls {
+			pv, ok := pollres[pd.Subject]
+			if !ok {
+				pv = prob.AddVar("poll."+pd.Subject, 0, lp.Inf)
+				pollres[pd.Subject] = pv
+			}
+			coefs := []lp.Coef{{Var: pv, Val: 1}}
+			for _, r := range pd.Rate.Vars() {
+				if rv, ok := vars.res[r]; ok {
+					coefs = append(coefs, lp.Coef{Var: rv, Val: -st.in.alphaPoll() * pd.Rate.CoefOf(r)})
+				}
+			}
+			prob.AddConstraint(coefs, lp.GE, st.in.alphaPoll()*pd.Rate.Const)
+		}
+		sv[id] = vars
+	}
+
+	// Capacity rows.
+	for r, coefs := range usage {
+		prob.AddConstraint(coefs, lp.LE, sw.Capacity[r])
+	}
+	if len(pollres) > 0 {
+		var coefs []lp.Coef
+		for _, pv := range pollres {
+			coefs = append(coefs, lp.Coef{Var: pv, Val: 1})
+		}
+		prob.AddConstraint(coefs, lp.LE, sw.Capacity[netmodel.ResPoll])
+	}
+
+	prob.SetObjective(obj, 0)
+	sol, err := prob.Solve()
+	if err != nil {
+		return fmt.Errorf("placement: redistribution on switch %d: %w", sw.ID, err)
+	}
+	if sol.Status != lp.Optimal {
+		// The greedy allocation is feasible by construction; keep it.
+		return nil
+	}
+	for _, id := range ids {
+		vars := sv[id]
+		a := st.placed[id]
+		alloc := netmodel.Resources{}
+		for r, v := range vars.res {
+			if x := sol.Value(v); x > 1e-9 {
+				alloc[r] = x
+			}
+		}
+		a.Alloc = alloc
+		a.Utility = sol.Value(vars.util)
+		st.placed[id] = a
+	}
+	st.recomputePolls(sw.ID)
+	// Update remaining capacity from actual allocations.
+	rem := netmodel.Resources{}
+	for r, v := range sw.Capacity {
+		rem[r] = v
+	}
+	for _, id := range ids {
+		rem = rem.Sub(allocSansPoll(st.placed[id].Alloc))
+	}
+	st.remaining[sw.ID] = rem
+	return nil
+}
+
+// switchUtility sums the current utilities on a switch.
+func (st *heurState) switchUtility(n netmodel.SwitchID) float64 {
+	total := 0.0
+	for _, id := range st.seedsOn[n] {
+		total += st.placed[id].Utility
+	}
+	return total
+}
+
+// migrate evaluates moving each seed to each alternative candidate and
+// applies moves in decreasing benefit order (steps 4 and 5 of Alg. 1).
+// The benefit is the change in the two affected switches' LP-optimal
+// utility minus the migration cost.
+func (st *heurState) migrate() int {
+	type move struct {
+		id      string
+		to      netmodel.SwitchID
+		benefit float64
+	}
+	evaluate := func(id string) (move, bool) {
+		a, ok := st.placed[id]
+		if !ok {
+			return move{}, false
+		}
+		p := st.preps[id]
+		best := move{id: id, benefit: 0}
+		found := false
+		for _, n := range p.spec.Candidates {
+			if n == a.Switch {
+				continue
+			}
+			b, ok := st.moveBenefit(id, n)
+			if ok && b > best.benefit+1e-9 {
+				best = move{id: id, to: n, benefit: b}
+				found = true
+			}
+		}
+		return best, found
+	}
+
+	ids := make([]string, 0, len(st.placed))
+	for id := range st.placed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var queue []move
+	for _, id := range ids {
+		if mv, ok := evaluate(id); ok {
+			queue = append(queue, mv)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool {
+		if queue[i].benefit != queue[j].benefit {
+			return queue[i].benefit > queue[j].benefit
+		}
+		return queue[i].id < queue[j].id
+	})
+
+	migrations := 0
+	for _, mv := range queue {
+		// Re-evaluate: earlier moves may have consumed the target.
+		cur, ok := evaluate(mv.id)
+		if !ok || cur.to != mv.to || cur.benefit <= 0 {
+			continue
+		}
+		if st.applyMove(mv.id, mv.to) {
+			migrations++
+		}
+	}
+	return migrations
+}
+
+// moveBenefit estimates the utility change of moving a seed to switch n.
+func (st *heurState) moveBenefit(id string, n netmodel.SwitchID) (float64, bool) {
+	a := st.placed[id]
+	from := a.Switch
+	before := st.switchUtility(from) + st.switchUtility(n)
+
+	// Tentatively move at minimal allocation.
+	p := st.preps[id]
+	alloc := p.minAllocs[a.Case]
+	if alloc == nil {
+		return 0, false
+	}
+	st.unplaceSeed(id)
+	if !st.fits(n, p.spec, alloc) {
+		// Restore.
+		st.placeSeedAt(p, from, a)
+		return 0, false
+	}
+	st.placeSeed(p, n, a.Case)
+	swFrom, _ := st.in.switchByID(from)
+	swTo, _ := st.in.switchByID(n)
+	_ = st.redistribute(swFrom)
+	_ = st.redistribute(swTo)
+	after := st.switchUtility(from) + st.switchUtility(n)
+
+	// Roll back.
+	st.unplaceSeed(id)
+	st.placeSeedAt(p, from, a)
+	_ = st.redistribute(swFrom)
+	_ = st.redistribute(swTo)
+
+	return after - before - st.in.migrationCost(), true
+}
+
+// placeSeedAt restores a specific prior assignment.
+func (st *heurState) placeSeedAt(p *seedPrep, n netmodel.SwitchID, a Assignment) {
+	a.Switch = n
+	st.placed[p.spec.ID] = a
+	st.remaining[n] = st.remaining[n].Sub(allocSansPoll(a.Alloc))
+	st.commitPolls(n, p.spec, a.Alloc)
+	st.seedsOn[n] = append(st.seedsOn[n], p.spec.ID)
+}
+
+// applyMove performs the migration for real.
+func (st *heurState) applyMove(id string, n netmodel.SwitchID) bool {
+	a := st.placed[id]
+	from := a.Switch
+	p := st.preps[id]
+	alloc := p.minAllocs[a.Case]
+	st.unplaceSeed(id)
+	if alloc == nil || !st.fits(n, p.spec, alloc) {
+		st.placeSeedAt(p, from, a)
+		return false
+	}
+	st.placeSeed(p, n, a.Case)
+	swFrom, _ := st.in.switchByID(from)
+	swTo, _ := st.in.switchByID(n)
+	_ = st.redistribute(swFrom)
+	_ = st.redistribute(swTo)
+	return true
+}

@@ -1,0 +1,355 @@
+// Package placement implements FARM's seed placement optimization (§IV
+// of the paper): the monitoring-utility maximization model with
+// constraints (C1)-(C4), polling-aggregation sharing, and migration
+// overhead; solved either exactly by a MILP (the Gurobi role in Fig. 7)
+// or by the scalable Alg. 1 heuristic (greedy placement by task
+// min-utility, per-switch LP resource redistribution, migration by
+// decreasing benefit).
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"farm/internal/lp"
+	"farm/internal/netmodel"
+	"farm/internal/poly"
+)
+
+// PollDemand is one poll variable's contribution to the shared polling
+// resource: polls per second as a linear polynomial of the seed's
+// allocated resources (the paper's 1/y.ival requirement), scaled by
+// alphaPoll on consumption.
+type PollDemand struct {
+	Subject string // φ_enc subject key; equal keys share polling
+	Rate    poly.Linear
+}
+
+// SeedSpec is the optimizer's view of one seed (§III-B outputs).
+type SeedSpec struct {
+	ID         string
+	Task       string
+	Machine    string
+	Candidates []netmodel.SwitchID // N^s, non-empty
+	Utility    poly.Utility        // cases of (C^s, u^s)
+	Polls      []PollDemand
+}
+
+// SwitchInfo is the optimizer's view of one switch.
+type SwitchInfo struct {
+	ID       netmodel.SwitchID
+	Capacity netmodel.Resources // ares(n, ·)
+}
+
+// Assignment is one seed's placement decision.
+type Assignment struct {
+	Switch  netmodel.SwitchID
+	Alloc   netmodel.Resources
+	Case    int // selected utility case
+	Utility float64
+}
+
+// Input is a full placement problem.
+type Input struct {
+	Switches []SwitchInfo
+	Seeds    []SeedSpec
+	// Current is the existing placement (seed ID → assignment);
+	// empty/nil for a fresh deployment. The heuristic's migration pass
+	// and the migration-overhead accounting use it.
+	Current map[string]Assignment
+	// AlphaPoll converts polls/s into poll-capacity units
+	// (α_poll in §IV-B); 0 means 1.
+	AlphaPoll float64
+	// MigrationCost is the utility penalty charged per migration when
+	// scoring candidate moves; 0 means DefaultMigrationCost.
+	MigrationCost float64
+	// DisableMigration turns off the heuristic's migration pass
+	// (ablation).
+	DisableMigration bool
+	// SkipRedistribution turns off the heuristic's per-switch LP
+	// resource redistribution, leaving every seed at its greedy minimal
+	// allocation (ablation: isolates step 3 of Alg. 1).
+	SkipRedistribution bool
+}
+
+// DefaultMigrationCost approximates the transient double resource usage
+// of a migration (§IV-B-a) as a flat utility penalty a move must beat.
+const DefaultMigrationCost = 1.0
+
+// Result is the outcome of a placement run.
+type Result struct {
+	Placed       map[string]Assignment
+	DroppedTasks []string // tasks removed because a seed did not fit (C1)
+	Utility      float64  // the MU objective over placed seeds
+	Migrations   int
+	Runtime      time.Duration
+}
+
+func (in *Input) alphaPoll() float64 {
+	if in.AlphaPoll == 0 {
+		return 1
+	}
+	return in.AlphaPoll
+}
+
+func (in *Input) migrationCost() float64 {
+	if in.MigrationCost == 0 {
+		return DefaultMigrationCost
+	}
+	return in.MigrationCost
+}
+
+func (in *Input) switchByID(id netmodel.SwitchID) (SwitchInfo, bool) {
+	for _, sw := range in.Switches {
+		if sw.ID == id {
+			return sw, true
+		}
+	}
+	return SwitchInfo{}, false
+}
+
+// Validate checks structural sanity of the input.
+func (in *Input) Validate() error {
+	swSet := map[netmodel.SwitchID]bool{}
+	for _, sw := range in.Switches {
+		if swSet[sw.ID] {
+			return fmt.Errorf("placement: duplicate switch %d", sw.ID)
+		}
+		swSet[sw.ID] = true
+	}
+	ids := map[string]bool{}
+	for _, s := range in.Seeds {
+		if s.ID == "" {
+			return fmt.Errorf("placement: seed with empty ID")
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("placement: duplicate seed %s", s.ID)
+		}
+		ids[s.ID] = true
+		if len(s.Candidates) == 0 {
+			return fmt.Errorf("placement: seed %s has no candidate switches", s.ID)
+		}
+		for _, c := range s.Candidates {
+			if !swSet[c] {
+				return fmt.Errorf("placement: seed %s candidate %d is not a known switch", s.ID, c)
+			}
+		}
+		if len(s.Utility) == 0 {
+			return fmt.Errorf("placement: seed %s has no utility cases", s.ID)
+		}
+	}
+	return nil
+}
+
+// CheckFeasible verifies that a result satisfies (C1)-(C4): task
+// all-or-nothing, per-case constraints, candidate-set membership, and
+// per-switch capacities including shared polling. Used by property
+// tests and as a paranoia check after optimization.
+func CheckFeasible(in *Input, res *Result) error {
+	placedByTask := map[string]int{}
+	seedsByTask := map[string]int{}
+	seedByID := map[string]*SeedSpec{}
+	for i := range in.Seeds {
+		s := &in.Seeds[i]
+		seedByID[s.ID] = s
+		seedsByTask[s.Task]++
+		if _, ok := res.Placed[s.ID]; ok {
+			placedByTask[s.Task]++
+		}
+	}
+	// C1: all of a task's seeds placed, or none.
+	for task, n := range placedByTask {
+		if n != seedsByTask[task] {
+			return fmt.Errorf("placement: task %s has %d of %d seeds placed", task, n, seedsByTask[task])
+		}
+	}
+	used := map[netmodel.SwitchID]netmodel.Resources{}
+	pollUsed := map[netmodel.SwitchID]map[string]float64{}
+	for id, a := range res.Placed {
+		s, ok := seedByID[id]
+		if !ok {
+			return fmt.Errorf("placement: unknown seed %s in result", id)
+		}
+		inCand := false
+		for _, c := range s.Candidates {
+			if c == a.Switch {
+				inCand = true
+				break
+			}
+		}
+		if !inCand {
+			return fmt.Errorf("placement: seed %s placed outside its candidate set", id)
+		}
+		if a.Case < 0 || a.Case >= len(s.Utility) {
+			return fmt.Errorf("placement: seed %s selected case %d of %d", id, a.Case, len(s.Utility))
+		}
+		cs := s.Utility[a.Case]
+		if !cs.Feasible(a.Alloc.AsFloats(), 1e-6) {
+			return fmt.Errorf("placement: seed %s allocation %v violates case %d constraints", id, a.Alloc, a.Case)
+		}
+		if used[a.Switch] == nil {
+			used[a.Switch] = netmodel.Resources{}
+			pollUsed[a.Switch] = map[string]float64{}
+		}
+		used[a.Switch] = used[a.Switch].Add(a.Alloc)
+		for _, pd := range s.Polls {
+			demand := in.alphaPoll() * pd.Rate.Eval(a.Alloc.AsFloats())
+			if demand > pollUsed[a.Switch][pd.Subject] {
+				pollUsed[a.Switch][pd.Subject] = demand
+			}
+		}
+	}
+	for swID, u := range used {
+		sw, ok := in.switchByID(swID)
+		if !ok {
+			return fmt.Errorf("placement: seeds on unknown switch %d", swID)
+		}
+		for r, v := range u {
+			if r == netmodel.ResPoll {
+				continue // polling is checked via shared subjects below
+			}
+			if v > sw.Capacity[r]+1e-6 {
+				return fmt.Errorf("placement: switch %d over capacity on %s: %g > %g", swID, r, v, sw.Capacity[r])
+			}
+		}
+		total := 0.0
+		for _, d := range pollUsed[swID] {
+			total += d
+		}
+		if total > sw.Capacity[netmodel.ResPoll]+1e-6 {
+			return fmt.Errorf("placement: switch %d over polling capacity: %g > %g", swID, total, sw.Capacity[netmodel.ResPoll])
+		}
+	}
+	return nil
+}
+
+// TotalUtility recomputes MU from a result (diagnostics).
+func TotalUtility(in *Input, placed map[string]Assignment) float64 {
+	total := 0.0
+	for i := range in.Seeds {
+		s := &in.Seeds[i]
+		if a, ok := placed[s.ID]; ok {
+			total += s.Utility[a.Case].Util.Eval(a.Alloc.AsFloats())
+		}
+	}
+	return total
+}
+
+// resourceNames collects every resource mentioned by capacities or
+// utilities, in deterministic order.
+func resourceNames(in *Input) []string {
+	set := map[string]bool{}
+	for _, sw := range in.Switches {
+		for r := range sw.Capacity {
+			set[r] = true
+		}
+	}
+	for i := range in.Seeds {
+		for _, v := range in.Seeds[i].Utility.Vars() {
+			set[v] = true
+		}
+		for _, pd := range in.Seeds[i].Polls {
+			for _, v := range pd.Rate.Vars() {
+				set[v] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for r := range set {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// minimalAlloc returns the cheapest allocation satisfying one utility
+// case, or false if the case is infeasible even alone on the switch.
+// Fast path: constraints of the form a*r - c >= 0 with a single
+// variable become lower bounds; anything more general falls back to a
+// small LP.
+func minimalAlloc(c poly.Case, capacity netmodel.Resources) (netmodel.Resources, bool) {
+	alloc := netmodel.Resources{}
+	simple := true
+	for _, con := range c.Constraints {
+		vars := con.Vars()
+		switch len(vars) {
+		case 0:
+			if con.Const < -1e-9 {
+				return nil, false // constant infeasible
+			}
+		case 1:
+			a := con.CoefOf(vars[0])
+			if a <= 0 {
+				simple = false
+			} else {
+				// a*r + const >= 0 -> r >= -const/a
+				lb := -con.Const / a
+				if lb > alloc[vars[0]] {
+					alloc[vars[0]] = lb
+				}
+			}
+		default:
+			simple = false
+		}
+	}
+	if simple {
+		if !capacity.AtLeast(alloc, 1e-9) {
+			return nil, false
+		}
+		return alloc, true
+	}
+	// General case: LP minimizing the (normalized) footprint.
+	prob := lp.New(lp.Minimize)
+	vars := map[string]lp.Var{}
+	var obj []lp.Coef
+	names := map[string]bool{}
+	for _, con := range c.Constraints {
+		for _, v := range con.Vars() {
+			names[v] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for v := range names {
+		ordered = append(ordered, v)
+	}
+	sort.Strings(ordered)
+	for _, v := range ordered {
+		ub := capacity[v]
+		vars[v] = prob.AddVar(v, 0, ub)
+		w := 1.0
+		if ub > 0 {
+			w = 1 / ub
+		}
+		obj = append(obj, lp.Coef{Var: vars[v], Val: w})
+	}
+	for _, con := range c.Constraints {
+		var coefs []lp.Coef
+		for _, v := range con.Vars() {
+			coefs = append(coefs, lp.Coef{Var: vars[v], Val: con.CoefOf(v)})
+		}
+		prob.AddConstraint(coefs, lp.GE, -con.Const)
+	}
+	prob.SetObjective(obj, 0)
+	sol, err := prob.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return nil, false
+	}
+	out := netmodel.Resources{}
+	for v, h := range vars {
+		if x := sol.Value(h); x > 1e-9 {
+			out[v] = x
+		}
+	}
+	return out, true
+}
+
+// caseUtilityAt evaluates a case's min-of-linear utility.
+func caseUtilityAt(c poly.Case, alloc netmodel.Resources) float64 {
+	u := c.Util.Eval(alloc.AsFloats())
+	if math.IsInf(u, 1) {
+		return 0
+	}
+	return u
+}

@@ -1,0 +1,42 @@
+package placement
+
+import (
+	"testing"
+	"time"
+)
+
+func benchScenario(seeds, switches int) *Input {
+	return RandomScenario(ScenarioConfig{
+		Switches: switches, Seeds: seeds, Tasks: 10, Seed: 1,
+	})
+}
+
+func BenchmarkHeuristic100(b *testing.B) {
+	in := benchScenario(100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Heuristic(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristic1000(b *testing.B) {
+	in := benchScenario(1000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Heuristic(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMILP20(b *testing.B) {
+	in := benchScenario(20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MILP(in, MILPOptions{Timeout: 5 * time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

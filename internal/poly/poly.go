@@ -1,0 +1,323 @@
+// Package poly implements multivariate linear polynomials and
+// piecewise-linear utility functions.
+//
+// Almanac's static analysis (§III-B of the FARM paper) turns every seed's
+// util callback into an explicit polynomial representation: a set of
+// alternatives ("cases"), each consisting of linear resource constraints
+// C^s(r) >= 0 and a utility u^s(r) expressed as the minimum of linear
+// terms. This canonical form is what the placement optimizer (§IV)
+// consumes, both in the MILP formulation and in the Alg. 1 heuristic.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Linear is a linear polynomial c0 + sum_i coef[v_i] * v_i over named
+// variables. The zero value is the constant polynomial 0 and is ready to
+// use.
+type Linear struct {
+	Const float64
+	Coef  map[string]float64
+}
+
+// Constant returns the constant polynomial c.
+func Constant(c float64) Linear { return Linear{Const: c} }
+
+// Var returns the polynomial 1*name.
+func Var(name string) Linear {
+	return Linear{Coef: map[string]float64{name: 1}}
+}
+
+// Term returns the polynomial coef*name.
+func Term(name string, coef float64) Linear {
+	if coef == 0 {
+		return Linear{}
+	}
+	return Linear{Coef: map[string]float64{name: coef}}
+}
+
+// clone returns a deep copy of p.
+func (p Linear) clone() Linear {
+	q := Linear{Const: p.Const}
+	if len(p.Coef) > 0 {
+		q.Coef = make(map[string]float64, len(p.Coef))
+		for k, v := range p.Coef {
+			q.Coef[k] = v
+		}
+	}
+	return q
+}
+
+// IsConstant reports whether p has no variable terms.
+func (p Linear) IsConstant() bool {
+	for _, c := range p.Coef {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CoefOf returns the coefficient of the named variable (0 if absent).
+func (p Linear) CoefOf(name string) float64 { return p.Coef[name] }
+
+// Vars returns the sorted names of variables with nonzero coefficients.
+func (p Linear) Vars() []string {
+	vs := make([]string, 0, len(p.Coef))
+	for v, c := range p.Coef {
+		if c != 0 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Add returns p + q.
+func (p Linear) Add(q Linear) Linear {
+	r := p.clone()
+	r.Const += q.Const
+	for v, c := range q.Coef {
+		if c == 0 {
+			continue
+		}
+		if r.Coef == nil {
+			r.Coef = make(map[string]float64)
+		}
+		r.Coef[v] += c
+	}
+	return r
+}
+
+// Sub returns p - q.
+func (p Linear) Sub(q Linear) Linear { return p.Add(q.Scale(-1)) }
+
+// Scale returns k*p.
+func (p Linear) Scale(k float64) Linear {
+	r := Linear{Const: p.Const * k}
+	if len(p.Coef) > 0 && k != 0 {
+		r.Coef = make(map[string]float64, len(p.Coef))
+		for v, c := range p.Coef {
+			if c*k != 0 {
+				r.Coef[v] = c * k
+			}
+		}
+	}
+	return r
+}
+
+// Mul returns p*q if at least one operand is constant. Products of two
+// non-constant polynomials are non-linear and rejected, matching the
+// syntactic restrictions the paper imposes on util bodies.
+func (p Linear) Mul(q Linear) (Linear, error) {
+	switch {
+	case p.IsConstant():
+		return q.Scale(p.Const), nil
+	case q.IsConstant():
+		return p.Scale(q.Const), nil
+	default:
+		return Linear{}, fmt.Errorf("poly: product %v * %v is non-linear", p, q)
+	}
+}
+
+// Div returns p/q for constant, nonzero q.
+func (p Linear) Div(q Linear) (Linear, error) {
+	if !q.IsConstant() {
+		return Linear{}, fmt.Errorf("poly: division by non-constant %v", q)
+	}
+	if q.Const == 0 {
+		return Linear{}, fmt.Errorf("poly: division by zero")
+	}
+	return p.Scale(1 / q.Const), nil
+}
+
+// Eval evaluates p at the given assignment. Unassigned variables
+// evaluate to 0.
+func (p Linear) Eval(assign map[string]float64) float64 {
+	v := p.Const
+	for name, c := range p.Coef {
+		v += c * assign[name]
+	}
+	return v
+}
+
+// Equal reports whether p and q are the same polynomial (coefficient-wise
+// within eps).
+func (p Linear) Equal(q Linear, eps float64) bool {
+	if math.Abs(p.Const-q.Const) > eps {
+		return false
+	}
+	seen := map[string]bool{}
+	for v, c := range p.Coef {
+		if math.Abs(c-q.Coef[v]) > eps {
+			return false
+		}
+		seen[v] = true
+	}
+	for v, c := range q.Coef {
+		if !seen[v] && math.Abs(c) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p deterministically, e.g. "2.5 + 1*vCPU - 3*RAM".
+func (p Linear) String() string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatFloat(p.Const, 'g', -1, 64))
+	for _, v := range p.Vars() {
+		c := p.Coef[v]
+		if c >= 0 {
+			fmt.Fprintf(&b, " + %s*%s", strconv.FormatFloat(c, 'g', -1, 64), v)
+		} else {
+			fmt.Fprintf(&b, " - %s*%s", strconv.FormatFloat(-c, 'g', -1, 64), v)
+		}
+	}
+	return b.String()
+}
+
+// MinExpr is a piecewise-linear concave utility: the pointwise minimum of
+// its linear terms. An empty MinExpr is invalid; use Constant terms for
+// fixed utilities.
+type MinExpr []Linear
+
+// MinOf builds a MinExpr from terms.
+func MinOf(terms ...Linear) MinExpr { return MinExpr(terms) }
+
+// Eval evaluates the minimum at the given assignment. Evaluating an
+// empty MinExpr returns +Inf (the identity of min).
+func (m MinExpr) Eval(assign map[string]float64) float64 {
+	v := math.Inf(1)
+	for _, t := range m {
+		if tv := t.Eval(assign); tv < v {
+			v = tv
+		}
+	}
+	return v
+}
+
+// Add returns the MinExpr shifted by a linear polynomial:
+// min_i(t_i) + q = min_i(t_i + q).
+func (m MinExpr) Add(q Linear) MinExpr {
+	r := make(MinExpr, len(m))
+	for i, t := range m {
+		r[i] = t.Add(q)
+	}
+	return r
+}
+
+// Scale multiplies by k >= 0 (scaling by a negative constant would turn
+// min into max and is rejected).
+func (m MinExpr) Scale(k float64) (MinExpr, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("poly: scaling MinExpr by negative %g", k)
+	}
+	r := make(MinExpr, len(m))
+	for i, t := range m {
+		r[i] = t.Scale(k)
+	}
+	return r, nil
+}
+
+// Merge returns min(m, n) as a single MinExpr.
+func (m MinExpr) Merge(n MinExpr) MinExpr {
+	r := make(MinExpr, 0, len(m)+len(n))
+	r = append(r, m...)
+	r = append(r, n...)
+	return r
+}
+
+// Vars returns the sorted union of variables across all terms.
+func (m MinExpr) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range m {
+		for _, v := range t.Vars() {
+			set[v] = true
+		}
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+func (m MinExpr) String() string {
+	if len(m) == 1 {
+		return m[0].String()
+	}
+	parts := make([]string, len(m))
+	for i, t := range m {
+		parts[i] = t.String()
+	}
+	return "min(" + strings.Join(parts, ", ") + ")"
+}
+
+// Case is one alternative of a piecewise utility: when all Constraints
+// evaluate >= 0 the seed may be placed under this case and contributes
+// Util to the monitoring utility. A util body with `or` conditions or
+// several `if` branches compiles to multiple cases (§III-B-b).
+type Case struct {
+	Constraints []Linear // each must be >= 0 for the case to apply
+	Util        MinExpr  // utility under this case
+}
+
+// Feasible reports whether all constraints hold at the assignment
+// (with tolerance eps for roundoff).
+func (c Case) Feasible(assign map[string]float64, eps float64) bool {
+	for _, con := range c.Constraints {
+		if con.Eval(assign) < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Utility is a full piecewise-linear utility function: the set of
+// alternative cases extracted from a util callback. At most one case is
+// selected by the optimizer (the paper models this by splitting the seed
+// into copies, of which at most one is placed).
+type Utility []Case
+
+// Eval returns the best utility over all feasible cases, and false if no
+// case is feasible at the assignment.
+func (u Utility) Eval(assign map[string]float64) (float64, bool) {
+	best, ok := math.Inf(-1), false
+	for _, c := range u {
+		if !c.Feasible(assign, 1e-9) {
+			continue
+		}
+		if v := c.Util.Eval(assign); !ok || v > best {
+			best, ok = v, true
+		}
+	}
+	return best, ok
+}
+
+// Vars returns the sorted union of variables mentioned anywhere in u.
+func (u Utility) Vars() []string {
+	set := map[string]bool{}
+	for _, c := range u {
+		for _, con := range c.Constraints {
+			for _, v := range con.Vars() {
+				set[v] = true
+			}
+		}
+		for _, v := range c.Util.Vars() {
+			set[v] = true
+		}
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}

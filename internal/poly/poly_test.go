@@ -1,0 +1,259 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearBasics(t *testing.T) {
+	p := Constant(2).Add(Term("x", 3)).Add(Term("y", -1))
+	if got := p.Eval(map[string]float64{"x": 1, "y": 4}); got != 1 {
+		t.Fatalf("eval = %g, want 1", got)
+	}
+	if p.IsConstant() {
+		t.Fatal("p should not be constant")
+	}
+	if !Constant(5).IsConstant() {
+		t.Fatal("Constant(5) should be constant")
+	}
+	if got := p.CoefOf("x"); got != 3 {
+		t.Fatalf("CoefOf(x) = %g, want 3", got)
+	}
+	if got := p.CoefOf("z"); got != 0 {
+		t.Fatalf("CoefOf(z) = %g, want 0", got)
+	}
+}
+
+func TestLinearVarsSorted(t *testing.T) {
+	p := Term("zz", 1).Add(Term("aa", 2)).Add(Term("mm", 3))
+	vs := p.Vars()
+	want := []string{"aa", "mm", "zz"}
+	if len(vs) != len(want) {
+		t.Fatalf("vars = %v, want %v", vs, want)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestLinearZeroCoefDropped(t *testing.T) {
+	p := Term("x", 2).Add(Term("x", -2))
+	if vs := p.Vars(); len(vs) != 0 {
+		t.Fatalf("vars after cancellation = %v, want none", vs)
+	}
+	if !p.IsConstant() {
+		t.Fatal("cancelled polynomial should be constant")
+	}
+}
+
+func TestLinearMul(t *testing.T) {
+	p := Term("x", 2).Add(Constant(1))
+	q, err := p.Mul(Constant(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Eval(map[string]float64{"x": 2}); got != 15 {
+		t.Fatalf("eval = %g, want 15", got)
+	}
+	if _, err := p.Mul(Term("y", 1)); err == nil {
+		t.Fatal("nonlinear product should error")
+	}
+}
+
+func TestLinearDiv(t *testing.T) {
+	p := Term("x", 4)
+	q, err := p.Div(Constant(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.CoefOf("x"); got != 2 {
+		t.Fatalf("coef = %g, want 2", got)
+	}
+	if _, err := p.Div(Constant(0)); err == nil {
+		t.Fatal("division by zero should error")
+	}
+	if _, err := p.Div(Term("y", 1)); err == nil {
+		t.Fatal("division by variable should error")
+	}
+}
+
+func TestLinearString(t *testing.T) {
+	p := Constant(2.5).Add(Term("vCPU", 1)).Add(Term("RAM", -3))
+	if got, want := p.String(), "2.5 - 3*RAM + 1*vCPU"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLinearEqual(t *testing.T) {
+	p := Constant(1).Add(Term("x", 2))
+	q := Term("x", 2).Add(Constant(1))
+	if !p.Equal(q, 1e-12) {
+		t.Fatal("p and q should be equal")
+	}
+	r := q.Add(Term("y", 1e-6))
+	if p.Equal(r, 1e-12) {
+		t.Fatal("p and r should differ")
+	}
+	if !p.Equal(r, 1e-3) {
+		t.Fatal("p and r should be equal within 1e-3")
+	}
+}
+
+// Property: evaluation is a homomorphism for Add/Sub/Scale.
+func TestEvalHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randLin := func() Linear {
+		p := Constant(rng.NormFloat64())
+		for _, v := range []string{"a", "b", "c"} {
+			if rng.Intn(2) == 0 {
+				p = p.Add(Term(v, rng.NormFloat64()))
+			}
+		}
+		return p
+	}
+	assign := map[string]float64{"a": 1.5, "b": -2, "c": 0.25}
+	for i := 0; i < 200; i++ {
+		p, q := randLin(), randLin()
+		k := rng.NormFloat64()
+		if got, want := p.Add(q).Eval(assign), p.Eval(assign)+q.Eval(assign); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("add: %g != %g", got, want)
+		}
+		if got, want := p.Sub(q).Eval(assign), p.Eval(assign)-q.Eval(assign); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sub: %g != %g", got, want)
+		}
+		if got, want := p.Scale(k).Eval(assign), k*p.Eval(assign); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("scale: %g != %g", got, want)
+		}
+	}
+}
+
+func TestMinExprEval(t *testing.T) {
+	m := MinOf(Term("x", 1), Constant(5))
+	if got := m.Eval(map[string]float64{"x": 3}); got != 3 {
+		t.Fatalf("eval = %g, want 3", got)
+	}
+	if got := m.Eval(map[string]float64{"x": 9}); got != 5 {
+		t.Fatalf("eval = %g, want 5", got)
+	}
+	if got := (MinExpr{}).Eval(nil); !math.IsInf(got, 1) {
+		t.Fatalf("empty min = %g, want +Inf", got)
+	}
+}
+
+func TestMinExprAddDistributes(t *testing.T) {
+	m := MinOf(Term("x", 1), Term("y", 2))
+	q := Constant(10)
+	assign := map[string]float64{"x": 1, "y": 5}
+	if got, want := m.Add(q).Eval(assign), m.Eval(assign)+10; got != want {
+		t.Fatalf("add: %g != %g", got, want)
+	}
+}
+
+func TestMinExprScale(t *testing.T) {
+	m := MinOf(Term("x", 1), Constant(4))
+	s, err := m.Scale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Eval(map[string]float64{"x": 1}); got != 2 {
+		t.Fatalf("eval = %g, want 2", got)
+	}
+	if _, err := m.Scale(-1); err == nil {
+		t.Fatal("negative scale must error")
+	}
+}
+
+func TestMinExprMerge(t *testing.T) {
+	m := MinOf(Constant(3)).Merge(MinOf(Constant(1), Constant(2)))
+	if got := m.Eval(nil); got != 1 {
+		t.Fatalf("merged min = %g, want 1", got)
+	}
+}
+
+// Property: min is monotone — increasing any variable with nonnegative
+// coefficients everywhere never decreases the min.
+func TestMinMonotone(t *testing.T) {
+	f := func(c0, c1, base, delta float64) bool {
+		c0, c1 = math.Abs(c0), math.Abs(c1)
+		delta = math.Abs(delta)
+		m := MinOf(Term("x", c0).Add(Constant(1)), Term("x", c1))
+		lo := m.Eval(map[string]float64{"x": base})
+		hi := m.Eval(map[string]float64{"x": base + delta})
+		return hi >= lo-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseFeasible(t *testing.T) {
+	c := Case{
+		Constraints: []Linear{Term("vCPU", 1).Sub(Constant(1)), Term("RAM", 1).Sub(Constant(100))},
+		Util:        MinOf(Term("vCPU", 1)),
+	}
+	if !c.Feasible(map[string]float64{"vCPU": 2, "RAM": 128}, 0) {
+		t.Fatal("should be feasible")
+	}
+	if c.Feasible(map[string]float64{"vCPU": 0.5, "RAM": 128}, 0) {
+		t.Fatal("should be infeasible (vCPU)")
+	}
+	if c.Feasible(map[string]float64{"vCPU": 2, "RAM": 64}, 0) {
+		t.Fatal("should be infeasible (RAM)")
+	}
+}
+
+func TestUtilityEvalPicksBestFeasibleCase(t *testing.T) {
+	u := Utility{
+		{Constraints: []Linear{Term("x", 1).Sub(Constant(10))}, Util: MinOf(Constant(100))},
+		{Constraints: nil, Util: MinOf(Constant(1))},
+	}
+	if v, ok := u.Eval(map[string]float64{"x": 20}); !ok || v != 100 {
+		t.Fatalf("eval = %g,%v want 100,true", v, ok)
+	}
+	if v, ok := u.Eval(map[string]float64{"x": 0}); !ok || v != 1 {
+		t.Fatalf("eval = %g,%v want 1,true", v, ok)
+	}
+	empty := Utility{{Constraints: []Linear{Constant(-1)}}}
+	if _, ok := empty.Eval(nil); ok {
+		t.Fatal("no case should be feasible")
+	}
+}
+
+func TestUtilityVars(t *testing.T) {
+	u := Utility{
+		{Constraints: []Linear{Term("RAM", 1)}, Util: MinOf(Term("vCPU", 1), Term("PCIe", 1))},
+	}
+	vs := u.Vars()
+	want := []string{"PCIe", "RAM", "vCPU"}
+	if len(vs) != 3 {
+		t.Fatalf("vars = %v, want %v", vs, want)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("vars = %v, want %v", vs, want)
+		}
+	}
+}
+
+// The HH example from the paper (List. 2): util returns
+// min(res.vCPU, res.PCIe) under vCPU>=1 and RAM>=100.
+func TestPaperHHUtility(t *testing.T) {
+	u := Utility{{
+		Constraints: []Linear{
+			Term("vCPU", 1).Sub(Constant(1)),
+			Term("RAM", 1).Sub(Constant(100)),
+		},
+		Util: MinOf(Term("vCPU", 1), Term("PCIe", 1)),
+	}}
+	v, ok := u.Eval(map[string]float64{"vCPU": 2, "RAM": 256, "PCIe": 1.5})
+	if !ok || v != 1.5 {
+		t.Fatalf("eval = %g,%v want 1.5,true", v, ok)
+	}
+	if _, ok := u.Eval(map[string]float64{"vCPU": 0.5, "RAM": 256, "PCIe": 1.5}); ok {
+		t.Fatal("should be infeasible below vCPU=1")
+	}
+}

@@ -1,0 +1,142 @@
+package seeder
+
+import (
+	"testing"
+	"time"
+
+	"farm/internal/netmodel"
+)
+
+func TestFailSwitchRelocatesMovableSeed(t *testing.T) {
+	movable := `
+machine Mover {
+  place any;
+  long ticks;
+  time tick = 10;
+  state s {
+    util (res) { if (res.vCPU >= 1) then { return res.vCPU; } }
+    when (tick as x) do { ticks = ticks + 1; }
+  }
+}
+`
+	fab, loop := testSetup(t, 1, 3, 1)
+	sd := New(fab, Options{})
+	if err := sd.AddTask(TaskSpec{Name: "mover", Source: movable}); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunFor(100 * time.Millisecond)
+	home, _ := sd.SeedSwitch("mover/Mover")
+
+	dropped, err := sd.FailSwitch(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 {
+		t.Fatalf("movable task dropped: %v", dropped)
+	}
+	now, ok := sd.SeedSwitch("mover/Mover")
+	if !ok {
+		t.Fatal("seed vanished")
+	}
+	if now == home {
+		t.Fatal("seed still on the failed switch")
+	}
+	if got := sd.FailedSwitches(); len(got) != 1 || got[0] != home {
+		t.Fatalf("failed set = %v", got)
+	}
+	// The redeployed seed starts fresh (state died with the switch) and
+	// runs on the new switch.
+	loop.RunFor(100 * time.Millisecond)
+	v, ok := sd.Soil(now).SeedVar("mover/Mover", "ticks")
+	if !ok {
+		t.Fatal("seed not running on new switch")
+	}
+	if v.(int64) < 5 {
+		t.Fatalf("redeployed seed not executing: ticks = %v", v)
+	}
+}
+
+func TestFailSwitchDropsPinnedTask(t *testing.T) {
+	pinned := `
+machine Pinned {
+  place all "leaf0";
+  time tick = 100;
+  state s { util (res) { return 1; } when (tick as x) do { } }
+}
+`
+	fab, _ := testSetup(t, 1, 2, 1)
+	sd := New(fab, Options{})
+	if err := sd.AddTask(TaskSpec{Name: "pin", Source: pinned}); err != nil {
+		t.Fatal(err)
+	}
+	var leaf0 netmodel.SwitchID
+	for _, sw := range fab.Topology().Switches() {
+		if sw.Name == "leaf0" {
+			leaf0 = sw.ID
+		}
+	}
+	dropped, err := sd.FailSwitch(leaf0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != "pin" {
+		t.Fatalf("dropped = %v, want [pin]", dropped)
+	}
+	if len(sd.Placements()) != 0 {
+		t.Fatal("placements survived the drop")
+	}
+	if _, ok := sd.Harvester("pin"); ok {
+		t.Fatal("harvester survived the drop")
+	}
+}
+
+func TestFailSwitchPartialTaskSurvivesOnOtherSwitches(t *testing.T) {
+	// place all on 3 switches: one dies -> the whole task must go
+	// (C1: all seeds or none) since the dead pin cannot re-place.
+	fab, _ := testSetup(t, 1, 2, 1)
+	sd := New(fab, Options{})
+	addHHTask(t, sd, "hh", 1, nil)
+	dropped, err := sd.FailSwitch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != "hh" {
+		t.Fatalf("dropped = %v, want [hh] (pinned seed lost)", dropped)
+	}
+}
+
+func TestRecoverSwitch(t *testing.T) {
+	movable := `
+machine Mover {
+  place any;
+  time tick = 10;
+  state s {
+    util (res) { if (res.vCPU >= 1) then { return res.vCPU; } }
+    when (tick as x) do { }
+  }
+}
+`
+	fab, loop := testSetup(t, 1, 2, 1)
+	sd := New(fab, Options{})
+	if err := sd.AddTask(TaskSpec{Name: "mover", Source: movable}); err != nil {
+		t.Fatal(err)
+	}
+	home, _ := sd.SeedSwitch("mover/Mover")
+	if _, err := sd.FailSwitch(home); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.RecoverSwitch(home); err != nil {
+		t.Fatal(err)
+	}
+	if len(sd.FailedSwitches()) != 0 {
+		t.Fatal("failure set not cleared")
+	}
+	// Double operations error cleanly.
+	if err := sd.RecoverSwitch(home); err == nil {
+		t.Fatal("recovering a healthy switch should error")
+	}
+	if _, err := sd.FailSwitch(netmodel.SwitchID(999)); err == nil {
+		t.Fatal("failing an unknown switch should error")
+	}
+	loop.RunFor(50 * time.Millisecond)
+}

@@ -1,0 +1,779 @@
+// Package seeder implements FARM's centralized M&M control instance
+// (§II-C-b of the paper): it admits tasks written in Almanac, resolves
+// their place directives against the SDN controller's topology view,
+// runs the static analyses that feed placement optimization, invokes the
+// optimizer across all co-deployed tasks, ships seeds to soils as XML,
+// applies reallocations, and live-migrates seeds (deploy description →
+// transfer state → resume, §V-B).
+package seeder
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"farm/internal/almanac"
+	"farm/internal/core"
+	"farm/internal/fabric"
+	"farm/internal/harvest"
+	"farm/internal/netmodel"
+	"farm/internal/placement"
+	"farm/internal/poly"
+	"farm/internal/soil"
+)
+
+// TaskSpec is what a network operator submits: Almanac source, external
+// variable bindings, and optional harvester logic.
+type TaskSpec struct {
+	Name   string
+	Source string
+	// Machines restricts which machines of the program deploy
+	// (nil = all machines in the source).
+	Machines []string
+	// Externals binds external variables per machine name.
+	Externals map[string]map[string]core.Value
+	// Harvester is the task's centralized logic (nil = collect-only
+	// harvester that just records reports).
+	Harvester harvest.Logic
+}
+
+// Options configures a Seeder.
+type Options struct {
+	Soil soil.Options
+	// UseMILP solves placement exactly instead of with Alg. 1.
+	UseMILP     bool
+	MILPTimeout time.Duration
+	// AlphaPoll and MigrationCost feed the optimization model.
+	AlphaPoll     float64
+	MigrationCost float64
+	// StateTransferBytesPerSec models migration state transfer speed;
+	// 0 means 10 MB/s.
+	StateTransferBytesPerSec float64
+	Logf                     func(format string, args ...any)
+}
+
+// Seeder is the centralized control instance.
+type Seeder struct {
+	fab    *fabric.Fabric
+	opts   Options
+	soils  map[netmodel.SwitchID]*soil.Soil
+	byName map[string]netmodel.SwitchID
+
+	tasks      map[string]*task
+	harvesters map[string]*harvest.Harvester
+	// placements holds the optimizer's current assignment per seed ID.
+	placements map[string]placement.Assignment
+	// failed switches are excluded from placement (fault tolerance).
+	failed map[netmodel.SwitchID]bool
+
+	migrations uint64
+	logf       func(string, ...any)
+}
+
+type task struct {
+	name  string
+	spec  TaskSpec
+	seeds []*seedInst
+}
+
+// seedInst is one resolved seed (one element of S^t).
+type seedInst struct {
+	id         string // task/machine/instance
+	ref        soil.SeedRef
+	machine    *almanac.CompiledMachine
+	xml        []byte
+	externals  map[string]core.Value
+	candidates []netmodel.SwitchID
+	// utilByState: the seeder analyzes every state's util so
+	// re-optimizations can use the seed's current state (§III-B).
+	utilByState map[string]poly.Utility
+	polls       []placement.PollDemand
+	deployedAt  netmodel.SwitchID
+	deployed    bool
+}
+
+// New builds a seeder over the fabric, creating one soil per switch.
+func New(fab *fabric.Fabric, opts Options) *Seeder {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.StateTransferBytesPerSec == 0 {
+		opts.StateTransferBytesPerSec = 10 << 20
+	}
+	if opts.Soil == (soil.Options{}) {
+		opts.Soil = soil.DefaultOptions()
+	}
+	sd := &Seeder{
+		fab:        fab,
+		opts:       opts,
+		soils:      map[netmodel.SwitchID]*soil.Soil{},
+		byName:     map[string]netmodel.SwitchID{},
+		tasks:      map[string]*task{},
+		harvesters: map[string]*harvest.Harvester{},
+		placements: map[string]placement.Assignment{},
+		failed:     map[netmodel.SwitchID]bool{},
+		logf:       opts.Logf,
+	}
+	for _, sw := range fab.Topology().Switches() {
+		s := soil.New(fab, sw.ID, opts.Soil)
+		s.SetLogf(opts.Logf)
+		s.SetSendFunc(sd.route)
+		sd.soils[sw.ID] = s
+		sd.byName[sw.Name] = sw.ID
+	}
+	return sd
+}
+
+// Soil exposes a switch's soil (tests, metrics, exec-hook wiring).
+func (sd *Seeder) Soil(id netmodel.SwitchID) *soil.Soil { return sd.soils[id] }
+
+// SetExecFunc wires the exec() hook on every soil.
+func (sd *Seeder) SetExecFunc(fn soil.ExecFunc) {
+	for _, s := range sd.soils {
+		s.SetExecFunc(fn)
+	}
+}
+
+// Harvester returns a task's harvester.
+func (sd *Seeder) Harvester(taskName string) (*harvest.Harvester, bool) {
+	h, ok := sd.harvesters[taskName]
+	return h, ok
+}
+
+// Migrations returns how many live migrations the seeder has performed.
+func (sd *Seeder) Migrations() uint64 { return sd.migrations }
+
+// Placements returns the current seed ID → assignment map (copy).
+func (sd *Seeder) Placements() map[string]placement.Assignment {
+	out := make(map[string]placement.Assignment, len(sd.placements))
+	for k, v := range sd.placements {
+		out[k] = v
+	}
+	return out
+}
+
+// SeedSwitch reports where a seed currently runs.
+func (sd *Seeder) SeedSwitch(seedID string) (netmodel.SwitchID, bool) {
+	a, ok := sd.placements[seedID]
+	return a.Switch, ok
+}
+
+// AddTask compiles, resolves, optimizes, and deploys a task (§III-B's
+// three steps followed by §IV placement and §V deployment).
+func (sd *Seeder) AddTask(spec TaskSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("seeder: task needs a name")
+	}
+	if _, dup := sd.tasks[spec.Name]; dup {
+		return fmt.Errorf("seeder: task %s already deployed", spec.Name)
+	}
+	prog, err := almanac.Parse(spec.Source)
+	if err != nil {
+		return fmt.Errorf("seeder: task %s: %w", spec.Name, err)
+	}
+	machineNames := spec.Machines
+	if machineNames == nil {
+		for _, m := range prog.Machines {
+			machineNames = append(machineNames, m.Name)
+		}
+	}
+	t := &task{name: spec.Name, spec: spec}
+	for _, mn := range machineNames {
+		cm, err := almanac.CompileMachine(prog, mn)
+		if err != nil {
+			return fmt.Errorf("seeder: task %s: %w", spec.Name, err)
+		}
+		for _, warn := range almanac.Lint(cm) {
+			sd.logf("seeder: task %s: warning: %s", spec.Name, warn)
+		}
+		seeds, err := sd.resolveMachine(t, cm, spec.Externals[mn])
+		if err != nil {
+			return fmt.Errorf("seeder: task %s: machine %s: %w", spec.Name, mn, err)
+		}
+		t.seeds = append(t.seeds, seeds...)
+	}
+	if len(t.seeds) == 0 {
+		return fmt.Errorf("seeder: task %s resolves to no seeds", spec.Name)
+	}
+	sd.tasks[spec.Name] = t
+	h := harvest.New(spec.Name, spec.Harvester)
+	sd.harvesters[spec.Name] = h
+	h.Bind(&harvesterCtx{sd: sd, task: spec.Name})
+
+	if err := sd.optimizeAndApply(); err != nil {
+		// Roll the task back on placement failure.
+		delete(sd.tasks, spec.Name)
+		delete(sd.harvesters, spec.Name)
+		return fmt.Errorf("seeder: task %s: %w", spec.Name, err)
+	}
+	// The whole task may have been dropped by the optimizer.
+	placed := 0
+	for _, s := range t.seeds {
+		if s.deployed {
+			placed++
+		}
+	}
+	if placed == 0 {
+		delete(sd.tasks, spec.Name)
+		delete(sd.harvesters, spec.Name)
+		return fmt.Errorf("seeder: task %s does not fit the fabric (dropped by placement)", spec.Name)
+	}
+	return nil
+}
+
+// RemoveTask undeploys a task's seeds and harvester.
+func (sd *Seeder) RemoveTask(name string) error {
+	t, ok := sd.tasks[name]
+	if !ok {
+		return fmt.Errorf("seeder: no task %s", name)
+	}
+	for _, s := range t.seeds {
+		if s.deployed {
+			if err := sd.soils[s.deployedAt].Remove(s.ref.ID()); err != nil {
+				sd.logf("seeder: remove %s: %v", s.id, err)
+			}
+			delete(sd.placements, s.id)
+		}
+	}
+	delete(sd.tasks, name)
+	delete(sd.harvesters, name)
+	return nil
+}
+
+// Reoptimize re-runs global placement over all tasks (called when
+// resources deplete or workloads change).
+func (sd *Seeder) Reoptimize() error { return sd.optimizeAndApply() }
+
+// StartAutoReoptimize re-runs global placement periodically — the
+// paper's seeder re-optimizes whenever an input of the placement
+// function changes (resource depletion, workload drift, §V-B); on the
+// emulated fabric a periodic sweep plays that role. Returns a stop
+// function.
+func (sd *Seeder) StartAutoReoptimize(interval time.Duration) (stop func()) {
+	tk := sd.fab.Loop().Every(interval, func() {
+		if err := sd.optimizeAndApply(); err != nil {
+			sd.logf("seeder: auto reoptimize: %v", err)
+		}
+	})
+	return tk.Stop
+}
+
+// BroadcastToTask delivers a harvester-sourced message to every seed of
+// the given machine within a task — the operator-side equivalent of a
+// harvester's SendToSeeds broadcast.
+func (sd *Seeder) BroadcastToTask(task, machine string, v core.Value) error {
+	if _, ok := sd.tasks[task]; !ok {
+		return fmt.Errorf("seeder: no task %s", task)
+	}
+	(&harvesterCtx{sd: sd, task: task}).SendToSeeds(machine, "", v)
+	return nil
+}
+
+// resolveMachine performs the seeder's first step for a machine:
+// placement directives → seed instances with candidate sets (π, §III-B),
+// plus the second and third steps (utility and poll analysis).
+func (sd *Seeder) resolveMachine(t *task, cm *almanac.CompiledMachine, externals map[string]core.Value) ([]*seedInst, error) {
+	env := constEnv(cm, externals)
+	topo := sd.fab.Topology()
+
+	placements := cm.Placements
+	if len(placements) == 0 {
+		placements = []almanac.Placement{{Quant: almanac.QAll}}
+	}
+	var candidateSets [][]netmodel.SwitchID
+	for _, pl := range placements {
+		sets, err := sd.resolvePlacement(pl, env)
+		if err != nil {
+			return nil, err
+		}
+		candidateSets = append(candidateSets, sets...)
+	}
+	if len(candidateSets) == 0 {
+		return nil, fmt.Errorf("placement resolves to no switches")
+	}
+
+	// Step 2: utility per state.
+	utilByState := map[string]poly.Utility{}
+	for _, st := range cm.States {
+		u, err := almanac.AnalyzeUtility(st.Util, env)
+		if err != nil {
+			return nil, fmt.Errorf("state %s: %w", st.Name, err)
+		}
+		utilByState[st.Name] = u
+	}
+
+	// Step 3: poll variables → subjects and rates.
+	pis, err := almanac.AnalyzePolls(cm, env)
+	if err != nil {
+		return nil, err
+	}
+	var polls []placement.PollDemand
+	for _, pi := range pis {
+		if pi.TType == almanac.TrigTime {
+			continue // time triggers do not touch the ASIC
+		}
+		if pi.What.Kind != almanac.ConstFilter {
+			return nil, fmt.Errorf("trigger %s: subject not resolvable at deployment", pi.Name)
+		}
+		key, err := soil.SubjectKey(pi.What)
+		if err != nil {
+			return nil, fmt.Errorf("trigger %s: %w", pi.Name, err)
+		}
+		polls = append(polls, placement.PollDemand{Subject: key, Rate: pi.RatePerSec})
+	}
+
+	xmlData, err := almanac.EncodeXML(cm)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []*seedInst
+	for i, cands := range candidateSets {
+		inst := ""
+		if len(candidateSets) > 1 {
+			inst = fmt.Sprintf("i%d", i)
+		}
+		si := &seedInst{
+			id:          t.name + "/" + cm.Name + instSuffix(inst),
+			ref:         soil.SeedRef{Task: t.name, Machine: cm.Name, Instance: inst},
+			machine:     cm,
+			xml:         xmlData,
+			externals:   externals,
+			candidates:  cands,
+			utilByState: utilByState,
+			polls:       polls,
+		}
+		seeds = append(seeds, si)
+	}
+	_ = topo
+	return seeds, nil
+}
+
+func instSuffix(inst string) string {
+	if inst == "" {
+		return ""
+	}
+	return "/" + inst
+}
+
+// resolvePlacement interprets one place directive into candidate sets.
+func (sd *Seeder) resolvePlacement(pl almanac.Placement, env map[string]almanac.Const) ([][]netmodel.SwitchID, error) {
+	topo := sd.fab.Topology()
+	all := topo.SwitchIDs()
+
+	switch {
+	case !pl.HasRange && len(pl.Switches) == 0:
+		// Case (a): all switches.
+		if pl.Quant == almanac.QAll {
+			sets := make([][]netmodel.SwitchID, len(all))
+			for i, id := range all {
+				sets[i] = []netmodel.SwitchID{id}
+			}
+			return sets, nil
+		}
+		return [][]netmodel.SwitchID{all}, nil
+
+	case !pl.HasRange:
+		// Case (b): explicit switch names or ids.
+		var ids []netmodel.SwitchID
+		for _, ex := range pl.Switches {
+			c, err := almanac.EvalConst(ex, env)
+			if err != nil {
+				return nil, err
+			}
+			switch c.Kind {
+			case almanac.ConstStr:
+				id, ok := sd.byName[c.Str]
+				if !ok {
+					return nil, fmt.Errorf("unknown switch %q in place directive", c.Str)
+				}
+				ids = append(ids, id)
+			case almanac.ConstNum:
+				id := netmodel.SwitchID(c.Num)
+				if int(id) < 0 || int(id) >= topo.NumSwitches() {
+					return nil, fmt.Errorf("switch id %d out of range", int(id))
+				}
+				ids = append(ids, id)
+			default:
+				return nil, fmt.Errorf("place directive switch must be a name or id")
+			}
+		}
+		if pl.Quant == almanac.QAll {
+			sets := make([][]netmodel.SwitchID, len(ids))
+			for i, id := range ids {
+				sets[i] = []netmodel.SwitchID{id}
+			}
+			return sets, nil
+		}
+		return [][]netmodel.SwitchID{ids}, nil
+	}
+
+	// Case (c): range over paths.
+	paths := []netmodel.Path{}
+	if pl.PathExpr == nil {
+		// All leaf-to-leaf paths.
+		for _, a := range all {
+			for _, b := range all {
+				if topo.Switch(a).Role == netmodel.Leaf && topo.Switch(b).Role == netmodel.Leaf && a != b {
+					paths = append(paths, topo.Paths(a, b)...)
+				}
+			}
+		}
+	} else {
+		c, err := almanac.EvalConst(pl.PathExpr, env)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind != almanac.ConstFilter {
+			return nil, fmt.Errorf("path expression must be a filter")
+		}
+		src := c.Filter.SrcPrefix
+		dst := c.Filter.DstPrefix
+		if !src.IsValid() || !dst.IsValid() {
+			return nil, fmt.Errorf("path filter needs srcIP and dstIP (φ_path)")
+		}
+		paths = topo.PathsBetweenPrefixes(src, dst)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no paths match the place directive")
+	}
+	anchor := netmodel.Receiver
+	switch pl.Anchor {
+	case "sender":
+		anchor = netmodel.Sender
+	case "midpoint":
+		anchor = netmodel.Midpoint
+	case "receiver", "":
+		anchor = netmodel.Receiver
+	}
+	var op netmodel.RangeOp
+	switch pl.RangeOp {
+	case "==":
+		op = netmodel.RangeEQ
+	case "<=":
+		op = netmodel.RangeLE
+	case ">=":
+		op = netmodel.RangeGE
+	case "<":
+		op = netmodel.RangeLT
+	case ">":
+		op = netmodel.RangeGT
+	default:
+		return nil, fmt.Errorf("unknown range operator %q", pl.RangeOp)
+	}
+	bc, err := almanac.EvalConst(pl.RangeBound, env)
+	if err != nil {
+		return nil, err
+	}
+	if bc.Kind != almanac.ConstNum {
+		return nil, fmt.Errorf("range bound must be numeric")
+	}
+	quant := netmodel.Any
+	if pl.Quant == almanac.QAll {
+		quant = netmodel.All
+	}
+	sets := netmodel.CandidateSets(paths, quant, anchor, op, int(bc.Num))
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("range placement selects no switches")
+	}
+	return sets, nil
+}
+
+// constEnv builds the deployment-time constant environment from
+// externals and constant machine-variable initializers.
+func constEnv(cm *almanac.CompiledMachine, externals map[string]core.Value) map[string]almanac.Const {
+	env := map[string]almanac.Const{}
+	for _, v := range cm.Vars {
+		if v.Init == nil {
+			continue
+		}
+		if c, err := almanac.EvalConst(v.Init, env); err == nil {
+			env[v.Name] = c
+		}
+	}
+	for name, v := range externals {
+		switch x := v.(type) {
+		case int64:
+			env[name] = almanac.NumConst(float64(x))
+		case float64:
+			env[name] = almanac.NumConst(x)
+		case string:
+			env[name] = almanac.StrConst(x)
+		case bool:
+			env[name] = almanac.BoolConst(x)
+		case core.FilterVal:
+			c := almanac.FilterConst(x.F)
+			c.PortAny = x.PortAny
+			env[name] = c
+		}
+	}
+	return env
+}
+
+// optimizeAndApply rebuilds the global placement input from every task
+// and applies the optimizer's decisions to the soils.
+func (sd *Seeder) optimizeAndApply() error {
+	in := sd.buildInput()
+	var res *placement.Result
+	var err error
+	if sd.opts.UseMILP {
+		res, err = placement.MILP(in, placement.MILPOptions{Timeout: sd.opts.MILPTimeout})
+	} else {
+		res, err = placement.Heuristic(in)
+	}
+	if err != nil {
+		return err
+	}
+	return sd.apply(res)
+}
+
+func (sd *Seeder) buildInput() *placement.Input {
+	in := &placement.Input{
+		AlphaPoll:     sd.opts.AlphaPoll,
+		MigrationCost: sd.opts.MigrationCost,
+		Current:       map[string]placement.Assignment{},
+	}
+	in.Switches = sd.liveSwitches()
+	names := make([]string, 0, len(sd.tasks))
+	for n := range sd.tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := sd.tasks[n]
+		for _, s := range t.seeds {
+			util := s.utilByState[s.machine.InitialState]
+			if s.deployed {
+				if st, err := sd.soils[s.deployedAt].SeedState(s.ref.ID()); err == nil {
+					if u, ok := s.utilByState[st]; ok {
+						util = u
+					}
+				}
+				in.Current[s.id] = sd.placements[s.id]
+			}
+			cands := sd.filterCandidates(s.candidates)
+			if len(cands) == 0 {
+				// Every candidate switch failed: the seed cannot place;
+				// leave it out so C1 drops its task.
+				continue
+			}
+			in.Seeds = append(in.Seeds, placement.SeedSpec{
+				ID:         s.id,
+				Task:       t.name,
+				Machine:    s.machine.Name,
+				Candidates: cands,
+				Utility:    util,
+				Polls:      s.polls,
+			})
+		}
+	}
+	return in
+}
+
+// apply reconciles soils with an optimization result. Resources are
+// released before they are claimed: evictions and shrinking
+// reallocations run first, then new deployments, migrations, and
+// growing reallocations.
+func (sd *Seeder) apply(res *placement.Result) error {
+	names := make([]string, 0, len(sd.tasks))
+	for n := range sd.tasks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Pass 1: release resources.
+	for _, n := range names {
+		for _, s := range sd.tasks[n].seeds {
+			a, placed := res.Placed[s.id]
+			switch {
+			case !placed && s.deployed:
+				// Evicted (task dropped in re-optimization).
+				if err := sd.soils[s.deployedAt].Remove(s.ref.ID()); err != nil {
+					sd.logf("seeder: evict %s: %v", s.id, err)
+				}
+				s.deployed = false
+				delete(sd.placements, s.id)
+			case placed && s.deployed && s.deployedAt == a.Switch:
+				old := sd.placements[s.id].Alloc
+				if !sameAlloc(old, a.Alloc) && old.AtLeast(a.Alloc, 1e-9) {
+					// Shrinking: safe to apply before anything claims
+					// the freed capacity.
+					if err := sd.soils[a.Switch].Realloc(s.ref.ID(), a.Alloc); err != nil {
+						sd.logf("seeder: realloc %s: %v", s.id, err)
+					}
+					sd.placements[s.id] = a
+				}
+			}
+		}
+	}
+
+	// Pass 2: claim resources.
+	var firstErr error
+	for _, n := range names {
+		for _, s := range sd.tasks[n].seeds {
+			a, placed := res.Placed[s.id]
+			if !placed {
+				continue
+			}
+			switch {
+			case !s.deployed:
+				if err := sd.deploySeed(s, a); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			case s.deployedAt != a.Switch:
+				if err := sd.migrateSeed(s, a); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			default:
+				if !sameAlloc(sd.placements[s.id].Alloc, a.Alloc) {
+					if err := sd.soils[a.Switch].Realloc(s.ref.ID(), a.Alloc); err != nil {
+						sd.logf("seeder: realloc %s: %v", s.id, err)
+					}
+				}
+				sd.placements[s.id] = a
+			}
+		}
+	}
+	return firstErr
+}
+
+func sameAlloc(a, b netmodel.Resources) bool {
+	return a.AtLeast(b, 1e-9) && b.AtLeast(a, 1e-9)
+}
+
+func (sd *Seeder) deploySeed(s *seedInst, a placement.Assignment) error {
+	ref := s.ref
+	ref.Switch = sd.fab.Topology().Switch(a.Switch).Name
+	if err := sd.soils[a.Switch].Deploy(ref, s.xml, s.externals, a.Alloc); err != nil {
+		return err
+	}
+	s.ref = ref
+	s.deployed = true
+	s.deployedAt = a.Switch
+	sd.placements[s.id] = a
+	return nil
+}
+
+// migrateSeed performs a live migration: snapshot on the source, remove,
+// then restore on the target after the modelled state-transfer delay.
+func (sd *Seeder) migrateSeed(s *seedInst, a placement.Assignment) error {
+	src := sd.soils[s.deployedAt]
+	snap, err := src.SnapshotSeed(s.ref.ID())
+	if err != nil {
+		return err
+	}
+	if err := src.Remove(s.ref.ID()); err != nil {
+		return err
+	}
+	stateBytes := estimateSnapshotBytes(snap)
+	delay := sd.fab.SwitchLatency(s.deployedAt, a.Switch) +
+		time.Duration(float64(stateBytes)/sd.opts.StateTransferBytesPerSec*float64(time.Second))
+	ref := s.ref
+	ref.Switch = sd.fab.Topology().Switch(a.Switch).Name
+	target := sd.soils[a.Switch]
+	machine := s.machine
+	ext := s.externals
+	sd.fab.Loop().After(delay, func() {
+		if err := target.RestoreSeed(ref, machine, ext, a.Alloc, snap); err != nil {
+			sd.logf("seeder: migration restore %s: %v", s.id, err)
+		}
+	})
+	s.ref = ref
+	s.deployed = true
+	s.deployedAt = a.Switch
+	sd.placements[s.id] = a
+	sd.migrations++
+	return nil
+}
+
+func estimateSnapshotBytes(snap core.Snapshot) int {
+	n := 64
+	for k, v := range snap.Env {
+		n += len(k) + len(core.FormatValue(v))
+	}
+	for _, vars := range snap.StateVars {
+		for k, v := range vars {
+			n += len(k) + len(core.FormatValue(v))
+		}
+	}
+	return n
+}
+
+func estimateValueBytes(v core.Value) int {
+	return 32 + len(core.FormatValue(v))
+}
+
+// route is the soils' SendFunc: it carries seed messages to harvesters
+// and other seeds over the control network.
+func (sd *Seeder) route(from soil.SeedRef, to core.SendDest, v core.Value) {
+	fromID, ok := sd.byName[from.Switch]
+	if !ok {
+		sd.logf("seeder: route from unknown switch %q", from.Switch)
+		return
+	}
+	size := estimateValueBytes(v)
+	src := core.MsgSource{Machine: from.Machine, Switch: from.Switch}
+	switch {
+	case to.Harvester:
+		h, ok := sd.harvesters[from.Task]
+		if !ok {
+			sd.logf("seeder: task %s has no harvester", from.Task)
+			return
+		}
+		sd.fab.SendToCentral(fromID, size, func() { h.Deliver(from, v) })
+	case to.Dst != "":
+		dstID, ok := sd.byName[to.Dst]
+		if !ok {
+			sd.logf("seeder: send to unknown switch %q", to.Dst)
+			return
+		}
+		task := from.Task
+		sd.fab.SendSwitchToSwitch(fromID, dstID, size, func() {
+			sd.soils[dstID].DeliverToMachine(task, to.Machine, src, v)
+		})
+	default:
+		// Broadcast to every switch hosting seeds of the machine
+		// within the same task.
+		task := from.Task
+		for _, sw := range sd.fab.Topology().Switches() {
+			dstID := sw.ID
+			sd.fab.SendSwitchToSwitch(fromID, dstID, size, func() {
+				sd.soils[dstID].DeliverToMachine(task, to.Machine, src, v)
+			})
+		}
+	}
+}
+
+// harvesterCtx implements harvest.Context for one task.
+type harvesterCtx struct {
+	sd   *Seeder
+	task string
+}
+
+// SendToSeeds implements harvest.Context.
+func (c *harvesterCtx) SendToSeeds(machine, switchName string, v core.Value) {
+	size := estimateValueBytes(v)
+	src := core.MsgSource{Harvester: true}
+	if switchName != "" {
+		id, ok := c.sd.byName[switchName]
+		if !ok {
+			c.sd.logf("seeder: harvester %s: unknown switch %q", c.task, switchName)
+			return
+		}
+		c.sd.fab.SendFromCentral(id, size, func() {
+			c.sd.soils[id].DeliverToMachine(c.task, machine, src, v)
+		})
+		return
+	}
+	for _, sw := range c.sd.fab.Topology().Switches() {
+		id := sw.ID
+		c.sd.fab.SendFromCentral(id, size, func() {
+			c.sd.soils[id].DeliverToMachine(c.task, machine, src, v)
+		})
+	}
+}
+
+// Now implements harvest.Context.
+func (c *harvesterCtx) Now() time.Duration { return c.sd.fab.Loop().Now() }
+
+// Log implements harvest.Context.
+func (c *harvesterCtx) Log(format string, args ...any) { c.sd.logf(format, args...) }

@@ -1,0 +1,209 @@
+// Package simclock provides a deterministic discrete-event simulation
+// loop with virtual time.
+//
+// FARM's evaluation quantities — detection latency (Tab. 4), polling
+// accuracy and CPU load (Fig. 5/6), bus congestion (Fig. 8) — are all
+// functions of poll intervals, batch windows, and propagation delays.
+// Running the emulated data center on a virtual clock measures those
+// exactly and deterministically, and lets a simulated minute complete in
+// milliseconds of wall time.
+//
+// A Loop is single-threaded: all scheduled callbacks run inline on the
+// goroutine that calls Run/Step. This mirrors the paper's preferred seed
+// execution model (seeds as threads of the soil process, §VI-E) and
+// keeps every experiment reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Loop is a discrete-event scheduler over virtual time. The zero value
+// is ready to use, starting at virtual time 0.
+type Loop struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a fresh loop at virtual time 0.
+func New() *Loop { return &Loop{} }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Pending returns the number of scheduled (unfired, uncancelled) events.
+func (l *Loop) Pending() int { return len(l.events) }
+
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+// Timer is a handle to a scheduled one-shot callback.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// call prevented the callback from running.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped {
+		return false
+	}
+	fired := t.ev.index < 0
+	t.ev.stopped = true
+	return !fired
+}
+
+// At schedules fn at absolute virtual time at. Scheduling in the past
+// (at < Now) fires at the current time, preserving order of submission.
+func (l *Loop) At(at time.Duration, fn func()) *Timer {
+	if at < l.now {
+		at = l.now
+	}
+	ev := &event{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn after delay d.
+func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	return l.At(l.now+d, fn)
+}
+
+// Ticker fires a callback periodically. Created by Every.
+type Ticker struct {
+	loop     *Loop
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Every schedules fn every interval, first firing one interval from now.
+// interval must be positive.
+func (l *Loop) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("simclock: non-positive ticker interval")
+	}
+	t := &Ticker{loop: l, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.loop.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Stop()
+}
+
+// Interval returns the current period.
+func (t *Ticker) Interval() time.Duration { return t.interval }
+
+// SetInterval changes the period. The change takes effect immediately:
+// the pending firing is rescheduled to interval from now. Seeds use this
+// when they change their polling rate dynamically (§II-B-a).
+func (t *Ticker) SetInterval(interval time.Duration) {
+	if interval <= 0 {
+		panic("simclock: non-positive ticker interval")
+	}
+	if t.stopped {
+		t.interval = interval
+		return
+	}
+	t.timer.Stop()
+	t.interval = interval
+	t.arm()
+}
+
+// Step runs the earliest pending event, advancing virtual time to it.
+// It reports whether an event ran.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		l.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes all events scheduled at or before t, then advances
+// the clock to exactly t.
+func (l *Loop) RunUntil(t time.Duration) {
+	for len(l.events) > 0 && l.events[0].at <= t {
+		if !l.Step() {
+			break
+		}
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
+// RunFor advances the clock by d, processing everything in between.
+func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now + d) }
+
+// Drain runs events until none remain or the limit is reached (a safety
+// valve against self-perpetuating tickers). It returns the number of
+// events processed.
+func (l *Loop) Drain(limit int) int {
+	n := 0
+	for n < limit && l.Step() {
+		n++
+	}
+	return n
+}
+
+// eventHeap orders events by (at, seq) for deterministic FIFO behaviour
+// among simultaneous events.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,773 @@
+// Package soil implements the M&M seed foundation layer (§II-B-b of the
+// FARM paper): the per-switch runtime that executes seeds, tracks their
+// resource usage, schedules their triggers, and — critically — aggregates
+// polling so that several seeds sharing a polling subject cost the PCIe
+// bus one request instead of many.
+package soil
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"farm/internal/almanac"
+	"farm/internal/core"
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/metrics"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+// ExecModel selects how seeds execute (§VI-E): as threads of the soil
+// process communicating through a shared buffer, or as separate
+// processes paying per-event context-switch and serialization costs.
+type ExecModel int
+
+const (
+	// Threads is FARM's preferred model (Fig. 9/10).
+	Threads ExecModel = iota + 1
+	// Processes models isolated seed processes behind an RPC channel.
+	Processes
+)
+
+func (m ExecModel) String() string {
+	if m == Processes {
+		return "processes"
+	}
+	return "threads"
+}
+
+// Options configures a soil.
+type Options struct {
+	ExecModel ExecModel
+	// Aggregation enables shared-subject polling aggregation (on in
+	// FARM; off reproduces the naive per-seed polling of Fig. 8).
+	Aggregation bool
+}
+
+// DefaultOptions is FARM's production configuration.
+func DefaultOptions() Options { return Options{ExecModel: Threads, Aggregation: true} }
+
+// SendFunc routes a seed's outgoing message; wired by the seeder.
+type SendFunc func(from SeedRef, to core.SendDest, v core.Value)
+
+// SeedRef identifies a deployed seed instance network-wide.
+type SeedRef struct {
+	Task     string
+	Machine  string
+	Instance string // distinguishes multiple instances of one machine on a switch ("" for the only one)
+	Switch   string // switch name
+}
+
+// ID renders the seed's unique identifier on its switch.
+func (r SeedRef) ID() string {
+	id := r.Task + "/" + r.Machine
+	if r.Instance != "" {
+		id += "/" + r.Instance
+	}
+	return id
+}
+
+// ExecFunc runs external code for seeds (the exec() hook); wired by the
+// deployment (e.g. to mlwork).
+type ExecFunc func(command string, arg core.Value) (core.Value, error)
+
+// Soil is the per-switch runtime.
+type Soil struct {
+	swID   netmodel.SwitchID
+	name   string
+	loop   *simclock.Loop
+	driver *dataplane.EmuDriver
+	cpu    *metrics.CPUMeter
+	costs  metrics.CostModel
+	opts   Options
+
+	capacity netmodel.Resources
+	used     netmodel.Resources
+
+	seeds  map[string]*seedRuntime // by SeedRef.ID()
+	groups map[string]*pollGroup   // by subject key (aggregation on)
+
+	send SendFunc
+	exec ExecFunc
+
+	// stats
+	pollsIssued     uint64
+	pollsDelivered  uint64
+	probesDelivered uint64
+	logf            func(format string, args ...any)
+}
+
+// New creates the soil of one switch in the fabric.
+func New(fab *fabric.Fabric, swID netmodel.SwitchID, opts Options) *Soil {
+	if opts.ExecModel == 0 {
+		opts.ExecModel = Threads
+	}
+	sw := fab.Topology().Switch(swID)
+	return &Soil{
+		swID:     swID,
+		name:     sw.Name,
+		loop:     fab.Loop(),
+		driver:   fab.Driver(swID),
+		cpu:      fab.CPU(swID),
+		costs:    fab.Costs(),
+		opts:     opts,
+		capacity: sw.Capacity.Clone(),
+		used:     netmodel.Resources{},
+		seeds:    map[string]*seedRuntime{},
+		groups:   map[string]*pollGroup{},
+		logf:     func(string, ...any) {},
+	}
+}
+
+// Name returns the switch name this soil runs on.
+func (s *Soil) Name() string { return s.name }
+
+// SwitchID returns the switch ID this soil runs on.
+func (s *Soil) SwitchID() netmodel.SwitchID { return s.swID }
+
+// SetSendFunc wires outbound message routing (seeder responsibility).
+func (s *Soil) SetSendFunc(fn SendFunc) { s.send = fn }
+
+// SetExecFunc wires the external-code hook.
+func (s *Soil) SetExecFunc(fn ExecFunc) { s.exec = fn }
+
+// SetLogf wires diagnostics.
+func (s *Soil) SetLogf(fn func(string, ...any)) { s.logf = fn }
+
+// Available returns capacity minus allocations.
+func (s *Soil) Available() netmodel.Resources { return s.capacity.Sub(s.used) }
+
+// Used returns the summed allocations of deployed seeds.
+func (s *Soil) Used() netmodel.Resources { return s.used.Clone() }
+
+// Capacity returns the switch's resource capacity.
+func (s *Soil) Capacity() netmodel.Resources { return s.capacity.Clone() }
+
+// NumSeeds returns the number of deployed seeds.
+func (s *Soil) NumSeeds() int { return len(s.seeds) }
+
+// PollsIssued returns the number of poll requests sent to the ASIC —
+// with aggregation, fewer than the number of deliveries to seeds.
+func (s *Soil) PollsIssued() uint64 { return s.pollsIssued }
+
+// PollsDelivered returns poll results delivered to seeds.
+func (s *Soil) PollsDelivered() uint64 { return s.pollsDelivered }
+
+// ProbesDelivered returns probe packets delivered to seeds.
+func (s *Soil) ProbesDelivered() uint64 { return s.probesDelivered }
+
+// seedRuntime is one deployed seed with its triggers.
+type seedRuntime struct {
+	ref   SeedRef
+	seed  *core.Seed
+	alloc netmodel.Resources
+	polls map[string]*almanac.PollInfo
+	subs  []*pollSub
+	// timers for time triggers and probe rate limiting
+	timeTickers map[string]*simclock.Ticker
+	stopProbes  []func()
+	rulesOwned  int
+}
+
+// pollSub is one seed's subscription to a polling subject.
+type pollSub struct {
+	rt       *seedRuntime
+	varName  string
+	interval time.Duration
+	group    *pollGroup
+	// per-subscriber previous counters for delta computation
+	prevPorts map[int]dataplane.PortStats
+	prevRule  dataplane.RuleStats
+	lastProbe time.Duration
+}
+
+// subject describes what a poll reads from the ASIC.
+type subject struct {
+	allPorts bool
+	port     int              // single port when > 0
+	rule     dataplane.Filter // rule counters otherwise
+}
+
+func (sub subject) key() string {
+	switch {
+	case sub.allPorts:
+		return "ports:all"
+	case sub.port > 0:
+		return fmt.Sprintf("ports:%d", sub.port)
+	default:
+		return "rule:" + sub.rule.Key()
+	}
+}
+
+// SubjectKey renders the φ_enc polling-subject key of an evaluated
+// `what` filter — the identity under which the seeder detects
+// aggregation opportunities across tasks (§III-B-c).
+func SubjectKey(w almanac.Const) (string, error) {
+	subj, err := subjectFromWhat(w)
+	if err != nil {
+		return "", err
+	}
+	return subj.key(), nil
+}
+
+// subjectFromWhat applies φ_enc: a `port ANY` filter polls every port, a
+// pure in-port filter polls that port, anything else polls the counters
+// of the TCAM rule with that exact filter (installing it if absent is
+// the seed's job via addTCAMRule).
+func subjectFromWhat(w almanac.Const) (subject, error) {
+	if w.Kind != almanac.ConstFilter {
+		return subject{}, fmt.Errorf("soil: poll subject is not a filter")
+	}
+	if w.PortAny && w.Filter.IsZero() {
+		return subject{allPorts: true}, nil
+	}
+	f := w.Filter
+	if f.InPort != 0 && (f == dataplane.Filter{InPort: f.InPort}) {
+		return subject{port: f.InPort}, nil
+	}
+	return subject{rule: f}, nil
+}
+
+// pollGroup aggregates all subscriptions to one subject: the subject is
+// polled once per group interval (the minimum over subscribers) and the
+// result fanned out (§II-B-b "the soil can aggregate polling").
+type pollGroup struct {
+	soil    *Soil
+	subject subject
+	subs    []*pollSub
+	ticker  *simclock.Ticker
+}
+
+func (g *pollGroup) minInterval() time.Duration {
+	min := time.Duration(0)
+	for _, sub := range g.subs {
+		if min == 0 || sub.interval < min {
+			min = sub.interval
+		}
+	}
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	return min
+}
+
+func (g *pollGroup) retune() {
+	iv := g.minInterval()
+	if g.ticker == nil {
+		g.ticker = g.soil.loop.Every(iv, g.fire)
+	} else if g.ticker.Interval() != iv {
+		g.ticker.SetInterval(iv)
+	}
+}
+
+func (g *pollGroup) stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+		g.ticker = nil
+	}
+}
+
+func (g *pollGroup) fire() {
+	s := g.soil
+	s.pollsIssued++
+	s.cpu.Charge(s.costs.PollIssue)
+	switch {
+	case g.subject.allPorts || g.subject.port > 0:
+		var ports []int
+		if g.subject.port > 0 {
+			ports = []int{g.subject.port}
+		}
+		s.driver.PollPortStats(ports, func(stats map[int]dataplane.PortStats) {
+			g.deliverPorts(stats)
+		})
+	default:
+		s.driver.PollRuleStats(g.subject.rule, func(st dataplane.RuleStats, ok bool) {
+			if !ok {
+				return // rule not installed (yet); nothing to deliver
+			}
+			g.deliverRule(st)
+		})
+	}
+}
+
+func (g *pollGroup) deliverPorts(stats map[int]dataplane.PortStats) {
+	s := g.soil
+	ports := make([]int, 0, len(stats))
+	for p := range stats {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	s.cpu.Charge(time.Duration(len(ports)) * s.costs.PollPerRecord)
+	if len(g.subs) > 1 {
+		s.cpu.Charge(time.Duration(len(g.subs)) * s.costs.AggregationPerSeed)
+	}
+	for _, sub := range g.subs {
+		recs := make(core.List, 0, len(ports))
+		for _, p := range ports {
+			prev := sub.prevPorts[p]
+			recs = append(recs, core.PortStatsRecord(p, stats[p], prev))
+			sub.prevPorts[p] = stats[p]
+		}
+		s.pollsDelivered++
+		s.dispatchTrigger(sub.rt, sub.varName, recs)
+	}
+}
+
+func (g *pollGroup) deliverRule(st dataplane.RuleStats) {
+	s := g.soil
+	s.cpu.Charge(s.costs.PollPerRecord)
+	if len(g.subs) > 1 {
+		s.cpu.Charge(time.Duration(len(g.subs)) * s.costs.AggregationPerSeed)
+	}
+	for _, sub := range g.subs {
+		rec := core.RuleStatsRecord(st, sub.prevRule)
+		sub.prevRule = st
+		s.pollsDelivered++
+		s.dispatchTrigger(sub.rt, sub.varName, core.List{rec})
+	}
+}
+
+// dispatchTrigger delivers a trigger firing to a seed, charging the
+// execution-model costs.
+func (s *Soil) dispatchTrigger(rt *seedRuntime, varName string, data core.Value) {
+	s.chargeDispatch()
+	if err := rt.seed.HandleTrigger(varName, data); err != nil {
+		s.logf("soil %s: seed %s: %v", s.name, rt.ref.ID(), err)
+	}
+	s.chargeActions(rt)
+}
+
+func (s *Soil) chargeDispatch() {
+	s.cpu.Charge(s.costs.HandlerDispatch)
+	if s.opts.ExecModel == Processes {
+		s.cpu.Charge(s.costs.ContextSwitch)
+	}
+}
+
+func (s *Soil) chargeActions(rt *seedRuntime) {
+	n := rt.seed.TakeActionCount()
+	if n > 0 {
+		s.cpu.Charge(time.Duration(n) * s.costs.HandlerPerAction)
+	}
+}
+
+// Deploy instantiates a machine on this switch with the given external
+// bindings and resource allocation. The machine arrives in its XML wire
+// form, exactly as the seeder ships it (§V-A-d).
+func (s *Soil) Deploy(ref SeedRef, xmlData []byte, externals map[string]core.Value, alloc netmodel.Resources) error {
+	cm, err := almanac.DecodeXML(xmlData)
+	if err != nil {
+		return fmt.Errorf("soil %s: %w", s.name, err)
+	}
+	return s.DeployCompiled(ref, cm, externals, alloc)
+}
+
+// DeployCompiled is Deploy for already-decoded machines (in-process
+// seeder deployments skip the XML hop; tests use both paths).
+func (s *Soil) DeployCompiled(ref SeedRef, cm *almanac.CompiledMachine, externals map[string]core.Value, alloc netmodel.Resources) error {
+	return s.deploy(ref, cm, externals, alloc, nil)
+}
+
+// RestoreSeed deploys a migrated seed and resumes it from a snapshot
+// (migration: deploy the description, transfer the state, resume, §V-B).
+func (s *Soil) RestoreSeed(ref SeedRef, cm *almanac.CompiledMachine, externals map[string]core.Value, alloc netmodel.Resources, snap core.Snapshot) error {
+	return s.deploy(ref, cm, externals, alloc, &snap)
+}
+
+func (s *Soil) deploy(ref SeedRef, cm *almanac.CompiledMachine, externals map[string]core.Value, alloc netmodel.Resources, snap *core.Snapshot) error {
+	id := ref.ID()
+	if _, dup := s.seeds[id]; dup {
+		return fmt.Errorf("soil %s: seed %s already deployed", s.name, id)
+	}
+	if !s.Available().AtLeast(alloc, 1e-9) {
+		return fmt.Errorf("soil %s: insufficient resources for %s: need %v, have %v",
+			s.name, id, alloc, s.Available())
+	}
+	rt := &seedRuntime{
+		ref:         ref,
+		alloc:       alloc.Clone(),
+		polls:       map[string]*almanac.PollInfo{},
+		timeTickers: map[string]*simclock.Ticker{},
+	}
+	host := &seedHost{soil: s, rt: rt}
+	seed, err := core.NewSeed(cm, externals, host)
+	if err != nil {
+		return fmt.Errorf("soil %s: %w", s.name, err)
+	}
+	rt.seed = seed
+
+	// Static analysis → trigger wiring.
+	env := map[string]almanac.Const{}
+	for name, v := range externals {
+		switch x := v.(type) {
+		case int64:
+			env[name] = almanac.NumConst(float64(x))
+		case float64:
+			env[name] = almanac.NumConst(x)
+		case string:
+			env[name] = almanac.StrConst(x)
+		case bool:
+			env[name] = almanac.BoolConst(x)
+		}
+	}
+	polls, err := almanac.AnalyzePolls(cm, env)
+	if err != nil {
+		return fmt.Errorf("soil %s: %w", s.name, err)
+	}
+
+	s.seeds[id] = rt
+	s.used = s.used.Add(alloc)
+
+	for i := range polls {
+		pi := &polls[i]
+		rt.polls[pi.Name] = pi
+		interval, err := s.intervalFor(pi, alloc)
+		if err != nil {
+			s.removeInternal(id)
+			return fmt.Errorf("soil %s: seed %s: %w", s.name, id, err)
+		}
+		switch pi.TType {
+		case almanac.TrigTime:
+			s.wireTimeTrigger(rt, pi.Name, interval)
+		case almanac.TrigPoll:
+			if err := s.wirePoll(rt, pi, interval); err != nil {
+				s.removeInternal(id)
+				return err
+			}
+		case almanac.TrigProbe:
+			if err := s.wireProbe(rt, pi, interval); err != nil {
+				s.removeInternal(id)
+				return err
+			}
+		}
+	}
+
+	if snap != nil {
+		if err := seed.Restore(*snap); err != nil {
+			s.removeInternal(id)
+			return fmt.Errorf("soil %s: %w", s.name, err)
+		}
+		return nil
+	}
+	s.chargeDispatch()
+	if err := seed.Start(); err != nil {
+		s.removeInternal(id)
+		return fmt.Errorf("soil %s: %w", s.name, err)
+	}
+	s.chargeActions(rt)
+	return nil
+}
+
+func (s *Soil) intervalFor(pi *almanac.PollInfo, alloc netmodel.Resources) (time.Duration, error) {
+	ms, err := pi.IvalMillisAt(alloc.AsFloats())
+	if err != nil {
+		return 0, err
+	}
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d, nil
+}
+
+func (s *Soil) wireTimeTrigger(rt *seedRuntime, varName string, interval time.Duration) {
+	rt.timeTickers[varName] = s.loop.Every(interval, func() {
+		s.dispatchTrigger(rt, varName, float64(s.loop.Now().Milliseconds()))
+	})
+}
+
+func (s *Soil) wirePoll(rt *seedRuntime, pi *almanac.PollInfo, interval time.Duration) error {
+	subj, err := subjectFromWhat(pi.What)
+	if err != nil {
+		return fmt.Errorf("soil %s: seed %s trigger %s: %w", s.name, rt.ref.ID(), pi.Name, err)
+	}
+	sub := &pollSub{rt: rt, varName: pi.Name, interval: interval, prevPorts: map[int]dataplane.PortStats{}}
+	rt.subs = append(rt.subs, sub)
+
+	key := subj.key()
+	if !s.opts.Aggregation {
+		// Without aggregation every subscription polls on its own.
+		key = fmt.Sprintf("%s#%s/%s", key, rt.ref.ID(), pi.Name)
+	}
+	g, ok := s.groups[key]
+	if !ok {
+		g = &pollGroup{soil: s, subject: subj}
+		s.groups[key] = g
+	}
+	sub.group = g
+	g.subs = append(g.subs, sub)
+	g.retune()
+	return nil
+}
+
+func (s *Soil) wireProbe(rt *seedRuntime, pi *almanac.PollInfo, interval time.Duration) error {
+	if pi.What.Kind != almanac.ConstFilter {
+		return fmt.Errorf("soil %s: probe %s needs a filter subject", s.name, pi.Name)
+	}
+	f := pi.What.Filter
+	sub := &pollSub{rt: rt, varName: pi.Name, interval: interval}
+	rt.subs = append(rt.subs, sub)
+	stop := s.driver.StartSampling(f, 1, func(p dataplane.Packet) {
+		// The probe interval is a lower bound on the delivery period
+		// (§III-A-a): excess samples are dropped at the soil.
+		now := s.loop.Now()
+		if sub.lastProbe != 0 && now-sub.lastProbe < sub.interval {
+			return
+		}
+		sub.lastProbe = now
+		s.probesDelivered++
+		s.cpu.Charge(s.costs.SampleProcess)
+		s.dispatchTrigger(rt, pi.Name, core.PacketVal(p))
+	})
+	rt.stopProbes = append(rt.stopProbes, stop)
+	return nil
+}
+
+// Remove stops and removes a seed, releasing its resources.
+func (s *Soil) Remove(id string) error {
+	if _, ok := s.seeds[id]; !ok {
+		return fmt.Errorf("soil %s: no seed %s", s.name, id)
+	}
+	s.removeInternal(id)
+	return nil
+}
+
+func (s *Soil) removeInternal(id string) {
+	rt, ok := s.seeds[id]
+	if !ok {
+		return
+	}
+	for _, tk := range rt.timeTickers {
+		tk.Stop()
+	}
+	for _, stop := range rt.stopProbes {
+		stop()
+	}
+	for _, sub := range rt.subs {
+		if sub.group == nil {
+			continue
+		}
+		g := sub.group
+		for i, x := range g.subs {
+			if x == sub {
+				g.subs = append(g.subs[:i], g.subs[i+1:]...)
+				break
+			}
+		}
+		if len(g.subs) == 0 {
+			g.stop()
+			for key, grp := range s.groups {
+				if grp == g {
+					delete(s.groups, key)
+					break
+				}
+			}
+		} else {
+			g.retune()
+		}
+	}
+	s.used = s.used.Sub(rt.alloc)
+	delete(s.seeds, id)
+}
+
+// SnapshotSeed captures a seed's state for migration.
+func (s *Soil) SnapshotSeed(id string) (core.Snapshot, error) {
+	rt, ok := s.seeds[id]
+	if !ok {
+		return core.Snapshot{}, fmt.Errorf("soil %s: no seed %s", s.name, id)
+	}
+	return rt.seed.Snapshot(), nil
+}
+
+// Realloc changes a seed's resource allocation, retunes its triggers
+// (polling intervals may depend on resources), and fires its realloc
+// event (§III-A-c).
+func (s *Soil) Realloc(id string, alloc netmodel.Resources) error {
+	rt, ok := s.seeds[id]
+	if !ok {
+		return fmt.Errorf("soil %s: no seed %s", s.name, id)
+	}
+	without := s.used.Sub(rt.alloc)
+	if !s.capacity.Sub(without).AtLeast(alloc, 1e-9) {
+		return fmt.Errorf("soil %s: insufficient resources to realloc %s to %v", s.name, id, alloc)
+	}
+	s.used = without.Add(alloc)
+	rt.alloc = alloc.Clone()
+	// Retune resource-dependent polling rates.
+	for _, sub := range rt.subs {
+		pi, ok := rt.polls[sub.varName]
+		if !ok {
+			continue
+		}
+		if iv, err := s.intervalFor(pi, alloc); err == nil {
+			sub.interval = iv
+			if sub.group != nil {
+				sub.group.retune()
+			}
+		}
+	}
+	s.chargeDispatch()
+	if err := rt.seed.HandleRealloc(); err != nil {
+		return err
+	}
+	s.chargeActions(rt)
+	return nil
+}
+
+// DeliverMessage hands an inbound message to a deployed seed.
+func (s *Soil) DeliverMessage(id string, from core.MsgSource, v core.Value) error {
+	rt, ok := s.seeds[id]
+	if !ok {
+		return fmt.Errorf("soil %s: no seed %s", s.name, id)
+	}
+	s.chargeDispatch()
+	if err := rt.seed.HandleRecv(from, v); err != nil {
+		return err
+	}
+	s.chargeActions(rt)
+	return nil
+}
+
+// DeliverToMachine hands a message to every deployed seed of the given
+// machine type (broadcast within the switch). task "" matches any task.
+func (s *Soil) DeliverToMachine(task, machine string, from core.MsgSource, v core.Value) {
+	for _, rt := range s.seedsOf(machine) {
+		if task != "" && rt.ref.Task != task {
+			continue
+		}
+		s.chargeDispatch()
+		if err := rt.seed.HandleRecv(from, v); err != nil {
+			s.logf("soil %s: seed %s: %v", s.name, rt.ref.ID(), err)
+		}
+		s.chargeActions(rt)
+	}
+}
+
+func (s *Soil) seedsOf(machine string) []*seedRuntime {
+	ids := make([]string, 0, len(s.seeds))
+	for id := range s.seeds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []*seedRuntime
+	for _, id := range ids {
+		if rt := s.seeds[id]; rt.ref.Machine == machine {
+			out = append(out, rt)
+		}
+	}
+	return out
+}
+
+// SeedIDs returns the IDs of all deployed seeds, sorted.
+func (s *Soil) SeedIDs() []string {
+	ids := make([]string, 0, len(s.seeds))
+	for id := range s.seeds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SeedState reports a deployed seed's current state name.
+func (s *Soil) SeedState(id string) (string, error) {
+	rt, ok := s.seeds[id]
+	if !ok {
+		return "", fmt.Errorf("soil %s: no seed %s", s.name, id)
+	}
+	return rt.seed.State(), nil
+}
+
+// SeedVar reads a machine variable of a deployed seed (debug/tests).
+func (s *Soil) SeedVar(id, name string) (core.Value, bool) {
+	rt, ok := s.seeds[id]
+	if !ok {
+		return nil, false
+	}
+	return rt.seed.Var(name)
+}
+
+// --- core.Host implementation ---
+
+// seedHost adapts one seedRuntime to the core.Host interface.
+type seedHost struct {
+	soil *Soil
+	rt   *seedRuntime
+}
+
+func (h *seedHost) Now() time.Duration { return h.soil.loop.Now() }
+
+func (h *seedHost) Resources() netmodel.Resources { return h.rt.alloc }
+
+func (h *seedHost) AddTCAMRule(r dataplane.Rule) error {
+	_, replacing := h.soil.driver.Switch().TCAM().GetRule(r.Filter)
+	budget := int(h.rt.alloc[netmodel.ResTCAM])
+	if !replacing && h.rt.rulesOwned >= budget {
+		return fmt.Errorf("soil %s: seed %s exceeded its TCAM allocation (%d entries)",
+			h.soil.name, h.rt.ref.ID(), budget)
+	}
+	// Apply synchronously (the soil serializes ASIC access) while
+	// charging the bus transfer asynchronously.
+	if err := h.soil.driver.Switch().TCAM().AddRule(r); err != nil {
+		return err
+	}
+	if !replacing {
+		h.rt.rulesOwned++
+	}
+	h.soil.driver.Bus().Request(96, nil)
+	return nil
+}
+
+func (h *seedHost) RemoveTCAMRule(f dataplane.Filter) bool {
+	ok := h.soil.driver.Switch().TCAM().RemoveRule(f)
+	if ok && h.rt.rulesOwned > 0 {
+		h.rt.rulesOwned--
+	}
+	h.soil.driver.Bus().Request(96, nil)
+	return ok
+}
+
+func (h *seedHost) GetTCAMRule(f dataplane.Filter) (dataplane.Rule, bool) {
+	h.soil.driver.Bus().Request(48, nil)
+	return h.soil.driver.Switch().TCAM().GetRule(f)
+}
+
+func (h *seedHost) Send(to core.SendDest, v core.Value) {
+	if h.soil.send == nil {
+		h.soil.logf("soil %s: seed %s: send with no route configured", h.soil.name, h.rt.ref.ID())
+		return
+	}
+	h.soil.send(h.rt.ref, to, v)
+}
+
+func (h *seedHost) SetTriggerInterval(trigger string, ivalMillis float64) {
+	d := time.Duration(ivalMillis * float64(time.Millisecond))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for _, sub := range h.rt.subs {
+		if sub.varName == trigger {
+			sub.interval = d
+			if sub.group != nil {
+				sub.group.retune()
+			}
+			return
+		}
+	}
+	// Time triggers have tickers instead of subscriptions.
+	if tk, ok := h.rt.timeTickers[trigger]; ok {
+		tk.SetInterval(d)
+	}
+}
+
+func (h *seedHost) Exec(command string, arg core.Value) (core.Value, error) {
+	if h.soil.exec == nil {
+		return nil, fmt.Errorf("soil %s: exec %q: no exec hook configured", h.soil.name, command)
+	}
+	return h.soil.exec(command, arg)
+}
+
+func (h *seedHost) Log(format string, args ...any) {
+	h.soil.logf("seed %s: "+format, append([]any{h.rt.ref.ID()}, args...)...)
+}

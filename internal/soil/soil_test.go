@@ -1,0 +1,521 @@
+package soil
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"farm/internal/almanac"
+	"farm/internal/core"
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+const hhSource = `
+function setHitterRules(list hs, action act) {
+  long i = 0;
+  while (i < list_len(hs)) {
+    addTCAMRule(port list_get(hs, i), act, 10);
+    i = i + 1;
+  }
+}
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = 10 / res().PCIe, .what = port ANY
+  };
+  external long threshold;
+  action hitterAction = setQoS();
+  list hitters;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (not is_list_empty(hitters)) then {
+        transit HHdetected;
+      }
+    }
+  }
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+  when (recv long newTh from harvester)
+  do { threshold = newTh; }
+}
+`
+
+func testEnv(t *testing.T) (*fabric.Fabric, *simclock.Loop) {
+	t.Helper()
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{Spines: 1, Leaves: 2, HostsPerLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := simclock.New()
+	return fabric.New(topo, loop, fabric.Options{}), loop
+}
+
+func compileHH(t *testing.T) *almanac.CompiledMachine {
+	t.Helper()
+	prog, err := almanac.Parse(hhSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := almanac.CompileMachine(prog, "HH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func leafID(t *testing.T, fab *fabric.Fabric, name string) netmodel.SwitchID {
+	t.Helper()
+	for _, sw := range fab.Topology().Switches() {
+		if sw.Name == name {
+			return sw.ID
+		}
+	}
+	t.Fatalf("switch %s not found", name)
+	return 0
+}
+
+func hhAlloc() netmodel.Resources {
+	return netmodel.Resources{
+		netmodel.ResVCPU: 1, netmodel.ResRAM: 128,
+		netmodel.ResPCIe: 1, netmodel.ResTCAM: 8, netmodel.ResPoll: 200,
+	}
+}
+
+func deployHH(t *testing.T, s *Soil, task string, threshold int64) SeedRef {
+	t.Helper()
+	cm := compileHH(t)
+	xmlData, err := almanac.EncodeXML(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := SeedRef{Task: task, Machine: "HH", Switch: s.Name()}
+	if err := s.Deploy(ref, xmlData, map[string]core.Value{"threshold": threshold}, hhAlloc()); err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestDeployAndDetect(t *testing.T) {
+	fab, loop := testEnv(t)
+	leaf := leafID(t, fab, "leaf0")
+	s := New(fab, leaf, DefaultOptions())
+	var harvested []core.Value
+	s.SetSendFunc(func(from SeedRef, to core.SendDest, v core.Value) {
+		if to.Harvester {
+			harvested = append(harvested, v)
+		}
+	})
+	ref := deployHH(t, s, "hh", 1_000_000)
+
+	if s.NumSeeds() != 1 {
+		t.Fatalf("seeds = %d", s.NumSeeds())
+	}
+	if st, _ := s.SeedState(ref.ID()); st != "observe" {
+		t.Fatalf("state = %s", st)
+	}
+
+	// Drive heavy traffic into port 1 and run: ival = 10/PCIe = 10ms.
+	hot := fab.Switch(leaf)
+	for i := 0; i < 100; i++ {
+		loop.RunFor(time.Millisecond)
+		_ = hot.CreditPort(1, 0, 0, 100, 2_000_000)
+	}
+	if len(harvested) == 0 {
+		t.Fatal("HH never reported to harvester")
+	}
+	hit, ok := harvested[0].(core.List)
+	if !ok || len(hit) != 1 || hit[0] != int64(1) {
+		t.Fatalf("hitters = %s", core.FormatValue(harvested[0]))
+	}
+	// Local reaction installed a rule.
+	if _, ok := hot.TCAM().GetRule(dataplane.Filter{InPort: 1}); !ok {
+		t.Fatal("no TCAM rule installed for the heavy port")
+	}
+}
+
+func TestResourceAdmission(t *testing.T) {
+	fab, _ := testEnv(t)
+	leaf := leafID(t, fab, "leaf0")
+	s := New(fab, leaf, DefaultOptions())
+	cm := compileHH(t)
+	huge := netmodel.Resources{netmodel.ResVCPU: 999}
+	err := s.DeployCompiled(SeedRef{Task: "t", Machine: "HH", Switch: s.Name()}, cm,
+		map[string]core.Value{"threshold": int64(1)}, huge)
+	if err == nil || !strings.Contains(err.Error(), "insufficient resources") {
+		t.Fatalf("err = %v", err)
+	}
+	if s.NumSeeds() != 0 || s.Used()[netmodel.ResVCPU] != 0 {
+		t.Fatal("failed deployment leaked resources")
+	}
+}
+
+func TestDuplicateDeployRejected(t *testing.T) {
+	fab, _ := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	deployHH(t, s, "hh", 1)
+	cm := compileHH(t)
+	err := s.DeployCompiled(SeedRef{Task: "hh", Machine: "HH", Switch: s.Name()}, cm,
+		map[string]core.Value{"threshold": int64(1)}, hhAlloc())
+	if err == nil || !strings.Contains(err.Error(), "already deployed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoveReleasesResources(t *testing.T) {
+	fab, loop := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	ref := deployHH(t, s, "hh", 1)
+	loop.RunFor(50 * time.Millisecond)
+	polls := s.PollsIssued()
+	if polls == 0 {
+		t.Fatal("no polls issued before removal")
+	}
+	if err := s.Remove(ref.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSeeds() != 0 {
+		t.Fatal("seed not removed")
+	}
+	if used := s.Used(); used[netmodel.ResVCPU] != 0 || used[netmodel.ResRAM] != 0 {
+		t.Fatalf("resources leaked: %v", used)
+	}
+	loop.RunFor(50 * time.Millisecond)
+	if s.PollsIssued() != polls {
+		t.Fatal("polling continued after removal")
+	}
+	if err := s.Remove(ref.ID()); err == nil {
+		t.Fatal("double remove should error")
+	}
+}
+
+func TestPollingAggregation(t *testing.T) {
+	// Two tasks polling the same subject: with aggregation the soil
+	// issues one poll per interval; without, two.
+	run := func(aggregate bool) uint64 {
+		fab, loop := testEnv(t)
+		s := New(fab, leafID(t, fab, "leaf0"), Options{ExecModel: Threads, Aggregation: aggregate})
+		s.SetSendFunc(func(SeedRef, core.SendDest, core.Value) {})
+		deployHH(t, s, "taskA", 1_000_000_000)
+		deployHH(t, s, "taskB", 1_000_000_000)
+		loop.RunFor(100 * time.Millisecond)
+		return s.PollsIssued()
+	}
+	with := run(true)
+	without := run(false)
+	if with == 0 || without == 0 {
+		t.Fatalf("polls: with=%d without=%d", with, without)
+	}
+	if without < with*2-2 {
+		t.Fatalf("aggregation saved nothing: with=%d without=%d", with, without)
+	}
+	// Both must deliver to both seeds.
+}
+
+func TestAggregationDeliversPerSeedDeltas(t *testing.T) {
+	fab, loop := testEnv(t)
+	leaf := leafID(t, fab, "leaf0")
+	s := New(fab, leaf, DefaultOptions())
+	var reports []core.Value
+	s.SetSendFunc(func(from SeedRef, to core.SendDest, v core.Value) {
+		reports = append(reports, v)
+	})
+	// Task A with low threshold, task B with absurd threshold.
+	deployHH(t, s, "low", 1000)
+	deployHH(t, s, "high", 1_000_000_000)
+	hot := fab.Switch(leaf)
+	for i := 0; i < 50; i++ {
+		loop.RunFor(time.Millisecond)
+		_ = hot.CreditPort(2, 0, 0, 10, 100_000)
+	}
+	if len(reports) == 0 {
+		t.Fatal("low-threshold seed did not detect")
+	}
+	// The high-threshold seed must never have fired.
+	if st, _ := s.SeedState("high/HH"); st != "observe" {
+		t.Fatalf("high seed state = %s", st)
+	}
+}
+
+func TestHarvesterMessageDelivery(t *testing.T) {
+	fab, _ := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	ref := deployHH(t, s, "hh", 1000)
+	if err := s.DeliverMessage(ref.ID(), core.MsgSource{Harvester: true}, int64(42)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.SeedVar(ref.ID(), "threshold"); v != int64(42) {
+		t.Fatalf("threshold = %v", v)
+	}
+	if err := s.DeliverMessage("nope/HH", core.MsgSource{Harvester: true}, int64(1)); err == nil {
+		t.Fatal("delivery to missing seed should error")
+	}
+}
+
+func TestDeliverToMachineBroadcast(t *testing.T) {
+	fab, _ := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	deployHH(t, s, "a", 1000)
+	deployHH(t, s, "b", 1000)
+	s.DeliverToMachine("", "HH", core.MsgSource{Harvester: true}, int64(7))
+	for _, id := range []string{"a/HH", "b/HH"} {
+		if v, _ := s.SeedVar(id, "threshold"); v != int64(7) {
+			t.Fatalf("%s threshold = %v", id, v)
+		}
+	}
+}
+
+func TestReallocRetunesPolling(t *testing.T) {
+	fab, loop := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	ref := deployHH(t, s, "hh", 1_000_000_000)
+	loop.RunFor(100 * time.Millisecond)
+	before := s.PollsIssued() // ival = 10ms -> ~10 polls/100ms
+	// Double the PCIe allocation: ival = 10/2 = 5 ms -> ~2x the polls.
+	alloc := hhAlloc()
+	alloc[netmodel.ResPCIe] = 2
+	if err := s.Realloc(ref.ID(), alloc); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunFor(100 * time.Millisecond)
+	delta := s.PollsIssued() - before
+	if delta < before*3/2 {
+		t.Fatalf("polls before=%d after-delta=%d: realloc did not speed polling", before, delta)
+	}
+}
+
+func TestReallocOverCapacityRejected(t *testing.T) {
+	fab, _ := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	ref := deployHH(t, s, "hh", 1)
+	huge := netmodel.Resources{netmodel.ResVCPU: 999}
+	if err := s.Realloc(ref.ID(), huge); err == nil {
+		t.Fatal("over-capacity realloc accepted")
+	}
+}
+
+func TestMigrationSnapshotRestore(t *testing.T) {
+	fab, loop := testEnv(t)
+	src := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	dst := New(fab, leafID(t, fab, "leaf1"), DefaultOptions())
+	src.SetSendFunc(func(SeedRef, core.SendDest, core.Value) {})
+	dst.SetSendFunc(func(SeedRef, core.SendDest, core.Value) {})
+
+	ref := deployHH(t, src, "hh", 1000)
+	// Mutate state via the harvester.
+	_ = src.DeliverMessage(ref.ID(), core.MsgSource{Harvester: true}, int64(4242))
+
+	snap, err := src.SnapshotSeed(ref.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Remove(ref.ID()); err != nil {
+		t.Fatal(err)
+	}
+	ref2 := SeedRef{Task: "hh", Machine: "HH", Switch: dst.Name()}
+	if err := dst.RestoreSeed(ref2, compileHH(t), map[string]core.Value{"threshold": int64(1000)}, hhAlloc(), snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.SeedVar(ref2.ID(), "threshold"); v != int64(4242) {
+		t.Fatalf("threshold = %v after migration", v)
+	}
+	// The migrated seed keeps working on the new switch.
+	loop.RunFor(50 * time.Millisecond)
+	if dst.PollsIssued() == 0 {
+		t.Fatal("migrated seed does not poll on the new switch")
+	}
+}
+
+func TestTCAMBudgetEnforced(t *testing.T) {
+	src := `
+machine Rules {
+  place all;
+  long installed;
+  state s {
+    when (recv long p from harvester) do {
+      addTCAMRule(port p, drop(), 1);
+      installed = installed + 1;
+    }
+  }
+}
+`
+	prog, err := almanac.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := almanac.CompileMachine(prog, "Rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, _ := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	var logged []string
+	s.SetLogf(func(f string, a ...any) { logged = append(logged, f) })
+	alloc := hhAlloc()
+	alloc[netmodel.ResTCAM] = 2
+	ref := SeedRef{Task: "r", Machine: "Rules", Switch: s.Name()}
+	if err := s.DeployCompiled(ref, cm, nil, alloc); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.DeliverMessage(ref.ID(), core.MsgSource{Harvester: true}, int64(1))
+	_ = s.DeliverMessage(ref.ID(), core.MsgSource{Harvester: true}, int64(2))
+	// Third exceeds the budget: the handler errors, logged by the soil.
+	err = s.DeliverMessage(ref.ID(), core.MsgSource{Harvester: true}, int64(3))
+	if err == nil || !strings.Contains(err.Error(), "TCAM allocation") {
+		t.Fatalf("err = %v, want TCAM budget error", err)
+	}
+	if v, _ := s.SeedVar(ref.ID(), "installed"); v != int64(2) {
+		t.Fatalf("installed = %v", v)
+	}
+}
+
+func TestProbeTrigger(t *testing.T) {
+	src := `
+machine Probe {
+  place all;
+  probe pkts = Probe { .ival = 5, .what = dstPort 80 };
+  long seen;
+  state s {
+    when (pkts as p) do { seen = seen + 1; }
+  }
+}
+`
+	prog, err := almanac.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := almanac.CompileMachine(prog, "Probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, loop := testEnv(t)
+	leaf := leafID(t, fab, "leaf0")
+	s := New(fab, leaf, DefaultOptions())
+	ref := SeedRef{Task: "p", Machine: "Probe", Switch: s.Name()}
+	if err := s.DeployCompiled(ref, cm, nil, hhAlloc()); err != nil {
+		t.Fatal(err)
+	}
+	// 100 matching packets in 20 ms; probe interval 5 ms lower-bounds
+	// delivery: expect ~4-5 deliveries, not 100.
+	sw := fab.Switch(leaf)
+	for i := 0; i < 100; i++ {
+		sw.Inject(dataplane.Packet{DstPort: 80, Proto: dataplane.ProtoTCP, Size: 100}, 1, 2)
+		loop.RunFor(200 * time.Microsecond)
+	}
+	loop.RunFor(10 * time.Millisecond)
+	v, _ := s.SeedVar(ref.ID(), "seen")
+	seen := v.(int64)
+	if seen == 0 {
+		t.Fatal("probe never delivered")
+	}
+	if seen > 10 {
+		t.Fatalf("probe rate limit not applied: %d deliveries", seen)
+	}
+	// Non-matching packets are not sampled.
+	before := seen
+	sw.Inject(dataplane.Packet{DstPort: 443, Proto: dataplane.ProtoTCP, Size: 100}, 1, 2)
+	loop.RunFor(10 * time.Millisecond)
+	v, _ = s.SeedVar(ref.ID(), "seen")
+	if v.(int64) != before {
+		t.Fatal("non-matching packet delivered")
+	}
+}
+
+func TestTimeTrigger(t *testing.T) {
+	src := `
+machine Timer {
+  place all;
+  time tick = 10;
+  long fires;
+  state s {
+    when (tick as now) do { fires = fires + 1; }
+  }
+}
+`
+	prog, _ := almanac.Parse(src)
+	cm, err := almanac.CompileMachine(prog, "Timer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, loop := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	ref := SeedRef{Task: "t", Machine: "Timer", Switch: s.Name()}
+	if err := s.DeployCompiled(ref, cm, nil, hhAlloc()); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunFor(105 * time.Millisecond)
+	if v, _ := s.SeedVar(ref.ID(), "fires"); v != int64(10) {
+		t.Fatalf("fires = %v, want 10", v)
+	}
+}
+
+func TestDynamicPollRateChange(t *testing.T) {
+	src := `
+machine Adaptive {
+  place all;
+  poll p = Poll { .ival = 50, .what = port ANY };
+  long polls;
+  state s {
+    when (p as stats) do {
+      polls = polls + 1;
+      if (polls == 1) then { p.ival = 5; }
+    }
+  }
+}
+`
+	prog, _ := almanac.Parse(src)
+	cm, err := almanac.CompileMachine(prog, "Adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, loop := testEnv(t)
+	s := New(fab, leafID(t, fab, "leaf0"), DefaultOptions())
+	ref := SeedRef{Task: "a", Machine: "Adaptive", Switch: s.Name()}
+	if err := s.DeployCompiled(ref, cm, nil, hhAlloc()); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunFor(300 * time.Millisecond)
+	v, _ := s.SeedVar(ref.ID(), "polls")
+	// 50ms until first poll, then 5ms period: ~(300-50)/5 = ~50 polls.
+	if v.(int64) < 30 {
+		t.Fatalf("polls = %v: dynamic rate change not applied", v)
+	}
+}
+
+func TestCPUAccountingProcessVsThreads(t *testing.T) {
+	run := func(model ExecModel) float64 {
+		fab, loop := testEnv(t)
+		s := New(fab, leafID(t, fab, "leaf0"), Options{ExecModel: model, Aggregation: true})
+		s.SetSendFunc(func(SeedRef, core.SendDest, core.Value) {})
+		for i := 0; i < 4; i++ {
+			deployHH(t, s, "t"+string(rune('a'+i)), 1_000_000_000)
+		}
+		cpu := fab.CPU(s.SwitchID())
+		snap := cpu.Snapshot()
+		loop.RunFor(time.Second)
+		return cpu.LoadSince(snap)
+	}
+	threads := run(Threads)
+	procs := run(Processes)
+	if threads <= 0 || procs <= 0 {
+		t.Fatalf("loads: threads=%g procs=%g", threads, procs)
+	}
+	if procs <= threads {
+		t.Fatalf("process model (%g) should cost more CPU than threads (%g)", procs, threads)
+	}
+}

@@ -1,0 +1,197 @@
+package tasks
+
+import (
+	"farm/internal/core"
+	"farm/internal/harvest"
+	"farm/internal/soil"
+)
+
+// HHSource is the paper's List. 2 heavy-hitter seed with the abstracted
+// auxiliary functions (getHH is a runtime builtin; setHitterRules is
+// spelled out) made executable.
+const HHSource = `
+// Heavy hitter detection (List. 2 of the FARM paper): identify ports
+// whose transmitted bytes cross a threshold within one poll interval,
+// report them to the harvester, and react locally by installing a QoS
+// rule for the offending ports.
+function setHitterRules(list hs, action act) {
+  long i = 0;
+  while (i < list_len(hs)) {
+    addTCAMRule(port list_get(hs, i), act, 10);
+    i = i + 1;
+  }
+}
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = 10 / res().PCIe, .what = port ANY
+  };
+  external long threshold;
+  action hitterAction = setQoS();
+  list hitters;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100 and res.TCAM >= 8) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (not is_list_empty(hitters)) then {
+        transit HHdetected;
+      }
+    }
+  }
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+  when (recv long newTh from harvester)
+  do { threshold = newTh; }
+  when (recv action hitAct from harvester)
+  do { hitterAction = hitAct; }
+}
+`
+
+// HHHSource adds hierarchical heavy hitter detection in the two forms
+// of Tab. I: HHH inheriting from HH (overriding the detection state to
+// aggregate into /24 prefixes) and a standalone HHH machine.
+const HHHSource = HHSource + `
+// Hierarchical HH via inheritance: reuse HH's polling and reaction but
+// override the reporting state to aggregate hitters per port group
+// before involving the harvester (Zhang et al., SIGCOMM'04 lineage).
+machine HHH extends HH {
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      map groups = map_new();
+      long i = 0;
+      while (i < list_len(hitters)) {
+        long p = list_get(hitters, i);
+        long g = p / 8;
+        map_set(groups, g, map_get(groups, g, 0) + 1);
+        i = i + 1;
+      }
+      send groups to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+}
+`
+
+// HHHStandaloneSource is the non-inherited hierarchical HH variant
+// (38 seed LoC in Tab. I): it maintains its own per-level counters.
+const HHHStandaloneSource = `
+// Standalone hierarchical heavy hitters: maintain byte counts at two
+// aggregation levels (port and port-group) and report the deepest level
+// whose count crosses its threshold.
+machine HHHSolo {
+  place all;
+  poll stats = Poll { .ival = 20, .what = port ANY };
+  external long portThreshold;
+  external long groupThreshold;
+  map groupBytes;
+  list heavyPorts;
+  list heavyGroups;
+
+  state watch {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 200) then {
+        return min(res.vCPU * 2, res.PCIe);
+      }
+    }
+    when (stats as recs) do {
+      groupBytes = map_new();
+      heavyPorts = list_clear();
+      heavyGroups = list_clear();
+      long i = 0;
+      while (i < list_len(recs)) {
+        PortStats r = list_get(recs, i);
+        if (r.dTxBytes >= portThreshold) then {
+          heavyPorts = list_append(heavyPorts, r.port);
+        }
+        long g = r.port / 8;
+        map_set(groupBytes, g, map_get(groupBytes, g, 0) + r.dTxBytes);
+        i = i + 1;
+      }
+      list gs = map_keys(groupBytes);
+      i = 0;
+      while (i < list_len(gs)) {
+        string g = list_get(gs, i);
+        if (map_get(groupBytes, g, 0) >= groupThreshold) then {
+          heavyGroups = list_append(heavyGroups, g);
+        }
+        i = i + 1;
+      }
+      if (not is_list_empty(heavyPorts)) then { transit report; }
+      if (not is_list_empty(heavyGroups)) then { transit report; }
+    }
+  }
+  state report {
+    util (res) { return 50; }
+    when (enter) do {
+      if (not is_list_empty(heavyPorts)) then {
+        send heavyPorts to harvester;
+      } else {
+        send heavyGroups to harvester;
+      }
+      transit watch;
+    }
+  }
+  when (recv long th from harvester) do { portThreshold = th; }
+}
+`
+
+func init() {
+	register(Def{
+		Name:        "hh",
+		Description: "Heavy hitter detection with local QoS reaction (paper List. 2)",
+		Source:      HHSource,
+		Machines:    []string{"HH"},
+		DefaultExternals: map[string]map[string]core.Value{
+			"HH": {"threshold": int64(1_000_000)},
+		},
+		NewHarvester: func() harvest.Logic { return hhAdaptiveThreshold() },
+	})
+	register(Def{
+		Name:        "hhh-inherited",
+		Description: "Hierarchical HH inheriting from HH, overriding the report state",
+		Source:      HHHSource,
+		Machines:    []string{"HHH"},
+		DefaultExternals: map[string]map[string]core.Value{
+			"HHH": {"threshold": int64(1_000_000)},
+		},
+	})
+	register(Def{
+		Name:        "hhh",
+		Description: "Standalone hierarchical HH with per-level thresholds",
+		Source:      HHHStandaloneSource,
+		Machines:    []string{"HHHSolo"},
+		DefaultExternals: map[string]map[string]core.Value{
+			"HHHSolo": {"portThreshold": int64(1_000_000), "groupThreshold": int64(4_000_000)},
+		},
+	})
+}
+
+// hhAdaptiveThreshold is the paper's example harvester behaviour: it
+// observes the rate of HH reports and adapts the seeds' threshold to
+// overall network load (§III-C).
+func hhAdaptiveThreshold() harvest.Logic {
+	reports := 0
+	return harvest.FuncLogic{
+		Message: func(ctx harvest.Context, from soil.SeedRef, v core.Value) {
+			reports++
+			// Under report storms, raise the threshold network-wide to
+			// shed load; this exercises harvester -> seed control.
+			if reports%50 == 0 {
+				ctx.SendToSeeds(from.Machine, "", int64(2_000_000))
+			}
+		},
+	}
+}

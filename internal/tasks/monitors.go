@@ -1,0 +1,191 @@
+package tasks
+
+import (
+	"farm/internal/core"
+)
+
+// LinkFailureSource detects dead links from stalled port counters
+// (Everflow-style packet-level telemetry reduced to liveness).
+const LinkFailureSource = `
+// Link failure detection: a port that carried traffic but whose
+// counters stop advancing for consecutive polls is reported failed.
+machine LinkFail {
+  place all;
+  poll stats = Poll { .ival = 100, .what = port ANY };
+  external long quietPolls;
+  map lastBytes;
+  map quietFor;
+  list failed;
+
+  state watch {
+    util (res) {
+      if (res.vCPU >= 0.25) then { return res.vCPU; }
+    }
+    when (stats as recs) do {
+      failed = list_clear();
+      long i = 0;
+      while (i < list_len(recs)) {
+        PortStats r = list_get(recs, i);
+        long prev = map_get(lastBytes, r.port, 0 - 1);
+        if (prev >= 0) then {
+          if (r.txBytes == prev) then {
+            quietFor = map_set(quietFor, r.port, map_get(quietFor, r.port, 0) + 1);
+            if (map_get(quietFor, r.port, 0) == quietPolls) then {
+              failed = list_append(failed, r.port);
+            }
+          } else {
+            quietFor = map_set(quietFor, r.port, 0);
+          }
+        }
+        lastBytes = map_set(lastBytes, r.port, r.txBytes);
+        i = i + 1;
+      }
+      if (not is_list_empty(failed)) then {
+        send failed to harvester;
+      }
+    }
+  }
+}
+`
+
+// TrafficChangeSource is Tab. I's smallest task (7 seed LoC): report
+// when a switch's aggregate rate changes by more than a factor.
+const TrafficChangeSource = `
+// Traffic change detection (reversible-sketch lineage, simplified).
+machine TrafficChange {
+  place all;
+  poll stats = Poll { .ival = 100, .what = port ANY };
+  external long factor;
+  long lastTotal;
+
+  state watch {
+    util (res) { if (res.vCPU >= 0.25) then { return res.vCPU; } }
+    when (stats as recs) do {
+      long total = 0;
+      long i = 0;
+      while (i < list_len(recs)) {
+        PortStats r = list_get(recs, i);
+        total = total + r.dTxBytes;
+        i = i + 1;
+      }
+      if (lastTotal > 0 and total > lastTotal * factor) then {
+        send total to harvester;
+      }
+      lastTotal = total;
+    }
+  }
+}
+`
+
+// FlowSizeDistSource estimates the flow size distribution from sampled
+// packets (Duffield et al., SIGCOMM'03).
+const FlowSizeDistSource = `
+// Flow size distribution: accumulate per-flow byte counts from probes,
+// bucket them into powers of two, and periodically ship the histogram.
+machine FlowSizeDist {
+  place all;
+  probe pkts = Probe { .ival = 2, .what = proto "tcp" };
+  time report = 1000;
+  map flowBytes;
+
+  state collect {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 256) then {
+        return min(res.vCPU, res.RAM / 128);
+      }
+    }
+    when (pkts as p) do {
+      flowBytes = map_set(flowBytes, p.flow, map_get(flowBytes, p.flow, 0) + p.size);
+    }
+    when (report as now) do {
+      map hist = map_new();
+      list fs = map_keys(flowBytes);
+      long i = 0;
+      while (i < list_len(fs)) {
+        long bytes = map_get(flowBytes, list_get(fs, i), 0);
+        long bucket = floor(log2(bytes + 1));
+        map_set(hist, bucket, map_get(hist, bucket, 0) + 1);
+        i = i + 1;
+      }
+      send hist to harvester;
+      flowBytes = map_new();
+    }
+  }
+}
+`
+
+// EntropySource estimates source-address entropy, a classic anomaly
+// signal (Mitzenmacher & Vadhan lineage).
+const EntropySource = `
+// Entropy estimation over source addresses: low entropy means traffic
+// concentration (possible DoS source or sink), high entropy with many
+// sources can mean scanning. Ship the estimate every window.
+machine Entropy {
+  place all;
+  probe pkts = Probe { .ival = 1, .what = port ANY };
+  time window = 1000;
+  map counts;
+  long total;
+
+  state estimate {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 256) then {
+        return min(res.vCPU * 2, res.RAM / 128);
+      }
+    }
+    when (pkts as p) do {
+      counts = map_set(counts, p.srcIP, map_get(counts, p.srcIP, 0) + 1);
+      total = total + 1;
+    }
+    when (window as now) do {
+      if (total > 0) then {
+        float h = 0.0;
+        list ks = map_keys(counts);
+        long i = 0;
+        while (i < list_len(ks)) {
+          long c = map_get(counts, list_get(ks, i), 0);
+          float frac = c / (total * 1.0);
+          h = h - frac * log2(frac);
+          i = i + 1;
+        }
+        send h to harvester;
+      }
+      counts = map_new();
+      total = 0;
+    }
+  }
+}
+`
+
+func init() {
+	register(Def{
+		Name:        "link-failure",
+		Description: "Dead link detection from stalled port counters",
+		Source:      LinkFailureSource,
+		Machines:    []string{"LinkFail"},
+		DefaultExternals: map[string]map[string]core.Value{
+			"LinkFail": {"quietPolls": int64(3)},
+		},
+	})
+	register(Def{
+		Name:        "traffic-change",
+		Description: "Aggregate traffic change detection",
+		Source:      TrafficChangeSource,
+		Machines:    []string{"TrafficChange"},
+		DefaultExternals: map[string]map[string]core.Value{
+			"TrafficChange": {"factor": int64(4)},
+		},
+	})
+	register(Def{
+		Name:        "flow-size-dist",
+		Description: "Flow size distribution histogram from sampled packets",
+		Source:      FlowSizeDistSource,
+		Machines:    []string{"FlowSizeDist"},
+	})
+	register(Def{
+		Name:        "entropy",
+		Description: "Source-address entropy estimation",
+		Source:      EntropySource,
+		Machines:    []string{"Entropy"},
+	})
+}

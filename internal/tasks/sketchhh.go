@@ -1,0 +1,59 @@
+package tasks
+
+import "farm/internal/core"
+
+// SketchHHSource is the §VIII future-work extension implemented: a
+// flow-granularity heavy-hitter detector whose state is a count-min
+// sketch instead of exact per-flow counters, bounding seed memory
+// regardless of the flow universe. Heavy keys are tracked in a small
+// candidate list populated when a probed packet's estimate crosses the
+// threshold.
+const SketchHHSource = `
+// Sketch-based heavy hitters (per destination, probe-driven). Sketches
+// have no declared type in Fig. 3's grammar; a variable holds whatever
+// sketch_new returns.
+machine SketchHH {
+  place all;
+  probe pkts = Probe { .ival = 1, .what = port ANY };
+  time window = 500;
+  external long bytesThreshold;
+  list sk;
+  list hitters;
+
+  state watch {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 64) then {
+        return min(res.vCPU * 2, res.RAM / 32);
+      }
+    }
+    when (enter) do {
+      sk = sketch_new(512, 4);
+    }
+    when (pkts as p) do {
+      sketch_add(sk, p.dstIP, p.size);
+      if (sketch_count(sk, p.dstIP) >= bytesThreshold) then {
+        if (not list_contains(hitters, p.dstIP)) then {
+          hitters = list_append(hitters, p.dstIP);
+          send p.dstIP to harvester;
+        }
+      }
+    }
+    when (window as now) do {
+      sketch_reset(sk);
+      hitters = list_clear();
+    }
+  }
+}
+`
+
+func init() {
+	register(Def{
+		Name:        "hh-sketch",
+		Description: "Sketch-based HH (count-min, bounded memory) — the paper's future-work extension",
+		Source:      SketchHHSource,
+		Machines:    []string{"SketchHH"},
+		DefaultExternals: map[string]map[string]core.Value{
+			"SketchHH": {"bytesThreshold": int64(100_000)},
+		},
+	})
+}

@@ -1,0 +1,356 @@
+// Package traffic generates workloads for the emulated data center:
+// per-packet flows, the attack patterns behind the Tab. I use cases, and
+// bulk counter-credit workloads that scale to thousands of ports.
+//
+// This substitutes for the production SAP traffic the paper evaluates
+// against. The evaluation parameterizes workloads by heavy-hitter ratio,
+// churn rate, and flow counts (§VI-B); the generators expose exactly
+// those knobs, seeded deterministically for reproducible runs.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+// FlowSpec describes one generated flow.
+type FlowSpec struct {
+	Src, Dst   netip.Addr
+	SrcPort    uint16
+	DstPort    uint16
+	Proto      dataplane.Proto
+	Flags      dataplane.TCPFlags
+	PacketSize int
+	Rate       float64 // packets per second
+	App        dataplane.AppInfo
+}
+
+func (s FlowSpec) packet() dataplane.Packet {
+	return dataplane.Packet{
+		SrcIP: s.Src, DstIP: s.Dst,
+		SrcPort: s.SrcPort, DstPort: s.DstPort,
+		Proto: s.Proto, Flags: s.Flags,
+		Size: s.PacketSize, App: s.App,
+	}
+}
+
+// Generator drives workloads onto a fabric. Seeded deterministically:
+// the same seed yields the same packet sequence.
+type Generator struct {
+	fab  *fabric.Fabric
+	loop *simclock.Loop
+	rng  *rand.Rand
+}
+
+// NewGenerator returns a generator over the fabric.
+func NewGenerator(fab *fabric.Fabric, seed int64) *Generator {
+	return &Generator{fab: fab, loop: fab.Loop(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the generator's deterministic source for scenario code.
+func (g *Generator) Rand() *rand.Rand { return g.rng }
+
+// StartFlow emits spec's packets until stop is called, at the given
+// mean rate with uniform +/-50% inter-packet jitter. The jitter (and a
+// random start phase) keeps concurrent flows interleaving like real
+// traffic; strictly periodic flows would alias with periodic samplers
+// and rate limiters.
+func (g *Generator) StartFlow(spec FlowSpec) (stop func()) {
+	if spec.Rate <= 0 {
+		panic(fmt.Sprintf("traffic: flow rate must be positive, got %g", spec.Rate))
+	}
+	interval := float64(time.Second) / spec.Rate
+	stopped := false
+	var emit func()
+	schedule := func(scale float64) {
+		d := time.Duration(interval * scale)
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		g.loop.After(d, emit)
+	}
+	emit = func() {
+		if stopped {
+			return
+		}
+		_ = g.fab.Send(spec.packet())
+		schedule(0.5 + g.rng.Float64())
+	}
+	schedule(g.rng.Float64()) // random start phase
+	return func() { stopped = true }
+}
+
+// Burst sends n packets of the flow immediately.
+func (g *Generator) Burst(spec FlowSpec, n int) {
+	for i := 0; i < n; i++ {
+		_ = g.fab.Send(spec.packet())
+	}
+}
+
+// --- Attack / scenario generators (Tab. I workloads) ---
+
+// SYNFlood floods target with TCP SYNs from nSources spoofed hosts at
+// the aggregate rate. The sources are picked from existing hosts so the
+// packets route.
+func (g *Generator) SYNFlood(target netip.Addr, nSources int, rate float64) (stop func()) {
+	hosts := g.fab.Topology().Hosts()
+	specs := make([]FlowSpec, 0, nSources)
+	for i := 0; i < nSources; i++ {
+		src := hosts[g.rng.Intn(len(hosts))].IP
+		if src == target {
+			continue
+		}
+		specs = append(specs, FlowSpec{
+			Src: src, Dst: target,
+			SrcPort: uint16(g.rng.Intn(60000) + 1024), DstPort: 80,
+			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagSYN,
+			PacketSize: 60, Rate: rate / float64(nSources),
+		})
+	}
+	return g.startAll(specs)
+}
+
+// PortScan probes sequential destination ports on target from src.
+func (g *Generator) PortScan(src, target netip.Addr, portsPerSec float64) (stop func()) {
+	next := uint16(1)
+	interval := time.Duration(float64(time.Second) / portsPerSec)
+	tk := g.loop.Every(interval, func() {
+		_ = g.fab.Send(dataplane.Packet{
+			SrcIP: src, DstIP: target,
+			SrcPort: 40000, DstPort: next,
+			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagSYN, Size: 60,
+		})
+		next++
+		if next == 0 {
+			next = 1
+		}
+	})
+	return tk.Stop
+}
+
+// SuperSpreader has src contact fanout distinct destinations at rate
+// connections/s (one SYN each, to port 443).
+func (g *Generator) SuperSpreader(src netip.Addr, fanout int, rate float64) (stop func()) {
+	hosts := g.fab.Topology().Hosts()
+	dsts := make([]netip.Addr, 0, fanout)
+	for _, h := range g.rng.Perm(len(hosts)) {
+		ip := hosts[h].IP
+		if ip != src {
+			dsts = append(dsts, ip)
+		}
+		if len(dsts) == fanout {
+			break
+		}
+	}
+	i := 0
+	interval := time.Duration(float64(time.Second) / rate)
+	tk := g.loop.Every(interval, func() {
+		// Random destination order: real spreaders do not round-robin
+		// in lockstep with samplers.
+		dst := dsts[g.rng.Intn(len(dsts))]
+		_ = g.fab.Send(dataplane.Packet{
+			SrcIP: src, DstIP: dst,
+			SrcPort: uint16(30000 + i%1000), DstPort: 443,
+			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagSYN, Size: 60,
+		})
+		i++
+	})
+	return tk.Stop
+}
+
+// DNSReflection emits large DNS responses from reflector hosts toward
+// the victim (amplification attack signature: UDP src port 53, big
+// payload, responses without matching queries).
+func (g *Generator) DNSReflection(victim netip.Addr, nReflectors int, rate float64) (stop func()) {
+	hosts := g.fab.Topology().Hosts()
+	specs := make([]FlowSpec, 0, nReflectors)
+	for i := 0; i < nReflectors; i++ {
+		refl := hosts[g.rng.Intn(len(hosts))].IP
+		if refl == victim {
+			continue
+		}
+		specs = append(specs, FlowSpec{
+			Src: refl, Dst: victim,
+			SrcPort: 53, DstPort: uint16(g.rng.Intn(60000) + 1024),
+			Proto: dataplane.ProtoUDP, PacketSize: 3000,
+			Rate: rate / float64(nReflectors),
+			App:  dataplane.AppInfo{Kind: dataplane.AppDNS, DNSResponse: true, DNSQName: "any.example."},
+		})
+	}
+	return g.startAll(specs)
+}
+
+// SSHBruteForce emits failed SSH authentication attempts from src to dst.
+func (g *Generator) SSHBruteForce(src, dst netip.Addr, rate float64) (stop func()) {
+	return g.StartFlow(FlowSpec{
+		Src: src, Dst: dst,
+		SrcPort: 51000, DstPort: 22,
+		Proto: dataplane.ProtoTCP, Flags: dataplane.FlagPSH | dataplane.FlagACK,
+		PacketSize: 120, Rate: rate,
+		App: dataplane.AppInfo{Kind: dataplane.AppSSH, SSHAuthFail: true},
+	})
+}
+
+// Slowloris opens many slow, incomplete HTTP requests against dst.
+func (g *Generator) Slowloris(dst netip.Addr, nConns int, perConnRate float64) (stop func()) {
+	hosts := g.fab.Topology().Hosts()
+	specs := make([]FlowSpec, 0, nConns)
+	for i := 0; i < nConns; i++ {
+		src := hosts[g.rng.Intn(len(hosts))].IP
+		if src == dst {
+			continue
+		}
+		specs = append(specs, FlowSpec{
+			Src: src, Dst: dst,
+			SrcPort: uint16(20000 + i), DstPort: 80,
+			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagPSH | dataplane.FlagACK,
+			PacketSize: 40, Rate: perConnRate,
+			App: dataplane.AppInfo{Kind: dataplane.AppHTTP, HTTPPartial: true},
+		})
+	}
+	return g.startAll(specs)
+}
+
+func (g *Generator) startAll(specs []FlowSpec) (stop func()) {
+	stops := make([]func(), 0, len(specs))
+	for _, s := range specs {
+		stops = append(stops, g.StartFlow(s))
+	}
+	return func() {
+		for _, st := range stops {
+			st()
+		}
+	}
+}
+
+// --- Bulk counter workloads ---
+
+// PortLoad is the offered load of one switch port in a bulk workload.
+type PortLoad struct {
+	Switch netmodel.SwitchID
+	Port   int
+	// BytesPerSec of traffic transmitted on the port.
+	BytesPerSec float64
+	PacketSize  int
+}
+
+// BulkWorkload drives port counters directly at a configurable tick,
+// scaling to thousands of ports with one event per tick. Heavy-hitter
+// experiments flip a fraction of ports to a heavy rate and re-pick that
+// set periodically (churn), matching the paper's production observations
+// (1-10% of ports heavy, ratio changing up to once a minute).
+type BulkWorkload struct {
+	fab  *fabric.Fabric
+	loop *simclock.Loop
+	rng  *rand.Rand
+
+	Tick      time.Duration
+	BaseRate  float64 // bytes/s on a normal port
+	HeavyRate float64 // bytes/s on a heavy port
+	PktSize   int
+
+	ports  []PortLoad // all driven ports, base rates
+	heavy  map[int]bool
+	ticker *simclock.Ticker
+}
+
+// BulkConfig configures NewBulkWorkload.
+type BulkConfig struct {
+	Tick       time.Duration // counter update granularity; default 1ms
+	BaseRate   float64       // bytes/s per normal port; default 1e5
+	HeavyRate  float64       // bytes/s per heavy port; default 1e8
+	PacketSize int           // default 1000
+	HeavyRatio float64       // fraction of ports heavy
+	Churn      time.Duration // re-pick heavy set every Churn; 0 = never
+	Seed       int64
+}
+
+// NewBulkWorkload creates a bulk workload over every host-facing port of
+// every leaf switch in the fabric.
+func NewBulkWorkload(fab *fabric.Fabric, cfg BulkConfig) *BulkWorkload {
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.BaseRate == 0 {
+		cfg.BaseRate = 1e5
+	}
+	if cfg.HeavyRate == 0 {
+		cfg.HeavyRate = 1e8
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 1000
+	}
+	w := &BulkWorkload{
+		fab:       fab,
+		loop:      fab.Loop(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		Tick:      cfg.Tick,
+		BaseRate:  cfg.BaseRate,
+		HeavyRate: cfg.HeavyRate,
+		PktSize:   cfg.PacketSize,
+		heavy:     map[int]bool{},
+	}
+	topo := fab.Topology()
+	for _, h := range topo.Hosts() {
+		if port, ok := fab.HostPort(h.Leaf, h.ID); ok {
+			w.ports = append(w.ports, PortLoad{Switch: h.Leaf, Port: port, BytesPerSec: cfg.BaseRate, PacketSize: cfg.PacketSize})
+		}
+	}
+	w.pickHeavy(cfg.HeavyRatio)
+	w.ticker = w.loop.Every(cfg.Tick, w.tick)
+	if cfg.Churn > 0 {
+		ratio := cfg.HeavyRatio
+		w.loop.Every(cfg.Churn, func() { w.pickHeavy(ratio) })
+	}
+	return w
+}
+
+func (w *BulkWorkload) pickHeavy(ratio float64) {
+	w.heavy = map[int]bool{}
+	n := int(ratio * float64(len(w.ports)))
+	for _, i := range w.rng.Perm(len(w.ports))[:n] {
+		w.heavy[i] = true
+	}
+}
+
+// HeavyPorts returns the currently heavy (switch, port) pairs — the
+// ground truth detection tasks are scored against.
+func (w *BulkWorkload) HeavyPorts() []PortLoad {
+	var out []PortLoad
+	for i, p := range w.ports {
+		if w.heavy[i] {
+			p.BytesPerSec = w.HeavyRate
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumPorts returns the number of driven ports.
+func (w *BulkWorkload) NumPorts() int { return len(w.ports) }
+
+// Stop halts the workload.
+func (w *BulkWorkload) Stop() { w.ticker.Stop() }
+
+func (w *BulkWorkload) tick() {
+	dt := w.Tick.Seconds()
+	for i, p := range w.ports {
+		rate := w.BaseRate
+		if w.heavy[i] {
+			rate = w.HeavyRate
+		}
+		bytes := uint64(rate * dt)
+		pkts := bytes / uint64(p.PacketSize)
+		if pkts == 0 {
+			pkts = 1
+		}
+		_ = w.fab.Switch(p.Switch).CreditPort(p.Port, 0, 0, pkts, bytes)
+	}
+}

@@ -1,0 +1,236 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"farm/internal/dataplane"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/simclock"
+)
+
+func testFabric(t *testing.T, spines, leaves, hosts int) *fabric.Fabric {
+	t.Helper()
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{Spines: spines, Leaves: leaves, HostsPerLeaf: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fabric.New(topo, simclock.New(), fabric.Options{})
+}
+
+func TestStartFlowRate(t *testing.T) {
+	fab := testFabric(t, 1, 2, 1)
+	g := NewGenerator(fab, 1)
+	stop := g.StartFlow(FlowSpec{
+		Src: fabric.HostIP(0, 0), Dst: fabric.HostIP(1, 0),
+		SrcPort: 1, DstPort: 80, Proto: dataplane.ProtoTCP,
+		PacketSize: 100, Rate: 1000,
+	})
+	fab.Loop().RunFor(100 * time.Millisecond)
+	stop()
+	// 1000 pkt/s for 100 ms = ~100 packets (jittered).
+	if d := fab.Delivered(); d < 80 || d > 120 {
+		t.Fatalf("delivered = %d, want ~100", d)
+	}
+	n := fab.Delivered()
+	fab.Loop().RunFor(100 * time.Millisecond)
+	if fab.Delivered() > n+1 {
+		t.Fatal("flow kept sending after stop")
+	}
+}
+
+func TestBurst(t *testing.T) {
+	fab := testFabric(t, 1, 2, 1)
+	g := NewGenerator(fab, 1)
+	g.Burst(FlowSpec{
+		Src: fabric.HostIP(0, 0), Dst: fabric.HostIP(1, 0),
+		SrcPort: 1, DstPort: 80, Proto: dataplane.ProtoTCP,
+		PacketSize: 100, Rate: 1,
+	}, 25)
+	fab.Loop().RunFor(time.Millisecond)
+	if fab.Delivered() != 25 {
+		t.Fatalf("delivered = %d, want 25", fab.Delivered())
+	}
+}
+
+func TestSYNFlood(t *testing.T) {
+	fab := testFabric(t, 1, 3, 4)
+	g := NewGenerator(fab, 2)
+	target := fabric.HostIP(0, 0)
+	stop := g.SYNFlood(target, 8, 4000)
+	fab.Loop().RunFor(50 * time.Millisecond)
+	stop()
+	// The target's leaf saw SYNs to the victim.
+	host, _ := fab.Topology().HostByIP(target)
+	port, _ := fab.HostPort(host.Leaf, host.ID)
+	st, _ := fab.Switch(host.Leaf).PortStats(port)
+	if st.TxPackets < 100 {
+		t.Fatalf("victim port saw %d packets, want >= 100", st.TxPackets)
+	}
+}
+
+func TestPortScanAdvancesPorts(t *testing.T) {
+	fab := testFabric(t, 1, 2, 1)
+	g := NewGenerator(fab, 3)
+	seen := map[uint16]bool{}
+	dstHost, _ := fab.Topology().HostByIP(fabric.HostIP(1, 0))
+	fab.Switch(dstHost.Leaf).AddSampler(dataplane.Filter{}, 1, func(p dataplane.Packet) {
+		seen[p.DstPort] = true
+	})
+	stop := g.PortScan(fabric.HostIP(0, 0), fabric.HostIP(1, 0), 1000)
+	fab.Loop().RunFor(50 * time.Millisecond)
+	stop()
+	if len(seen) < 40 {
+		t.Fatalf("scanned %d distinct ports, want >= 40", len(seen))
+	}
+}
+
+func TestSuperSpreaderFanout(t *testing.T) {
+	fab := testFabric(t, 1, 4, 4)
+	g := NewGenerator(fab, 4)
+	src := fabric.HostIP(0, 0)
+	dsts := map[string]bool{}
+	for _, s := range fab.Topology().Switches() {
+		if s.Role != netmodel.Leaf {
+			continue
+		}
+		fab.Switch(s.ID).AddSampler(dataplane.Filter{}, 1, func(p dataplane.Packet) {
+			if p.SrcIP == src {
+				dsts[p.DstIP.String()] = true
+			}
+		})
+	}
+	stop := g.SuperSpreader(src, 10, 2000)
+	fab.Loop().RunFor(50 * time.Millisecond)
+	stop()
+	if len(dsts) < 10 {
+		t.Fatalf("spreader reached %d destinations, want >= 10", len(dsts))
+	}
+}
+
+func TestDNSReflectionMarksResponses(t *testing.T) {
+	fab := testFabric(t, 1, 2, 2)
+	g := NewGenerator(fab, 5)
+	victim := fabric.HostIP(0, 0)
+	var dnsSeen int
+	host, _ := fab.Topology().HostByIP(victim)
+	fab.Switch(host.Leaf).AddSampler(dataplane.Filter{}, 1, func(p dataplane.Packet) {
+		if p.DstIP == victim && p.App.Kind == dataplane.AppDNS && p.App.DNSResponse {
+			dnsSeen++
+		}
+	})
+	stop := g.DNSReflection(victim, 4, 2000)
+	fab.Loop().RunFor(50 * time.Millisecond)
+	stop()
+	if dnsSeen < 50 {
+		t.Fatalf("saw %d DNS responses, want >= 50", dnsSeen)
+	}
+}
+
+func TestSSHBruteForceFlags(t *testing.T) {
+	fab := testFabric(t, 1, 2, 1)
+	g := NewGenerator(fab, 6)
+	var fails int
+	dst := fabric.HostIP(1, 0)
+	host, _ := fab.Topology().HostByIP(dst)
+	fab.Switch(host.Leaf).AddSampler(dataplane.Filter{DstPort: 22}, 1, func(p dataplane.Packet) {
+		if p.App.SSHAuthFail {
+			fails++
+		}
+	})
+	stop := g.SSHBruteForce(fabric.HostIP(0, 0), dst, 1000)
+	fab.Loop().RunFor(50 * time.Millisecond)
+	stop()
+	if fails < 40 {
+		t.Fatalf("saw %d failed auths, want >= 40", fails)
+	}
+}
+
+func TestSlowloris(t *testing.T) {
+	fab := testFabric(t, 1, 2, 4)
+	g := NewGenerator(fab, 7)
+	dst := fabric.HostIP(1, 0)
+	partial := 0
+	host, _ := fab.Topology().HostByIP(dst)
+	fab.Switch(host.Leaf).AddSampler(dataplane.Filter{DstPort: 80}, 1, func(p dataplane.Packet) {
+		if p.App.HTTPPartial {
+			partial++
+		}
+	})
+	stop := g.Slowloris(dst, 10, 100)
+	fab.Loop().RunFor(100 * time.Millisecond)
+	stop()
+	if partial < 50 {
+		t.Fatalf("saw %d partial requests, want >= 50", partial)
+	}
+}
+
+func TestBulkWorkloadDrivesCounters(t *testing.T) {
+	fab := testFabric(t, 1, 2, 4)
+	w := NewBulkWorkload(fab, BulkConfig{
+		Tick: time.Millisecond, BaseRate: 1e5, HeavyRate: 1e8,
+		HeavyRatio: 0.25, Seed: 1,
+	})
+	if w.NumPorts() != 8 {
+		t.Fatalf("driven ports = %d, want 8", w.NumPorts())
+	}
+	heavy := w.HeavyPorts()
+	if len(heavy) != 2 {
+		t.Fatalf("heavy ports = %d, want 2 (25%% of 8)", len(heavy))
+	}
+	fab.Loop().RunFor(100 * time.Millisecond)
+	w.Stop()
+	// Heavy ports must accumulate ~1000x the bytes of base ports.
+	heavySet := map[[2]int]bool{}
+	for _, h := range heavy {
+		heavySet[[2]int{int(h.Switch), h.Port}] = true
+	}
+	for _, h := range fab.Topology().Hosts() {
+		port, _ := fab.HostPort(h.Leaf, h.ID)
+		st, _ := fab.Switch(h.Leaf).PortStats(port)
+		isHeavy := heavySet[[2]int{int(h.Leaf), port}]
+		if isHeavy && st.TxBytes < 5e6 {
+			t.Fatalf("heavy port %v/%d only %d bytes", h.Leaf, port, st.TxBytes)
+		}
+		if !isHeavy && st.TxBytes > 1e5 {
+			t.Fatalf("base port %v/%d has %d bytes", h.Leaf, port, st.TxBytes)
+		}
+	}
+}
+
+func TestBulkWorkloadChurn(t *testing.T) {
+	fab := testFabric(t, 1, 4, 8)
+	w := NewBulkWorkload(fab, BulkConfig{
+		Tick: 10 * time.Millisecond, HeavyRatio: 0.25,
+		Churn: 50 * time.Millisecond, Seed: 2,
+	})
+	before := w.HeavyPorts()
+	fab.Loop().RunFor(300 * time.Millisecond)
+	after := w.HeavyPorts()
+	w.Stop()
+	if len(before) != len(after) {
+		t.Fatalf("heavy count changed: %d -> %d", len(before), len(after))
+	}
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("churn did not re-pick the heavy set")
+	}
+}
+
+func TestStartFlowPanicsOnBadRate(t *testing.T) {
+	fab := testFabric(t, 1, 1, 1)
+	g := NewGenerator(fab, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.StartFlow(FlowSpec{Rate: 0})
+}

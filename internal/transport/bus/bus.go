@@ -1,0 +1,110 @@
+// Package bus is the control-plane message broker connecting the seeder
+// and harvesters to the soils (the RabbitMQ role in §V-A-c), implemented
+// as a deterministic topic broker on the simulation loop.
+//
+// The in-tree seeder routes its control messages through the fabric's
+// latency model directly (equivalent delivery semantics, fewer moving
+// parts); the broker is the topic-based API for library users who embed
+// their own centralized components and want RabbitMQ-style decoupling.
+package bus
+
+import (
+	"fmt"
+	"time"
+
+	"farm/internal/simclock"
+)
+
+// Message is one published message.
+type Message struct {
+	Topic   string
+	Payload any
+}
+
+// Broker routes messages by topic with a configurable delivery latency
+// per subscriber. Deliveries are scheduled on the simulation loop, so
+// ordering between a publisher and one subscriber is FIFO.
+type Broker struct {
+	loop    *simclock.Loop
+	latency func(topic string) time.Duration
+	subs    map[string][]*subscription
+	nextID  int
+
+	published uint64
+	delivered uint64
+}
+
+type subscription struct {
+	id     int
+	topic  string
+	fn     func(Message)
+	closed bool
+}
+
+// New returns a broker on the loop. latency computes the delivery delay
+// for a topic (nil means immediate delivery on the next loop step).
+func New(loop *simclock.Loop, latency func(topic string) time.Duration) *Broker {
+	return &Broker{loop: loop, latency: latency, subs: map[string][]*subscription{}}
+}
+
+// Subscribe registers fn for a topic and returns a cancel function.
+func (b *Broker) Subscribe(topic string, fn func(Message)) (cancel func()) {
+	sub := &subscription{id: b.nextID, topic: topic, fn: fn}
+	b.nextID++
+	b.subs[topic] = append(b.subs[topic], sub)
+	return func() {
+		sub.closed = true
+		list := b.subs[topic]
+		for i, s := range list {
+			if s == sub {
+				b.subs[topic] = append(list[:i], list[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Publish schedules delivery of payload to every current subscriber of
+// the topic.
+func (b *Broker) Publish(topic string, payload any) {
+	b.published++
+	msg := Message{Topic: topic, Payload: payload}
+	var d time.Duration
+	if b.latency != nil {
+		d = b.latency(topic)
+	}
+	for _, sub := range b.subs[topic] {
+		sub := sub
+		b.loop.After(d, func() {
+			if !sub.closed {
+				b.delivered++
+				sub.fn(msg)
+			}
+		})
+	}
+}
+
+// Stats returns cumulative publish/delivery counts.
+func (b *Broker) Stats() (published, delivered uint64) {
+	return b.published, b.delivered
+}
+
+// Topic name helpers shared by seeder, harvesters, and soils.
+
+// SoilTopic is the per-switch topic soils listen on for deployments.
+func SoilTopic(switchName string) string { return "soil." + switchName }
+
+// HarvesterTopic is the per-task topic harvesters listen on.
+func HarvesterTopic(task string) string { return "harvester." + task }
+
+// SeederTopic is the seeder's control topic.
+const SeederTopic = "seeder"
+
+// SeedTopic is the topic for seed-to-seed messages of one machine type
+// on one switch ("" switch = broadcast topic).
+func SeedTopic(machine, switchName string) string {
+	if switchName == "" {
+		return fmt.Sprintf("seed.%s.all", machine)
+	}
+	return fmt.Sprintf("seed.%s.%s", machine, switchName)
+}

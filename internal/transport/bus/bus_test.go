@@ -1,0 +1,112 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"farm/internal/simclock"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	loop := simclock.New()
+	b := New(loop, nil)
+	var got []any
+	b.Subscribe("a", func(m Message) { got = append(got, m.Payload) })
+	b.Publish("a", 1)
+	b.Publish("a", 2)
+	b.Publish("b", 3) // no subscriber
+	loop.RunFor(time.Millisecond)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	pub, del := b.Stats()
+	if pub != 3 || del != 2 {
+		t.Fatalf("stats = %d published, %d delivered", pub, del)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	loop := simclock.New()
+	b := New(loop, nil)
+	n := 0
+	b.Subscribe("t", func(Message) { n++ })
+	b.Subscribe("t", func(Message) { n++ })
+	b.Publish("t", "x")
+	loop.RunFor(time.Millisecond)
+	if n != 2 {
+		t.Fatalf("deliveries = %d, want 2", n)
+	}
+}
+
+func TestCancelSubscription(t *testing.T) {
+	loop := simclock.New()
+	b := New(loop, nil)
+	n := 0
+	cancel := b.Subscribe("t", func(Message) { n++ })
+	b.Publish("t", "one")
+	loop.RunFor(time.Millisecond)
+	cancel()
+	b.Publish("t", "two")
+	loop.RunFor(time.Millisecond)
+	if n != 1 {
+		t.Fatalf("deliveries = %d, want 1", n)
+	}
+	// Cancelling twice is harmless.
+	cancel()
+}
+
+func TestCancelBeforeScheduledDelivery(t *testing.T) {
+	loop := simclock.New()
+	b := New(loop, func(string) time.Duration { return 10 * time.Millisecond })
+	n := 0
+	cancel := b.Subscribe("t", func(Message) { n++ })
+	b.Publish("t", "x")
+	cancel() // cancelled while the delivery is in flight
+	loop.RunFor(time.Second)
+	if n != 0 {
+		t.Fatal("delivery to cancelled subscriber")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	loop := simclock.New()
+	b := New(loop, func(topic string) time.Duration { return 5 * time.Millisecond })
+	var at time.Duration
+	b.Subscribe("t", func(Message) { at = loop.Now() })
+	b.Publish("t", "x")
+	loop.RunFor(time.Second)
+	if at != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+}
+
+func TestFIFOPerSubscriber(t *testing.T) {
+	loop := simclock.New()
+	b := New(loop, func(string) time.Duration { return time.Millisecond })
+	var got []any
+	b.Subscribe("t", func(m Message) { got = append(got, m.Payload) })
+	for i := 0; i < 10; i++ {
+		b.Publish("t", i)
+	}
+	loop.RunFor(time.Second)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestTopicHelpers(t *testing.T) {
+	if SoilTopic("leaf1") != "soil.leaf1" {
+		t.Fatal(SoilTopic("leaf1"))
+	}
+	if HarvesterTopic("hh") != "harvester.hh" {
+		t.Fatal(HarvesterTopic("hh"))
+	}
+	if SeedTopic("HH", "leaf1") != "seed.HH.leaf1" {
+		t.Fatal(SeedTopic("HH", "leaf1"))
+	}
+	if SeedTopic("HH", "") != "seed.HH.all" {
+		t.Fatal(SeedTopic("HH", ""))
+	}
+}

@@ -1,0 +1,256 @@
+// Package transport implements the two soil↔seed communication schemes
+// the paper compares in §VI-E (Fig. 10): a socket-based RPC path (the
+// gRPC role, built on TCP loopback with length-prefixed frames — stdlib
+// only) and a lightweight shared-memory buffer usable when seeds run as
+// threads of the soil process.
+//
+// These are real transports measured with real wall-clock time; the
+// simulated control plane uses transport/bus instead.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler processes one request and returns the response payload.
+type Handler func(req []byte) []byte
+
+// Conn is one seed's channel to its soil.
+type Conn interface {
+	// Call performs a synchronous request/response round trip.
+	Call(req []byte) ([]byte, error)
+	Close() error
+}
+
+// Server accepts seed connections.
+type Server interface {
+	// Dial returns a new per-seed connection.
+	Dial() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// --- Shared-buffer transport (seeds as threads of the soil) ---
+
+// SharedBufServer passes requests through an in-process buffer guarded
+// by a mutex: the cost of a call is two copies and the handler, no
+// syscalls, no serialization framework. This is the scheme FARM selects
+// after the Fig. 10 measurements.
+type SharedBufServer struct {
+	handler Handler
+	mu      sync.Mutex
+	buf     []byte
+	closed  bool
+}
+
+// NewSharedBufServer returns a shared-buffer server with the given
+// request buffer capacity.
+func NewSharedBufServer(bufSize int, h Handler) *SharedBufServer {
+	if bufSize <= 0 {
+		bufSize = 64 * 1024
+	}
+	return &SharedBufServer{handler: h, buf: make([]byte, bufSize)}
+}
+
+// Addr implements Server.
+func (s *SharedBufServer) Addr() string { return "sharedbuf" }
+
+// Close implements Server.
+func (s *SharedBufServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Dial implements Server.
+func (s *SharedBufServer) Dial() (Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("transport: shared-buffer server closed")
+	}
+	return &sharedBufConn{srv: s}, nil
+}
+
+type sharedBufConn struct {
+	srv *SharedBufServer
+}
+
+// ErrTooLarge is returned when a request exceeds the shared buffer.
+var ErrTooLarge = errors.New("transport: request exceeds shared buffer capacity")
+
+func (c *sharedBufConn) Call(req []byte) ([]byte, error) {
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("transport: shared-buffer server closed")
+	}
+	if len(req) > len(s.buf) {
+		return nil, ErrTooLarge
+	}
+	// Copy in (the seed writes into the shared region), handle, copy out.
+	n := copy(s.buf, req)
+	resp := s.handler(s.buf[:n])
+	out := make([]byte, len(resp))
+	copy(out, resp)
+	return out, nil
+}
+
+func (c *sharedBufConn) Close() error { return nil }
+
+// --- TCP RPC transport (seeds as processes; the gRPC role) ---
+
+// TCPServer serves length-prefixed request/response frames over TCP
+// loopback connections, one connection per seed process.
+type TCPServer struct {
+	handler  Handler
+	listener net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+}
+
+// maxFrame bounds a frame to keep a corrupt length prefix from
+// allocating unbounded memory.
+const maxFrame = 16 * 1024 * 1024
+
+// NewTCPServer starts a server on a random loopback port.
+func NewTCPServer(h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &TCPServer{handler: h, listener: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *TCPServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *TCPServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Addr implements Server.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			for {
+				req, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				resp := s.handler(req)
+				if err := writeFrame(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Close implements Server. It stops accepting and waits for in-flight
+// connection goroutines to finish.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Dial implements Server.
+func (s *TCPServer) Dial() (Conn, error) {
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (c *tcpConn) Call(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.c, req); err != nil {
+		return nil, err
+	}
+	return readFrame(c.c)
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

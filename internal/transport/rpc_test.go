@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func echoUpper(req []byte) []byte {
+	out := bytes.ToUpper(req)
+	return out
+}
+
+func testConnBasics(t *testing.T, srv Server) {
+	t.Helper()
+	c, err := srv.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "HELLO" {
+		t.Fatalf("resp = %q", resp)
+	}
+	// Multiple sequential calls on one connection.
+	for i := 0; i < 10; i++ {
+		msg := fmt.Sprintf("msg-%d", i)
+		resp, err := c.Call([]byte(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != fmt.Sprintf("MSG-%d", i) {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+}
+
+func TestSharedBufBasics(t *testing.T) {
+	srv := NewSharedBufServer(1024, echoUpper)
+	defer srv.Close()
+	testConnBasics(t, srv)
+}
+
+func TestTCPBasics(t *testing.T) {
+	srv, err := NewTCPServer(echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	testConnBasics(t, srv)
+}
+
+func TestSharedBufTooLarge(t *testing.T) {
+	srv := NewSharedBufServer(8, echoUpper)
+	defer srv.Close()
+	c, _ := srv.Dial()
+	if _, err := c.Call(make([]byte, 9)); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSharedBufClosed(t *testing.T) {
+	srv := NewSharedBufServer(8, echoUpper)
+	c, _ := srv.Dial()
+	srv.Close()
+	if _, err := c.Call([]byte("x")); err == nil {
+		t.Fatal("call after close should fail")
+	}
+	if _, err := srv.Dial(); err == nil {
+		t.Fatal("dial after close should fail")
+	}
+}
+
+func TestTCPManyClientsConcurrent(t *testing.T) {
+	srv, err := NewTCPServer(echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const clients = 20
+	const callsPer = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := srv.Dial()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < callsPer; j++ {
+				msg := fmt.Sprintf("c%d-m%d", id, j)
+				resp, err := c.Call([]byte(msg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(resp) != fmt.Sprintf("C%d-M%d", id, j) {
+					errs <- fmt.Errorf("bad response %q", resp)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedBufManyClientsConcurrent(t *testing.T) {
+	srv := NewSharedBufServer(1024, echoUpper)
+	defer srv.Close()
+	const clients = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := srv.Dial()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 200; j++ {
+				msg := fmt.Sprintf("c%d", id)
+				resp, err := c.Call([]byte(msg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(resp) != fmt.Sprintf("C%d", id) {
+					errs <- fmt.Errorf("bad response %q", resp)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	srv, err := NewTCPServer(func(req []byte) []byte { return req })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := srv.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := bytes.Repeat([]byte("x"), 1<<20)
+	resp, err := c.Call(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, big) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	srv, err := NewTCPServer(echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := srv.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call([]byte("b")); err == nil {
+		t.Fatal("call after server close should fail")
+	}
+	// Idempotent close.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte(""), []byte("a"), bytes.Repeat([]byte("z"), 100000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame corrupted: %d vs %d bytes", len(got), len(p))
+		}
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
