@@ -6,9 +6,16 @@
 //	farm-bench -exp all            # every experiment at quick scale
 //	farm-bench -exp tab4           # one experiment
 //	farm-bench -exp fig7 -full     # paper-scale grid (heuristic only; slow)
+//	farm-bench -exp fig4 -parallel 4   # FARM runs on the sharded executor
 //	farm-bench -list
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation.
+//
+// -parallel N selects the sharded conservative-parallel event executor
+// with N workers for the experiments that support it (currently the
+// FARM runs of fig4; output is byte-identical to serial — see
+// docs/engine.md). Each experiment prints a wall-clock elapsed line, so
+// serial vs. parallel runtimes can be compared directly.
 package main
 
 import (
@@ -27,10 +34,20 @@ type experiment struct {
 	run  func(full bool) error
 }
 
+// parallelWorkers is the -parallel flag: worker count for the sharded
+// executor, 0 meaning the serial engine.
+var parallelWorkers int
+
+func engineConfig() experiments.EngineConfig {
+	return experiments.EngineConfig{Workers: parallelWorkers}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	list := flag.Bool("list", false, "list experiments")
+	flag.IntVar(&parallelWorkers, "parallel", 0,
+		"run supporting experiments on the sharded executor with this many workers (0 = serial)")
 	flag.Parse()
 
 	exps := []experiment{
@@ -91,7 +108,7 @@ func runTab4(bool) error {
 }
 
 func runFig4(full bool) error {
-	cfg := experiments.Fig4Config{}
+	cfg := experiments.Fig4Config{Engine: engineConfig()}
 	if !full {
 		cfg.PortCounts = []int{48, 96, 240, 480}
 		cfg.Duration = 8 * time.Second

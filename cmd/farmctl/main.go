@@ -22,11 +22,11 @@ import (
 
 	"farm/internal/almanac"
 	"farm/internal/core"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/harvest"
 	"farm/internal/netmodel"
 	"farm/internal/seeder"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 	"farm/internal/tasks"
 	"farm/internal/traffic"
@@ -244,7 +244,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 	sd := seeder.New(fab, seeder.Options{})
 	reports := 0

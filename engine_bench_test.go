@@ -1,0 +1,111 @@
+package farm_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/engine"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/seeder"
+	"farm/internal/traffic"
+)
+
+// benchHHSource is the change-report HH seed deployed on every switch in
+// the engine benchmarks (the Fig. 4 monitoring pipeline); the poll
+// interval is parameterized so several tasks can run staggered.
+const benchHHSource = `
+machine HHDelta%d {
+  place all;
+  poll pollStats = Poll { .ival = %d, .what = port ANY };
+  external long threshold;
+  list hitters;
+  list reported;
+
+  state observe {
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (hitters <> reported) then {
+        send hitters to harvester;
+        reported = hitters;
+      }
+    }
+  }
+}
+`
+
+// runEngineScenario drives the Fig. 4-style monitoring pipeline — bulk
+// port load with churning heavy hitters, per-switch HH seeds polling
+// over the PCIe bus, change reports to the central harvester — on a
+// 66-switch (2 spines + 64 leaves, 3072 host ports) fabric for simFor
+// of virtual time. It returns the central-link byte count as a
+// cross-engine sanity check: serial and sharded must agree exactly.
+func runEngineScenario(tb testing.TB, eng engine.Scheduler, simFor time.Duration) uint64 {
+	tb.Helper()
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
+		Spines: 2, Leaves: 64, HostsPerLeaf: 48,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fab := fabric.New(topo, eng, fabric.Options{})
+	sd := seeder.New(fab, seeder.Options{})
+	// Eight staggered monitoring tasks, one HH seed per switch each:
+	// 528 seeds polling at 10-17 ms.
+	for i := 0; i < 8; i++ {
+		machine := fmt.Sprintf("HHDelta%d", i)
+		if err := sd.AddTask(seeder.TaskSpec{
+			Name:   fmt.Sprintf("hh%d", i),
+			Source: fmt.Sprintf(benchHHSource, i, 10+i),
+			Externals: map[string]map[string]core.Value{
+				machine: {"threshold": int64(400_000)},
+			},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	w := traffic.NewBulkWorkload(fab, traffic.BulkConfig{
+		Tick:       10 * time.Millisecond,
+		BaseRate:   1e5,
+		HeavyRate:  5e7,
+		HeavyRatio: 0.05,
+		Churn:      2 * time.Second,
+		Seed:       7,
+	})
+	defer w.Stop()
+	eng.RunFor(simFor)
+	return fab.CentralNet.Bytes()
+}
+
+const engineBenchSimTime = 2 * time.Second
+
+func BenchmarkEngineSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bytes := runEngineScenario(b, engine.NewSerial(), engineBenchSimTime)
+		b.ReportMetric(float64(bytes), "central-bytes")
+	}
+}
+
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := engine.NewSharded(engine.ShardedOptions{
+					Shards:    66,
+					Workers:   workers,
+					Lookahead: fabric.Options{}.MinCrossLatency(),
+				})
+				bytes := runEngineScenario(b, x, engineBenchSimTime)
+				epochs, runs := x.EpochStats()
+				x.Stop()
+				b.ReportMetric(float64(bytes), "central-bytes")
+				// Mean shards eligible to run concurrently per epoch: the
+				// speedup ceiling this workload offers, independent of the
+				// host's core count.
+				b.ReportMetric(float64(runs)/float64(epochs), "par-avail")
+			}
+		})
+	}
+}

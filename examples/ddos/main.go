@@ -13,11 +13,11 @@ import (
 	"time"
 
 	"farm/internal/core"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/harvest"
 	"farm/internal/netmodel"
 	"farm/internal/seeder"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 	"farm/internal/tasks"
 	"farm/internal/traffic"
@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 	sd := seeder.New(fab, seeder.Options{})
 

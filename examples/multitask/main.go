@@ -12,10 +12,10 @@ import (
 	"sort"
 	"time"
 
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
 	"farm/internal/seeder"
-	"farm/internal/simclock"
 	"farm/internal/tasks"
 	"farm/internal/traffic"
 )
@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 	sd := seeder.New(fab, seeder.Options{})
 

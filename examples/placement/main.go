@@ -12,11 +12,11 @@ import (
 	"sort"
 	"time"
 
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
 	"farm/internal/placement"
 	"farm/internal/seeder"
-	"farm/internal/simclock"
 	"farm/internal/tasks"
 )
 
@@ -46,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 	sd := seeder.New(fab, seeder.Options{MigrationCost: 0.1})
 

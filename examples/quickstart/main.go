@@ -12,11 +12,11 @@ import (
 	"time"
 
 	"farm/internal/core"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/harvest"
 	"farm/internal/netmodel"
 	"farm/internal/seeder"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 	"farm/internal/tasks"
 )
@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 
 	// 2. The seeder — FARM's centralized control instance. It creates a

@@ -14,10 +14,10 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/metrics"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 // Config parameterizes the deployment.
@@ -44,7 +44,7 @@ type Detection struct {
 // System is a deployed sFlow instance.
 type System struct {
 	fab  *fabric.Fabric
-	loop *simclock.Loop
+	loop engine.Scheduler
 	cfg  Config
 
 	// OnHH fires on each new detection (optional).
@@ -55,7 +55,7 @@ type System struct {
 	pendingHH  map[[2]int]bool // classified, awaiting the analysis tick
 	// collector state: last seen counters and arrival times
 	lastCounters map[[2]int]counterRecord
-	tickers      []*simclock.Ticker
+	tickers      []engine.Ticker
 	stopSamplers []func()
 	samplesRecv  uint64
 }
@@ -76,7 +76,7 @@ func Deploy(fab *fabric.Fabric, cfg Config) *System {
 	}
 	s := &System{
 		fab:          fab,
-		loop:         fab.Loop(),
+		loop:         fab.Sched(),
 		cfg:          cfg,
 		active:       map[[2]int]bool{},
 		pendingHH:    map[[2]int]bool{},

@@ -4,9 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 	"farm/internal/traffic"
 )
 
@@ -16,7 +16,7 @@ func testFabric(t *testing.T, leaves, hosts int) *fabric.Fabric {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fabric.New(topo, simclock.New(), fabric.Options{})
+	return fabric.New(topo, engine.NewSerial(), fabric.Options{})
 }
 
 func TestDetectsHeavyHitter(t *testing.T) {
@@ -31,7 +31,7 @@ func TestDetectsHeavyHitter(t *testing.T) {
 		HeavyRatio: 0.25, Seed: 1,
 	})
 	defer w.Stop()
-	fab.Loop().RunFor(500 * time.Millisecond)
+	fab.Sched().RunFor(500 * time.Millisecond)
 	dets := sys.Detections()
 	if len(dets) == 0 {
 		t.Fatal("no detections")
@@ -62,7 +62,7 @@ func TestNoFalsePositivesWithoutHeavy(t *testing.T) {
 		HeavyRatio: 0, Seed: 1,
 	})
 	defer w.Stop()
-	fab.Loop().RunFor(500 * time.Millisecond)
+	fab.Sched().RunFor(500 * time.Millisecond)
 	if dets := sys.Detections(); len(dets) != 0 {
 		t.Fatalf("false positives: %v", dets)
 	}
@@ -80,7 +80,7 @@ func TestCentralLoadScalesWithPorts(t *testing.T) {
 		})
 		defer sys.Stop()
 		snap := fab.CentralNet.Snapshot()
-		fab.Loop().RunFor(time.Second)
+		fab.Sched().RunFor(time.Second)
 		_, bps := fab.CentralNet.RateSince(snap)
 		return bps
 	}
@@ -102,7 +102,7 @@ func TestDetectionLatencyBoundedByIntervals(t *testing.T) {
 		HHThresholdBytesPerSec: 1e6,
 	})
 	defer sys.Stop()
-	loop := fab.Loop()
+	loop := fab.Sched()
 	loop.RunFor(300 * time.Millisecond) // baseline counters exist
 	start := loop.Now()
 	// Sudden heavy flow.
@@ -144,7 +144,7 @@ func TestPacketSamplingForwardsToCollector(t *testing.T) {
 		SrcPort: 1, DstPort: 80, Proto: 6, PacketSize: 500, Rate: 2000,
 	})
 	defer stop()
-	fab.Loop().RunFor(500 * time.Millisecond)
+	fab.Sched().RunFor(500 * time.Millisecond)
 	if sys.SamplesReceived() == 0 {
 		t.Fatal("no samples reached the collector")
 	}

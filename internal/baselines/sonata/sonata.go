@@ -19,9 +19,9 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 // ReduceOp is the aggregation applied per key within a window.
@@ -114,14 +114,14 @@ type Detection struct {
 // System is a deployed Sonata instance.
 type System struct {
 	fab  *fabric.Fabric
-	loop *simclock.Loop
+	loop engine.Scheduler
 	cfg  Config
 
 	// OnDetect fires per having-match (optional).
 	OnDetect func(Detection)
 
 	detections []Detection
-	tickers    []*simclock.Ticker
+	tickers    []engine.Ticker
 	stops      []func()
 	// exported counts records shipped to the stream processor.
 	exported uint64
@@ -140,7 +140,7 @@ func Deploy(fab *fabric.Fabric, queries []Query, cfg Config) *System {
 	if cfg.RecordBytes == 0 {
 		cfg.RecordBytes = 64
 	}
-	s := &System{fab: fab, loop: fab.Loop(), cfg: cfg}
+	s := &System{fab: fab, loop: fab.Sched(), cfg: cfg}
 	for _, swInfo := range fab.Topology().Switches() {
 		swID := swInfo.ID
 		for _, q := range queries {

@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 	"farm/internal/traffic"
 )
 
@@ -17,7 +17,7 @@ func testFabric(t *testing.T, leaves, hosts int) *fabric.Fabric {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fabric.New(topo, simclock.New(), fabric.Options{})
+	return fabric.New(topo, engine.NewSerial(), fabric.Options{})
 }
 
 func hhQuery(window time.Duration, threshold float64) Query {
@@ -42,7 +42,7 @@ func TestWindowedDetection(t *testing.T) {
 		PacketSize: 1000, Rate: 2000, // 2 MB/s >> threshold per window
 	})
 	defer stop()
-	fab.Loop().RunFor(time.Second)
+	fab.Sched().RunFor(time.Second)
 	dets := sys.Detections()
 	if len(dets) == 0 {
 		t.Fatal("no detections")
@@ -72,7 +72,7 @@ func TestDetectionLatencyDominatedByWindow(t *testing.T) {
 		PacketSize: 1500, Rate: 1000,
 	})
 	defer stop()
-	fab.Loop().RunFor(5 * time.Second)
+	fab.Sched().RunFor(5 * time.Second)
 	dets := sys.Detections()
 	if len(dets) == 0 {
 		t.Fatal("no detections")
@@ -114,7 +114,7 @@ func TestSwitchLocalOnly(t *testing.T) {
 		SrcPort: 2, DstPort: 80, Proto: dataplane.ProtoTCP, PacketSize: 1000, Rate: 500,
 	})
 	defer stop2()
-	fab.Loop().RunFor(time.Second)
+	fab.Sched().RunFor(time.Second)
 	topo := fab.Topology()
 	for _, d := range sys.Detections() {
 		name := topo.Switch(d.Switch).Name
@@ -135,7 +135,7 @@ func TestExportRespectsAggregationFactor(t *testing.T) {
 			SrcPort: 1, DstPort: 80, Proto: dataplane.ProtoTCP, PacketSize: 500, Rate: 1000,
 		})
 		defer stop()
-		fab.Loop().RunFor(time.Second)
+		fab.Sched().RunFor(time.Second)
 		return fab.CentralNet.Bytes()
 	}
 	high := run(0.75)
@@ -154,7 +154,7 @@ func TestIngestCounterWindow(t *testing.T) {
 	sys := Deploy(fab, nil, Config{AggregationFactor: 0.75})
 	defer sys.Stop()
 	sys.IngestCounterWindow(q, 0, map[int]float64{1: 5000, 2: 10})
-	fab.Loop().RunFor(time.Second)
+	fab.Sched().RunFor(time.Second)
 	dets := sys.Detections()
 	if len(dets) != 1 || dets[0].Key != "port:1" {
 		t.Fatalf("detections = %v", dets)
@@ -170,16 +170,16 @@ func TestStopSilences(t *testing.T) {
 		SrcPort: 1, DstPort: 80, Proto: dataplane.ProtoTCP, PacketSize: 100, Rate: 1000,
 	})
 	defer stop()
-	fab.Loop().RunFor(500 * time.Millisecond)
+	fab.Sched().RunFor(500 * time.Millisecond)
 	if len(sys.Detections()) == 0 {
 		t.Fatal("no detections before stop")
 	}
 	sys.Stop()
 	// Drain in-flight windows and micro-batches.
-	fab.Loop().RunFor(2 * time.Second)
+	fab.Sched().RunFor(2 * time.Second)
 	n := len(sys.Detections())
 	// Traffic keeps flowing, but no new windows may open.
-	fab.Loop().RunFor(2 * time.Second)
+	fab.Sched().RunFor(2 * time.Second)
 	if got := len(sys.Detections()); got != n {
 		t.Fatalf("detections kept flowing after Stop: %d -> %d", n, got)
 	}

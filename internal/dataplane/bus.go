@@ -3,7 +3,7 @@ package dataplane
 import (
 	"time"
 
-	"farm/internal/simclock"
+	"farm/internal/engine"
 )
 
 // Bus models the PCIe link between the switch management CPU and the
@@ -12,7 +12,7 @@ import (
 // the paper (8 Mbps polling vs. 100 Gbps ASIC, a 1:12500 ratio) it is
 // the first resource to congest (Fig. 8).
 type Bus struct {
-	loop        *simclock.Loop
+	sched       engine.Scheduler
 	bytesPerSec float64
 	busyUntil   time.Duration
 
@@ -29,19 +29,20 @@ type Bus struct {
 // 8 Mbps = 1e6 bytes/s.
 const DefaultPCIePollBytesPerSec = 1_000_000
 
-// NewBus returns a bus on the given loop with the given capacity in
+// NewBus returns a bus on the given scheduler (under the sharded
+// engine: the owning switch's shard view) with the given capacity in
 // bytes per second.
-func NewBus(loop *simclock.Loop, bytesPerSec float64) *Bus {
+func NewBus(sched engine.Scheduler, bytesPerSec float64) *Bus {
 	if bytesPerSec <= 0 {
 		bytesPerSec = DefaultPCIePollBytesPerSec
 	}
-	return &Bus{loop: loop, bytesPerSec: bytesPerSec}
+	return &Bus{sched: sched, bytesPerSec: bytesPerSec}
 }
 
 // Request enqueues a transfer of size bytes and calls fn when it
 // completes; fn receives the total latency (queueing + transfer).
 func (b *Bus) Request(size int, fn func(latency time.Duration)) {
-	now := b.loop.Now()
+	now := b.sched.Now()
 	start := now
 	if b.busyUntil > start {
 		start = b.busyUntil
@@ -59,16 +60,16 @@ func (b *Bus) Request(size int, fn func(latency time.Duration)) {
 	}
 	latency := done - now
 	if fn != nil {
-		b.loop.At(done, func() { fn(latency) })
+		b.sched.At(done, func() { fn(latency) })
 	}
 }
 
 // Backlog returns how far in the future the bus is already committed.
 func (b *Bus) Backlog() time.Duration {
-	if b.busyUntil <= b.loop.Now() {
+	if b.busyUntil <= b.sched.Now() {
 		return 0
 	}
-	return b.busyUntil - b.loop.Now()
+	return b.busyUntil - b.sched.Now()
 }
 
 // BusSnapshot is a point-in-time view of cumulative bus accounting.
@@ -84,7 +85,7 @@ type BusSnapshot struct {
 // Snapshot returns the cumulative counters.
 func (b *Bus) Snapshot() BusSnapshot {
 	return BusSnapshot{
-		At:       b.loop.Now(),
+		At:       b.sched.Now(),
 		Requests: b.requests,
 		Bytes:    b.bytes,
 		Busy:     b.busy,
@@ -97,7 +98,7 @@ func (b *Bus) Snapshot() BusSnapshot {
 // an earlier snapshot and now (may exceed 1 when the queue has built a
 // backlog beyond "now").
 func (b *Bus) UtilizationSince(prev BusSnapshot) float64 {
-	elapsed := b.loop.Now() - prev.At
+	elapsed := b.sched.Now() - prev.At
 	if elapsed <= 0 {
 		return 0
 	}

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"farm/internal/simclock"
+	"farm/internal/engine"
 )
 
 func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
@@ -237,7 +237,7 @@ func TestSamplerOneInN(t *testing.T) {
 }
 
 func TestBusSerializesTransfers(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	bus := NewBus(loop, 1000) // 1000 B/s -> 100 B takes 100 ms
 	var done []time.Duration
 	bus.Request(100, func(lat time.Duration) { done = append(done, loop.Now()) })
@@ -252,7 +252,7 @@ func TestBusSerializesTransfers(t *testing.T) {
 }
 
 func TestBusLatencyIncludesQueueing(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	bus := NewBus(loop, 1000)
 	var lats []time.Duration
 	bus.Request(100, func(l time.Duration) { lats = append(lats, l) })
@@ -271,7 +271,7 @@ func TestBusLatencyIncludesQueueing(t *testing.T) {
 // relation, i.e. busy == bytes / rate.
 func TestBusConservation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	rate := 50000.0
 	bus := NewBus(loop, rate)
 	total := 0
@@ -293,7 +293,7 @@ func TestBusConservation(t *testing.T) {
 }
 
 func TestBusUtilization(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	bus := NewBus(loop, 1000)
 	start := bus.Snapshot()
 	bus.Request(500, nil) // 500 ms of service
@@ -305,7 +305,7 @@ func TestBusUtilization(t *testing.T) {
 }
 
 func TestEmuDriverPollPortStats(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	sw := NewSwitch("sw0", 4, 16)
 	drv := NewEmuDriver(sw, NewBus(loop, DefaultPCIePollBytesPerSec))
 	// Traffic arrives while the poll is in flight; the response reflects
@@ -323,7 +323,7 @@ func TestEmuDriverPollPortStats(t *testing.T) {
 }
 
 func TestEmuDriverPollAllPorts(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	sw := NewSwitch("sw0", 8, 16)
 	drv := NewEmuDriver(sw, NewBus(loop, DefaultPCIePollBytesPerSec))
 	var got map[int]PortStats
@@ -335,7 +335,7 @@ func TestEmuDriverPollAllPorts(t *testing.T) {
 }
 
 func TestEmuDriverRuleLifecycle(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	sw := NewSwitch("sw0", 2, 16)
 	drv := NewEmuDriver(sw, NewBus(loop, DefaultPCIePollBytesPerSec))
 	f := Filter{DstPort: 80}
@@ -368,7 +368,7 @@ type sentinelError struct{}
 func (*sentinelError) Error() string { return "sentinel" }
 
 func TestEmuDriverSamplingDropsUnderBacklog(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	sw := NewSwitch("sw0", 2, 16)
 	bus := NewBus(loop, 1000) // tiny bus: 128 B sample = 128 ms
 	drv := NewEmuDriver(sw, bus)

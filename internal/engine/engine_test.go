@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// forEachEngine runs a subtest against both engine implementations. The
+// sharded engine runs with several shards and workers even though these
+// conformance tests schedule through the root view (shard 0), so epoch
+// bookkeeping is exercised.
+func forEachEngine(t *testing.T, fn func(t *testing.T, s Scheduler)) {
+	t.Run("serial", func(t *testing.T) { fn(t, NewSerial()) })
+	t.Run("sharded", func(t *testing.T) {
+		x := NewSharded(ShardedOptions{Shards: 4, Workers: 2, ForceWorkers: true})
+		t.Cleanup(x.Stop)
+		fn(t, x)
+	})
+}
+
+func TestAfterOrdering(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var got []int
+		l.After(3*time.Millisecond, func() { got = append(got, 3) })
+		l.After(1*time.Millisecond, func() { got = append(got, 1) })
+		l.After(2*time.Millisecond, func() { got = append(got, 2) })
+		l.RunFor(10 * time.Millisecond)
+		want := []int{1, 2, 3}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order = %v, want %v", got, want)
+			}
+		}
+		if l.Now() != 10*time.Millisecond {
+			t.Fatalf("now = %v, want 10ms", l.Now())
+		}
+	})
+}
+
+func TestSimultaneousFIFO(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var got []int
+		for i := 0; i < 5; i++ {
+			i := i
+			l.At(time.Millisecond, func() { got = append(got, i) })
+		}
+		l.RunFor(time.Millisecond)
+		for i := 0; i < 5; i++ {
+			if got[i] != i {
+				t.Fatalf("FIFO violated: %v", got)
+			}
+		}
+	})
+}
+
+func TestTimerStop(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		fired := false
+		tm := l.After(time.Millisecond, func() { fired = true })
+		if !tm.Stop() {
+			t.Fatal("Stop should report true before firing")
+		}
+		l.RunFor(5 * time.Millisecond)
+		if fired {
+			t.Fatal("stopped timer fired")
+		}
+		if tm.Stop() {
+			t.Fatal("second Stop should report false")
+		}
+	})
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		tm := l.After(time.Millisecond, func() {})
+		l.RunFor(2 * time.Millisecond)
+		if tm.Stop() {
+			t.Fatal("Stop after fire should report false")
+		}
+	})
+}
+
+func TestScheduleInPast(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		l.RunFor(10 * time.Millisecond)
+		fired := time.Duration(-1)
+		var now func() time.Duration = l.Now
+		l.At(time.Millisecond, func() { fired = now() })
+		l.RunFor(time.Millisecond)
+		if fired != 10*time.Millisecond {
+			t.Fatalf("past event fired at %v, want 10ms", fired)
+		}
+	})
+}
+
+func TestEvery(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var times []time.Duration
+		tk := l.Every(2*time.Millisecond, func() { times = append(times, l.Now()) })
+		l.RunFor(7 * time.Millisecond)
+		if len(times) != 3 {
+			t.Fatalf("fired %d times, want 3 (%v)", len(times), times)
+		}
+		for i, at := range times {
+			if want := time.Duration(i+1) * 2 * time.Millisecond; at != want {
+				t.Fatalf("fire %d at %v, want %v", i, at, want)
+			}
+		}
+		tk.Stop()
+		n := len(times)
+		l.RunFor(10 * time.Millisecond)
+		if len(times) != n {
+			t.Fatal("ticker fired after Stop")
+		}
+	})
+}
+
+func TestTickerSetInterval(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var times []time.Duration
+		tk := l.Every(10*time.Millisecond, func() { times = append(times, l.Now()) })
+		l.RunFor(10 * time.Millisecond) // first fire at 10ms
+		tk.SetInterval(time.Millisecond)
+		l.RunFor(3 * time.Millisecond) // fires at 11, 12, 13ms
+		if len(times) != 4 {
+			t.Fatalf("fired %d times, want 4 (%v)", len(times), times)
+		}
+		if times[1] != 11*time.Millisecond {
+			t.Fatalf("rescheduled fire at %v, want 11ms", times[1])
+		}
+		if tk.Interval() != time.Millisecond {
+			t.Fatalf("interval = %v", tk.Interval())
+		}
+	})
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		count := 0
+		var tk Ticker
+		tk = l.Every(time.Millisecond, func() {
+			count++
+			if count == 2 {
+				tk.Stop()
+			}
+		})
+		l.RunFor(10 * time.Millisecond)
+		if count != 2 {
+			t.Fatalf("count = %d, want 2", count)
+		}
+	})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var at time.Duration
+		l.After(time.Millisecond, func() {
+			l.After(time.Millisecond, func() { at = l.Now() })
+		})
+		l.RunFor(5 * time.Millisecond)
+		if at != 2*time.Millisecond {
+			t.Fatalf("nested event at %v, want 2ms", at)
+		}
+	})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		l.RunUntil(42 * time.Millisecond)
+		if l.Now() != 42*time.Millisecond {
+			t.Fatalf("now = %v", l.Now())
+		}
+		// RunUntil into the past must not rewind.
+		l.RunUntil(10 * time.Millisecond)
+		if l.Now() != 42*time.Millisecond {
+			t.Fatalf("clock rewound to %v", l.Now())
+		}
+	})
+}
+
+func TestDrainLimit(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		l.Every(time.Millisecond, func() {}) // self-perpetuating
+		if n := l.Drain(100); n != 100 {
+			t.Fatalf("drained %d, want 100", n)
+		}
+	})
+}
+
+func TestPending(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		if l.Pending() != 0 {
+			t.Fatal("fresh loop should have no events")
+		}
+		l.After(time.Millisecond, func() {})
+		l.After(2*time.Millisecond, func() {})
+		if l.Pending() != 2 {
+			t.Fatalf("pending = %d, want 2", l.Pending())
+		}
+		l.RunFor(5 * time.Millisecond)
+		if l.Pending() != 0 {
+			t.Fatalf("pending = %d after drain, want 0", l.Pending())
+		}
+	})
+}
+
+func TestEveryPanicsOnBadInterval(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		l.Every(0, func() {})
+	})
+}

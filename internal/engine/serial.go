@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Serial is the single-threaded discrete-event scheduler over virtual
+// time (formerly simclock.Loop). All scheduled callbacks run inline on
+// the goroutine that calls Run/Step. This mirrors the paper's preferred
+// seed execution model (seeds as threads of the soil process, §VI-E)
+// and keeps every experiment reproducible: FARM's evaluation quantities
+// — detection latency (Tab. 4), polling accuracy and CPU load
+// (Fig. 5/6), bus congestion (Fig. 8) — are all functions of poll
+// intervals, batch windows, and propagation delays, which a virtual
+// clock measures exactly while a simulated minute completes in
+// milliseconds of wall time.
+//
+// The zero value is ready to use, starting at virtual time 0.
+type Serial struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// NewSerial returns a fresh serial scheduler at virtual time 0.
+func NewSerial() *Serial { return &Serial{} }
+
+// Now returns the current virtual time.
+func (l *Serial) Now() time.Duration { return l.now }
+
+// Pending returns the number of scheduled (unfired, uncancelled) events.
+func (l *Serial) Pending() int { return len(l.events) }
+
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+// serialTimer is the Timer handle of the serial engine.
+type serialTimer struct{ ev *event }
+
+func (t *serialTimer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped {
+		return false
+	}
+	fired := t.ev.index < 0
+	t.ev.stopped = true
+	return !fired
+}
+
+// At implements Scheduler.
+func (l *Serial) At(at time.Duration, fn func()) Timer {
+	if at < l.now {
+		at = l.now
+	}
+	ev := &event{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &serialTimer{ev: ev}
+}
+
+// After implements Scheduler.
+func (l *Serial) After(d time.Duration, fn func()) Timer {
+	return l.At(l.now+d, fn)
+}
+
+// Every implements Scheduler.
+func (l *Serial) Every(interval time.Duration, fn func()) Ticker {
+	return EveryOn(l, interval, fn)
+}
+
+// Step runs the earliest pending event, advancing virtual time to it.
+// It reports whether an event ran.
+func (l *Serial) Step() bool {
+	for len(l.events) > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		l.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes all events scheduled at or before t, then advances
+// the clock to exactly t.
+func (l *Serial) RunUntil(t time.Duration) {
+	for len(l.events) > 0 && l.events[0].at <= t {
+		if !l.Step() {
+			break
+		}
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
+// RunFor advances the clock by d, processing everything in between.
+func (l *Serial) RunFor(d time.Duration) { l.RunUntil(l.now + d) }
+
+// Drain runs events until none remain or the limit is reached. It
+// returns the number of events processed.
+func (l *Serial) Drain(limit int) int {
+	n := 0
+	for n < limit && l.Step() {
+		n++
+	}
+	return n
+}
+
+// Shards implements Partitioned: a serial engine is one shard.
+func (l *Serial) Shards() int { return 1 }
+
+// Shard implements Partitioned.
+func (l *Serial) Shard(i int) Scheduler {
+	if i != 0 {
+		panic("engine: serial engine has a single shard")
+	}
+	return l
+}
+
+// CrossAfter implements Partitioned: with one shard there is nothing to
+// cross, so it degenerates to After.
+func (l *Serial) CrossAfter(from, to int, d time.Duration, fn func()) {
+	l.After(d, fn)
+}
+
+// eventHeap orders events by (at, seq) for deterministic FIFO behaviour
+// among simultaneous events.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

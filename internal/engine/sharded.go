@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ShardedOptions configures a sharded executor.
+type ShardedOptions struct {
+	// Shards is the number of event partitions. Consumers (the fabric)
+	// map each emulated switch to one shard; more shards than workers
+	// improves load balance. 0 means 2*Workers.
+	Shards int
+	// Workers is the number of worker goroutines executing shards
+	// concurrently within an epoch. 0 means GOMAXPROCS.
+	Workers int
+	// Lookahead is the conservative synchronization window: events
+	// within [T, T+Lookahead) execute in parallel across shards, so
+	// every cross-shard send must be delayed by at least Lookahead. The
+	// fabric's minimum cross-switch latency (min of hop latency and
+	// control base latency) is the natural choice. 0 means 50µs, the
+	// fabric's default minimum.
+	Lookahead time.Duration
+	// ForceWorkers dispatches epochs to the worker pool even when the
+	// process has a single CPU (where the executor normally degrades to
+	// running shards inline, since goroutine handoff without parallelism
+	// is pure overhead). Tests set it to exercise the concurrent path
+	// under the race detector on any machine.
+	ForceWorkers bool
+}
+
+// DefaultLookahead matches the default fabric's minimum cross-switch
+// latency (fabric.DefaultHopLatency).
+const DefaultLookahead = 50 * time.Microsecond
+
+// Sharded is a conservative-parallel discrete-event executor. Events
+// are partitioned into shards, each with its own heap, clock, and
+// sequence counter. Execution proceeds epoch-by-epoch: all shards with
+// events inside the current lookahead window run concurrently on worker
+// goroutines, then a barrier merges cross-shard sends into destination
+// heaps in a fixed (epoch, source shard, emission seq) order. Because
+// per-shard execution is a deterministic (time, seq) order and the
+// barrier merge is a deterministic order too, a run is reproducible —
+// and for state partitioned by shard it is identical to the serial
+// engine's output (see docs/engine.md for the argument).
+//
+// Sharded itself implements Scheduler; its At/After/Every/Now delegate
+// to shard 0, the conventional home of centralized components. Step,
+// RunUntil, RunFor, and Drain drive the epoch machinery and must be
+// called from one goroutine (the driver).
+type Sharded struct {
+	opts   ShardedOptions
+	shards []*shard
+	now    time.Duration
+
+	// epochEnd is the exclusive bound of the executing epoch, read by
+	// workers to enforce the lookahead contract. Written only while
+	// workers are idle; the work-channel send / WaitGroup pair orders
+	// the accesses.
+	epochEnd time.Duration
+	inEpoch  bool
+
+	work     chan *shard
+	wg       sync.WaitGroup
+	runnable []*shard
+	inline   bool
+	started  bool
+	stopped  bool
+
+	// epoch statistics, maintained by the driver.
+	epochs    uint64
+	shardRuns uint64
+}
+
+// shard is one event partition. Between epochs it is owned by the
+// driving goroutine; during an epoch it is owned by exactly one worker.
+type shard struct {
+	x      *Sharded
+	id     int
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	outbox []crossEvent
+	ran    int
+}
+
+type crossEvent struct {
+	to int
+	at time.Duration
+	fn func()
+}
+
+// NewSharded returns a sharded executor at virtual time 0.
+func NewSharded(opts ShardedOptions) *Sharded {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 2 * opts.Workers
+	}
+	if opts.Lookahead <= 0 {
+		opts.Lookahead = DefaultLookahead
+	}
+	x := &Sharded{opts: opts}
+	x.inline = opts.Workers == 1 || (runtime.GOMAXPROCS(0) == 1 && !opts.ForceWorkers)
+	x.shards = make([]*shard, opts.Shards)
+	for i := range x.shards {
+		x.shards[i] = &shard{x: x, id: i}
+	}
+	x.work = make(chan *shard, opts.Shards)
+	return x
+}
+
+// Shards implements Partitioned.
+func (x *Sharded) Shards() int { return x.opts.Shards }
+
+// Workers returns the worker goroutine count.
+func (x *Sharded) Workers() int { return x.opts.Workers }
+
+// Lookahead returns the conservative window. Consumers validate their
+// minimum cross-shard latency against it.
+func (x *Sharded) Lookahead() time.Duration { return x.opts.Lookahead }
+
+// EpochStats reports how many epochs have run and the total shard-runs
+// dispatched across them. Their ratio is the mean number of shards
+// eligible to execute concurrently per epoch — the executor's available
+// parallelism on this workload, independent of the host's core count.
+func (x *Sharded) EpochStats() (epochs, shardRuns uint64) {
+	return x.epochs, x.shardRuns
+}
+
+// Shard implements Partitioned.
+func (x *Sharded) Shard(i int) Scheduler { return x.shards[i] }
+
+// CrossAfter implements Partitioned: it buffers fn in shard from's
+// outbox for delivery on shard to at from's current time plus d. The
+// buffer is merged into to's heap at the next epoch barrier, so d must
+// be >= Lookahead when called from an executing event (enforced).
+func (x *Sharded) CrossAfter(from, to int, d time.Duration, fn func()) {
+	s := x.shards[from]
+	at := s.now + d
+	if x.inEpoch && at < x.epochEnd {
+		panic(fmt.Sprintf("engine: cross-shard delay %v below lookahead %v", d, x.opts.Lookahead))
+	}
+	s.outbox = append(s.outbox, crossEvent{to: to, at: at, fn: fn})
+}
+
+// Stop terminates the worker goroutines. The executor must not be used
+// afterwards. Safe to call multiple times.
+func (x *Sharded) Stop() {
+	if x.started && !x.stopped {
+		close(x.work)
+	}
+	x.stopped = true
+}
+
+func (x *Sharded) start() {
+	if x.started {
+		return
+	}
+	x.started = true
+	for i := 0; i < x.opts.Workers; i++ {
+		go func() {
+			for s := range x.work {
+				s.run(s.x.epochEnd)
+				s.x.wg.Done()
+			}
+		}()
+	}
+}
+
+// Now delegates to shard 0, like the other root Scheduler methods: it
+// returns the event time inside a shard-0 callback and the completed
+// global frontier between runs (advance raises every shard clock to the
+// frontier after each epoch).
+func (x *Sharded) Now() time.Duration { return x.shards[0].now }
+
+// At delegates to shard 0 (the home of centralized components).
+func (x *Sharded) At(at time.Duration, fn func()) Timer { return x.shards[0].At(at, fn) }
+
+// After delegates to shard 0.
+func (x *Sharded) After(d time.Duration, fn func()) Timer { return x.shards[0].After(d, fn) }
+
+// Every delegates to shard 0.
+func (x *Sharded) Every(interval time.Duration, fn func()) Ticker {
+	return EveryOn(x.shards[0], interval, fn)
+}
+
+// Pending returns scheduled events across all shards and outboxes.
+func (x *Sharded) Pending() int {
+	n := 0
+	for _, s := range x.shards {
+		n += len(s.events) + len(s.outbox)
+	}
+	return n
+}
+
+// nextEventTime returns the earliest pending event time, or -1 if none.
+func (x *Sharded) nextEventTime() time.Duration {
+	next := time.Duration(-1)
+	for _, s := range x.shards {
+		if len(s.events) > 0 && (next < 0 || s.events[0].at < next) {
+			next = s.events[0].at
+		}
+	}
+	return next
+}
+
+// RunUntil processes all events scheduled at or before t, then advances
+// every clock to exactly t.
+func (x *Sharded) RunUntil(t time.Duration) {
+	x.start()
+	x.merge()
+	for {
+		next := x.nextEventTime()
+		if next < 0 || next > t {
+			break
+		}
+		// Conservative window: events strictly before end are
+		// independent across shards because any cross-shard effect they
+		// emit arrives at >= next+Lookahead >= end. The final window is
+		// [next, t+1) so events at exactly t run (their cross effects
+		// land beyond t, outside this call).
+		end := next + x.opts.Lookahead
+		if end > t {
+			end = t + 1
+		}
+		x.runEpoch(end)
+		x.merge()
+		frontier := end
+		if frontier > t {
+			frontier = t
+		}
+		x.advance(frontier)
+	}
+	x.advance(t)
+}
+
+// RunFor advances the clock by d, processing everything in between.
+func (x *Sharded) RunFor(d time.Duration) { x.RunUntil(x.now + d) }
+
+// Step runs one epoch at the earliest pending event time. It reports
+// whether any event ran.
+func (x *Sharded) Step() bool {
+	x.start()
+	x.merge()
+	for {
+		next := x.nextEventTime()
+		if next < 0 {
+			return false
+		}
+		end := next + x.opts.Lookahead
+		ran := x.runEpoch(end)
+		x.merge()
+		x.advance(end)
+		if ran > 0 {
+			return true
+		}
+	}
+}
+
+// Drain runs epochs until no events remain or limit events have been
+// processed. It returns the number of events processed.
+func (x *Sharded) Drain(limit int) int {
+	x.start()
+	x.merge()
+	n := 0
+	for n < limit {
+		next := x.nextEventTime()
+		if next < 0 {
+			break
+		}
+		ran := x.runEpoch(next + x.opts.Lookahead)
+		x.merge()
+		x.advance(next + x.opts.Lookahead)
+		if ran == 0 && x.nextEventTime() < 0 {
+			break
+		}
+		n += ran
+	}
+	return n
+}
+
+// runEpoch executes every shard with events inside [_, end) and blocks
+// until all complete. It returns the number of events processed.
+func (x *Sharded) runEpoch(end time.Duration) int {
+	run := x.runnable[:0]
+	for _, s := range x.shards {
+		if len(s.events) > 0 && s.events[0].at < end {
+			run = append(run, s)
+		}
+	}
+	x.runnable = run
+	if len(run) == 0 {
+		return 0
+	}
+	x.epochEnd = end
+	x.inEpoch = true
+	x.epochs++
+	x.shardRuns += uint64(len(run))
+	if len(run) == 1 || x.inline {
+		// No parallelism to exploit; skip the handoff.
+		for _, s := range run {
+			s.run(end)
+		}
+	} else {
+		x.wg.Add(len(run))
+		for _, s := range run {
+			x.work <- s
+		}
+		x.wg.Wait()
+	}
+	x.inEpoch = false
+	total := 0
+	for _, s := range run {
+		total += s.ran
+	}
+	return total
+}
+
+// merge drains every outbox into the destination heaps in (source
+// shard, emission order) order, assigning destination sequence numbers
+// deterministically.
+func (x *Sharded) merge() {
+	for _, s := range x.shards {
+		for _, ce := range s.outbox {
+			d := x.shards[ce.to]
+			at := ce.at
+			if at < d.now {
+				at = d.now
+			}
+			ev := &event{at: at, seq: d.seq, fn: ce.fn}
+			d.seq++
+			heap.Push(&d.events, ev)
+		}
+		s.outbox = s.outbox[:0]
+	}
+}
+
+// advance raises every clock to at least t.
+func (x *Sharded) advance(t time.Duration) {
+	if x.now < t {
+		x.now = t
+	}
+	for _, s := range x.shards {
+		if s.now < t {
+			s.now = t
+		}
+	}
+}
+
+// run executes the shard's events strictly before end in (time, seq)
+// order. Called with exclusive ownership of the shard.
+func (s *shard) run(end time.Duration) {
+	s.ran = 0
+	for len(s.events) > 0 && s.events[0].at < end {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		s.ran++
+	}
+}
+
+// --- shard as a Scheduler view ---
+
+// Now returns the shard-local virtual time.
+func (s *shard) Now() time.Duration { return s.now }
+
+// At schedules fn on this shard. Must be called from an event executing
+// on this shard, or from the driving goroutine between runs.
+func (s *shard) At(at time.Duration, fn func()) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &serialTimer{ev: ev}
+}
+
+// After schedules fn on this shard after delay d.
+func (s *shard) After(d time.Duration, fn func()) Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules a periodic callback on this shard.
+func (s *shard) Every(interval time.Duration, fn func()) Ticker {
+	return EveryOn(s, interval, fn)
+}
+
+// Pending returns this shard's scheduled event count.
+func (s *shard) Pending() int { return len(s.events) }
+
+func (s *shard) Step() bool               { panic("engine: drive the root executor, not a shard view") }
+func (s *shard) RunUntil(t time.Duration) { panic("engine: drive the root executor, not a shard view") }
+func (s *shard) RunFor(d time.Duration)   { panic("engine: drive the root executor, not a shard view") }
+func (s *shard) Drain(limit int) int      { panic("engine: drive the root executor, not a shard view") }

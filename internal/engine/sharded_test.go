@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mix is a splitmix64-style hash step: the workload below uses it so a
+// node's digest depends on the exact (time, value) sequence it saw.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h += 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// nodeWorkload is a synthetic multi-node simulation written against the
+// Partitioned interface, mirroring how the fabric partitions switches:
+// every node's state is mutated only by events on its home shard, and
+// cross-node messages go through CrossAfter with a delay >= lookahead.
+// Cross messages merge into an XOR accumulator, so the digest is
+// insensitive to arrival order among same-time messages (which the
+// serial and sharded engines may interleave differently) but fully
+// sensitive to which tick observes each message.
+type nodeWorkload struct {
+	part  Partitioned
+	nodes int
+	hash  []uint64
+	inbox []uint64
+	count []uint64
+}
+
+const testLookahead = 50 * time.Microsecond
+
+func startNodes(part Partitioned, nodes int) *nodeWorkload {
+	w := &nodeWorkload{
+		part:  part,
+		nodes: nodes,
+		hash:  make([]uint64, nodes),
+		inbox: make([]uint64, nodes),
+		count: make([]uint64, nodes),
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		home := n % part.Shards()
+		s := part.Shard(home)
+		interval := 100*time.Microsecond + time.Duration(n)*7*time.Microsecond
+		s.Every(interval, func() {
+			w.hash[n] = mix(w.hash[n], uint64(n)<<32^uint64(s.Now()))
+			w.hash[n] = mix(w.hash[n], w.inbox[n])
+			w.inbox[n] = 0
+			w.count[n]++
+			if w.hash[n]%3 == 0 {
+				dst := int(w.hash[n] >> 8 % uint64(nodes))
+				v := w.hash[n]
+				// Arrivals land on a half-microsecond offset so they
+				// never collide with tick instants (which are whole
+				// microseconds): which tick observes a message is then
+				// identical across engines.
+				delay := testLookahead + 500*time.Nanosecond + time.Duration(w.hash[n]%97)*time.Microsecond
+				w.part.CrossAfter(home, dst%part.Shards(), delay, func() {
+					w.inbox[dst] ^= v
+				})
+			}
+		})
+	}
+	return w
+}
+
+func (w *nodeWorkload) digest() string {
+	h := uint64(0)
+	events := uint64(0)
+	for n := 0; n < w.nodes; n++ {
+		h = mix(h, w.hash[n])
+		h = mix(h, w.inbox[n])
+		events += w.count[n]
+	}
+	return fmt.Sprintf("digest=%016x events=%d", h, events)
+}
+
+// TestShardedMatchesSerial drives the same partitioned workload on the
+// serial engine and on sharded executors of several geometries and
+// requires byte-identical digests — the determinism property the
+// experiment pipeline relies on.
+func TestShardedMatchesSerial(t *testing.T) {
+	const nodes = 24
+	run := func(part Partitioned, sched Scheduler) string {
+		w := startNodes(part, nodes)
+		sched.RunFor(50 * time.Millisecond)
+		return w.digest()
+	}
+
+	serial := NewSerial()
+	want := run(serial, serial)
+
+	for _, geom := range []ShardedOptions{
+		{Shards: 1, Workers: 1},
+		{Shards: 5, Workers: 3, ForceWorkers: true},
+		{Shards: 24, Workers: 8, ForceWorkers: true},
+	} {
+		geom.Lookahead = testLookahead
+		x := NewSharded(geom)
+		got := run(x, x)
+		x.Stop()
+		if got != want {
+			t.Errorf("sharded %d/%d diverged:\n got %s\nwant %s", geom.Shards, geom.Workers, got, want)
+		}
+	}
+}
+
+// TestShardedRepeatable runs the same sharded workload twice and
+// requires identical digests (no dependence on goroutine scheduling).
+func TestShardedRepeatable(t *testing.T) {
+	run := func() string {
+		x := NewSharded(ShardedOptions{Shards: 7, Workers: 4, Lookahead: testLookahead, ForceWorkers: true})
+		defer x.Stop()
+		w := startNodes(x, 20)
+		x.RunFor(80 * time.Millisecond)
+		return w.digest()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("sharded runs diverged:\n run1 %s\n run2 %s", a, b)
+	}
+}
+
+// TestCrossMergeOrderDeterministic sends same-timestamp cross messages
+// from several shards to one destination and checks the delivery order
+// is the documented (source shard, emission order) merge order,
+// independent of worker count.
+func TestCrossMergeOrderDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		x := NewSharded(ShardedOptions{Shards: 4, Workers: workers, Lookahead: testLookahead, ForceWorkers: true})
+		var got []int
+		for sh := 3; sh >= 1; sh-- {
+			sh := sh
+			x.Shard(sh).At(0, func() {
+				for k := 0; k < 2; k++ {
+					k := k
+					x.CrossAfter(sh, 0, time.Millisecond, func() {
+						got = append(got, sh*10+k)
+					})
+				}
+			})
+		}
+		x.RunFor(2 * time.Millisecond)
+		x.Stop()
+		want := []int{10, 11, 20, 21, 30, 31}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d: merge order = %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestCrossBelowLookaheadPanics verifies the conservative contract is
+// enforced: emitting a cross-shard event that would land inside the
+// executing epoch is a bug in the caller.
+func TestCrossBelowLookaheadPanics(t *testing.T) {
+	x := NewSharded(ShardedOptions{Shards: 2, Workers: 1, Lookahead: testLookahead})
+	defer x.Stop()
+	x.Shard(0).After(time.Millisecond, func() {
+		x.CrossAfter(0, 1, time.Nanosecond, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	x.RunFor(2 * time.Millisecond)
+}
+
+// TestShardViewRunPanics: shard views schedule, the root drives.
+func TestShardViewRunPanics(t *testing.T) {
+	x := NewSharded(ShardedOptions{Shards: 2, Workers: 1})
+	defer x.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Shard(1).RunFor(time.Millisecond)
+}
+
+// TestSetupCrossDelivery: CrossAfter from the driving goroutine before
+// any run is merged at the next run start, regardless of delay.
+func TestSetupCrossDelivery(t *testing.T) {
+	x := NewSharded(ShardedOptions{Shards: 3, Workers: 2, Lookahead: testLookahead, ForceWorkers: true})
+	defer x.Stop()
+	fired := time.Duration(-1)
+	sh2 := x.Shard(2)
+	x.CrossAfter(0, 2, time.Microsecond, func() { fired = sh2.Now() })
+	x.RunFor(time.Millisecond)
+	if fired != time.Microsecond {
+		t.Fatalf("setup cross event fired at %v, want 1µs", fired)
+	}
+}

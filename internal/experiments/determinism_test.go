@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig4Deterministic renders a small Fig. 4 three times — twice on
+// the serial engine, once on the sharded executor — and requires all
+// three tables to be byte-identical. This is the regression gate for
+// the engine's determinism contract: parallel execution must not change
+// any reported number, only the wall-clock time it takes to produce it.
+func TestFig4Deterministic(t *testing.T) {
+	render := func(eng EngineConfig) string {
+		res, err := Fig4(Fig4Config{
+			PortCounts: []int{48, 96},
+			Duration:   2 * time.Second,
+			Churn:      time.Second,
+			Engine:     eng,
+		})
+		if err != nil {
+			t.Fatalf("Fig4: %v", err)
+		}
+		return res.Table().Render()
+	}
+
+	serial1 := render(EngineConfig{})
+	serial2 := render(EngineConfig{})
+	if serial1 != serial2 {
+		t.Fatalf("serial runs diverged:\n--- run 1\n%s\n--- run 2\n%s", serial1, serial2)
+	}
+	sharded := render(EngineConfig{Workers: 4})
+	if sharded != serial1 {
+		t.Fatalf("sharded run diverged from serial:\n--- serial\n%s\n--- sharded\n%s", serial1, sharded)
+	}
+}

@@ -16,9 +16,9 @@ import (
 	"time"
 
 	"farm/internal/almanac"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 // Row is one line of a rendered result table.
@@ -73,16 +73,49 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// newFabric builds the standard experiment fabric.
-func newFabric(spines, leaves, hostsPerLeaf int) (*fabric.Fabric, *simclock.Loop, error) {
+// EngineConfig selects the event executor an experiment runs on.
+type EngineConfig struct {
+	// Workers > 1 selects the sharded conservative-parallel executor
+	// with that many worker goroutines; 0 or 1 means the serial engine.
+	Workers int
+	// Shards is the event partition count under the sharded executor;
+	// 0 means one shard per switch.
+	Shards int
+}
+
+// Parallel reports whether the sharded executor is selected.
+func (c EngineConfig) Parallel() bool { return c.Workers > 1 }
+
+// newFabric builds the standard experiment fabric on the serial engine.
+func newFabric(spines, leaves, hostsPerLeaf int) (*fabric.Fabric, engine.Scheduler, error) {
+	fab, sched, _, err := newFabricOn(EngineConfig{}, spines, leaves, hostsPerLeaf)
+	return fab, sched, err
+}
+
+// newFabricOn builds the standard experiment fabric on the configured
+// engine. The returned stop func releases the sharded executor's
+// workers; call it when the run completes.
+func newFabricOn(eng EngineConfig, spines, leaves, hostsPerLeaf int) (*fabric.Fabric, engine.Scheduler, func(), error) {
 	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
 		Spines: spines, Leaves: leaves, HostsPerLeaf: hostsPerLeaf,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	loop := simclock.New()
-	return fabric.New(topo, loop, fabric.Options{}), loop, nil
+	if eng.Parallel() {
+		shards := eng.Shards
+		if shards == 0 {
+			shards = len(topo.Switches())
+		}
+		x := engine.NewSharded(engine.ShardedOptions{
+			Shards:    shards,
+			Workers:   eng.Workers,
+			Lookahead: fabric.Options{}.MinCrossLatency(),
+		})
+		return fabric.New(topo, x, fabric.Options{}), x, x.Stop, nil
+	}
+	loop := engine.NewSerial()
+	return fabric.New(topo, loop, fabric.Options{}), loop, func() {}, nil
 }
 
 // compileMachine parses Almanac source and compiles its sole machine.

@@ -53,6 +53,10 @@ type Fig4Config struct {
 	Churn      time.Duration
 	// Duration is the measured window per point; 0 means 20 s.
 	Duration time.Duration
+	// Engine selects the executor for the FARM runs. The sFlow and
+	// Sonata baselines poll every switch from a central loop, which is
+	// inherently cross-shard, so they always run serially.
+	Engine EngineConfig
 }
 
 // Fig4Point is one (system, ports) measurement.
@@ -156,10 +160,11 @@ func fig4Workload(fab *fabric.Fabric, cfg Fig4Config) *traffic.BulkWorkload {
 }
 
 func fig4FARM(leaves, hosts int, cfg Fig4Config) (Fig4Point, error) {
-	fab, loop, err := newFabric(2, leaves, hosts)
+	fab, loop, stop, err := newFabricOn(cfg.Engine, 2, leaves, hosts)
 	if err != nil {
 		return Fig4Point{}, err
 	}
+	defer stop()
 	sd := seeder.New(fab, seeder.Options{})
 	if err := sd.AddTask(seeder.TaskSpec{
 		Name: "hh", Source: farmChangeReportHH,

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/metrics"
-	"farm/internal/simclock"
 )
 
 // Fig5Config parameterizes the CPU-load-vs-flows comparison.
@@ -97,7 +97,7 @@ const fig5CompareCost = 100 * time.Nanosecond
 // fig5FARM: a seed polls `flows` rule counters every Accuracy period and
 // analyzes the deltas locally (threshold compare per rule).
 func fig5FARM(flows int, cfg Fig5Config) (float64, error) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	sw := dataplane.NewSwitch("bench", 8, flows+8)
 	bus := dataplane.NewBus(loop, 256*dataplane.DefaultPCIePollBytesPerSec)
 	cpu := metrics.NewCPUMeter(loop, 4)
@@ -142,7 +142,7 @@ func fig5FARM(flows int, cfg Fig5Config) (float64, error) {
 // (cost independent of the flow count) and exports every rule counter
 // unfiltered each period (serialize + ship, no analysis).
 func fig5SFlow(flows int, cfg Fig5Config) float64 {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	cpu := metrics.NewCPUMeter(loop, 4)
 	costs := metrics.DefaultCostModel()
 	samplesPerSec := cfg.TrafficPPS / float64(cfg.SampleOneInN)

@@ -6,9 +6,9 @@ import (
 
 	"farm/internal/core"
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 )
 
@@ -148,7 +148,7 @@ func fig6Run(v Fig6Variant, seeds int, duration time.Duration) (Fig6Point, error
 		netmodel.ResPoll: 1e9,
 	}
 	swID := topo.AddSwitch("bench", netmodel.Leaf, capacity)
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{
 		BusBytesPerSec: 64 * dataplane.DefaultPCIePollBytesPerSec,
 	})

@@ -6,9 +6,9 @@ import (
 
 	"farm/internal/core"
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 )
 
@@ -118,7 +118,7 @@ func fig8Run(seeds int, cfg Fig8Config, aggregate bool) (Fig8Point, error) {
 			return Fig8Point{}, err
 		}
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{}) // default 8 Mbps bus
 	s := soil.New(fab, swID, soil.Options{ExecModel: soil.Threads, Aggregation: aggregate})
 	s.SetSendFunc(func(soil.SeedRef, core.SendDest, core.Value) {})

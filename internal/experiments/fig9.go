@@ -6,9 +6,9 @@ import (
 
 	"farm/internal/core"
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 )
 
@@ -110,7 +110,7 @@ func fig9Run(seeds int, opts soil.Options, duration time.Duration) (Fig9Point, e
 			return Fig9Point{}, err
 		}
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{
 		BusBytesPerSec: 64 * dataplane.DefaultPCIePollBytesPerSec,
 	})

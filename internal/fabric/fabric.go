@@ -3,6 +3,15 @@
 // and CPU meter per topology switch, routes generated packets hop-by-hop
 // along ECMP paths, and models control-plane communication latency
 // between switches and centralized components.
+//
+// The fabric is the layer that maps the emulation onto the engine's
+// shards: every switch has a home shard (round-robin over sorted switch
+// IDs), all of a switch's state — its ASIC, TCAM, PCIe bus, CPU meter,
+// soil — is mutated only by events on that shard, and anything that
+// crosses switches (packet hops, control messages to/from the central
+// components, seed-to-seed sends) is routed through Partitioned.CrossAfter
+// so the sharded engine can merge it deterministically at epoch barriers.
+// Centralized components (seeder, harvesters, collectors) live on shard 0.
 package fabric
 
 import (
@@ -13,9 +22,9 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/metrics"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 // Options configures fabric construction.
@@ -46,10 +55,37 @@ const (
 	DefaultControlBaseLatency = 100 * time.Microsecond
 )
 
+// MinCrossLatency returns the smallest delay any cross-switch event can
+// carry under these options: the lesser of one forwarding hop and a
+// same-switch control round (ControlBaseLatency/2, see SwitchLatency).
+// A sharded engine's lookahead window must not exceed it.
+func (o Options) MinCrossLatency() time.Duration {
+	hop := o.HopLatency
+	if hop == 0 {
+		hop = DefaultHopLatency
+	}
+	base := o.ControlBaseLatency
+	if base == 0 {
+		base = DefaultControlBaseLatency
+	}
+	if hop < base/2 {
+		return hop
+	}
+	return base / 2
+}
+
+// padCounter is a per-shard event counter, padded so shards don't
+// false-share cache lines.
+type padCounter struct {
+	n uint64
+	_ [7]uint64
+}
+
 // Fabric is the assembled emulated data center.
 type Fabric struct {
 	topo  *netmodel.Topology
-	loop  *simclock.Loop
+	sched engine.Scheduler
+	part  engine.Partitioned
 	opts  Options
 	costs metrics.CostModel
 
@@ -61,18 +97,27 @@ type Fabric struct {
 	hostPorts map[netmodel.SwitchID]map[netmodel.HostID]int
 	numPorts  map[netmodel.SwitchID]int
 
+	// shardOf pins each switch to its home shard; shardScheds caches the
+	// per-shard scheduler views.
+	shardOf     map[netmodel.SwitchID]int
+	shardScheds []engine.Scheduler
+
 	// CentralNet meters all traffic into centralized components: the
-	// collector-bottleneck measurement of Fig. 4.
+	// collector-bottleneck measurement of Fig. 4. One lane per shard;
+	// senders add on their home lane at send time.
 	CentralNet *metrics.NetMeter
 
 	hopDist map[netmodel.SwitchID]int // hops to CentralAt
 
-	delivered uint64
-	dropped   uint64
+	delivered []padCounter // per shard
+	dropped   []padCounter // per shard
 }
 
-// New assembles a fabric over the topology.
-func New(topo *netmodel.Topology, loop *simclock.Loop, opts Options) *Fabric {
+// New assembles a fabric over the topology, scheduling onto sched. When
+// sched is partitioned with more than one shard (engine.Sharded),
+// switches are spread round-robin (in switch-ID order) across the
+// shards and every cross-switch interaction goes through CrossAfter.
+func New(topo *netmodel.Topology, sched engine.Scheduler, opts Options) *Fabric {
 	if opts.HopLatency == 0 {
 		opts.HopLatency = DefaultHopLatency
 	}
@@ -85,18 +130,47 @@ func New(topo *netmodel.Topology, loop *simclock.Loop, opts Options) *Fabric {
 	if opts.Costs == (metrics.CostModel{}) {
 		opts.Costs = metrics.DefaultCostModel()
 	}
+	part, ok := sched.(engine.Partitioned)
+	if !ok {
+		part = singleShard{sched}
+	}
+	if la, ok := sched.(interface{ Lookahead() time.Duration }); ok && part.Shards() > 1 {
+		if min := opts.MinCrossLatency(); la.Lookahead() > min {
+			panic(fmt.Sprintf("fabric: engine lookahead %v exceeds minimum cross-switch latency %v",
+				la.Lookahead(), min))
+		}
+	}
 	f := &Fabric{
-		topo:       topo,
-		loop:       loop,
-		opts:       opts,
-		costs:      opts.Costs,
-		switches:   make(map[netmodel.SwitchID]*dataplane.Switch),
-		drivers:    make(map[netmodel.SwitchID]*dataplane.EmuDriver),
-		cpus:       make(map[netmodel.SwitchID]*metrics.CPUMeter),
-		swPorts:    make(map[netmodel.SwitchID]map[netmodel.SwitchID]int),
-		hostPorts:  make(map[netmodel.SwitchID]map[netmodel.HostID]int),
-		numPorts:   make(map[netmodel.SwitchID]int),
-		CentralNet: metrics.NewNetMeter(loop),
+		topo:        topo,
+		sched:       sched,
+		part:        part,
+		opts:        opts,
+		costs:       opts.Costs,
+		switches:    make(map[netmodel.SwitchID]*dataplane.Switch),
+		drivers:     make(map[netmodel.SwitchID]*dataplane.EmuDriver),
+		cpus:        make(map[netmodel.SwitchID]*metrics.CPUMeter),
+		swPorts:     make(map[netmodel.SwitchID]map[netmodel.SwitchID]int),
+		hostPorts:   make(map[netmodel.SwitchID]map[netmodel.HostID]int),
+		numPorts:    make(map[netmodel.SwitchID]int),
+		shardOf:     make(map[netmodel.SwitchID]int),
+		shardScheds: make([]engine.Scheduler, part.Shards()),
+		CentralNet:  metrics.NewNetMeterLanes(sched, part.Shards()),
+		delivered:   make([]padCounter, part.Shards()),
+		dropped:     make([]padCounter, part.Shards()),
+	}
+	for i := range f.shardScheds {
+		f.shardScheds[i] = part.Shard(i)
+	}
+
+	// Home-shard assignment: round-robin in switch-ID order, so the
+	// mapping is independent of topology-map iteration order.
+	ids := make([]netmodel.SwitchID, 0, len(topo.Switches()))
+	for _, sw := range topo.Switches() {
+		ids = append(ids, sw.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		f.shardOf[id] = i % part.Shards()
 	}
 
 	// Port assignment: hosts first (in host-ID order), then neighbor
@@ -127,9 +201,10 @@ func New(topo *netmodel.Topology, loop *simclock.Loop, opts Options) *Fabric {
 		}
 		ds := dataplane.NewSwitch(sw.Name, port-1, tcamCap)
 		f.switches[sw.ID] = ds
-		bus := dataplane.NewBus(loop, opts.BusBytesPerSec)
+		home := f.shardScheds[f.shardOf[sw.ID]]
+		bus := dataplane.NewBus(home, opts.BusBytesPerSec)
 		f.drivers[sw.ID] = dataplane.NewEmuDriver(ds, bus)
-		f.cpus[sw.ID] = metrics.NewCPUMeter(loop, opts.CPUCores)
+		f.cpus[sw.ID] = metrics.NewCPUMeter(home, opts.CPUCores)
 	}
 
 	// BFS hop distance to the central attachment point.
@@ -148,8 +223,42 @@ func New(topo *netmodel.Topology, loop *simclock.Loop, opts Options) *Fabric {
 	return f
 }
 
-// Loop returns the simulation loop.
-func (f *Fabric) Loop() *simclock.Loop { return f.loop }
+// singleShard adapts a plain Scheduler to the Partitioned interface.
+type singleShard struct{ engine.Scheduler }
+
+func (s singleShard) Shards() int { return 1 }
+func (s singleShard) Shard(i int) engine.Scheduler {
+	if i != 0 {
+		panic("fabric: scheduler has a single shard")
+	}
+	return s.Scheduler
+}
+func (s singleShard) CrossAfter(from, to int, d time.Duration, fn func()) {
+	s.After(d, fn)
+}
+
+// Sched returns the root scheduler driving the fabric. Runs
+// (RunFor/RunUntil/Step/Drain) go through it.
+func (f *Fabric) Sched() engine.Scheduler { return f.sched }
+
+// Partition returns the shard-routing view of the scheduler.
+func (f *Fabric) Partition() engine.Partitioned { return f.part }
+
+// ShardOf returns the home shard of a switch.
+func (f *Fabric) ShardOf(id netmodel.SwitchID) int { return f.shardOf[id] }
+
+// SchedulerFor returns the scheduler view of a switch's home shard. All
+// events touching the switch's state must be scheduled through it.
+func (f *Fabric) SchedulerFor(id netmodel.SwitchID) engine.Scheduler {
+	return f.shardScheds[f.shardOf[id]]
+}
+
+// CentralShard is the home shard of the centralized components.
+const CentralShard = 0
+
+// CentralSched returns the scheduler view the centralized components
+// (seeder, harvesters, collectors) schedule through.
+func (f *Fabric) CentralSched() engine.Scheduler { return f.shardScheds[CentralShard] }
 
 // Topology returns the underlying topology.
 func (f *Fabric) Topology() *netmodel.Topology { return f.topo }
@@ -182,10 +291,24 @@ func (f *Fabric) PortToward(sw, nb netmodel.SwitchID) (int, bool) {
 }
 
 // Delivered returns the number of packets that reached their last hop.
-func (f *Fabric) Delivered() uint64 { return f.delivered }
+// Summed over per-shard counters; read it while the engine is quiescent.
+func (f *Fabric) Delivered() uint64 {
+	var n uint64
+	for i := range f.delivered {
+		n += f.delivered[i].n
+	}
+	return n
+}
 
 // DroppedInFabric returns packets dropped by TCAM rules en route.
-func (f *Fabric) DroppedInFabric() uint64 { return f.dropped }
+// Summed over per-shard counters; read it while the engine is quiescent.
+func (f *Fabric) DroppedInFabric() uint64 {
+	var n uint64
+	for i := range f.dropped {
+		n += f.dropped[i].n
+	}
+	return n
+}
 
 // PathFor returns the ECMP path a flow takes between two hosts,
 // selected deterministically by flow hash.
@@ -211,6 +334,10 @@ func (f *Fabric) PathFor(p dataplane.Packet) (netmodel.Path, error) {
 // Send injects a packet at its source host's leaf and forwards it
 // hop-by-hop along its ECMP path, applying each switch's TCAM. The
 // packet is dropped mid-path if a rule says so.
+//
+// Under a sharded engine, Send must be called either from an event on
+// the source leaf's home shard (traffic.BulkWorkload arranges this) or
+// from the driving goroutine between runs.
 func (f *Fabric) Send(p dataplane.Packet) error {
 	path, err := f.PathFor(p)
 	if err != nil {
@@ -236,14 +363,15 @@ func (f *Fabric) Send(p dataplane.Packet) error {
 		}
 		v := f.switches[sw].Inject(p, inPort, outPort)
 		if v.Dropped {
-			f.dropped++
+			f.dropped[f.shardOf[sw]].n++
 			return
 		}
 		if i == len(path)-1 {
-			f.delivered++
+			f.delivered[f.shardOf[sw]].n++
 			return
 		}
-		f.loop.After(f.opts.HopLatency, func() { step(i + 1) })
+		f.part.CrossAfter(f.shardOf[sw], f.shardOf[path[i+1]], f.opts.HopLatency,
+			func() { step(i + 1) })
 	}
 	step(0)
 	return nil
@@ -293,26 +421,29 @@ const MTU = 1400
 // SendToCentral models a control message from a switch to a centralized
 // component: it meters the bytes (and MTU-derived packet count) on the
 // central links, charges serialization cost to the switch CPU, and
-// delivers fn after the control latency.
+// delivers fn on the central shard after the control latency. It must be
+// called from the sending switch's home shard (or between runs).
 func (f *Fabric) SendToCentral(from netmodel.SwitchID, bytes int, fn func()) {
 	pkts := (bytes + MTU - 1) / MTU
 	if pkts < 1 {
 		pkts = 1
 	}
-	f.CentralNet.Add(pkts, bytes)
+	home := f.shardOf[from]
+	f.CentralNet.AddLane(home, pkts, bytes)
 	f.cpus[from].Charge(time.Duration(bytes) * f.costs.SerializePerByte)
-	f.loop.After(f.ControlLatency(from), fn)
+	f.part.CrossAfter(home, CentralShard, f.ControlLatency(from), fn)
 }
 
 // SendFromCentral models a control message from a centralized component
-// to a switch CPU.
+// to a switch CPU; fn is delivered on the switch's home shard.
 func (f *Fabric) SendFromCentral(to netmodel.SwitchID, bytes int, fn func()) {
-	f.loop.After(f.ControlLatency(to), fn)
+	f.part.CrossAfter(CentralShard, f.shardOf[to], f.ControlLatency(to), fn)
 }
 
 // SendSwitchToSwitch models a control message between two switch CPUs
-// (seed-to-seed communication, §II-C-b).
+// (seed-to-seed communication, §II-C-b). It must be called from the
+// sending switch's home shard; fn is delivered on the receiver's.
 func (f *Fabric) SendSwitchToSwitch(from, to netmodel.SwitchID, bytes int, fn func()) {
 	f.cpus[from].Charge(time.Duration(bytes) * f.costs.SerializePerByte)
-	f.loop.After(f.SwitchLatency(from, to), fn)
+	f.part.CrossAfter(f.shardOf[from], f.shardOf[to], f.SwitchLatency(from, to), fn)
 }

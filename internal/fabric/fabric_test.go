@@ -5,17 +5,17 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
-func testFabric(t *testing.T, spines, leaves, hosts int) (*Fabric, *simclock.Loop) {
+func testFabric(t *testing.T, spines, leaves, hosts int) (*Fabric, engine.Scheduler) {
 	t.Helper()
 	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{Spines: spines, Leaves: leaves, HostsPerLeaf: hosts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	return New(topo, loop, Options{}), loop
 }
 

@@ -9,25 +9,34 @@
 // and every control-plane message adds to a NetMeter. Costs are charged
 // per actually-executed operation, so load curves inherit their shape
 // from real execution counts, not from closed-form formulas.
+//
+// Concurrency contract under the sharded engine: a CPUMeter belongs to
+// one switch and is only mutated by events on that switch's home shard.
+// A NetMeter aggregates writers from many shards through per-shard
+// lanes — each lane has a single writer, and the summed counters are
+// read only while the workers are quiescent (between runs, or at epoch
+// barriers), so no lock or atomic sits on the hot path.
 package metrics
 
 import (
 	"time"
 
-	"farm/internal/simclock"
+	"farm/internal/engine"
 )
 
-// CPUMeter accumulates busy time for one switch management CPU.
+// CPUMeter accumulates busy time for one switch management CPU. It is
+// mutated only from its owning shard and reads time from that shard's
+// clock.
 type CPUMeter struct {
-	loop  *simclock.Loop
+	clock engine.Clock
 	cores float64
 	busy  time.Duration
 }
 
 // NewCPUMeter returns a meter for a CPU with the given core count
 // (4 cores = a load ceiling of 400% in the paper's plots).
-func NewCPUMeter(loop *simclock.Loop, cores float64) *CPUMeter {
-	return &CPUMeter{loop: loop, cores: cores}
+func NewCPUMeter(clock engine.Clock, cores float64) *CPUMeter {
+	return &CPUMeter{clock: clock, cores: cores}
 }
 
 // Cores returns the core count.
@@ -51,7 +60,7 @@ type CPUSnapshot struct {
 
 // Snapshot captures the current counters.
 func (m *CPUMeter) Snapshot() CPUSnapshot {
-	return CPUSnapshot{At: m.loop.Now(), Busy: m.busy}
+	return CPUSnapshot{At: m.clock.Now(), Busy: m.busy}
 }
 
 // LoadSince returns the CPU load since an earlier snapshot, where 1.0
@@ -59,7 +68,7 @@ func (m *CPUMeter) Snapshot() CPUSnapshot {
 // Cores() — that is the "CPU unable to handle all seeds" regime of
 // Fig. 6c, where demanded work outstrips the processor.
 func (m *CPUMeter) LoadSince(prev CPUSnapshot) float64 {
-	elapsed := m.loop.Now() - prev.At
+	elapsed := m.clock.Now() - prev.At
 	if elapsed <= 0 {
 		return 0
 	}
@@ -116,30 +125,66 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// NetMeter counts control-plane traffic crossing a measurement point
-// (e.g., the links into a central collector).
-type NetMeter struct {
-	loop    *simclock.Loop
+// netLane is one writer's slice of a NetMeter, padded out to a cache
+// line so lanes written by different worker goroutines don't false-share.
+type netLane struct {
 	packets uint64
 	bytes   uint64
+	_       [6]uint64
 }
 
-// NewNetMeter returns a meter on the given loop.
-func NewNetMeter(loop *simclock.Loop) *NetMeter {
-	return &NetMeter{loop: loop}
+// NetMeter counts control-plane traffic crossing a measurement point
+// (e.g., the links into a central collector). Writers on different
+// shards add into distinct lanes; totals are the sum over lanes, read
+// while writers are quiescent.
+type NetMeter struct {
+	clock engine.Clock
+	lanes []netLane
 }
 
-// Add records a message of the given wire size.
-func (m *NetMeter) Add(packets int, bytes int) {
-	m.packets += uint64(packets)
-	m.bytes += uint64(bytes)
+// NewNetMeter returns a single-lane meter on the given clock.
+func NewNetMeter(clock engine.Clock) *NetMeter {
+	return NewNetMeterLanes(clock, 1)
 }
 
-// Packets returns the cumulative packet count.
-func (m *NetMeter) Packets() uint64 { return m.packets }
+// NewNetMeterLanes returns a meter with one lane per writer shard.
+func NewNetMeterLanes(clock engine.Clock, lanes int) *NetMeter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &NetMeter{clock: clock, lanes: make([]netLane, lanes)}
+}
 
-// Bytes returns the cumulative byte count.
-func (m *NetMeter) Bytes() uint64 { return m.bytes }
+// Lanes returns the lane count.
+func (m *NetMeter) Lanes() int { return len(m.lanes) }
+
+// Add records a message of the given wire size on lane 0.
+func (m *NetMeter) Add(packets int, bytes int) { m.AddLane(0, packets, bytes) }
+
+// AddLane records a message on the caller's lane. Each lane must have at
+// most one concurrent writer (under the sharded engine: the lane's shard).
+func (m *NetMeter) AddLane(lane, packets, bytes int) {
+	m.lanes[lane].packets += uint64(packets)
+	m.lanes[lane].bytes += uint64(bytes)
+}
+
+// Packets returns the cumulative packet count across lanes.
+func (m *NetMeter) Packets() uint64 {
+	var n uint64
+	for i := range m.lanes {
+		n += m.lanes[i].packets
+	}
+	return n
+}
+
+// Bytes returns the cumulative byte count across lanes.
+func (m *NetMeter) Bytes() uint64 {
+	var n uint64
+	for i := range m.lanes {
+		n += m.lanes[i].bytes
+	}
+	return n
+}
 
 // NetSnapshot is a point-in-time view of a NetMeter.
 type NetSnapshot struct {
@@ -150,15 +195,15 @@ type NetSnapshot struct {
 
 // Snapshot captures the current counters.
 func (m *NetMeter) Snapshot() NetSnapshot {
-	return NetSnapshot{At: m.loop.Now(), Packets: m.packets, Bytes: m.bytes}
+	return NetSnapshot{At: m.clock.Now(), Packets: m.Packets(), Bytes: m.Bytes()}
 }
 
 // RateSince returns packets/s and bytes/s since an earlier snapshot.
 func (m *NetMeter) RateSince(prev NetSnapshot) (pktPerSec, bytesPerSec float64) {
-	elapsed := m.loop.Now() - prev.At
+	elapsed := m.clock.Now() - prev.At
 	if elapsed <= 0 {
 		return 0, 0
 	}
 	secs := elapsed.Seconds()
-	return float64(m.packets-prev.Packets) / secs, float64(m.bytes-prev.Bytes) / secs
+	return float64(m.Packets()-prev.Packets) / secs, float64(m.Bytes()-prev.Bytes) / secs
 }

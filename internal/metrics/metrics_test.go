@@ -4,11 +4,11 @@ import (
 	"testing"
 	"time"
 
-	"farm/internal/simclock"
+	"farm/internal/engine"
 )
 
 func TestCPUMeterLoad(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	m := NewCPUMeter(loop, 4)
 	snap := m.Snapshot()
 	loop.RunFor(time.Second)
@@ -22,7 +22,7 @@ func TestCPUMeterLoad(t *testing.T) {
 }
 
 func TestCPUMeterSaturation(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	m := NewCPUMeter(loop, 2)
 	snap := m.Snapshot()
 	loop.RunFor(100 * time.Millisecond)
@@ -36,7 +36,7 @@ func TestCPUMeterSaturation(t *testing.T) {
 }
 
 func TestCPUMeterNegativeChargeIgnored(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	m := NewCPUMeter(loop, 1)
 	m.Charge(-time.Second)
 	if m.Busy() != 0 {
@@ -45,7 +45,7 @@ func TestCPUMeterNegativeChargeIgnored(t *testing.T) {
 }
 
 func TestCPUMeterZeroElapsed(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	m := NewCPUMeter(loop, 1)
 	snap := m.Snapshot()
 	m.Charge(time.Millisecond)
@@ -55,7 +55,7 @@ func TestCPUMeterZeroElapsed(t *testing.T) {
 }
 
 func TestNetMeterRates(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	m := NewNetMeter(loop)
 	snap := m.Snapshot()
 	m.Add(10, 1500)
@@ -83,5 +83,22 @@ func TestDefaultCostModelSane(t *testing.T) {
 	}
 	if cm.MLIteration <= cm.HandlerDispatch {
 		t.Fatal("an ML iteration must dominate a handler dispatch")
+	}
+}
+
+func TestNetMeterLanes(t *testing.T) {
+	loop := engine.NewSerial()
+	m := NewNetMeterLanes(loop, 4)
+	snap := m.Snapshot()
+	m.AddLane(0, 1, 100)
+	m.AddLane(3, 2, 200)
+	m.AddLane(3, 1, 50)
+	if m.Packets() != 4 || m.Bytes() != 350 {
+		t.Fatalf("totals = %d pkts, %d bytes", m.Packets(), m.Bytes())
+	}
+	loop.RunFor(time.Second)
+	pps, bps := m.RateSince(snap)
+	if pps != 4 || bps != 350 {
+		t.Fatalf("rates = %g pps, %g bps", pps, bps)
 	}
 }

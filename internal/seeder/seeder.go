@@ -250,7 +250,7 @@ func (sd *Seeder) Reoptimize() error { return sd.optimizeAndApply() }
 // emulated fabric a periodic sweep plays that role. Returns a stop
 // function.
 func (sd *Seeder) StartAutoReoptimize(interval time.Duration) (stop func()) {
-	tk := sd.fab.Loop().Every(interval, func() {
+	tk := sd.fab.CentralSched().Every(interval, func() {
 		if err := sd.optimizeAndApply(); err != nil {
 			sd.logf("seeder: auto reoptimize: %v", err)
 		}
@@ -672,7 +672,7 @@ func (sd *Seeder) migrateSeed(s *seedInst, a placement.Assignment) error {
 	target := sd.soils[a.Switch]
 	machine := s.machine
 	ext := s.externals
-	sd.fab.Loop().After(delay, func() {
+	sd.fab.CentralSched().After(delay, func() {
 		if err := target.RestoreSeed(ref, machine, ext, a.Alloc, snap); err != nil {
 			sd.logf("seeder: migration restore %s: %v", s.id, err)
 		}
@@ -773,7 +773,7 @@ func (c *harvesterCtx) SendToSeeds(machine, switchName string, v core.Value) {
 }
 
 // Now implements harvest.Context.
-func (c *harvesterCtx) Now() time.Duration { return c.sd.fab.Loop().Now() }
+func (c *harvesterCtx) Now() time.Duration { return c.sd.fab.CentralSched().Now() }
 
 // Log implements harvest.Context.
 func (c *harvesterCtx) Log(format string, args ...any) { c.sd.logf(format, args...) }

@@ -6,10 +6,10 @@ import (
 	"time"
 
 	"farm/internal/core"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/harvest"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 	"farm/internal/soil"
 )
 
@@ -56,13 +56,13 @@ machine HH {
 }
 `
 
-func testSetup(t *testing.T, spines, leaves, hosts int) (*fabric.Fabric, *simclock.Loop) {
+func testSetup(t *testing.T, spines, leaves, hosts int) (*fabric.Fabric, engine.Scheduler) {
 	t.Helper()
 	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{Spines: spines, Leaves: leaves, HostsPerLeaf: hosts})
 	if err != nil {
 		t.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	return fabric.New(topo, loop, fabric.Options{}), loop
 }
 

@@ -13,10 +13,10 @@ import (
 	"farm/internal/almanac"
 	"farm/internal/core"
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/metrics"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 // ExecModel selects how seeds execute (§VI-E): as threads of the soil
@@ -77,7 +77,7 @@ type ExecFunc func(command string, arg core.Value) (core.Value, error)
 type Soil struct {
 	swID   netmodel.SwitchID
 	name   string
-	loop   *simclock.Loop
+	loop   engine.Scheduler
 	driver *dataplane.EmuDriver
 	cpu    *metrics.CPUMeter
 	costs  metrics.CostModel
@@ -108,7 +108,7 @@ func New(fab *fabric.Fabric, swID netmodel.SwitchID, opts Options) *Soil {
 	return &Soil{
 		swID:     swID,
 		name:     sw.Name,
-		loop:     fab.Loop(),
+		loop:     fab.SchedulerFor(swID),
 		driver:   fab.Driver(swID),
 		cpu:      fab.CPU(swID),
 		costs:    fab.Costs(),
@@ -166,7 +166,7 @@ type seedRuntime struct {
 	polls map[string]*almanac.PollInfo
 	subs  []*pollSub
 	// timers for time triggers and probe rate limiting
-	timeTickers map[string]*simclock.Ticker
+	timeTickers map[string]engine.Ticker
 	stopProbes  []func()
 	rulesOwned  int
 }
@@ -237,7 +237,7 @@ type pollGroup struct {
 	soil    *Soil
 	subject subject
 	subs    []*pollSub
-	ticker  *simclock.Ticker
+	ticker  engine.Ticker
 }
 
 func (g *pollGroup) minInterval() time.Duration {
@@ -389,7 +389,7 @@ func (s *Soil) deploy(ref SeedRef, cm *almanac.CompiledMachine, externals map[st
 		ref:         ref,
 		alloc:       alloc.Clone(),
 		polls:       map[string]*almanac.PollInfo{},
-		timeTickers: map[string]*simclock.Ticker{},
+		timeTickers: map[string]engine.Ticker{},
 	}
 	host := &seedHost{soil: s, rt: rt}
 	seed, err := core.NewSeed(cm, externals, host)

@@ -8,9 +8,9 @@ import (
 	"farm/internal/almanac"
 	"farm/internal/core"
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 const hhSource = `
@@ -56,13 +56,13 @@ machine HH {
 }
 `
 
-func testEnv(t *testing.T) (*fabric.Fabric, *simclock.Loop) {
+func testEnv(t *testing.T) (*fabric.Fabric, engine.Scheduler) {
 	t.Helper()
 	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{Spines: 1, Leaves: 2, HostsPerLeaf: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	return fabric.New(topo, loop, fabric.Options{}), loop
 }
 

@@ -7,10 +7,10 @@ import (
 
 	"farm/internal/almanac"
 	"farm/internal/core"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
 	"farm/internal/seeder"
-	"farm/internal/simclock"
 	"farm/internal/traffic"
 )
 
@@ -96,7 +96,7 @@ func TestByName(t *testing.T) {
 
 type env struct {
 	fab  *fabric.Fabric
-	loop *simclock.Loop
+	loop engine.Scheduler
 	sd   *seeder.Seeder
 	gen  *traffic.Generator
 }
@@ -107,7 +107,7 @@ func newEnv(t *testing.T, leaves, hosts int) *env {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 	return &env{
 		fab:  fab,

@@ -12,12 +12,13 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 // FlowSpec describes one generated flow.
@@ -43,15 +44,20 @@ func (s FlowSpec) packet() dataplane.Packet {
 
 // Generator drives workloads onto a fabric. Seeded deterministically:
 // the same seed yields the same packet sequence.
+//
+// Generators schedule on the root scheduler and inject packets at
+// arbitrary leaves, so they are serial-engine only; the sharded engine's
+// scalable workload is BulkWorkload, which ticks on each switch's home
+// shard.
 type Generator struct {
 	fab  *fabric.Fabric
-	loop *simclock.Loop
+	loop engine.Scheduler
 	rng  *rand.Rand
 }
 
 // NewGenerator returns a generator over the fabric.
 func NewGenerator(fab *fabric.Fabric, seed int64) *Generator {
-	return &Generator{fab: fab, loop: fab.Loop(), rng: rand.New(rand.NewSource(seed))}
+	return &Generator{fab: fab, loop: fab.Sched(), rng: rand.New(rand.NewSource(seed))}
 }
 
 // Rand exposes the generator's deterministic source for scenario code.
@@ -242,23 +248,39 @@ type PortLoad struct {
 }
 
 // BulkWorkload drives port counters directly at a configurable tick,
-// scaling to thousands of ports with one event per tick. Heavy-hitter
-// experiments flip a fraction of ports to a heavy rate and re-pick that
-// set periodically (churn), matching the paper's production observations
-// (1-10% of ports heavy, ratio changing up to once a minute).
+// scaling to thousands of ports with one event per switch per tick.
+// Heavy-hitter experiments flip a fraction of ports to a heavy rate and
+// re-pick that set periodically (churn), matching the paper's production
+// observations (1-10% of ports heavy, ratio changing up to once a
+// minute).
+//
+// The workload is shard-safe: each switch's ports are credited by a
+// ticker on that switch's home shard, and the heavy set for a churn
+// epoch is a pure function of (seed, epoch) — a seeded ranking every
+// switch recomputes locally — so no shard reads state another mutates.
 type BulkWorkload struct {
-	fab  *fabric.Fabric
-	loop *simclock.Loop
-	rng  *rand.Rand
+	fab *fabric.Fabric
 
 	Tick      time.Duration
 	BaseRate  float64 // bytes/s on a normal port
 	HeavyRate float64 // bytes/s on a heavy port
 	PktSize   int
 
-	ports  []PortLoad // all driven ports, base rates
-	heavy  map[int]bool
-	ticker *simclock.Ticker
+	seed  int64
+	ratio float64
+	churn time.Duration
+
+	ports    []PortLoad // all driven ports, base rates, in host order
+	switches []*bulkSwitch
+	tickers  []engine.Ticker
+}
+
+// bulkSwitch is the per-switch slice of a BulkWorkload, owned by the
+// switch's home shard.
+type bulkSwitch struct {
+	id    netmodel.SwitchID
+	idx   []int        // global port indices driven on this switch
+	heavy map[int]bool // global port index -> heavy, for this epoch
 }
 
 // BulkConfig configures NewBulkWorkload.
@@ -289,46 +311,116 @@ func NewBulkWorkload(fab *fabric.Fabric, cfg BulkConfig) *BulkWorkload {
 	}
 	w := &BulkWorkload{
 		fab:       fab,
-		loop:      fab.Loop(),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		Tick:      cfg.Tick,
 		BaseRate:  cfg.BaseRate,
 		HeavyRate: cfg.HeavyRate,
 		PktSize:   cfg.PacketSize,
-		heavy:     map[int]bool{},
+		seed:      cfg.Seed,
+		ratio:     cfg.HeavyRatio,
+		churn:     cfg.Churn,
 	}
 	topo := fab.Topology()
+	bySwitch := map[netmodel.SwitchID]*bulkSwitch{}
 	for _, h := range topo.Hosts() {
 		if port, ok := fab.HostPort(h.Leaf, h.ID); ok {
+			bs := bySwitch[h.Leaf]
+			if bs == nil {
+				bs = &bulkSwitch{id: h.Leaf}
+				bySwitch[h.Leaf] = bs
+				w.switches = append(w.switches, bs)
+			}
+			bs.idx = append(bs.idx, len(w.ports))
 			w.ports = append(w.ports, PortLoad{Switch: h.Leaf, Port: port, BytesPerSec: cfg.BaseRate, PacketSize: cfg.PacketSize})
 		}
 	}
-	w.pickHeavy(cfg.HeavyRatio)
-	w.ticker = w.loop.Every(cfg.Tick, w.tick)
-	if cfg.Churn > 0 {
-		ratio := cfg.HeavyRatio
-		w.loop.Every(cfg.Churn, func() { w.pickHeavy(ratio) })
+	sort.Slice(w.switches, func(i, j int) bool { return w.switches[i].id < w.switches[j].id })
+
+	epoch := w.epochAt(fab.Sched().Now())
+	for _, bs := range w.switches {
+		bs := bs
+		sched := fab.SchedulerFor(bs.id)
+		bs.heavy = w.heavyFor(bs, epoch)
+		w.tickers = append(w.tickers, sched.Every(cfg.Tick, func() { w.tick(bs) }))
+		if cfg.Churn > 0 {
+			w.tickers = append(w.tickers, sched.Every(cfg.Churn, func() {
+				bs.heavy = w.heavyFor(bs, w.epochAt(sched.Now()))
+			}))
+		}
 	}
 	return w
 }
 
-func (w *BulkWorkload) pickHeavy(ratio float64) {
-	w.heavy = map[int]bool{}
-	n := int(ratio * float64(len(w.ports)))
-	for _, i := range w.rng.Perm(len(w.ports))[:n] {
-		w.heavy[i] = true
+// epochAt maps virtual time to a churn epoch. All switches churn at the
+// same instants, so the epoch they compute is identical.
+func (w *BulkWorkload) epochAt(now time.Duration) int64 {
+	if w.churn <= 0 {
+		return 0
 	}
+	return int64(now / w.churn)
+}
+
+// bulkMix is a splitmix64-style hash step used to rank ports per epoch.
+func bulkMix(h, v uint64) uint64 {
+	h ^= v
+	h += 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// heavyIndices returns the heavy port set of an epoch: the ratio*N
+// lowest-ranked ports under a (seed, epoch)-keyed hash. It is a pure
+// function, so every shard (and HeavyPorts) derives the same set without
+// shared state.
+func (w *BulkWorkload) heavyIndices(epoch int64) []int {
+	n := int(w.ratio * float64(len(w.ports)))
+	if n <= 0 {
+		return nil
+	}
+	key := bulkMix(uint64(w.seed), uint64(epoch))
+	order := make([]int, len(w.ports))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := bulkMix(key, uint64(order[a])), bulkMix(key, uint64(order[b]))
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	return order[:n]
+}
+
+// heavyFor filters the epoch's heavy set down to one switch's ports.
+func (w *BulkWorkload) heavyFor(bs *bulkSwitch, epoch int64) map[int]bool {
+	on := map[int]bool{}
+	for _, i := range w.heavyIndices(epoch) {
+		on[i] = true
+	}
+	heavy := map[int]bool{}
+	for _, i := range bs.idx {
+		if on[i] {
+			heavy[i] = true
+		}
+	}
+	return heavy
 }
 
 // HeavyPorts returns the currently heavy (switch, port) pairs — the
-// ground truth detection tasks are scored against.
+// ground truth detection tasks are scored against. Call it while the
+// engine is quiescent.
 func (w *BulkWorkload) HeavyPorts() []PortLoad {
+	idx := append([]int(nil), w.heavyIndices(w.epochAt(w.fab.Sched().Now()))...)
+	sort.Ints(idx)
 	var out []PortLoad
-	for i, p := range w.ports {
-		if w.heavy[i] {
-			p.BytesPerSec = w.HeavyRate
-			out = append(out, p)
-		}
+	for _, i := range idx {
+		p := w.ports[i]
+		p.BytesPerSec = w.HeavyRate
+		out = append(out, p)
 	}
 	return out
 }
@@ -337,13 +429,19 @@ func (w *BulkWorkload) HeavyPorts() []PortLoad {
 func (w *BulkWorkload) NumPorts() int { return len(w.ports) }
 
 // Stop halts the workload.
-func (w *BulkWorkload) Stop() { w.ticker.Stop() }
+func (w *BulkWorkload) Stop() {
+	for _, tk := range w.tickers {
+		tk.Stop()
+	}
+}
 
-func (w *BulkWorkload) tick() {
+func (w *BulkWorkload) tick(bs *bulkSwitch) {
 	dt := w.Tick.Seconds()
-	for i, p := range w.ports {
+	sw := w.fab.Switch(bs.id)
+	for _, i := range bs.idx {
+		p := w.ports[i]
 		rate := w.BaseRate
-		if w.heavy[i] {
+		if bs.heavy[i] {
 			rate = w.HeavyRate
 		}
 		bytes := uint64(rate * dt)
@@ -351,6 +449,6 @@ func (w *BulkWorkload) tick() {
 		if pkts == 0 {
 			pkts = 1
 		}
-		_ = w.fab.Switch(p.Switch).CreditPort(p.Port, 0, 0, pkts, bytes)
+		_ = sw.CreditPort(p.Port, 0, 0, pkts, bytes)
 	}
 }

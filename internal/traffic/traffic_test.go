@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"farm/internal/dataplane"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/netmodel"
-	"farm/internal/simclock"
 )
 
 func testFabric(t *testing.T, spines, leaves, hosts int) *fabric.Fabric {
@@ -16,7 +16,7 @@ func testFabric(t *testing.T, spines, leaves, hosts int) *fabric.Fabric {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fabric.New(topo, simclock.New(), fabric.Options{})
+	return fabric.New(topo, engine.NewSerial(), fabric.Options{})
 }
 
 func TestStartFlowRate(t *testing.T) {
@@ -27,14 +27,14 @@ func TestStartFlowRate(t *testing.T) {
 		SrcPort: 1, DstPort: 80, Proto: dataplane.ProtoTCP,
 		PacketSize: 100, Rate: 1000,
 	})
-	fab.Loop().RunFor(100 * time.Millisecond)
+	fab.Sched().RunFor(100 * time.Millisecond)
 	stop()
 	// 1000 pkt/s for 100 ms = ~100 packets (jittered).
 	if d := fab.Delivered(); d < 80 || d > 120 {
 		t.Fatalf("delivered = %d, want ~100", d)
 	}
 	n := fab.Delivered()
-	fab.Loop().RunFor(100 * time.Millisecond)
+	fab.Sched().RunFor(100 * time.Millisecond)
 	if fab.Delivered() > n+1 {
 		t.Fatal("flow kept sending after stop")
 	}
@@ -48,7 +48,7 @@ func TestBurst(t *testing.T) {
 		SrcPort: 1, DstPort: 80, Proto: dataplane.ProtoTCP,
 		PacketSize: 100, Rate: 1,
 	}, 25)
-	fab.Loop().RunFor(time.Millisecond)
+	fab.Sched().RunFor(time.Millisecond)
 	if fab.Delivered() != 25 {
 		t.Fatalf("delivered = %d, want 25", fab.Delivered())
 	}
@@ -59,7 +59,7 @@ func TestSYNFlood(t *testing.T) {
 	g := NewGenerator(fab, 2)
 	target := fabric.HostIP(0, 0)
 	stop := g.SYNFlood(target, 8, 4000)
-	fab.Loop().RunFor(50 * time.Millisecond)
+	fab.Sched().RunFor(50 * time.Millisecond)
 	stop()
 	// The target's leaf saw SYNs to the victim.
 	host, _ := fab.Topology().HostByIP(target)
@@ -79,7 +79,7 @@ func TestPortScanAdvancesPorts(t *testing.T) {
 		seen[p.DstPort] = true
 	})
 	stop := g.PortScan(fabric.HostIP(0, 0), fabric.HostIP(1, 0), 1000)
-	fab.Loop().RunFor(50 * time.Millisecond)
+	fab.Sched().RunFor(50 * time.Millisecond)
 	stop()
 	if len(seen) < 40 {
 		t.Fatalf("scanned %d distinct ports, want >= 40", len(seen))
@@ -102,7 +102,7 @@ func TestSuperSpreaderFanout(t *testing.T) {
 		})
 	}
 	stop := g.SuperSpreader(src, 10, 2000)
-	fab.Loop().RunFor(50 * time.Millisecond)
+	fab.Sched().RunFor(50 * time.Millisecond)
 	stop()
 	if len(dsts) < 10 {
 		t.Fatalf("spreader reached %d destinations, want >= 10", len(dsts))
@@ -121,7 +121,7 @@ func TestDNSReflectionMarksResponses(t *testing.T) {
 		}
 	})
 	stop := g.DNSReflection(victim, 4, 2000)
-	fab.Loop().RunFor(50 * time.Millisecond)
+	fab.Sched().RunFor(50 * time.Millisecond)
 	stop()
 	if dnsSeen < 50 {
 		t.Fatalf("saw %d DNS responses, want >= 50", dnsSeen)
@@ -140,7 +140,7 @@ func TestSSHBruteForceFlags(t *testing.T) {
 		}
 	})
 	stop := g.SSHBruteForce(fabric.HostIP(0, 0), dst, 1000)
-	fab.Loop().RunFor(50 * time.Millisecond)
+	fab.Sched().RunFor(50 * time.Millisecond)
 	stop()
 	if fails < 40 {
 		t.Fatalf("saw %d failed auths, want >= 40", fails)
@@ -159,7 +159,7 @@ func TestSlowloris(t *testing.T) {
 		}
 	})
 	stop := g.Slowloris(dst, 10, 100)
-	fab.Loop().RunFor(100 * time.Millisecond)
+	fab.Sched().RunFor(100 * time.Millisecond)
 	stop()
 	if partial < 50 {
 		t.Fatalf("saw %d partial requests, want >= 50", partial)
@@ -179,7 +179,7 @@ func TestBulkWorkloadDrivesCounters(t *testing.T) {
 	if len(heavy) != 2 {
 		t.Fatalf("heavy ports = %d, want 2 (25%% of 8)", len(heavy))
 	}
-	fab.Loop().RunFor(100 * time.Millisecond)
+	fab.Sched().RunFor(100 * time.Millisecond)
 	w.Stop()
 	// Heavy ports must accumulate ~1000x the bytes of base ports.
 	heavySet := map[[2]int]bool{}
@@ -206,7 +206,7 @@ func TestBulkWorkloadChurn(t *testing.T) {
 		Churn: 50 * time.Millisecond, Seed: 2,
 	})
 	before := w.HeavyPorts()
-	fab.Loop().RunFor(300 * time.Millisecond)
+	fab.Sched().RunFor(300 * time.Millisecond)
 	after := w.HeavyPorts()
 	w.Stop()
 	if len(before) != len(after) {

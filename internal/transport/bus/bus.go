@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"time"
 
-	"farm/internal/simclock"
+	"farm/internal/engine"
 )
 
 // Message is one published message.
@@ -25,7 +25,7 @@ type Message struct {
 // per subscriber. Deliveries are scheduled on the simulation loop, so
 // ordering between a publisher and one subscriber is FIFO.
 type Broker struct {
-	loop    *simclock.Loop
+	loop    engine.Scheduler
 	latency func(topic string) time.Duration
 	subs    map[string][]*subscription
 	nextID  int
@@ -43,7 +43,7 @@ type subscription struct {
 
 // New returns a broker on the loop. latency computes the delivery delay
 // for a topic (nil means immediate delivery on the next loop step).
-func New(loop *simclock.Loop, latency func(topic string) time.Duration) *Broker {
+func New(loop engine.Scheduler, latency func(topic string) time.Duration) *Broker {
 	return &Broker{loop: loop, latency: latency, subs: map[string][]*subscription{}}
 }
 

@@ -4,11 +4,11 @@ import (
 	"testing"
 	"time"
 
-	"farm/internal/simclock"
+	"farm/internal/engine"
 )
 
 func TestPublishSubscribe(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	b := New(loop, nil)
 	var got []any
 	b.Subscribe("a", func(m Message) { got = append(got, m.Payload) })
@@ -26,7 +26,7 @@ func TestPublishSubscribe(t *testing.T) {
 }
 
 func TestMultipleSubscribers(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	b := New(loop, nil)
 	n := 0
 	b.Subscribe("t", func(Message) { n++ })
@@ -39,7 +39,7 @@ func TestMultipleSubscribers(t *testing.T) {
 }
 
 func TestCancelSubscription(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	b := New(loop, nil)
 	n := 0
 	cancel := b.Subscribe("t", func(Message) { n++ })
@@ -56,7 +56,7 @@ func TestCancelSubscription(t *testing.T) {
 }
 
 func TestCancelBeforeScheduledDelivery(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	b := New(loop, func(string) time.Duration { return 10 * time.Millisecond })
 	n := 0
 	cancel := b.Subscribe("t", func(Message) { n++ })
@@ -69,7 +69,7 @@ func TestCancelBeforeScheduledDelivery(t *testing.T) {
 }
 
 func TestLatencyApplied(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	b := New(loop, func(topic string) time.Duration { return 5 * time.Millisecond })
 	var at time.Duration
 	b.Subscribe("t", func(Message) { at = loop.Now() })
@@ -81,7 +81,7 @@ func TestLatencyApplied(t *testing.T) {
 }
 
 func TestFIFOPerSubscriber(t *testing.T) {
-	loop := simclock.New()
+	loop := engine.NewSerial()
 	b := New(loop, func(string) time.Duration { return time.Millisecond })
 	var got []any
 	b.Subscribe("t", func(m Message) { got = append(got, m.Payload) })
