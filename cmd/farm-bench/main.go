@@ -9,19 +9,30 @@
 //	farm-bench -exp fig4 -parallel 4   # FARM runs on the sharded executor
 //	farm-bench -list
 //
-// Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablation.
+// Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// ablation engine-scale.
 //
 // -parallel N selects the sharded conservative-parallel event executor
-// with N workers for the experiments that support it (currently the
-// FARM runs of fig4; output is byte-identical to serial — see
+// with N workers for the experiments that support it (the FARM runs of
+// fig4, and engine-scale; output is byte-identical to serial — see
 // docs/engine.md). Each experiment prints a wall-clock elapsed line, so
-// serial vs. parallel runtimes can be compared directly.
+// serial vs. parallel runtimes can be compared directly. Parallel runs
+// of engine-scale additionally print epoch counts, par-avail, and the
+// shard-imbalance (max/mean central-lane load) outside the
+// determinism-compared table.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the selected
+// experiments; combined with the engine's per-phase pprof labels
+// (select/run/merge) the executor's own overhead is directly visible in
+// `go tool pprof -tags`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,8 +49,12 @@ type experiment struct {
 // executor, 0 meaning the serial engine.
 var parallelWorkers int
 
+// profiling is true when a -cpuprofile or -memprofile destination is
+// set; sharded runs then tag executor phases with pprof labels.
+var profiling bool
+
 func engineConfig() experiments.EngineConfig {
-	return experiments.EngineConfig{Workers: parallelWorkers}
+	return experiments.EngineConfig{Workers: parallelWorkers, ProfileLabels: profiling}
 }
 
 func main() {
@@ -48,7 +63,39 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	flag.IntVar(&parallelWorkers, "parallel", 0,
 		"run supporting experiments on the sharded executor with this many workers (0 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the selected experiments")
 	flag.Parse()
+	profiling = *cpuProfile != "" || *memProfile != ""
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	exps := []experiment{
 		{"tab1", "Tab. I: use cases implemented in Almanac", runTab1},
@@ -62,6 +109,7 @@ func main() {
 		{"fig9", "Fig. 9: soil CPU, threads vs processes", runFig9},
 		{"fig10", "Fig. 10: seed<->soil transport latency", runFig10},
 		{"ablation", "Ablations: Alg. 1 passes, migration cost", runAblation},
+		{"engine-scale", "Engine scaling: Fig. 4 pipeline on a 500-switch fat-tree", runEngineScale},
 	}
 	if *list {
 		for _, e := range exps {
@@ -197,6 +245,21 @@ func runFig10(full bool) error {
 		return err
 	}
 	fmt.Print(res.Table().Render())
+	return nil
+}
+
+func runEngineScale(full bool) error {
+	cfg := experiments.EngineScaleConfig{Engine: engineConfig()}
+	if !full {
+		cfg.Tasks = 2
+		cfg.Duration = 2 * time.Second
+	}
+	res, err := experiments.EngineScale(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table().Render())
+	fmt.Print(res.ParallelStats())
 	return nil
 }
 

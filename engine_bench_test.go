@@ -79,6 +79,75 @@ func runEngineScenario(tb testing.TB, eng engine.Scheduler, simFor time.Duration
 	return fab.CentralNet.Bytes()
 }
 
+// runLargeFabricScenario is the 500-switch variant of the pipeline: a
+// k=20 fat-tree (100 core + 200 agg + 200 edge switches, 800 host
+// ports) with staggered HH tasks on every switch. This is the scale the
+// shard-time priority queue, event pooling, and batched barrier merge
+// exist for; serial and sharded central-byte counts must agree exactly
+// here too.
+func runLargeFabricScenario(tb testing.TB, eng engine.Scheduler, tasks int, simFor time.Duration) uint64 {
+	tb.Helper()
+	topo, err := netmodel.FatTree(netmodel.FatTreeOptions{K: 20, HostsPerEdge: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fab := fabric.New(topo, eng, fabric.Options{})
+	sd := seeder.New(fab, seeder.Options{})
+	for i := 0; i < tasks; i++ {
+		machine := fmt.Sprintf("HHDelta%d", i)
+		if err := sd.AddTask(seeder.TaskSpec{
+			Name:   fmt.Sprintf("hh%d", i),
+			Source: fmt.Sprintf(benchHHSource, i, 10+i),
+			Externals: map[string]map[string]core.Value{
+				machine: {"threshold": int64(400_000)},
+			},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	w := traffic.NewBulkWorkload(fab, traffic.BulkConfig{
+		Tick:       10 * time.Millisecond,
+		BaseRate:   1e5,
+		HeavyRate:  5e7,
+		HeavyRatio: 0.05,
+		Churn:      2 * time.Second,
+		Seed:       7,
+	})
+	defer w.Stop()
+	eng.RunFor(simFor)
+	return fab.CentralNet.Bytes()
+}
+
+// BenchmarkEngineLargeFabric drives the 500-switch fat-tree pipeline on
+// both engines. allocs/op here is the end-to-end event-loop allocation
+// rate the pooling work targets; par-avail is the mean number of shards
+// eligible per epoch (the speedup ceiling at this scale).
+func BenchmarkEngineLargeFabric(b *testing.B) {
+	const simFor = time.Second
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bytes := runLargeFabricScenario(b, engine.NewSerial(), 2, simFor)
+			b.ReportMetric(float64(bytes), "central-bytes")
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x := engine.NewSharded(engine.ShardedOptions{
+				Shards:    500,
+				Workers:   4,
+				Lookahead: fabric.Options{}.MinCrossLatency(),
+			})
+			bytes := runLargeFabricScenario(b, x, 2, simFor)
+			epochs, runs := x.EpochStats()
+			x.Stop()
+			b.ReportMetric(float64(bytes), "central-bytes")
+			b.ReportMetric(float64(runs)/float64(epochs), "par-avail")
+		}
+	})
+}
+
 const engineBenchSimTime = 2 * time.Second
 
 func BenchmarkEngineSerial(b *testing.B) {

@@ -115,6 +115,7 @@ type ticker struct {
 	s        Scheduler
 	interval time.Duration
 	fn       func()
+	fire     func() // the re-arming callback, built once so periodic re-arms don't allocate a closure per firing
 	timer    Timer
 	stopped  bool
 }
@@ -125,12 +126,7 @@ func EveryOn(s Scheduler, interval time.Duration, fn func()) Ticker {
 		panic("engine: non-positive ticker interval")
 	}
 	t := &ticker{s: s, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *ticker) arm() {
-	t.timer = t.s.After(t.interval, func() {
+	t.fire = func() {
 		if t.stopped {
 			return
 		}
@@ -138,7 +134,13 @@ func (t *ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *ticker) arm() {
+	t.timer = t.s.After(t.interval, t.fire)
 }
 
 func (t *ticker) Stop() {

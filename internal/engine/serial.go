@@ -38,6 +38,10 @@ type event struct {
 	fn      func()
 	stopped bool
 	index   int
+	// gen is bumped each time the sharded engine recycles the event
+	// through a shard free list; shardTimer handles compare it to detect
+	// staleness. The serial engine never recycles, so gen stays 0 there.
+	gen uint64
 }
 
 // serialTimer is the Timer handle of the serial engine.
@@ -160,4 +164,20 @@ func (h *eventHeap) Pop() any {
 	ev.index = -1
 	*h = old[:n-1]
 	return ev
+}
+
+// up restores the heap invariant for element j against its ancestors —
+// the same sift container/heap.Push performs after an append. The
+// sharded engine's batched barrier merge appends a batch of events and
+// then calls up on each appended index in order, which is exactly
+// equivalent to the sequence of individual heap.Push calls.
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
 }

@@ -2,8 +2,12 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"sync"
 	"time"
 )
@@ -30,6 +34,12 @@ type ShardedOptions struct {
 	// is pure overhead). Tests set it to exercise the concurrent path
 	// under the race detector on any machine.
 	ForceWorkers bool
+	// ProfileLabels attaches pprof labels to the driver and worker
+	// goroutines per executor phase ("select", "run", "merge"), so a CPU
+	// profile of a large run shows where epoch time goes. Off by default:
+	// setting goroutine labels on every phase transition costs a few
+	// percent on the hot loop.
+	ProfileLabels bool
 }
 
 // DefaultLookahead matches the default fabric's minimum cross-switch
@@ -47,6 +57,14 @@ const DefaultLookahead = 50 * time.Microsecond
 // and for state partitioned by shard it is identical to the serial
 // engine's output (see docs/engine.md for the argument).
 //
+// Epoch selection is O(runnable·log shards), not O(shards): an indexed
+// min-heap over shard head-times tracks the global minimum, updated
+// incrementally whenever a shard's head can have changed (after it runs,
+// after a merge lands events on it, after a root At between runs). The
+// steady-state loop is also allocation-light: each shard recycles popped
+// events through a free list it alone owns, and the runnable set, outbox
+// buffers, and merge scratch all reuse their backing arrays.
+//
 // Sharded itself implements Scheduler; its At/After/Every/Now delegate
 // to shard 0, the conventional home of centralized components. Step,
 // RunUntil, RunFor, and Drain drive the epoch machinery and must be
@@ -54,7 +72,33 @@ const DefaultLookahead = 50 * time.Microsecond
 type Sharded struct {
 	opts   ShardedOptions
 	shards []*shard
-	now    time.Duration
+
+	// now is the completed global frontier, advanced only between
+	// epochs. A shard's effective clock is max(shard.now, x.now): idle
+	// shards are dragged along lazily instead of by an O(shards) sweep
+	// per epoch.
+	now time.Duration
+
+	// heads is the indexed min-heap of all shards keyed by head event
+	// time (empty shards carry a +inf sentinel); shard.pos is the index
+	// maintenance for heap.Fix. Epoch selection walks the heap array
+	// without mutating it — every shard inside the window is reachable
+	// from the root through ancestors also inside the window — and
+	// re-keys changed heads afterwards in one batch.
+	heads shardHeap
+
+	// dfs is the reusable stack for the heap walk in runEpoch.
+	dfs []int32
+
+	// headsDirty means the head keys (shard.headAt) are current but the
+	// heap order is not. Dense epochs — where most heads move and a
+	// rebuild would cost more than a scan — set it and selection falls
+	// back to one linear pass over the keys; the first sparse barrier
+	// afterwards rebuilds the heap once and incremental maintenance
+	// resumes. The executor thereby self-selects: O(shards) read-only
+	// scans while most shards are runnable anyway, O(runnable·log
+	// shards) selection when activity is concentrated in few shards.
+	headsDirty bool
 
 	// epochEnd is the exclusive bound of the executing epoch, read by
 	// workers to enforce the lookahead contract. Written only while
@@ -66,13 +110,29 @@ type Sharded struct {
 	work     chan *shard
 	wg       sync.WaitGroup
 	runnable []*shard
-	inline   bool
-	started  bool
-	stopped  bool
+	// mergeSrc collects shards with non-empty outboxes since the last
+	// barrier: appended by CrossAfter between runs and by the driver for
+	// shards that ran. Sorted by shard id before draining, so the merge
+	// order stays (source shard, emission order) regardless of how the
+	// epoch discovered the sources.
+	mergeSrc []*shard
+	// mergeDst collects destination shards that received events during
+	// the current barrier, for the batched heap repair + head refresh.
+	mergeDst []*shard
+	// fix is the reusable scratch list of shards whose head keys moved
+	// during a barrier.
+	fix     []*shard
+	inline  bool
+	started bool
+	stopped bool
 
 	// epoch statistics, maintained by the driver.
 	epochs    uint64
 	shardRuns uint64
+
+	// pprof label sets, nil unless ProfileLabels (phase() is then a
+	// no-op branch on the hot path).
+	lblSelect, lblRun, lblMerge, lblNone context.Context
 }
 
 // shard is one event partition. Between epochs it is owned by the
@@ -85,6 +145,28 @@ type shard struct {
 	seq    uint64
 	outbox []crossEvent
 	ran    int
+
+	// headAt/pos are this shard's key and index in x.heads. headAt is
+	// the head event time, or headInf when the shard has no events.
+	headAt time.Duration
+	pos    int
+
+	// free is the event free list. A popped event is recycled here and
+	// handed back out by the next At on this shard; single owner, so no
+	// locking. Timer handles survive recycling via a generation check.
+	free []*event
+
+	// executing is true while run() owns the shard, used to diagnose
+	// cross-shard Timer.Stop misuse (see shardTimer.Stop).
+	executing bool
+
+	// merging/pendingN track this shard as a destination during one
+	// barrier merge: pendingN events have been appended to the heap
+	// slice but not yet sifted into place.
+	merging  bool
+	pendingN int
+	queued   bool // in x.mergeSrc
+	dirty    bool // in the barrier's fix list (dedup mark, cleared each barrier)
 }
 
 type crossEvent struct {
@@ -107,11 +189,29 @@ func NewSharded(opts ShardedOptions) *Sharded {
 	x := &Sharded{opts: opts}
 	x.inline = opts.Workers == 1 || (runtime.GOMAXPROCS(0) == 1 && !opts.ForceWorkers)
 	x.shards = make([]*shard, opts.Shards)
+	x.heads = make(shardHeap, opts.Shards)
 	for i := range x.shards {
-		x.shards[i] = &shard{x: x, id: i}
+		s := &shard{x: x, id: i, pos: i, headAt: headInf}
+		x.shards[i] = s
+		x.heads[i] = s
 	}
 	x.work = make(chan *shard, opts.Shards)
+	if opts.ProfileLabels {
+		bg := context.Background()
+		x.lblSelect = pprof.WithLabels(bg, pprof.Labels("engine", "select"))
+		x.lblRun = pprof.WithLabels(bg, pprof.Labels("engine", "run"))
+		x.lblMerge = pprof.WithLabels(bg, pprof.Labels("engine", "merge"))
+		x.lblNone = bg
+	}
 	return x
+}
+
+// phase tags the driver goroutine for CPU profiles when ProfileLabels is
+// set; otherwise it is a single predictable branch.
+func (x *Sharded) phase(ctx context.Context) {
+	if ctx != nil {
+		pprof.SetGoroutineLabels(ctx)
+	}
 }
 
 // Shards implements Partitioned.
@@ -141,11 +241,18 @@ func (x *Sharded) Shard(i int) Scheduler { return x.shards[i] }
 // be >= Lookahead when called from an executing event (enforced).
 func (x *Sharded) CrossAfter(from, to int, d time.Duration, fn func()) {
 	s := x.shards[from]
-	at := s.now + d
+	at := s.effNow() + d
 	if x.inEpoch && at < x.epochEnd {
 		panic(fmt.Sprintf("engine: cross-shard delay %v below lookahead %v", d, x.opts.Lookahead))
 	}
 	s.outbox = append(s.outbox, crossEvent{to: to, at: at, fn: fn})
+	if !x.inEpoch && !s.queued {
+		// Driver-context send (setup between runs): remember the source
+		// so the next barrier drains it. During an epoch the source is by
+		// contract an executing shard, which the barrier collects itself.
+		s.queued = true
+		x.mergeSrc = append(x.mergeSrc, s)
+	}
 }
 
 // Stop terminates the worker goroutines. The executor must not be used
@@ -164,6 +271,9 @@ func (x *Sharded) start() {
 	x.started = true
 	for i := 0; i < x.opts.Workers; i++ {
 		go func() {
+			if x.lblRun != nil {
+				pprof.SetGoroutineLabels(x.lblRun)
+			}
 			for s := range x.work {
 				s.run(s.x.epochEnd)
 				s.x.wg.Done()
@@ -174,9 +284,8 @@ func (x *Sharded) start() {
 
 // Now delegates to shard 0, like the other root Scheduler methods: it
 // returns the event time inside a shard-0 callback and the completed
-// global frontier between runs (advance raises every shard clock to the
-// frontier after each epoch).
-func (x *Sharded) Now() time.Duration { return x.shards[0].now }
+// global frontier between runs.
+func (x *Sharded) Now() time.Duration { return x.shards[0].effNow() }
 
 // At delegates to shard 0 (the home of centralized components).
 func (x *Sharded) At(at time.Duration, fn func()) Timer { return x.shards[0].At(at, fn) }
@@ -198,23 +307,69 @@ func (x *Sharded) Pending() int {
 	return n
 }
 
-// nextEventTime returns the earliest pending event time, or -1 if none.
+// headInf is the head-time key of a shard with no pending events.
+const headInf = time.Duration(1<<63 - 1)
+
+// headChanged reports whether the shard's true head differs from its
+// stored key, without storing — the barrier defers the store until the
+// matching heap repair, so the heap stays valid w.r.t. stored keys at
+// every intermediate step.
+func (s *shard) headChanged() bool {
+	at := headInf
+	if len(s.events) > 0 {
+		at = s.events[0].at
+	}
+	return at != s.headAt
+}
+
+// syncHead stores the shard's current head time as its heap key,
+// reporting whether it moved (the caller then owes a heap.Fix or Init).
+func (s *shard) syncHead() bool {
+	at := headInf
+	if len(s.events) > 0 {
+		at = s.events[0].at
+	}
+	if at == s.headAt {
+		return false
+	}
+	s.headAt = at
+	return true
+}
+
+// refreshHead re-keys a shard in the head-time heap after its event heap
+// may have changed. O(log shards) when the head moved, O(1) when not.
+func (x *Sharded) refreshHead(s *shard) {
+	if s.syncHead() && !x.headsDirty {
+		heap.Fix(&x.heads, s.pos)
+	}
+}
+
+// nextEventTime returns the earliest pending event time, or -1 if none:
+// the root of the shard head-time heap, or a linear scan over the
+// maintained keys while the heap order is suspended.
 func (x *Sharded) nextEventTime() time.Duration {
-	next := time.Duration(-1)
-	for _, s := range x.shards {
-		if len(s.events) > 0 && (next < 0 || s.events[0].at < next) {
-			next = s.events[0].at
+	at := x.heads[0].headAt
+	if x.headsDirty {
+		at = headInf
+		for _, s := range x.shards {
+			if s.headAt < at {
+				at = s.headAt
+			}
 		}
 	}
-	return next
+	if at == headInf {
+		return -1
+	}
+	return at
 }
 
 // RunUntil processes all events scheduled at or before t, then advances
 // every clock to exactly t.
 func (x *Sharded) RunUntil(t time.Duration) {
 	x.start()
-	x.merge()
+	x.barrier()
 	for {
+		x.phase(x.lblSelect)
 		next := x.nextEventTime()
 		if next < 0 || next > t {
 			break
@@ -229,13 +384,14 @@ func (x *Sharded) RunUntil(t time.Duration) {
 			end = t + 1
 		}
 		x.runEpoch(end)
-		x.merge()
+		x.barrier()
 		frontier := end
 		if frontier > t {
 			frontier = t
 		}
 		x.advance(frontier)
 	}
+	x.phase(x.lblNone)
 	x.advance(t)
 }
 
@@ -246,7 +402,7 @@ func (x *Sharded) RunFor(d time.Duration) { x.RunUntil(x.now + d) }
 // whether any event ran.
 func (x *Sharded) Step() bool {
 	x.start()
-	x.merge()
+	x.barrier()
 	for {
 		next := x.nextEventTime()
 		if next < 0 {
@@ -254,7 +410,7 @@ func (x *Sharded) Step() bool {
 		}
 		end := next + x.opts.Lookahead
 		ran := x.runEpoch(end)
-		x.merge()
+		x.barrier()
 		x.advance(end)
 		if ran > 0 {
 			return true
@@ -266,7 +422,7 @@ func (x *Sharded) Step() bool {
 // processed. It returns the number of events processed.
 func (x *Sharded) Drain(limit int) int {
 	x.start()
-	x.merge()
+	x.barrier()
 	n := 0
 	for n < limit {
 		next := x.nextEventTime()
@@ -274,7 +430,7 @@ func (x *Sharded) Drain(limit int) int {
 			break
 		}
 		ran := x.runEpoch(next + x.opts.Lookahead)
-		x.merge()
+		x.barrier()
 		x.advance(next + x.opts.Lookahead)
 		if ran == 0 && x.nextEventTime() < 0 {
 			break
@@ -286,17 +442,41 @@ func (x *Sharded) Drain(limit int) int {
 
 // runEpoch executes every shard with events inside [_, end) and blocks
 // until all complete. It returns the number of events processed.
+//
+// The runnable set is collected by walking the head-time heap array
+// without mutating it: a shard inside the window has all its heap
+// ancestors inside the window too (ancestor keys are <=), so a DFS from
+// the root that stops at out-of-window nodes visits O(runnable) nodes
+// and finds every runnable shard. The barrier afterwards re-keys the
+// heads that moved.
 func (x *Sharded) runEpoch(end time.Duration) int {
 	run := x.runnable[:0]
-	for _, s := range x.shards {
-		if len(s.events) > 0 && s.events[0].at < end {
-			run = append(run, s)
+	if x.headsDirty {
+		for _, s := range x.shards {
+			if s.headAt < end {
+				run = append(run, s)
+			}
 		}
+	} else if h := x.heads; h[0].headAt < end {
+		stack := append(x.dfs[:0], 0)
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			run = append(run, h[i])
+			if l := 2*i + 1; int(l) < len(h) && h[l].headAt < end {
+				stack = append(stack, l)
+			}
+			if r := 2*i + 2; int(r) < len(h) && h[r].headAt < end {
+				stack = append(stack, r)
+			}
+		}
+		x.dfs = stack[:0]
 	}
 	x.runnable = run
 	if len(run) == 0 {
 		return 0
 	}
+	x.phase(x.lblRun)
 	x.epochEnd = end
 	x.inEpoch = true
 	x.epochs++
@@ -321,72 +501,212 @@ func (x *Sharded) runEpoch(end time.Duration) int {
 	return total
 }
 
-// merge drains every outbox into the destination heaps in (source
-// shard, emission order) order, assigning destination sequence numbers
-// deterministically.
-func (x *Sharded) merge() {
-	for _, s := range x.shards {
+// barrier merges every outstanding outbox into the destination heaps in
+// (source shard, emission order) order, assigning destination sequence
+// numbers deterministically, then re-keys the head-time heap for every
+// shard whose head may have moved (ran shards and merge destinations).
+//
+// The merge is batched per destination: events are appended raw to the
+// destination heap slice and repaired in one pass — a sift-up per
+// appended event when the batch is small relative to the heap (exactly
+// equivalent to sequential heap.Push), or a single heap.Init when the
+// batch dominates. Both paths produce a valid heap over the same (at,
+// seq) set, and since (at, seq) is a strict total order the pop sequence
+// — the only thing downstream code can observe — is independent of the
+// internal heap shape. So batching cannot perturb determinism.
+func (x *Sharded) barrier() {
+	x.phase(x.lblMerge)
+	// Collect sources: shards that ran this epoch plus driver-context
+	// senders queued by CrossAfter. Sorted by shard id so the (source
+	// shard, emission order) merge order is independent of the order the
+	// head-time heap released the runnable set.
+	src := x.mergeSrc
+	for _, s := range x.runnable {
+		if len(s.outbox) > 0 && !s.queued {
+			s.queued = true
+			src = append(src, s)
+		}
+	}
+	if len(src) > 1 {
+		sort.Sort(byShardID(src))
+	}
+	for _, s := range src {
 		for _, ce := range s.outbox {
 			d := x.shards[ce.to]
 			at := ce.at
-			if at < d.now {
-				at = d.now
+			if now := d.effNow(); at < now {
+				at = now
 			}
-			ev := &event{at: at, seq: d.seq, fn: ce.fn}
-			d.seq++
-			heap.Push(&d.events, ev)
+			ev := d.alloc(at, ce.fn)
+			ev.index = len(d.events)
+			d.events = append(d.events, ev)
+			d.pendingN++
+			if !d.merging {
+				d.merging = true
+				x.mergeDst = append(x.mergeDst, d)
+			}
 		}
+		clearCross(s.outbox)
 		s.outbox = s.outbox[:0]
+		s.queued = false
+	}
+	x.mergeSrc = src[:0]
+	// Repair destination heaps in one batch each.
+	for _, d := range x.mergeDst {
+		k, n := d.pendingN, len(d.events)
+		if k*(bits.Len(uint(n))+1) < n {
+			for i := n - k; i < n; i++ {
+				d.events.up(i)
+			}
+		} else {
+			heap.Init(&d.events)
+		}
+		d.pendingN = 0
+		d.merging = false
+	}
+	// Re-key the head-time heap. First collect the heads that actually
+	// moved (ran shards and merge destinations, deduped via the dirty
+	// mark) without touching the stored keys, then repair by whichever
+	// is cheaper: a few interleaved store+Fix operations — each Fix
+	// sees a heap that is valid w.r.t. stored keys, so multi-key
+	// batches stay sound — or, when most heads moved, one O(shards)
+	// rebuild (deferred to the next sparse barrier via headsDirty,
+	// since a scan-based epoch doesn't need the order at all). The
+	// reachable state is the same either way; only the unobservable
+	// internal heap shape can differ.
+	fix := x.fix[:0]
+	for _, s := range x.runnable {
+		if !s.dirty && s.headChanged() {
+			s.dirty = true
+			fix = append(fix, s)
+		}
+	}
+	x.runnable = x.runnable[:0]
+	for _, d := range x.mergeDst {
+		if !d.dirty && d.headChanged() {
+			d.dirty = true
+			fix = append(fix, d)
+		}
+	}
+	x.mergeDst = x.mergeDst[:0]
+	dense := len(fix)*(bits.Len(uint(len(x.heads)))+1) >= len(x.heads)
+	for _, s := range fix {
+		s.dirty = false
+		s.syncHead()
+		if !dense && !x.headsDirty {
+			heap.Fix(&x.heads, s.pos)
+		}
+	}
+	switch {
+	case dense:
+		x.headsDirty = true
+	case x.headsDirty:
+		// First sparse barrier after a dense stretch: rebuild once,
+		// then resume incremental maintenance.
+		heap.Init(&x.heads)
+		x.headsDirty = false
+	}
+	x.fix = fix[:0]
+}
+
+// clearCross drops the callback references of a drained outbox so the
+// reused backing array doesn't pin dead closures.
+func clearCross(b []crossEvent) {
+	for i := range b {
+		b[i].fn = nil
 	}
 }
 
-// advance raises every clock to at least t.
+// advance raises the global frontier to at least t. Idle shard clocks
+// follow lazily through effNow.
 func (x *Sharded) advance(t time.Duration) {
 	if x.now < t {
 		x.now = t
 	}
-	for _, s := range x.shards {
-		if s.now < t {
-			s.now = t
-		}
+}
+
+// effNow is the shard's effective clock: its own event time while it is
+// executing (which is always >= the frontier inside an epoch), the
+// global frontier once it has gone idle.
+func (s *shard) effNow() time.Duration {
+	if s.now > s.x.now {
+		return s.now
 	}
+	return s.x.now
+}
+
+// alloc takes an event off the free list (or allocates one) and stamps
+// it with the shard's next sequence number.
+func (s *shard) alloc(at time.Duration, fn func()) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.stopped = at, s.seq, fn, false
+	} else {
+		ev = &event{at: at, seq: s.seq}
+		ev.fn = fn
+	}
+	s.seq++
+	return ev
+}
+
+// recycle returns a popped event to the free list. Bumping the
+// generation invalidates any Timer handle still pointing at it, so a
+// later Stop on the old handle is a no-op instead of cancelling whatever
+// event the slot is reused for.
+func (s *shard) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	s.free = append(s.free, ev)
 }
 
 // run executes the shard's events strictly before end in (time, seq)
 // order. Called with exclusive ownership of the shard.
 func (s *shard) run(end time.Duration) {
+	s.executing = true
 	s.ran = 0
 	for len(s.events) > 0 && s.events[0].at < end {
 		ev := heap.Pop(&s.events).(*event)
 		if ev.stopped {
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		s.recycle(ev)
+		fn()
 		s.ran++
 	}
+	s.executing = false
 }
 
 // --- shard as a Scheduler view ---
 
 // Now returns the shard-local virtual time.
-func (s *shard) Now() time.Duration { return s.now }
+func (s *shard) Now() time.Duration { return s.effNow() }
 
 // At schedules fn on this shard. Must be called from an event executing
 // on this shard, or from the driving goroutine between runs.
 func (s *shard) At(at time.Duration, fn func()) Timer {
-	if at < s.now {
-		at = s.now
+	if now := s.effNow(); at < now {
+		at = now
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
+	ev := s.alloc(at, fn)
 	heap.Push(&s.events, ev)
-	return &serialTimer{ev: ev}
+	if !s.x.inEpoch {
+		// Driver-context scheduling: the head-time heap is ours to fix.
+		// Inside an epoch the shard is by contract the executing one;
+		// the barrier re-keys it.
+		s.x.refreshHead(s)
+	}
+	return &shardTimer{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn on this shard after delay d.
 func (s *shard) After(d time.Duration, fn func()) Timer {
-	return s.At(s.now+d, fn)
+	return s.At(s.effNow()+d, fn)
 }
 
 // Every schedules a periodic callback on this shard.
@@ -401,3 +721,77 @@ func (s *shard) Step() bool               { panic("engine: drive the root execut
 func (s *shard) RunUntil(t time.Duration) { panic("engine: drive the root executor, not a shard view") }
 func (s *shard) RunFor(d time.Duration)   { panic("engine: drive the root executor, not a shard view") }
 func (s *shard) Drain(limit int) int      { panic("engine: drive the root executor, not a shard view") }
+
+// shardTimer is the Timer handle of a sharded-engine event. It carries
+// the generation the event had when scheduled: once the event fires and
+// is recycled, the generation moves on and the stale handle deactivates
+// itself.
+type shardTimer struct {
+	s   *shard
+	ev  *event
+	gen uint64
+}
+
+// Stop implements Timer. It must be called from the owning shard's
+// execution context: a callback executing on the same shard, or the
+// driving goroutine between runs. Stopping another shard's timer during
+// an epoch is a data race on live state; the executor diagnoses the
+// detectable case (the owning shard idle while an epoch is in flight)
+// with a panic, and the race detector flags the rest.
+func (t *shardTimer) Stop() bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	s := t.s
+	if s.x.inEpoch && !s.executing {
+		panic(fmt.Sprintf("engine: Timer.Stop on shard %d from outside its execution context (stop timers from their owning shard, or between runs)", s.id))
+	}
+	ev := t.ev
+	if ev.gen != t.gen || ev.stopped {
+		// Recycled (fired) or already cancelled.
+		return false
+	}
+	ev.stopped = true
+	return true
+}
+
+// byShardID sorts barrier-merge sources into ascending shard id without
+// the reflection cost of sort.Slice on the per-epoch path.
+type byShardID []*shard
+
+func (b byShardID) Len() int           { return len(b) }
+func (b byShardID) Less(i, j int) bool { return b[i].id < b[j].id }
+func (b byShardID) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+
+// shardHeap is the indexed min-heap of all shards ordered by head event
+// time; ties break on shard id so heap operations are deterministic.
+// Every shard is always present (idle ones keyed headInf); selection
+// reads the array, only Fix/Init mutate it.
+type shardHeap []*shard
+
+func (h shardHeap) Len() int { return len(h) }
+func (h shardHeap) Less(i, j int) bool {
+	if h[i].headAt != h[j].headAt {
+		return h[i].headAt < h[j].headAt
+	}
+	return h[i].id < h[j].id
+}
+func (h shardHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *shardHeap) Push(v any) {
+	s := v.(*shard)
+	s.pos = len(*h)
+	*h = append(*h, s)
+}
+func (h *shardHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.pos = -1
+	*h = old[:n-1]
+	return s
+}

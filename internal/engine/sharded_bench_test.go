@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchWorkload builds a pure-engine approximation of the fabric's
+// steady state at fabric scale: nodes ticking on their home shards with
+// staggered intervals, a fraction of ticks emitting cross-shard sends.
+// No fabric, soil, or Almanac cost — what remains is exactly the
+// executor's own overhead: epoch selection, per-shard heap churn, event
+// allocation, and the barrier merge.
+func benchWorkload(part Partitioned, nodes int, crossEvery int) {
+	for n := 0; n < nodes; n++ {
+		n := n
+		home := n % part.Shards()
+		s := part.Shard(home)
+		interval := 100*time.Microsecond + time.Duration(n%37)*time.Microsecond
+		count := 0
+		s.Every(interval, func() {
+			count++
+			if crossEvery > 0 && count%crossEvery == 0 {
+				dst := (home + 1 + n%7) % part.Shards()
+				part.CrossAfter(home, dst, testLookahead+time.Duration(n%5)*time.Microsecond, func() {})
+			}
+		})
+	}
+}
+
+// BenchmarkShardedHotLoop measures the executor's own per-epoch costs at
+// several shard counts: ns/op and allocs/op over a fixed span of virtual
+// time. Shard counts sweep past the fabric sizes of interest (a
+// 500-switch fat-tree maps to ~512 shards); allocations here are almost
+// entirely event scheduling and barrier-merge traffic.
+func BenchmarkShardedHotLoop(b *testing.B) {
+	for _, shards := range []int{16, 128, 512} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x := NewSharded(ShardedOptions{
+					Shards:    shards,
+					Workers:   4,
+					Lookahead: testLookahead,
+				})
+				benchWorkload(x, shards, 8)
+				x.RunFor(40 * time.Millisecond)
+				epochs, runs := x.EpochStats()
+				x.Stop()
+				b.ReportMetric(float64(runs)/float64(epochs), "par-avail")
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSparseSelect is the regime the shard-time heap exists
+// for: many shards, activity concentrated in a few. Per epoch the old
+// executor paid O(shards) scans regardless; with the head-time heap,
+// epoch selection costs O(runnable·log shards).
+func BenchmarkShardedSparseSelect(b *testing.B) {
+	const shards = 512
+	for _, active := range []int{4, 32} {
+		b.Run(fmt.Sprintf("active=%d", active), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x := NewSharded(ShardedOptions{
+					Shards:    shards,
+					Workers:   4,
+					Lookahead: testLookahead,
+				})
+				benchWorkload(x, active, 8)
+				x.RunFor(40 * time.Millisecond)
+				x.Stop()
+			}
+		})
+	}
+}
+
+// BenchmarkSerialHotLoop is the single-heap reference for the same
+// workload shape.
+func BenchmarkSerialHotLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := NewSerial()
+		benchWorkload(l, 512, 8)
+		l.RunFor(40 * time.Millisecond)
+	}
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardTimerStopCrossShardPanics pins the owning-shard contract for
+// Timer.Stop: stopping a timer that lives on shard 0 from an event
+// executing on shard 1 is a data race on live heap state, and the
+// executor diagnoses the detectable case with a panic instead of
+// corrupting silently.
+func TestShardTimerStopCrossShardPanics(t *testing.T) {
+	x := NewSharded(ShardedOptions{Shards: 2, Workers: 1, Lookahead: testLookahead})
+	defer x.Stop()
+	victim := x.Shard(0).After(10*time.Millisecond, func() {})
+	x.Shard(1).After(100*time.Microsecond, func() {
+		victim.Stop()
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-shard Stop did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "outside its execution context") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	x.RunFor(time.Millisecond)
+}
+
+// TestShardTimerStopOwnShardAllowed is the positive counterpart: a
+// callback stopping a timer on its own shard, and the driver stopping
+// any timer between runs, are both legal.
+func TestShardTimerStopOwnShardAllowed(t *testing.T) {
+	x := NewSharded(ShardedOptions{Shards: 2, Workers: 1, Lookahead: testLookahead})
+	defer x.Stop()
+	fired := false
+	victim := x.Shard(1).After(10*time.Millisecond, func() { fired = true })
+	stopped := false
+	x.Shard(1).After(100*time.Microsecond, func() {
+		stopped = victim.Stop()
+	})
+	x.RunFor(20 * time.Millisecond)
+	if !stopped || fired {
+		t.Fatalf("same-shard stop: stopped=%v fired=%v, want true/false", stopped, fired)
+	}
+	other := x.Shard(0).After(10*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !other.Stop() {
+		t.Fatal("driver-context stop between runs returned false")
+	}
+	x.RunFor(20 * time.Millisecond)
+}
+
+// TestStaleHandleAfterRecycle pins the generation check on pooled
+// events: once a timer's event has fired and been recycled into a new
+// event, Stop through the stale handle must report false and must not
+// cancel the event now occupying the slot.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	x := NewSharded(ShardedOptions{Shards: 1, Workers: 1, Lookahead: testLookahead})
+	defer x.Stop()
+	first := x.Shard(0).After(time.Millisecond, func() {})
+	x.RunFor(2 * time.Millisecond) // fires and recycles the event
+	secondFired := false
+	x.Shard(0).After(time.Millisecond, func() { secondFired = true })
+	if first.Stop() {
+		t.Fatal("stale handle Stop returned true after its event fired")
+	}
+	x.RunFor(2 * time.Millisecond)
+	if !secondFired {
+		t.Fatal("recycled event was cancelled through a stale handle")
+	}
+}
+
+// poolScriptOp is one step of the pooling property test: an event at a
+// pseudo-random time that optionally schedules a child and optionally
+// stops an earlier op's timer.
+type poolScriptOp struct {
+	at         time.Duration
+	childDelay time.Duration // 0 = no child
+	stopTarget int           // -1 = no stop
+}
+
+// runPoolScript executes the script on any scheduler and returns the
+// observed firing order. All decisions live in the pre-generated
+// script, so serial and sharded runs execute literally the same
+// closures.
+func runPoolScript(s Scheduler, script []poolScriptOp, runFor time.Duration) []int {
+	timers := make([]Timer, len(script))
+	var order []int
+	for i, op := range script {
+		i, op := i, op
+		timers[i] = s.At(op.at, func() {
+			order = append(order, i)
+			if op.childDelay > 0 {
+				s.After(op.childDelay, func() { order = append(order, len(script)+i) })
+			}
+			if op.stopTarget >= 0 {
+				timers[op.stopTarget].Stop()
+			}
+		})
+	}
+	s.RunFor(runFor)
+	return order
+}
+
+// TestPooledOrderMatchesSerial is the pooling property test: a
+// single-shard sharded executor — whose events are recycled through the
+// shard free list, with batched barrier repairs and the head-time heap
+// in play — must produce the exact firing order of the serial engine,
+// which never recycles, across randomized schedules with duplicate
+// times, nested scheduling, and Stop/cancel interleavings (including
+// stops of already-fired, already-recycled events).
+func TestPooledOrderMatchesSerial(t *testing.T) {
+	const ops = 200
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		script := make([]poolScriptOp, ops)
+		for i := range script {
+			script[i] = poolScriptOp{
+				// Coarse quantization forces plenty of equal-time ties.
+				at:         time.Duration(rng.Intn(40)) * 250 * time.Microsecond,
+				stopTarget: -1,
+			}
+			if rng.Intn(2) == 0 {
+				script[i].childDelay = time.Duration(1+rng.Intn(8)) * 250 * time.Microsecond
+			}
+			if i > 0 && rng.Intn(3) == 0 {
+				script[i].stopTarget = rng.Intn(i)
+			}
+		}
+		runFor := 15 * time.Millisecond
+
+		ref := runPoolScript(NewSerial(), script, runFor)
+		x := NewSharded(ShardedOptions{Shards: 1, Workers: 1, Lookahead: testLookahead})
+		got := runPoolScript(x, script, runFor)
+		x.Stop()
+
+		if len(ref) != len(got) {
+			t.Fatalf("seed %d: serial fired %d events, pooled fired %d", seed, len(ref), len(got))
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("seed %d: pop order diverged at %d: serial %d, pooled %d", seed, i, ref[i], got[i])
+			}
+		}
+	}
+}

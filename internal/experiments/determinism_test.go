@@ -34,3 +34,32 @@ func TestFig4Deterministic(t *testing.T) {
 		t.Fatalf("sharded run diverged from serial:\n--- serial\n%s\n--- sharded\n%s", serial1, sharded)
 	}
 }
+
+// TestEngineScaleDeterministic is the large-fabric determinism gate the
+// executor optimizations are held to: the Fig. 4-style pipeline on the
+// full 500-switch fat-tree, rendered on the serial engine and on the
+// sharded executor (with the worker pool forced on, so the concurrent
+// path is exercised even on single-CPU CI machines), must produce
+// byte-identical tables.
+func TestEngineScaleDeterministic(t *testing.T) {
+	render := func(eng EngineConfig) string {
+		res, err := EngineScale(EngineScaleConfig{
+			Tasks:    1,
+			Duration: 500 * time.Millisecond,
+			Engine:   eng,
+		})
+		if err != nil {
+			t.Fatalf("EngineScale: %v", err)
+		}
+		if res.Switches < 500 {
+			t.Fatalf("fabric has %d switches, want >= 500", res.Switches)
+		}
+		return res.Table().Render()
+	}
+
+	serial := render(EngineConfig{})
+	sharded := render(EngineConfig{Workers: 4, ForceWorkers: true})
+	if sharded != serial {
+		t.Fatalf("sharded run diverged from serial:\n--- serial\n%s\n--- sharded\n%s", serial, sharded)
+	}
+}

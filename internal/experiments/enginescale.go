@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/engine"
+	"farm/internal/netmodel"
+	"farm/internal/seeder"
+	"farm/internal/traffic"
+)
+
+// engineScaleHH is the change-report HH seed of the engine-scale
+// pipeline, parameterized by task index so several staggered copies can
+// run per switch (same shape as Fig. 4's farmChangeReportHH).
+const engineScaleHH = `
+machine HHDelta%d {
+  place all;
+  poll pollStats = Poll { .ival = %d, .what = port ANY };
+  external long threshold;
+  list hitters;
+  list reported;
+
+  state observe {
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (hitters <> reported) then {
+        send hitters to harvester;
+        reported = hitters;
+      }
+    }
+  }
+}
+`
+
+// EngineScaleConfig parameterizes the large-fabric engine scaling run:
+// a Fig. 4/8-style monitoring pipeline (bulk port load with churning
+// heavy hitters, per-switch HH seeds polling over the PCIe bus, change
+// reports to the central harvester) on a fat-tree at the ROADMAP's
+// 500-switch target.
+type EngineScaleConfig struct {
+	// K is the fat-tree arity; default 20, i.e. 5K²/4 = 500 switches.
+	K int
+	// HostsPerEdge is the host fan-out per edge switch; default 4.
+	HostsPerEdge int
+	// Tasks is the number of staggered HH monitoring tasks; each places
+	// one seed on every switch. Default 4 (2000 seeds at K=20).
+	Tasks int
+	// Duration is the measured window of virtual time; default 2 s.
+	Duration time.Duration
+	// Churn is the heavy-hitter churn period; default 2 s.
+	Churn time.Duration
+	// Engine selects the executor.
+	Engine EngineConfig
+}
+
+// EngineScaleResult is one engine-scale measurement. The Table output
+// contains only virtual-time-deterministic quantities — serial and
+// sharded runs must render byte-identically (the large-fabric
+// determinism gate). Wall-clock and scheduler diagnostics live in the
+// extra fields and are reported outside the table.
+type EngineScaleResult struct {
+	Switches    int
+	HostPorts   int
+	Seeds       int
+	PktPerSec   float64
+	BytesPerSec float64
+	// CentralBytes is the cumulative central-link byte count at the end
+	// of the run — the cross-engine equality check.
+	CentralBytes uint64
+
+	// Parallel diagnostics (sharded runs only; zero otherwise).
+	Parallel bool
+	Elapsed  time.Duration // wall clock, not virtual
+	Epochs   uint64
+	Runs     uint64
+	// Imbalance is max/mean central-lane bytes across shards: how
+	// unevenly the monitoring load spread (1.0 = perfectly even).
+	Imbalance float64
+}
+
+// EngineScale runs the large-fabric monitoring pipeline and measures
+// central-link load plus executor diagnostics.
+func EngineScale(cfg EngineScaleConfig) (*EngineScaleResult, error) {
+	if cfg.K == 0 {
+		cfg.K = 20
+	}
+	if cfg.HostsPerEdge == 0 {
+		cfg.HostsPerEdge = 4
+	}
+	if cfg.Tasks == 0 {
+		cfg.Tasks = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Churn == 0 {
+		cfg.Churn = 2 * time.Second
+	}
+	topo, err := netmodel.FatTree(netmodel.FatTreeOptions{K: cfg.K, HostsPerEdge: cfg.HostsPerEdge})
+	if err != nil {
+		return nil, err
+	}
+	fab, loop, stop := newFabricOnTopology(cfg.Engine, topo)
+	defer stop()
+	sd := seeder.New(fab, seeder.Options{})
+	for i := 0; i < cfg.Tasks; i++ {
+		if err := sd.AddTask(seeder.TaskSpec{
+			Name:   fmt.Sprintf("hh%d", i),
+			Source: fmt.Sprintf(engineScaleHH, i, 10+i),
+			Externals: map[string]map[string]core.Value{
+				fmt.Sprintf("HHDelta%d", i): {"threshold": int64(400_000)},
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	w := traffic.NewBulkWorkload(fab, traffic.BulkConfig{
+		Tick:       10 * time.Millisecond,
+		BaseRate:   1e5,
+		HeavyRate:  5e7,
+		HeavyRatio: 0.05,
+		Churn:      cfg.Churn,
+		Seed:       7,
+	})
+	defer w.Stop()
+
+	start := time.Now()
+	loop.RunFor(time.Second) // settle
+	snap := fab.CentralNet.Snapshot()
+	loop.RunFor(cfg.Duration)
+	elapsed := time.Since(start)
+
+	pps, bps := fab.CentralNet.RateSince(snap)
+	res := &EngineScaleResult{
+		Switches:     topo.NumSwitches(),
+		HostPorts:    len(topo.Hosts()),
+		Seeds:        cfg.Tasks * topo.NumSwitches(),
+		PktPerSec:    pps,
+		BytesPerSec:  bps,
+		CentralBytes: fab.CentralNet.Bytes(),
+		Elapsed:      elapsed,
+	}
+	if x, ok := loop.(*engine.Sharded); ok {
+		res.Parallel = true
+		res.Epochs, res.Runs = x.EpochStats()
+		res.Imbalance = fab.CentralNet.Imbalance()
+	}
+	return res, nil
+}
+
+// Table renders the deterministic portion of the result: identical for
+// serial and sharded runs by the engine's determinism contract.
+func (r *EngineScaleResult) Table() *Table {
+	t := &Table{
+		Title:   "Engine scale: Fig. 4-style pipeline on a 500-switch fat-tree",
+		Columns: []string{"value"},
+		Rows: []Row{
+			{Label: "switches", Values: []string{fmt.Sprintf("%d", r.Switches)}},
+			{Label: "host ports", Values: []string{fmt.Sprintf("%d", r.HostPorts)}},
+			{Label: "HH seeds", Values: []string{fmt.Sprintf("%d", r.Seeds)}},
+			{Label: "central pkts/s", Values: []string{fmtFloat(r.PktPerSec)}},
+			{Label: "central bytes/s", Values: []string{fmtFloat(r.BytesPerSec)}},
+			{Label: "central bytes", Values: []string{fmt.Sprintf("%d", r.CentralBytes)}},
+		},
+	}
+	t.Notes = append(t.Notes,
+		"all table values are virtual-time quantities: serial and sharded runs render identically")
+	return t
+}
+
+// ParallelStats renders the sharded-run diagnostics that intentionally
+// live outside the deterministic table (wall clock and scheduling vary
+// run to run and engine to engine).
+func (r *EngineScaleResult) ParallelStats() string {
+	if !r.Parallel {
+		return fmt.Sprintf("serial run: %v wall clock\n", r.Elapsed.Round(time.Millisecond))
+	}
+	parAvail := 0.0
+	if r.Epochs > 0 {
+		parAvail = float64(r.Runs) / float64(r.Epochs)
+	}
+	return fmt.Sprintf("sharded run: %v wall clock, %d epochs, par-avail %.1f, shard imbalance %.2f\n",
+		r.Elapsed.Round(time.Millisecond), r.Epochs, parAvail, r.Imbalance)
+}

@@ -81,6 +81,13 @@ type EngineConfig struct {
 	// Shards is the event partition count under the sharded executor;
 	// 0 means one shard per switch.
 	Shards int
+	// ProfileLabels tags executor phases (select/run/merge) with pprof
+	// labels on sharded runs, for use with farm-bench -cpuprofile.
+	ProfileLabels bool
+	// ForceWorkers forces worker-pool dispatch even on a single-CPU
+	// process (see engine.ShardedOptions.ForceWorkers); the determinism
+	// tests set it so the race detector sees the concurrent path.
+	ForceWorkers bool
 }
 
 // Parallel reports whether the sharded executor is selected.
@@ -102,20 +109,29 @@ func newFabricOn(eng EngineConfig, spines, leaves, hostsPerLeaf int) (*fabric.Fa
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	fab, sched, stop := newFabricOnTopology(eng, topo)
+	return fab, sched, stop, nil
+}
+
+// newFabricOnTopology builds a fabric over an already-constructed
+// topology (the engine-scale experiment brings its own fat-tree).
+func newFabricOnTopology(eng EngineConfig, topo *netmodel.Topology) (*fabric.Fabric, engine.Scheduler, func()) {
 	if eng.Parallel() {
 		shards := eng.Shards
 		if shards == 0 {
 			shards = len(topo.Switches())
 		}
 		x := engine.NewSharded(engine.ShardedOptions{
-			Shards:    shards,
-			Workers:   eng.Workers,
-			Lookahead: fabric.Options{}.MinCrossLatency(),
+			Shards:        shards,
+			Workers:       eng.Workers,
+			Lookahead:     fabric.Options{}.MinCrossLatency(),
+			ProfileLabels: eng.ProfileLabels,
+			ForceWorkers:  eng.ForceWorkers,
 		})
-		return fabric.New(topo, x, fabric.Options{}), x, x.Stop, nil
+		return fabric.New(topo, x, fabric.Options{}), x, x.Stop
 	}
 	loop := engine.NewSerial()
-	return fabric.New(topo, loop, fabric.Options{}), loop, func() {}, nil
+	return fabric.New(topo, loop, fabric.Options{}), loop, func() {}
 }
 
 // compileMachine parses Almanac source and compiles its sole machine.

@@ -168,6 +168,34 @@ func (m *NetMeter) AddLane(lane, packets, bytes int) {
 	m.lanes[lane].bytes += uint64(bytes)
 }
 
+// Lane returns the cumulative counters of one lane — under the fabric's
+// wiring, the traffic contributed by that home shard. Like the totals,
+// it must be read while writers are quiescent.
+func (m *NetMeter) Lane(i int) (packets, bytes uint64) {
+	return m.lanes[i].packets, m.lanes[i].bytes
+}
+
+// Imbalance returns the max/mean ratio over per-lane byte counts: 1.0
+// means perfectly even shard load, N means one lane carries N times the
+// mean. It returns 0 when no lane has carried traffic. Experiments
+// report it for sharded runs to show how evenly the monitoring load
+// spreads over shards (and therefore what speedup remains reachable).
+func (m *NetMeter) Imbalance() float64 {
+	var max, sum uint64
+	for i := range m.lanes {
+		b := m.lanes[i].bytes
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(m.lanes))
+	return float64(max) / mean
+}
+
 // Packets returns the cumulative packet count across lanes.
 func (m *NetMeter) Packets() uint64 {
 	var n uint64

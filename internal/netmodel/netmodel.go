@@ -389,6 +389,97 @@ func SpineLeaf(opts SpineLeafOptions) (*Topology, error) {
 	return t, nil
 }
 
+// FatTreeOptions configures the FatTree builder.
+type FatTreeOptions struct {
+	// K is the pod arity: K pods of K/2 aggregation and K/2 edge
+	// switches each, plus (K/2)^2 core switches — 5K²/4 switches total
+	// (K=20 is the 500-switch fabric of the engine-scale experiments).
+	// K must be even and >= 2.
+	K int
+	// HostsPerEdge is the number of hosts attached to each edge switch;
+	// it defaults to K/2, the classic fat-tree host fan-out.
+	HostsPerEdge int
+	// EdgeCapacity/AggCapacity/CoreCapacity default to
+	// DefaultLeafCapacity / DefaultSpineCapacity / DefaultCoreCapacity
+	// when nil.
+	EdgeCapacity Resources
+	AggCapacity  Resources
+	CoreCapacity Resources
+}
+
+// DefaultCoreCapacity models a core-tier chassis: more management RAM
+// and TCAM than the AS7712-class spine, same polling path.
+func DefaultCoreCapacity() Resources {
+	return Resources{ResVCPU: 8, ResRAM: 32768, ResTCAM: 4096, ResPCIe: 16, ResPoll: 20000}
+}
+
+// FatTree builds a three-tier k-ary fat-tree: (k/2)^2 core switches in
+// k/2 groups, and k pods each holding k/2 aggregation and k/2 edge
+// switches. Aggregation switch g of every pod uplinks to all k/2 cores
+// of group g; within a pod every edge connects to every aggregation
+// switch. Edge switches take the Leaf role (hosts attach there, with
+// the same 10.<edge>.<h/250>.<h%250+1> addressing as SpineLeaf, so
+// LeafPrefix and the placement filters work unchanged), aggregation
+// switches the Spine role, and cores the Core role.
+func FatTree(opts FatTreeOptions) (*Topology, error) {
+	k := opts.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("netmodel: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	if edges := k * half; edges > 250 {
+		return nil, fmt.Errorf("netmodel: at most 250 edge switches supported by the addressing scheme, got %d (k=%d)", edges, k)
+	}
+	hostsPerEdge := opts.HostsPerEdge
+	if hostsPerEdge == 0 {
+		hostsPerEdge = half
+	}
+	edgeCap := opts.EdgeCapacity
+	if edgeCap == nil {
+		edgeCap = DefaultLeafCapacity()
+	}
+	aggCap := opts.AggCapacity
+	if aggCap == nil {
+		aggCap = DefaultSpineCapacity()
+	}
+	coreCap := opts.CoreCapacity
+	if coreCap == nil {
+		coreCap = DefaultCoreCapacity()
+	}
+	t := New()
+	// Core group g holds cores g*half .. g*half+half-1.
+	cores := make([]SwitchID, half*half)
+	for g := 0; g < half; g++ {
+		for i := 0; i < half; i++ {
+			cores[g*half+i] = t.AddSwitch(fmt.Sprintf("core%d-%d", g, i), Core, coreCap)
+		}
+	}
+	edgeIdx := 0
+	for p := 0; p < k; p++ {
+		aggs := make([]SwitchID, half)
+		for g := 0; g < half; g++ {
+			aggs[g] = t.AddSwitch(fmt.Sprintf("agg%d-%d", p, g), Spine, aggCap)
+			for i := 0; i < half; i++ {
+				t.AddLink(aggs[g], cores[g*half+i])
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := t.AddSwitch(fmt.Sprintf("edge%d-%d", p, e), Leaf, edgeCap)
+			for _, a := range aggs {
+				t.AddLink(edge, a)
+			}
+			for h := 0; h < hostsPerEdge; h++ {
+				ip := netip.AddrFrom4([4]byte{10, byte(edgeIdx), byte(h / 250), byte(h%250 + 1)})
+				if _, err := t.AddHost(edge, ip); err != nil {
+					return nil, err
+				}
+			}
+			edgeIdx++
+		}
+	}
+	return t, nil
+}
+
 // LeafPrefix returns the /16 covering all hosts of the given leaf index
 // under the SpineLeaf addressing scheme.
 func LeafPrefix(leafIndex int) netip.Prefix {

@@ -349,3 +349,113 @@ func TestRangeOpHolds(t *testing.T) {
 		}
 	}
 }
+
+func TestFatTreeShape(t *testing.T) {
+	top, err := FatTree(FatTreeOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=4: 4 cores + 4 pods * (2 agg + 2 edge) = 20 switches, 2 hosts/edge.
+	if got := top.NumSwitches(); got != 20 {
+		t.Fatalf("switches = %d, want 20", got)
+	}
+	if got := len(top.Hosts()); got != 16 {
+		t.Fatalf("hosts = %d, want 16", got)
+	}
+	cores, aggs, edges := 0, 0, 0
+	for _, s := range top.Switches() {
+		n := len(top.Neighbors(s.ID))
+		switch s.Role {
+		case Core:
+			cores++
+			if n != 4 { // one agg per pod
+				t.Fatalf("core %s has %d neighbors, want 4", s.Name, n)
+			}
+		case Spine:
+			aggs++
+			if n != 4 { // k/2 cores up + k/2 edges down
+				t.Fatalf("agg %s has %d neighbors, want 4", s.Name, n)
+			}
+		case Leaf:
+			edges++
+			if n != 2 { // k/2 aggs
+				t.Fatalf("edge %s has %d neighbors, want 2", s.Name, n)
+			}
+		}
+	}
+	if cores != 4 || aggs != 8 || edges != 8 {
+		t.Fatalf("cores=%d aggs=%d edges=%d, want 4/8/8", cores, aggs, edges)
+	}
+}
+
+func TestFatTree500Switches(t *testing.T) {
+	top, err := FatTree(FatTreeOptions{K: 20, HostsPerEdge: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := top.NumSwitches(); got != 500 {
+		t.Fatalf("switches = %d, want 500", got)
+	}
+	if got := len(top.Hosts()); got != 800 {
+		t.Fatalf("hosts = %d, want 800", got)
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	if _, err := FatTree(FatTreeOptions{K: 3}); err == nil {
+		t.Fatal("odd arity should error")
+	}
+	if _, err := FatTree(FatTreeOptions{K: 0}); err == nil {
+		t.Fatal("zero arity should error")
+	}
+	if _, err := FatTree(FatTreeOptions{K: 24}); err == nil {
+		t.Fatal("288 edges should exceed the addressing limit")
+	}
+}
+
+func TestFatTreePaths(t *testing.T) {
+	top, err := FatTree(FatTreeOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []SwitchID
+	for _, s := range top.Switches() {
+		if s.Role == Leaf {
+			edges = append(edges, s.ID)
+		}
+	}
+	// Same pod: edge-agg-edge, 2 ECMP paths (one per agg).
+	same := top.Paths(edges[0], edges[1])
+	if len(same) != 2 {
+		t.Fatalf("intra-pod paths = %d, want 2", len(same))
+	}
+	for _, p := range same {
+		if len(p) != 3 {
+			t.Fatalf("intra-pod path length = %d, want 3", len(p))
+		}
+	}
+	// Cross pod: edge-agg-core-agg-edge, (k/2)^2 = 4 ECMP paths.
+	cross := top.Paths(edges[0], edges[2])
+	if len(cross) != 4 {
+		t.Fatalf("cross-pod paths = %d, want 4", len(cross))
+	}
+	for _, p := range cross {
+		if len(p) != 5 {
+			t.Fatalf("cross-pod path length = %d, want 5", len(p))
+		}
+		if top.Switch(p[2]).Role != Core {
+			t.Fatalf("cross-pod path middle hop is %s, want a core", top.Switch(p[2]).Name)
+		}
+	}
+	// Addressing matches the global edge index: every host of the i-th
+	// edge switch (in creation order) sits inside LeafPrefix(i).
+	edgeIndex := map[SwitchID]int{}
+	for i, id := range edges {
+		edgeIndex[id] = i
+	}
+	for _, h := range top.Hosts() {
+		if i := edgeIndex[h.Leaf]; !LeafPrefix(i).Contains(h.IP) {
+			t.Fatalf("host %v on %s outside LeafPrefix(%d)", h.IP, top.Switch(h.Leaf).Name, i)
+		}
+	}
+}
