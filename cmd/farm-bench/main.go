@@ -10,7 +10,11 @@
 //	farm-bench -list
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// ablation engine-scale.
+// ablation engine-scale packet-path.
+//
+// -json prints the selected experiment's result as machine-readable
+// JSON instead of a table (currently supported by packet-path; CI
+// archives `farm-bench -exp packet-path -json` as BENCH_packetpath.json).
 //
 // -parallel N selects the sharded conservative-parallel event executor
 // with N workers for the experiments that support it (the FARM runs of
@@ -28,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +58,10 @@ var parallelWorkers int
 // set; sharded runs then tag executor phases with pprof labels.
 var profiling bool
 
+// jsonOut is the -json flag: emit machine-readable results and no
+// elapsed lines, so output can be piped straight into a file.
+var jsonOut bool
+
 func engineConfig() experiments.EngineConfig {
 	return experiments.EngineConfig{Workers: parallelWorkers, ProfileLabels: profiling}
 }
@@ -65,6 +74,7 @@ func main() {
 		"run supporting experiments on the sharded executor with this many workers (0 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the selected experiments")
+	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON (supported by packet-path)")
 	flag.Parse()
 	profiling = *cpuProfile != "" || *memProfile != ""
 
@@ -110,10 +120,11 @@ func main() {
 		{"fig10", "Fig. 10: seed<->soil transport latency", runFig10},
 		{"ablation", "Ablations: Alg. 1 passes, migration cost", runAblation},
 		{"engine-scale", "Engine scaling: Fig. 4 pipeline on a 500-switch fat-tree", runEngineScale},
+		{"packet-path", "Packet path: linear classifier vs bucketed index + flow cache", runPacketPath},
 	}
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("  %-9s %s\n", e.name, e.desc)
+			fmt.Printf("  %-12s %s\n", e.name, e.desc)
 		}
 		return
 	}
@@ -128,7 +139,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		if !jsonOut {
+			fmt.Printf("(%s finished in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
@@ -260,6 +273,25 @@ func runEngineScale(full bool) error {
 	}
 	fmt.Print(res.Table().Render())
 	fmt.Print(res.ParallelStats())
+	return nil
+}
+
+func runPacketPath(full bool) error {
+	cfg := experiments.PacketPathConfig{}
+	if full {
+		cfg.Packets = 2_000_000
+		cfg.Rules = 256
+	}
+	res, err := experiments.PacketPath(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Print(res.Table().Render())
 	return nil
 }
 

@@ -15,7 +15,9 @@ package dataplane
 import (
 	"fmt"
 	"net/netip"
-	"strings"
+	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Proto is an IP protocol.
@@ -107,8 +109,25 @@ func (p Packet) Flow() FlowKey {
 	return FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
 }
 
+// AppendTo appends the flow's canonical text form to b and returns the
+// extended slice — the allocation-free building block for per-packet
+// consumers (the fabric's ECMP flow hash feeds these exact bytes to
+// FNV-1a, so the encoding must stay stable).
+func (k FlowKey) AppendTo(b []byte) []byte {
+	b = k.SrcIP.AppendTo(b)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.SrcPort), 10)
+	b = append(b, '-', '>')
+	b = k.DstIP.AppendTo(b)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.DstPort), 10)
+	b = append(b, '/')
+	b = append(b, k.Proto.String()...)
+	return b
+}
+
 func (k FlowKey) String() string {
-	return fmt.Sprintf("%s:%d->%s:%d/%s", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, k.Proto)
+	return string(k.AppendTo(make([]byte, 0, 64)))
 }
 
 // Filter is a ternary match over packet headers and ingress port. The
@@ -152,36 +171,105 @@ func (f Filter) Match(p Packet, inPort int) bool {
 	return true
 }
 
+// Covers reports whether f is at least as broad as g: every packet g
+// matches (on any ingress port g accepts), f matches too. Each of f's
+// constrained dimensions must constrain g at least as tightly —
+// wildcard fields of f cover anything, a valid prefix of f must contain
+// g's (necessarily valid) prefix, exact fields must be equal, and f's
+// required flags must be a subset of g's.
+func (f Filter) Covers(g Filter) bool {
+	if f.SrcPrefix.IsValid() &&
+		!(g.SrcPrefix.IsValid() && f.SrcPrefix.Bits() <= g.SrcPrefix.Bits() && f.SrcPrefix.Contains(g.SrcPrefix.Addr())) {
+		return false
+	}
+	if f.DstPrefix.IsValid() &&
+		!(g.DstPrefix.IsValid() && f.DstPrefix.Bits() <= g.DstPrefix.Bits() && f.DstPrefix.Contains(g.DstPrefix.Addr())) {
+		return false
+	}
+	if f.SrcPort != 0 && f.SrcPort != g.SrcPort {
+		return false
+	}
+	if f.DstPort != 0 && f.DstPort != g.DstPort {
+		return false
+	}
+	if f.Proto != ProtoAny && f.Proto != g.Proto {
+		return false
+	}
+	if f.FlagsSet != 0 && g.FlagsSet&f.FlagsSet != f.FlagsSet {
+		return false
+	}
+	if f.InPort != 0 && f.InPort != g.InPort {
+		return false
+	}
+	return true
+}
+
+// keyCache memoizes Filter.Key results. The soil encodes the polling
+// subject of every poll wiring through Key, and seeds churn rules with
+// recurring filters, so the steady state is all hits. Bounded: highly
+// dynamic filter populations (per-attacker /32 blocks) stop being
+// cached once the cache is full rather than growing it forever.
+var (
+	keyCache     sync.Map // Filter -> string
+	keyCacheSize atomic.Int64
+)
+
+const keyCacheCap = 4096
+
 // Key returns a canonical encoding of the filter. Two filters with equal
 // keys poll the same ASIC state; this is the φ_enc polling-subject
-// encoding used for aggregation (§III-B-c).
+// encoding used for aggregation (§III-B-c). Built allocation-free by
+// strconv appends and cached on first use.
 func (f Filter) Key() string {
-	var b strings.Builder
-	if f.SrcPrefix.IsValid() {
-		fmt.Fprintf(&b, "src=%s;", f.SrcPrefix)
-	}
-	if f.DstPrefix.IsValid() {
-		fmt.Fprintf(&b, "dst=%s;", f.DstPrefix)
-	}
-	if f.SrcPort != 0 {
-		fmt.Fprintf(&b, "sport=%d;", f.SrcPort)
-	}
-	if f.DstPort != 0 {
-		fmt.Fprintf(&b, "dport=%d;", f.DstPort)
-	}
-	if f.Proto != ProtoAny {
-		fmt.Fprintf(&b, "proto=%d;", uint8(f.Proto))
-	}
-	if f.FlagsSet != 0 {
-		fmt.Fprintf(&b, "flags=%d;", uint8(f.FlagsSet))
-	}
-	if f.InPort != 0 {
-		fmt.Fprintf(&b, "in=%d;", f.InPort)
-	}
-	if b.Len() == 0 {
+	if f.IsZero() {
 		return "any"
 	}
-	return strings.TrimSuffix(b.String(), ";")
+	if v, ok := keyCache.Load(f); ok {
+		return v.(string)
+	}
+	b := make([]byte, 0, 64)
+	if f.SrcPrefix.IsValid() {
+		b = append(b, "src="...)
+		b = f.SrcPrefix.AppendTo(b)
+		b = append(b, ';')
+	}
+	if f.DstPrefix.IsValid() {
+		b = append(b, "dst="...)
+		b = f.DstPrefix.AppendTo(b)
+		b = append(b, ';')
+	}
+	if f.SrcPort != 0 {
+		b = append(b, "sport="...)
+		b = strconv.AppendUint(b, uint64(f.SrcPort), 10)
+		b = append(b, ';')
+	}
+	if f.DstPort != 0 {
+		b = append(b, "dport="...)
+		b = strconv.AppendUint(b, uint64(f.DstPort), 10)
+		b = append(b, ';')
+	}
+	if f.Proto != ProtoAny {
+		b = append(b, "proto="...)
+		b = strconv.AppendUint(b, uint64(f.Proto), 10)
+		b = append(b, ';')
+	}
+	if f.FlagsSet != 0 {
+		b = append(b, "flags="...)
+		b = strconv.AppendUint(b, uint64(f.FlagsSet), 10)
+		b = append(b, ';')
+	}
+	if f.InPort != 0 {
+		b = append(b, "in="...)
+		b = strconv.AppendInt(b, int64(f.InPort), 10)
+		b = append(b, ';')
+	}
+	s := string(b[:len(b)-1]) // drop the trailing ';'
+	if keyCacheSize.Load() < keyCacheCap {
+		if _, loaded := keyCache.LoadOrStore(f, s); !loaded {
+			keyCacheSize.Add(1)
+		}
+	}
+	return s
 }
 
 func (f Filter) String() string { return "filter(" + f.Key() + ")" }

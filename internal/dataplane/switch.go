@@ -1,9 +1,6 @@
 package dataplane
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Action is what a TCAM rule does to matching packets.
 type Action int
@@ -63,17 +60,55 @@ type tcamEntry struct {
 // outside it and are unaffected by monitoring rule churn.
 type TCAM struct {
 	capacity int
-	entries  []*tcamEntry
+	// entries is kept in match order (priority desc, seq asc) at all
+	// times; AddRule/RemoveRule splice at binary-searched positions.
+	entries []*tcamEntry
 	// byFilter indexes entries by exact filter for the management-path
 	// operations (install/remove/poll), which address rules by filter.
 	byFilter map[Filter]*tcamEntry
 	seq      int
+
+	// Fast-path state (docs/dataplane.md): the bucketed rule index, the
+	// generation counter bumped on every rule churn, and the
+	// generation-stamped flow cache for direct Lookup callers.
+	// Switch.Inject keeps its own fused cache and shares only the index
+	// and the generation.
+	index    ruleIndex
+	gen      uint64
+	cache    map[flowKey]cachedVerdict
+	cacheCap int
+	stats    CacheStats
+	fastPath bool
 }
 
 // NewTCAM returns a TCAM with the given entry capacity.
 func NewTCAM(capacity int) *TCAM {
-	return &TCAM{capacity: capacity, byFilter: make(map[Filter]*tcamEntry)}
+	return &TCAM{
+		capacity: capacity,
+		byFilter: make(map[Filter]*tcamEntry),
+		index:    newRuleIndex(),
+		cache:    make(map[flowKey]cachedVerdict),
+		cacheCap: defaultFlowCacheCap,
+		fastPath: true,
+	}
 }
+
+// SetFastPath toggles the indexed + flow-cached lookup path; disabling
+// it reverts Lookup to the linear reference scan (for benchmarking and
+// A/B validation — the two paths return identical results, which
+// TestTCAMFastPathProperty pins). The flow cache is cleared on toggle.
+func (t *TCAM) SetFastPath(on bool) {
+	t.fastPath = on
+	clear(t.cache)
+}
+
+// Generation returns the rule-churn generation counter; it advances on
+// every AddRule/RemoveRule and stamps (and thereby invalidates) cached
+// flow verdicts.
+func (t *TCAM) Generation() uint64 { return t.gen }
+
+// CacheStats returns hit/miss counters of the Lookup flow cache.
+func (t *TCAM) CacheStats() CacheStats { return t.stats }
 
 // Capacity returns the maximum number of entries.
 func (t *TCAM) Capacity() int { return t.capacity }
@@ -92,35 +127,28 @@ var ErrTCAMFull = fmt.Errorf("dataplane: TCAM full")
 // surprising; counters reset).
 func (t *TCAM) AddRule(r Rule) error {
 	if old, ok := t.byFilter[r.Filter]; ok {
+		// Replace in place: keep the original installation sequence (so
+		// tie-breaking order is stable), but re-position for the possibly
+		// changed priority — O(log n) splices, no full re-sort.
 		repl := &tcamEntry{rule: r, seq: old.seq}
-		for i, e := range t.entries {
-			if e == old {
-				t.entries[i] = repl
-				break
-			}
-		}
+		t.entries = removeSorted(t.entries, old)
+		t.index.remove(old)
+		t.entries = insertSorted(t.entries, repl)
+		t.index.add(repl)
 		t.byFilter[r.Filter] = repl
-		t.sortEntries()
+		t.gen++
 		return nil
 	}
 	if len(t.entries) >= t.capacity {
 		return ErrTCAMFull
 	}
 	e := &tcamEntry{rule: r, seq: t.seq}
-	t.entries = append(t.entries, e)
-	t.byFilter[r.Filter] = e
 	t.seq++
-	t.sortEntries()
+	t.entries = insertSorted(t.entries, e)
+	t.index.add(e)
+	t.byFilter[r.Filter] = e
+	t.gen++
 	return nil
-}
-
-func (t *TCAM) sortEntries() {
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		if t.entries[i].rule.Priority != t.entries[j].rule.Priority {
-			return t.entries[i].rule.Priority > t.entries[j].rule.Priority
-		}
-		return t.entries[i].seq < t.entries[j].seq
-	})
 }
 
 // RemoveRule removes the rule with exactly the given filter. It reports
@@ -131,13 +159,10 @@ func (t *TCAM) RemoveRule(f Filter) bool {
 		return false
 	}
 	delete(t.byFilter, f)
-	for i, cur := range t.entries {
-		if cur == e {
-			t.entries = append(t.entries[:i], t.entries[i+1:]...)
-			return true
-		}
-	}
-	return false
+	t.entries = removeSorted(t.entries, e)
+	t.index.remove(e)
+	t.gen++
+	return true
 }
 
 // GetRule returns the rule with exactly the given filter.
@@ -165,16 +190,19 @@ func (t *TCAM) Stats(f Filter) (RuleStats, bool) {
 	return RuleStats{}, false
 }
 
-// StatsMatching returns aggregate counters over all rules whose filter
-// key is matched by the query filter's key prefix semantics — here
-// simplified to: rules whose own filter equals the query, or, when the
-// query is broader, rules whose filter matches every packet the rule
-// would count. For polling purposes the soil uses exact filter keys, so
-// exact equality is the hot path.
+// StatsMatching returns counters for the query filter. A rule installed
+// with exactly this filter answers alone, resolved O(1) through the
+// byFilter index — the hot path, since the soil polls by exact filter
+// key. Otherwise the query aggregates the counters of every rule it
+// covers (every rule whose matched packets the query would also match,
+// Filter.Covers); the zero filter aggregates the whole table.
 func (t *TCAM) StatsMatching(f Filter) RuleStats {
+	if e, ok := t.byFilter[f]; ok {
+		return e.stats
+	}
 	var agg RuleStats
 	for _, e := range t.entries {
-		if e.rule.Filter == f || f.IsZero() {
+		if f.Covers(e.rule.Filter) {
 			agg.Packets += e.stats.Packets
 			agg.Bytes += e.stats.Bytes
 		}
@@ -182,16 +210,44 @@ func (t *TCAM) StatsMatching(f Filter) RuleStats {
 	return agg
 }
 
-// Lookup returns the highest-priority matching rule for the packet.
+// Lookup returns the highest-priority matching rule for the packet and
+// counts the match. On the fast path a repeat flow resolves in one map
+// probe; a cold or invalidated flow pays one indexed bucket scan.
 func (t *TCAM) Lookup(p Packet, inPort int) (Rule, bool) {
+	var e *tcamEntry
+	if t.fastPath {
+		k := flowKeyOf(p, inPort)
+		if v, ok := t.cache[k]; ok && v.gen == t.gen {
+			t.stats.Hits++
+			e = v.e
+		} else {
+			t.stats.Misses++
+			e = t.index.lookup(p, inPort)
+			if len(t.cache) >= t.cacheCap {
+				clear(t.cache)
+			}
+			t.cache[k] = cachedVerdict{gen: t.gen, e: e}
+		}
+	} else {
+		e = t.scanLinear(p, inPort)
+	}
+	if e == nil {
+		return Rule{}, false
+	}
+	e.stats.Packets++
+	e.stats.Bytes += uint64(p.Size)
+	return e.rule, true
+}
+
+// scanLinear is the pre-index lookup: first match in the match-ordered
+// entry list. Kept as the SetFastPath(false) baseline.
+func (t *TCAM) scanLinear(p Packet, inPort int) *tcamEntry {
 	for _, e := range t.entries {
 		if e.rule.Filter.Match(p, inPort) {
-			e.stats.Packets++
-			e.stats.Bytes += uint64(p.Size)
-			return e.rule, true
+			return e
 		}
 	}
-	return Rule{}, false
+	return nil
 }
 
 // lookupReference is a non-mutating linear scan used by property tests
@@ -230,6 +286,7 @@ type Sampler struct {
 	OneInN  int
 	fn      func(Packet)
 	counter int
+	removed bool
 }
 
 // Verdict reports what the ASIC did with an injected packet.
@@ -248,17 +305,50 @@ type Switch struct {
 	tcam     *TCAM
 	samplers []*Sampler
 	dropped  uint64
+
+	// Fused inject path: one flow cache holding the TCAM verdict and the
+	// matching sampler set together, each half stamped with its own
+	// generation (rule churn vs. sampler churn) so either kind of churn
+	// invalidates only lazily, on the next probe of a stale flow.
+	samplerGen uint64
+	flowCache  map[flowKey]*injectVerdict
+	cacheCap   int
+	cacheStats CacheStats
+	fastPath   bool
+}
+
+// injectVerdict is one memoized fused classification.
+type injectVerdict struct {
+	tcamGen    uint64
+	samplerGen uint64
+	e          *tcamEntry // nil = no rule matches
+	samplers   []*Sampler // the samplers whose filter matches this flow
 }
 
 // NewSwitch returns a switch with numPorts ports and the given
 // monitoring-TCAM capacity.
 func NewSwitch(name string, numPorts, tcamCapacity int) *Switch {
 	return &Switch{
-		name:  name,
-		ports: make([]PortStats, numPorts+1),
-		tcam:  NewTCAM(tcamCapacity),
+		name:      name,
+		ports:     make([]PortStats, numPorts+1),
+		tcam:      NewTCAM(tcamCapacity),
+		flowCache: make(map[flowKey]*injectVerdict),
+		cacheCap:  defaultFlowCacheCap,
+		fastPath:  true,
 	}
 }
+
+// SetFastPath toggles the fused flow-cached inject path on this switch
+// and the indexed lookup on its TCAM; off reverts to the linear
+// reference behaviour (for benchmarking and A/B validation).
+func (s *Switch) SetFastPath(on bool) {
+	s.fastPath = on
+	s.tcam.SetFastPath(on)
+	clear(s.flowCache)
+}
+
+// CacheStats returns hit/miss counters of the fused inject flow cache.
+func (s *Switch) CacheStats() CacheStats { return s.cacheStats }
 
 // Name returns the switch name.
 func (s *Switch) Name() string { return s.name }
@@ -281,13 +371,21 @@ func (s *Switch) PortStats(port int) (PortStats, error) {
 func (s *Switch) Dropped() uint64 { return s.dropped }
 
 // AddSampler registers a packet sampler and returns a remove function.
+// Removal is effective immediately — even for a packet mid-Inject, the
+// removed sampler no longer fires.
 func (s *Switch) AddSampler(f Filter, oneInN int, fn func(Packet)) (remove func()) {
 	if oneInN < 1 {
 		oneInN = 1
 	}
 	sm := &Sampler{Filter: f, OneInN: oneInN, fn: fn}
 	s.samplers = append(s.samplers, sm)
+	s.samplerGen++
 	return func() {
+		if sm.removed {
+			return
+		}
+		sm.removed = true
+		s.samplerGen++
 		for i, cur := range s.samplers {
 			if cur == sm {
 				s.samplers = append(s.samplers[:i], s.samplers[i+1:]...)
@@ -324,13 +422,80 @@ func (s *Switch) CreditRule(f Filter, packets, bytes uint64) bool {
 }
 
 // Inject passes a packet through the ASIC: ingress counters, TCAM
-// lookup (counting and possibly dropping), samplers, egress counters.
-// inPort/outPort are 1-based; outPort 0 means locally destined.
+// classification (counting and possibly dropping), samplers, egress
+// counters. inPort/outPort are 1-based; outPort 0 means locally
+// destined.
+//
+// On the fast path TCAM and samplers are evaluated in one fused pass: a
+// single flow-cache probe yields both the winning rule and the matching
+// sampler set for a repeat flow; only a cold or churn-invalidated flow
+// pays the indexed TCAM lookup plus the per-sampler filter scan.
 func (s *Switch) Inject(p Packet, inPort, outPort int) Verdict {
 	if inPort >= 1 && inPort < len(s.ports) {
 		s.ports[inPort].RxPackets++
 		s.ports[inPort].RxBytes += uint64(p.Size)
 	}
+	var v Verdict
+	if s.fastPath {
+		v = s.classifyFused(p, inPort)
+	} else {
+		v = s.classifyLinear(p, inPort)
+	}
+	if !v.Dropped && outPort >= 1 && outPort < len(s.ports) {
+		s.ports[outPort].TxPackets++
+		s.ports[outPort].TxBytes += uint64(p.Size)
+	}
+	return v
+}
+
+// classifyFused is the fused fast path: one flow-cache probe covering
+// TCAM verdict and sampler set, recomputed lazily when either the rule
+// or the sampler generation moved.
+func (s *Switch) classifyFused(p Packet, inPort int) Verdict {
+	k := flowKeyOf(p, inPort)
+	cv, ok := s.flowCache[k]
+	if !ok || cv.tcamGen != s.tcam.gen || cv.samplerGen != s.samplerGen {
+		s.cacheStats.Misses++
+		cv = &injectVerdict{tcamGen: s.tcam.gen, samplerGen: s.samplerGen}
+		cv.e = s.tcam.index.lookup(p, inPort)
+		for _, sm := range s.samplers {
+			if sm.Filter.Match(p, inPort) {
+				cv.samplers = append(cv.samplers, sm)
+			}
+		}
+		if len(s.flowCache) >= s.cacheCap {
+			clear(s.flowCache)
+		}
+		s.flowCache[k] = cv
+	} else {
+		s.cacheStats.Hits++
+	}
+	var v Verdict
+	if cv.e != nil {
+		cv.e.stats.Packets++
+		cv.e.stats.Bytes += uint64(p.Size)
+		v.Rule, v.Matched = cv.e.rule, true
+		if cv.e.rule.Action == ActDrop {
+			v.Dropped = true
+			s.dropped++
+		}
+	}
+	for _, sm := range cv.samplers {
+		if sm.removed { // removed after this verdict was cached
+			continue
+		}
+		sm.counter++
+		if sm.counter%sm.OneInN == 0 {
+			sm.fn(p)
+		}
+	}
+	return v
+}
+
+// classifyLinear is the pre-fast-path behaviour: full TCAM scan, then a
+// second scan over every sampler. Kept as the SetFastPath(false)
+// baseline.
+func (s *Switch) classifyLinear(p Packet, inPort int) Verdict {
 	var v Verdict
 	if r, ok := s.tcam.Lookup(p, inPort); ok {
 		v.Rule, v.Matched = r, true
@@ -340,16 +505,15 @@ func (s *Switch) Inject(p Packet, inPort, outPort int) Verdict {
 		}
 	}
 	for _, sm := range s.samplers {
+		if sm.removed {
+			continue
+		}
 		if sm.Filter.Match(p, inPort) {
 			sm.counter++
 			if sm.counter%sm.OneInN == 0 {
 				sm.fn(p)
 			}
 		}
-	}
-	if !v.Dropped && outPort >= 1 && outPort < len(s.ports) {
-		s.ports[outPort].TxPackets++
-		s.ports[outPort].TxBytes += uint64(p.Size)
 	}
 	return v
 }

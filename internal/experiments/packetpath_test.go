@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPacketPathConsistent runs the classifier A/B experiment at a
+// reduced scale and checks the invariant the full run enforces too:
+// the fast path's observable digest is identical to the linear path's.
+func TestPacketPathConsistent(t *testing.T) {
+	res, err := PacketPath(PacketPathConfig{Packets: 30_000, ChurnEvery: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("fast and naive digests diverged: %+v", res)
+	}
+	if res.Churns == 0 {
+		t.Fatalf("expected rule churn during the run, got none")
+	}
+	if res.Matched == 0 || res.Sampled == 0 || res.Dropped == 0 {
+		t.Fatalf("trace failed to exercise matches, samplers, and drops: %+v", res)
+	}
+	if res.HitRate <= 0.5 {
+		t.Fatalf("flow cache hit rate %.2f, want > 0.5 on a skewed trace", res.HitRate)
+	}
+	out := res.Table().Render()
+	for _, want := range []string{"speedup", "verdicts identical", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

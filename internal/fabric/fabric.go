@@ -16,7 +16,6 @@ package fabric
 
 import (
 	"fmt"
-	"hash/fnv"
 	"net/netip"
 	"sort"
 	"time"
@@ -325,10 +324,25 @@ func (f *Fabric) PathFor(p dataplane.Packet) (netmodel.Path, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("fabric: no path %v -> %v", src.Leaf, dst.Leaf)
 	}
-	h := fnv.New32a()
-	flow := p.Flow()
-	fmt.Fprintf(h, "%v", flow)
-	return paths[int(h.Sum32())%len(paths)], nil
+	return paths[int(flowHash(p.Flow()))%len(paths)], nil
+}
+
+// flowHash is the ECMP path selector: FNV-1a over the flow's canonical
+// text bytes. Byte-identical to the previous
+// fmt.Fprintf(fnv.New32a(), "%v", flow) — path selection, and with it
+// every experiment output, is unchanged (TestFlowHashMatchesFmt pins
+// this) — but without the hasher and fmt allocations on the per-packet
+// path.
+func flowHash(k dataplane.FlowKey) uint32 {
+	var arr [64]byte
+	b := k.AppendTo(arr[:0])
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
 }
 
 // Send injects a packet at its source host's leaf and forwards it

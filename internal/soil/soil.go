@@ -8,6 +8,7 @@ package soil
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"farm/internal/almanac"
@@ -195,8 +196,11 @@ func (sub subject) key() string {
 	case sub.allPorts:
 		return "ports:all"
 	case sub.port > 0:
-		return fmt.Sprintf("ports:%d", sub.port)
+		return "ports:" + strconv.Itoa(sub.port)
 	default:
+		// Filter.Key is cached after first use, so re-encoding a
+		// subject (every wirePoll and every seeder aggregation check)
+		// costs a map probe, not a rebuild.
 		return "rule:" + sub.rule.Key()
 	}
 }
