@@ -10,20 +10,28 @@
 //	farm-bench -list
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// ablation engine-scale packet-path.
+// ablation engine-scale packet-path workload-scale.
 //
 // -json prints the selected experiment's result as machine-readable
-// JSON instead of a table (currently supported by packet-path; CI
-// archives `farm-bench -exp packet-path -json` as BENCH_packetpath.json).
+// JSON instead of a table (supported by packet-path and
+// workload-scale; CI archives `farm-bench -exp packet-path -json` as
+// BENCH_packetpath.json and `-exp workload-scale -json` as
+// BENCH_workload.json).
 //
 // -parallel N selects the sharded conservative-parallel event executor
-// with N workers for the experiments that support it (the FARM runs of
-// fig4, and engine-scale; output is byte-identical to serial — see
-// docs/engine.md). Each experiment prints a wall-clock elapsed line, so
-// serial vs. parallel runtimes can be compared directly. Parallel runs
-// of engine-scale additionally print epoch counts, par-avail, and the
-// shard-imbalance (max/mean central-lane load) outside the
-// determinism-compared table.
+// with N workers for the experiments that support it (all of fig4 —
+// the FARM runs and, now that their agents are per-switch, the sFlow
+// and Sonata baselines — plus engine-scale; output is byte-identical
+// to serial — see docs/engine.md and docs/workloads.md). Each
+// experiment prints a wall-clock elapsed line, so serial vs. parallel
+// runtimes can be compared directly. Parallel runs of engine-scale and
+// fig4 additionally print par-avail and/or the shard-imbalance
+// (max/mean central-lane load) outside the determinism-compared table.
+//
+// workload-scale is its own A/B harness: it drives the full attack
+// cocktail once on the serial engine and once per sharded worker
+// count, compares per-ingress-leaf emission digests, and exits
+// non-zero on any divergence.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiments; combined with the engine's per-phase pprof labels
@@ -74,7 +82,7 @@ func main() {
 		"run supporting experiments on the sharded executor with this many workers (0 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the selected experiments")
-	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON (supported by packet-path)")
+	flag.BoolVar(&jsonOut, "json", false, "emit machine-readable JSON (supported by packet-path and workload-scale)")
 	flag.Parse()
 	profiling = *cpuProfile != "" || *memProfile != ""
 
@@ -121,6 +129,7 @@ func main() {
 		{"ablation", "Ablations: Alg. 1 passes, migration cost", runAblation},
 		{"engine-scale", "Engine scaling: Fig. 4 pipeline on a 500-switch fat-tree", runEngineScale},
 		{"packet-path", "Packet path: linear classifier vs bucketed index + flow cache", runPacketPath},
+		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
 	}
 	if *list {
 		for _, e := range exps {
@@ -180,6 +189,7 @@ func runFig4(full bool) error {
 		return err
 	}
 	fmt.Print(res.Table().Render())
+	fmt.Print(res.ParallelStats())
 	return nil
 }
 
@@ -293,6 +303,32 @@ func runPacketPath(full bool) error {
 	}
 	fmt.Print(res.Table().Render())
 	return nil
+}
+
+func runWorkloadScale(full bool) error {
+	cfg := experiments.WorkloadScaleConfig{}
+	if full {
+		cfg.Leaves = 24
+		cfg.HostsPerLeaf = 16
+		cfg.Duration = 5 * time.Second
+		cfg.Workers = []int{2, 4, 8, 16}
+	}
+	// The divergence gate: WorkloadScale returns its result AND a
+	// non-nil error if any sharded run's digests differ from serial.
+	// Render what we measured either way, then fail the process.
+	res, err := experiments.WorkloadScale(cfg)
+	if res != nil {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+		} else {
+			fmt.Print(res.Table().Render())
+		}
+	}
+	return err
 }
 
 func runAblation(bool) error {

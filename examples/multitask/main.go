@@ -4,9 +4,11 @@
 // task (§II-B-b, §IV-B's aggregation benefits).
 //
 //	go run ./examples/multitask
+//	go run ./examples/multitask -parallel 4   # same output, sharded executor
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -21,13 +23,27 @@ import (
 )
 
 func main() {
+	parallel := flag.Int("parallel", 0,
+		"run on the sharded executor with this many workers (0 = serial; output is identical)")
+	flag.Parse()
 	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
 		Spines: 2, Leaves: 4, HostsPerLeaf: 6,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	loop := engine.NewSerial()
+	var loop engine.Scheduler
+	if *parallel > 1 {
+		x := engine.NewSharded(engine.ShardedOptions{
+			Shards:    topo.NumSwitches(),
+			Workers:   *parallel,
+			Lookahead: fabric.Options{}.MinCrossLatency(),
+		})
+		defer x.Stop()
+		loop = x
+	} else {
+		loop = engine.NewSerial()
+	}
 	fab := fabric.New(topo, loop, fabric.Options{})
 	sd := seeder.New(fab, seeder.Options{})
 

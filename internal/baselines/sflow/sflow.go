@@ -41,13 +41,20 @@ type Detection struct {
 	At     time.Duration
 }
 
-// System is a deployed sFlow instance.
+// System is a deployed sFlow instance. The agents are per-switch: each
+// polls and pre-serializes on its switch's home shard and ships records
+// over the collection network (fabric.SendToCentral, a CrossAfter under
+// the hood). All collector state below lives on the central shard —
+// mutated only inside the shipped callbacks and the analysis ticker —
+// so the whole system runs on the sharded engine with the same wire
+// sizes, tick times, and latencies as the old central loop.
 type System struct {
-	fab  *fabric.Fabric
-	loop engine.Scheduler
-	cfg  Config
+	fab     *fabric.Fabric
+	central engine.Scheduler // the collector's shard-0 view
+	cfg     Config
 
-	// OnHH fires on each new detection (optional).
+	// OnHH fires on each new detection (optional). Called on the
+	// central shard.
 	OnHH func(Detection)
 
 	detections []Detection
@@ -76,7 +83,7 @@ func Deploy(fab *fabric.Fabric, cfg Config) *System {
 	}
 	s := &System{
 		fab:          fab,
-		loop:         fab.Sched(),
+		central:      fab.CentralSched(),
 		cfg:          cfg,
 		active:       map[[2]int]bool{},
 		pendingHH:    map[[2]int]bool{},
@@ -87,14 +94,18 @@ func Deploy(fab *fabric.Fabric, cfg Config) *System {
 		swID := sw.ID
 		drv := fab.Driver(swID)
 		cpu := fab.CPU(swID)
-		// Counter polling agent: read all ports, forward unfiltered.
-		tk := s.loop.Every(cfg.PollInterval, func() {
+		sched := fab.SchedulerFor(swID)
+		// Counter polling agent on the switch's home shard: read all
+		// ports, pre-serialize, forward unfiltered. The poll, the CPU
+		// charges, and the export all stay switch-local; only the
+		// serialized record crosses to the collector.
+		tk := sched.Every(cfg.PollInterval, func() {
 			cpu.Charge(costs.PollIssue)
 			drv.PollPortStats(nil, func(stats map[int]dataplane.PortStats) {
 				// The agent does NOT analyze: it serializes and ships.
 				cpu.Charge(time.Duration(len(stats)) * costs.PollPerRecord)
 				size := len(stats) * counterExportBytes
-				at := s.loop.Now()
+				at := sched.Now()
 				recs := stats
 				fab.SendToCentral(swID, size, func() {
 					s.ingestCounters(swID, at, recs)
@@ -110,8 +121,8 @@ func Deploy(fab *fabric.Fabric, cfg Config) *System {
 			s.stopSamplers = append(s.stopSamplers, stop)
 		}
 	}
-	// Collector analysis loop.
-	s.tickers = append(s.tickers, s.loop.Every(cfg.AnalysisInterval, s.analyze))
+	// Collector analysis loop, on the central shard.
+	s.tickers = append(s.tickers, s.central.Every(cfg.AnalysisInterval, s.analyze))
 	return s
 }
 
@@ -164,7 +175,7 @@ func (s *System) analyze() {
 			continue
 		}
 		s.active[key] = true
-		d := Detection{Switch: netmodel.SwitchID(key[0]), Port: key[1], At: s.loop.Now()}
+		d := Detection{Switch: netmodel.SwitchID(key[0]), Port: key[1], At: s.central.Now()}
 		s.detections = append(s.detections, d)
 		if s.OnHH != nil {
 			s.OnHH(d)
@@ -172,16 +183,19 @@ func (s *System) analyze() {
 	}
 }
 
-// Detections returns all heavy hitters found so far.
+// Detections returns all heavy hitters found so far. Call it while the
+// engine is quiescent (the slice is owned by the central shard).
 func (s *System) Detections() []Detection { return s.detections }
 
 // SamplesReceived returns how many packet samples reached the collector.
+// Call it while the engine is quiescent.
 func (s *System) SamplesReceived() uint64 { return s.samplesRecv }
 
 // CentralTraffic exposes the collector-side network meter.
 func (s *System) CentralTraffic() *metrics.NetMeter { return s.fab.CentralNet }
 
-// Stop halts agents and collector.
+// Stop halts agents and collector. Call it from the driving goroutine
+// between runs (agent tickers live on their switches' home shards).
 func (s *System) Stop() {
 	for _, tk := range s.tickers {
 		tk.Stop()

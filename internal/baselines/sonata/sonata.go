@@ -111,20 +111,34 @@ type Detection struct {
 	At     time.Duration
 }
 
-// System is a deployed Sonata instance.
+// System is a deployed Sonata instance. The data-plane side is
+// per-switch: each (switch, query) aggregate lives on the switch's home
+// shard, written by the in-ASIC tap and flushed by a window ticker on
+// the same shard; only the exported batch crosses to the stream
+// processor (fabric.SendToCentral → CrossAfter). Detections and the
+// micro-batch delay are central-shard state.
 type System struct {
-	fab  *fabric.Fabric
-	loop engine.Scheduler
-	cfg  Config
+	fab     *fabric.Fabric
+	central engine.Scheduler // stream processor's shard-0 view
+	cfg     Config
 
-	// OnDetect fires per having-match (optional).
+	// OnDetect fires per having-match (optional). Called on the central
+	// shard.
 	OnDetect func(Detection)
 
 	detections []Detection
 	tickers    []engine.Ticker
 	stops      []func()
-	// exported counts records shipped to the stream processor.
-	exported uint64
+	// exported counts records shipped to the stream processor, in
+	// per-shard single-writer lanes (flush tickers run on every shard);
+	// RecordsAggregated sums them between runs.
+	exported []exportLane
+}
+
+// exportLane is a cache-line-padded per-shard export counter.
+type exportLane struct {
+	n uint64
+	_ [56]byte
 }
 
 // Deploy installs the queries on every switch.
@@ -140,14 +154,23 @@ func Deploy(fab *fabric.Fabric, queries []Query, cfg Config) *System {
 	if cfg.RecordBytes == 0 {
 		cfg.RecordBytes = 64
 	}
-	s := &System{fab: fab, loop: fab.Sched(), cfg: cfg}
+	s := &System{
+		fab:      fab,
+		central:  fab.CentralSched(),
+		cfg:      cfg,
+		exported: make([]exportLane, fab.Partition().Shards()),
+	}
 	for _, swInfo := range fab.Topology().Switches() {
 		swID := swInfo.ID
+		home := fab.ShardOf(swID)
+		sched := fab.SchedulerFor(swID)
 		for _, q := range queries {
 			q := q
 			agg := map[string]float64{}
 			// In-ASIC tap: direct sampler on the emulated switch, not
-			// through the PCIe-limited driver.
+			// through the PCIe-limited driver. Samplers fire inside
+			// Switch.Inject, which runs on the switch's home shard, so
+			// agg is single-shard state.
 			remove := fab.Switch(swID).AddSampler(q.Filter, 1, func(p dataplane.Packet) {
 				// The emulated sampler sees egress-bound packets once
 				// per switch; reduce in place.
@@ -160,7 +183,9 @@ func Deploy(fab *fabric.Fabric, queries []Query, cfg Config) *System {
 				}
 			})
 			s.stops = append(s.stops, remove)
-			tk := s.loop.Every(q.Window, func() {
+			// Window flush on the same home shard: the aggregate never
+			// leaves the switch — only the export batch does.
+			tk := sched.Every(q.Window, func() {
 				if len(agg) == 0 {
 					return
 				}
@@ -170,13 +195,13 @@ func Deploy(fab *fabric.Fabric, queries []Query, cfg Config) *System {
 				if exported < 1 {
 					exported = 1
 				}
-				s.exported += uint64(records)
+				s.exported[home].n += uint64(records)
 				size := exported * cfg.RecordBytes
 				batch := agg
 				agg = map[string]float64{}
 				fab.SendToCentral(swID, size, func() {
 					// Micro-batch processing delay before results.
-					s.loop.After(cfg.BatchDelay, func() {
+					s.central.After(cfg.BatchDelay, func() {
 						s.processBatch(q, swID, batch)
 					})
 				})
@@ -190,7 +215,9 @@ func Deploy(fab *fabric.Fabric, queries []Query, cfg Config) *System {
 // IngestCounterWindow feeds the data-plane aggregation from bulk port
 // counters (used by large-scale workloads that do not generate
 // per-packet events): each port with traffic contributes one record per
-// window with its byte count.
+// window with its byte count. Call it from the sending switch's home
+// shard (or the driving goroutine between runs), like any other
+// switch-local export.
 func (s *System) IngestCounterWindow(q Query, sw netmodel.SwitchID, portBytes map[int]float64) {
 	batch := map[string]float64{}
 	for port, bytes := range portBytes {
@@ -204,9 +231,9 @@ func (s *System) IngestCounterWindow(q Query, sw netmodel.SwitchID, portBytes ma
 	if exported < 1 {
 		exported = 1
 	}
-	s.exported += uint64(records)
+	s.exported[s.fab.ShardOf(sw)].n += uint64(records)
 	s.fab.SendToCentral(sw, exported*s.cfg.RecordBytes, func() {
-		s.loop.After(s.cfg.BatchDelay, func() {
+		s.central.After(s.cfg.BatchDelay, func() {
 			s.processBatch(q, sw, batch)
 		})
 	})
@@ -223,7 +250,7 @@ func (s *System) processBatch(q Query, sw netmodel.SwitchID, batch map[string]fl
 		if v < q.Threshold {
 			continue
 		}
-		d := Detection{Query: q.Name, Switch: sw, Key: k, Value: v, At: s.loop.Now()}
+		d := Detection{Query: q.Name, Switch: sw, Key: k, Value: v, At: s.central.Now()}
 		s.detections = append(s.detections, d)
 		if s.OnDetect != nil {
 			s.OnDetect(d)
@@ -231,14 +258,24 @@ func (s *System) processBatch(q Query, sw netmodel.SwitchID, batch map[string]fl
 	}
 }
 
-// Detections returns all having-matches so far.
+// Detections returns all having-matches so far. Call it while the
+// engine is quiescent (the slice is owned by the central shard).
 func (s *System) Detections() []Detection { return s.detections }
 
 // RecordsAggregated returns the raw record count reduced in the data
-// plane (before the aggregation factor was applied for export).
-func (s *System) RecordsAggregated() uint64 { return s.exported }
+// plane (before the aggregation factor was applied for export), summed
+// over the per-shard export lanes. Call it while the engine is
+// quiescent.
+func (s *System) RecordsAggregated() uint64 {
+	var n uint64
+	for i := range s.exported {
+		n += s.exported[i].n
+	}
+	return n
+}
 
-// Stop halts the deployment.
+// Stop halts the deployment. Call it from the driving goroutine between
+// runs (flush tickers live on their switches' home shards).
 func (s *System) Stop() {
 	for _, tk := range s.tickers {
 		tk.Stop()

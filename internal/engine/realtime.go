@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// RealTime is a Scheduler driven by the wall clock: Now is the elapsed
+// wall time since construction, and the Run methods sleep until each
+// event's deadline instead of jumping virtual time forward. It lets
+// demos and latency benches (the Fig. 10 transports) run against real
+// timers through the same interface every other component is written
+// to — swap NewSerial() for NewRealTime() and the fabric, seeder, and
+// generators run in real time.
+//
+// Concurrency: unlike the virtual-time engines, timers may be scheduled
+// from any goroutine (an earlier-than-current-head At wakes a sleeping
+// run loop). Callbacks still execute inline on the single driving
+// goroutine calling Step/RunUntil/RunFor/Drain, so scheduled state
+// needs no locking of its own. Wall-clock execution is inherently not
+// deterministic — an event that fires late fires late — so RealTime is
+// for demos and wall-clock measurements, never for the reproducible
+// experiments (those stay on virtual time).
+//
+// RealTime implements Partitioned trivially (one shard, CrossAfter =
+// After), like Serial, so a fabric can be built directly on it.
+type RealTime struct {
+	mu     sync.Mutex
+	start  time.Time
+	events eventHeap
+	seq    uint64
+	// wake preempts a sleeping run loop when a new earliest event
+	// arrives from another goroutine.
+	wake chan struct{}
+}
+
+// NewRealTime returns a wall-clock scheduler whose time starts now.
+func NewRealTime() *RealTime {
+	return &RealTime{start: time.Now(), wake: make(chan struct{}, 1)}
+}
+
+// Now returns the elapsed wall time since construction.
+func (r *RealTime) Now() time.Duration { return time.Since(r.start) }
+
+// At schedules fn at elapsed-time at (in the past means: as soon as the
+// run loop gets to it).
+func (r *RealTime) At(at time.Duration, fn func()) Timer {
+	r.mu.Lock()
+	if now := r.Now(); at < now {
+		at = now
+	}
+	ev := &event{at: at, seq: r.seq, fn: fn}
+	r.seq++
+	heap.Push(&r.events, ev)
+	isHead := r.events[0] == ev
+	r.mu.Unlock()
+	if isHead {
+		// New earliest deadline: wake a run loop sleeping toward the
+		// previous head.
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return &realTimer{r: r, ev: ev}
+}
+
+// After schedules fn after delay d of wall time.
+func (r *RealTime) After(d time.Duration, fn func()) Timer {
+	return r.At(r.Now()+d, fn)
+}
+
+// Every schedules a periodic callback.
+func (r *RealTime) Every(interval time.Duration, fn func()) Ticker {
+	return EveryOn(r, interval, fn)
+}
+
+// Pending returns the number of scheduled events (cancelled ones count
+// until the run loop pops them, as on the serial engine).
+func (r *RealTime) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Step waits for the earliest pending event's wall deadline, runs it,
+// and reports whether an event ran. It returns false immediately when
+// nothing is scheduled.
+func (r *RealTime) Step() bool { return r.runNext(-1) }
+
+// runNext runs the earliest event whose deadline is <= bound (bound < 0
+// means no bound), sleeping until the deadline arrives. It returns
+// false when no such event exists.
+func (r *RealTime) runNext(bound time.Duration) bool {
+	for {
+		r.mu.Lock()
+		for len(r.events) > 0 && r.events[0].stopped {
+			heap.Pop(&r.events)
+		}
+		if len(r.events) == 0 {
+			r.mu.Unlock()
+			return false
+		}
+		head := r.events[0]
+		if bound >= 0 && head.at > bound {
+			r.mu.Unlock()
+			return false
+		}
+		if head.at <= r.Now() {
+			ev := heap.Pop(&r.events).(*event)
+			r.mu.Unlock()
+			ev.fn()
+			return true
+		}
+		wait := head.at - r.Now()
+		r.mu.Unlock()
+		// Sleep toward the deadline, preempted if an earlier event is
+		// scheduled meanwhile; then re-evaluate from scratch.
+		tmr := time.NewTimer(wait)
+		select {
+		case <-tmr.C:
+		case <-r.wake:
+			tmr.Stop()
+		}
+	}
+}
+
+// RunUntil processes all events with deadlines at or before t, sleeping
+// through the gaps, and returns once the wall clock passes t.
+func (r *RealTime) RunUntil(t time.Duration) {
+	for {
+		for r.runNext(t) {
+		}
+		wait := t - r.Now()
+		if wait <= 0 {
+			return
+		}
+		// Idle until t, but stay preemptible: an event scheduled from
+		// another goroutine with a deadline before t must still run.
+		tmr := time.NewTimer(wait)
+		select {
+		case <-tmr.C:
+		case <-r.wake:
+			tmr.Stop()
+		}
+	}
+}
+
+// RunFor processes events for the next d of wall time.
+func (r *RealTime) RunFor(d time.Duration) { r.RunUntil(r.Now() + d) }
+
+// Drain runs events (waiting out their deadlines) until none remain or
+// the limit is reached. It returns the number of events processed.
+func (r *RealTime) Drain(limit int) int {
+	n := 0
+	for n < limit && r.Step() {
+		n++
+	}
+	return n
+}
+
+// Shards implements Partitioned: a real-time engine is one shard.
+func (r *RealTime) Shards() int { return 1 }
+
+// Shard implements Partitioned.
+func (r *RealTime) Shard(i int) Scheduler {
+	if i != 0 {
+		panic("engine: real-time engine has a single shard")
+	}
+	return r
+}
+
+// CrossAfter implements Partitioned: with one shard there is nothing to
+// cross, so it degenerates to After.
+func (r *RealTime) CrossAfter(from, to int, d time.Duration, fn func()) {
+	r.After(d, fn)
+}
+
+// realTimer is the Timer handle of the real-time engine.
+type realTimer struct {
+	r  *RealTime
+	ev *event
+}
+
+// Stop implements Timer. Unlike the virtual-time engines it may be
+// called from any goroutine.
+func (t *realTimer) Stop() bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	t.r.mu.Lock()
+	defer t.r.mu.Unlock()
+	if t.ev.stopped {
+		return false
+	}
+	fired := t.ev.index < 0
+	t.ev.stopped = true
+	return !fired
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// Short wall-clock intervals with generous assertions: the point is
+// that events fire on the wall clock in deadline order, not precise
+// timing (CI machines stall).
+
+func TestRealTimeFiresOnWallClock(t *testing.T) {
+	r := NewRealTime()
+	var fired []int
+	r.After(4*time.Millisecond, func() { fired = append(fired, 2) })
+	r.After(1*time.Millisecond, func() { fired = append(fired, 1) })
+	ticks := 0
+	tk := r.Every(3*time.Millisecond, func() { ticks++ })
+
+	start := time.Now()
+	r.RunFor(30 * time.Millisecond)
+	elapsed := time.Since(start)
+	tk.Stop()
+
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("RunFor returned after %v of wall time, want >= 30ms", elapsed)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("one-shots fired as %v, want [1 2] in deadline order", fired)
+	}
+	// 3 ms period over 30 ms: nominally 10 firings; accept any real
+	// progress so a stalled CI runner can't flake the test.
+	if ticks < 3 {
+		t.Fatalf("ticker fired %d times in 30ms at 3ms period, want >= 3", ticks)
+	}
+	if now := r.Now(); now < 30*time.Millisecond {
+		t.Fatalf("Now() = %v after a 30ms run", now)
+	}
+}
+
+func TestRealTimeTimerStop(t *testing.T) {
+	r := NewRealTime()
+	ran := false
+	tm := r.After(5*time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop before firing reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	r.RunFor(10 * time.Millisecond)
+	if ran {
+		t.Fatal("cancelled timer fired")
+	}
+	if n := r.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", n)
+	}
+}
+
+func TestRealTimeStepAndDrain(t *testing.T) {
+	r := NewRealTime()
+	if r.Step() {
+		t.Fatal("Step on an empty scheduler reported work")
+	}
+	n := 0
+	r.After(time.Millisecond, func() { n++ })
+	r.After(2*time.Millisecond, func() { n++ })
+	if !r.Step() {
+		t.Fatal("Step did not run the pending event")
+	}
+	if n != 1 {
+		t.Fatalf("ran %d events after one Step, want 1", n)
+	}
+	if got := r.Drain(10); got != 1 {
+		t.Fatalf("Drain processed %d events, want 1", got)
+	}
+	if n != 2 {
+		t.Fatalf("ran %d events total, want 2", n)
+	}
+}
+
+// TestRealTimeCrossGoroutineSchedule exercises the wake path: an event
+// scheduled from another goroutine with an earlier deadline than the
+// one the run loop is sleeping toward must still fire on time.
+func TestRealTimeCrossGoroutineSchedule(t *testing.T) {
+	r := NewRealTime()
+	fired := make(chan struct{}, 1)
+	r.After(250*time.Millisecond, func() {}) // far-out head to sleep toward
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		r.After(time.Millisecond, func() { fired <- struct{}{} })
+	}()
+	done := make(chan struct{})
+	go func() {
+		r.RunFor(60 * time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-goroutine event never fired")
+	}
+	<-done
+}

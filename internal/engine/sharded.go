@@ -145,6 +145,9 @@ type shard struct {
 	seq    uint64
 	outbox []crossEvent
 	ran    int
+	// ranTotal is the cumulative event count this shard has executed
+	// across all epochs; ShardEventCounts reads it between runs.
+	ranTotal uint64
 
 	// headAt/pos are this shard's key and index in x.heads. headAt is
 	// the head event time, or headInf when the shard has no events.
@@ -230,6 +233,19 @@ func (x *Sharded) Lookahead() time.Duration { return x.opts.Lookahead }
 // parallelism on this workload, independent of the host's core count.
 func (x *Sharded) EpochStats() (epochs, shardRuns uint64) {
 	return x.epochs, x.shardRuns
+}
+
+// ShardEventCounts returns the cumulative number of events each shard
+// has executed. Workload experiments use the share running on shard 0
+// — the home of centralized components — as a direct measure of how
+// much of the event stream still serializes on the central lane. Call
+// it between runs.
+func (x *Sharded) ShardEventCounts() []uint64 {
+	out := make([]uint64, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = s.ranTotal
+	}
+	return out
 }
 
 // Shard implements Partitioned.
@@ -679,6 +695,7 @@ func (s *shard) run(end time.Duration) {
 		fn()
 		s.ran++
 	}
+	s.ranTotal += uint64(s.ran)
 	s.executing = false
 }
 

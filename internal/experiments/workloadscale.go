@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"farm/internal/engine"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/traffic"
+)
+
+// WorkloadScaleConfig parameterizes the sharded-workload A/B
+// experiment: the full attack-scenario cocktail driven once on the
+// serial engine (the reference) and once per configured worker count on
+// the sharded engine, comparing per-switch emission digests. Any
+// divergence is an error — this is the runtime gate on the generator's
+// determinism contract, the same one TestGeneratorDigestAcrossEngines
+// pins in CI.
+type WorkloadScaleConfig struct {
+	// Spines/Leaves/HostsPerLeaf shape the fabric; defaults 2/12/8
+	// (96 host ports).
+	Spines, Leaves, HostsPerLeaf int
+	// Duration is the virtual time driven per run; 0 means 2 s. One
+	// scenario is stopped at Duration/2 to exercise mid-run
+	// cancellation.
+	Duration time.Duration
+	// Workers are the sharded worker counts to A/B against serial; nil
+	// means {4, 16}.
+	Workers []int
+	// Seed feeds the generator; 0 means 11.
+	Seed int64
+	// ForceWorkers forces the worker pool on even on a single-CPU
+	// process (the race-detector tests set it).
+	ForceWorkers bool
+}
+
+// WorkloadScaleRun is one engine's measurement.
+type WorkloadScaleRun struct {
+	Label   string `json:"label"`
+	Workers int    `json:"workers"` // 0 = serial
+	// Digest folds the per-switch emission digests in switch order —
+	// byte-identical across engines by contract.
+	Digest string `json:"digest"`
+	// Switches is the number of ingress leaves that emitted traffic.
+	Switches  int    `json:"switches_with_traffic"`
+	Delivered uint64 `json:"packets_delivered"`
+	// CentralShare is the fraction of all executed events that ran on
+	// shard 0 (the central shard). The serial engine is a single shard,
+	// so its share is 1 by construction; the sharded runs show how far
+	// the workload path actually spread out.
+	CentralShare float64 `json:"central_share"`
+	// ParAvail is mean runnable shards per epoch (sharded runs only).
+	ParAvail float64 `json:"par_avail"`
+	// ElapsedMS is wall-clock time for the run (not virtual time).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Consistent reports whether this run's digests matched the serial
+	// reference (vacuously true for the reference itself).
+	Consistent bool `json:"consistent"`
+}
+
+// WorkloadScaleResult is the full A/B outcome.
+type WorkloadScaleResult struct {
+	Ports    int                `json:"ports"`
+	Duration time.Duration      `json:"duration_virtual_ns"`
+	Runs     []WorkloadScaleRun `json:"runs"`
+	digests  []map[netmodel.SwitchID]uint64
+}
+
+// workloadMix starts the Tab. I attack cocktail plus background flows
+// on every leaf, returning the stop for the scenario cancelled mid-run
+// and the stops for everything else.
+func workloadMix(fab *fabric.Fabric, gen *traffic.Generator, leaves int) (stopMid func(), stops []func()) {
+	victim := fabric.HostIP(0, 0)
+	stopMid = gen.PortScan(fabric.HostIP(1%leaves, 0), victim, 2000)
+	stops = []func(){
+		gen.SYNFlood(victim, 12, 6000),
+		gen.SuperSpreader(fabric.HostIP(2%leaves, 1), 16, 3000),
+		gen.DNSReflection(victim, 6, 3000),
+		gen.SSHBruteForce(fabric.HostIP(3%leaves, 2), fabric.HostIP(0, 1), 500),
+		gen.Slowloris(fabric.HostIP(4%leaves, 3), 16, 50),
+	}
+	for i := 0; i < leaves; i++ {
+		stops = append(stops, gen.StartFlow(traffic.FlowSpec{
+			Src: fabric.HostIP(i, 4), Dst: fabric.HostIP((i+1)%leaves, 4),
+			SrcPort: uint16(10000 + i), DstPort: 80, PacketSize: 400, Rate: 800,
+		}))
+	}
+	return stopMid, stops
+}
+
+// WorkloadScale runs the generator A/B and errors on any digest
+// divergence between serial and sharded execution.
+func WorkloadScale(cfg WorkloadScaleConfig) (*WorkloadScaleResult, error) {
+	if cfg.Spines == 0 {
+		cfg.Spines = 2
+	}
+	if cfg.Leaves == 0 {
+		cfg.Leaves = 12
+	}
+	if cfg.HostsPerLeaf == 0 {
+		cfg.HostsPerLeaf = 8
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Workers == nil {
+		cfg.Workers = []int{4, 16}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	res := &WorkloadScaleResult{
+		Ports:    cfg.Leaves * cfg.HostsPerLeaf,
+		Duration: cfg.Duration,
+	}
+
+	runOne := func(label string, workers int) (WorkloadScaleRun, map[netmodel.SwitchID]uint64, error) {
+		eng := EngineConfig{Workers: workers, ForceWorkers: cfg.ForceWorkers}
+		fab, loop, stop, err := newFabricOn(eng, cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf)
+		if err != nil {
+			return WorkloadScaleRun{}, nil, err
+		}
+		defer stop()
+		gen := traffic.NewGenerator(fab, cfg.Seed)
+		stopMid, stops := workloadMix(fab, gen, cfg.Leaves)
+		start := time.Now()
+		loop.RunFor(cfg.Duration / 2)
+		stopMid() // mid-run cancellation must not perturb determinism
+		loop.RunFor(cfg.Duration - cfg.Duration/2)
+		elapsed := time.Since(start)
+		for _, s := range stops {
+			s()
+		}
+		digests := gen.PerSwitchDigest()
+		run := WorkloadScaleRun{
+			Label:     label,
+			Workers:   workers,
+			Digest:    combineDigests(digests),
+			Switches:  len(digests),
+			Delivered: fab.Delivered(),
+			ElapsedMS: float64(elapsed.Nanoseconds()) / 1e6,
+		}
+		if x, ok := loop.(*engine.Sharded); ok {
+			counts := x.ShardEventCounts()
+			var total, central uint64
+			for i, c := range counts {
+				total += c
+				if i == fabric.CentralShard {
+					central = c
+				}
+			}
+			if total > 0 {
+				run.CentralShare = float64(central) / float64(total)
+			}
+			if epochs, shardRuns := x.EpochStats(); epochs > 0 {
+				run.ParAvail = float64(shardRuns) / float64(epochs)
+			}
+		} else {
+			run.CentralShare = 1 // single shard: everything is central
+		}
+		return run, digests, nil
+	}
+
+	ref, refDigests, err := runOne("serial", 0)
+	if err != nil {
+		return nil, err
+	}
+	ref.Consistent = true
+	res.Runs = append(res.Runs, ref)
+	res.digests = append(res.digests, refDigests)
+
+	var firstDivergence error
+	for _, workers := range cfg.Workers {
+		run, digests, err := runOne(fmt.Sprintf("sharded-%dw", workers), workers)
+		if err != nil {
+			return nil, err
+		}
+		run.Consistent = digestsEqual(refDigests, digests) && run.Delivered == ref.Delivered
+		if !run.Consistent && firstDivergence == nil {
+			firstDivergence = fmt.Errorf(
+				"workload-scale: sharded run with %d workers diverged from serial (digest %s vs %s, delivered %d vs %d)",
+				workers, run.Digest, ref.Digest, run.Delivered, ref.Delivered)
+		}
+		res.Runs = append(res.Runs, run)
+		res.digests = append(res.digests, digests)
+	}
+	return res, firstDivergence
+}
+
+// combineDigests folds the per-switch digests into one value in switch
+// order, for compact display and comparison.
+func combineDigests(d map[netmodel.SwitchID]uint64) string {
+	ids := make([]int, 0, len(d))
+	for id := range d {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	h := uint64(14695981039346656037)
+	for _, id := range ids {
+		for _, v := range []uint64{uint64(id), d[netmodel.SwitchID(id)]} {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xff
+				h *= 1099511628211
+				v >>= 8
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func digestsEqual(a, b map[netmodel.SwitchID]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, h := range a {
+		if b[id] != h {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the result. CentralShare, ParAvail, and ElapsedMS vary
+// by engine and host by design (they are the point of the experiment),
+// so this table is not a cross-engine determinism artifact — the Digest
+// column is.
+func (r *WorkloadScaleResult) Table() *Table {
+	t := &Table{
+		Title:   "Workload scale: serial vs sharded traffic generation (digest A/B)",
+		Columns: []string{"digest", "leaves", "delivered", "central-share", "par-avail", "wall ms"},
+	}
+	for _, run := range r.Runs {
+		t.Rows = append(t.Rows, Row{
+			Label: run.Label,
+			Values: []string{
+				run.Digest,
+				fmt.Sprintf("%d", run.Switches),
+				fmt.Sprintf("%d", run.Delivered),
+				fmt.Sprintf("%.3f", run.CentralShare),
+				fmtFloat(run.ParAvail),
+				fmtFloat(run.ElapsedMS),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d host ports, %s virtual per run; one scenario stopped mid-run", r.Ports, r.Duration),
+		"digest = per-ingress-leaf emission digests folded in switch order; identical across engines by contract",
+		"central-share = events executed on shard 0 / all events (serial is one shard, so 1.000)")
+	return t
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWorkloadScaleConsistent runs the digest A/B at reduced scale with
+// the worker pool forced on, so `go test -race` exercises the sharded
+// generator's concurrent path and the divergence gate together.
+func TestWorkloadScaleConsistent(t *testing.T) {
+	res, err := WorkloadScale(WorkloadScaleConfig{
+		Leaves:       6,
+		HostsPerLeaf: 8,
+		Duration:     500 * time.Millisecond,
+		Workers:      []int{4},
+		ForceWorkers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(res.Runs))
+	}
+	serial, sharded := res.Runs[0], res.Runs[1]
+	if !sharded.Consistent {
+		t.Fatalf("sharded digest %s diverged from serial %s", sharded.Digest, serial.Digest)
+	}
+	if sharded.Digest != serial.Digest {
+		t.Fatalf("combined digests differ: %s vs %s", sharded.Digest, serial.Digest)
+	}
+	if serial.CentralShare != 1 {
+		t.Fatalf("serial central share = %v, want 1", serial.CentralShare)
+	}
+	// The tentpole claim: the attack scenarios no longer serialize on
+	// the central shard. With 16 switches and all scenario sources
+	// spread over the leaves, shard 0 should be a small minority of
+	// executed events.
+	if sharded.CentralShare >= 0.5 {
+		t.Fatalf("sharded central share = %.3f, want < 0.5 (workload still serializing on shard 0)", sharded.CentralShare)
+	}
+	if sharded.Delivered == 0 {
+		t.Fatal("sharded run delivered no packets")
+	}
+}

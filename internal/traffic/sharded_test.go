@@ -1,0 +1,105 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"farm/internal/engine"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+)
+
+// runScenarioMix drives the full attack-scenario cocktail plus plain
+// flows on the given engine and returns the generator's per-switch
+// emission digests, the delivered-packet count, and the leaves that
+// emitted. One scenario (the port scan) is stopped halfway through the
+// run: cancellation from the driving goroutine must not perturb
+// determinism either.
+func runScenarioMix(t *testing.T, mk func(topo *netmodel.Topology) (engine.Scheduler, func())) (map[netmodel.SwitchID]uint64, uint64) {
+	t.Helper()
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{Spines: 2, Leaves: 6, HostsPerLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, stopEngine := mk(topo)
+	defer stopEngine()
+	fab := fabric.New(topo, loop, fabric.Options{})
+	g := NewGenerator(fab, 42)
+
+	victim := fabric.HostIP(0, 0)
+	stopScan := g.PortScan(fabric.HostIP(1, 0), victim, 2000)
+	stops := []func(){
+		g.SYNFlood(victim, 8, 4000),
+		g.SuperSpreader(fabric.HostIP(2, 1), 12, 2000),
+		g.DNSReflection(victim, 5, 2000),
+		g.SSHBruteForce(fabric.HostIP(3, 2), fabric.HostIP(0, 1), 400),
+		g.Slowloris(fabric.HostIP(4, 3), 10, 40),
+		g.StartFlow(FlowSpec{
+			Src: fabric.HostIP(5, 0), Dst: fabric.HostIP(0, 2),
+			SrcPort: 9000, DstPort: 80, PacketSize: 200, Rate: 1500,
+		}),
+	}
+	loop.RunFor(150 * time.Millisecond)
+	stopScan() // mid-run cancellation of one scenario
+	loop.RunFor(150 * time.Millisecond)
+	for _, stop := range stops {
+		stop()
+	}
+	return g.PerSwitchDigest(), fab.Delivered()
+}
+
+// TestGeneratorDigestAcrossEngines is the generator's determinism gate:
+// the same seed must produce byte-identical per-switch emission digests
+// on the serial engine and on the sharded engine at 1, 4, and 16
+// workers (worker pool forced on, so the race detector exercises the
+// concurrent path even on a single-CPU host).
+func TestGeneratorDigestAcrossEngines(t *testing.T) {
+	ref, refDelivered := runScenarioMix(t, func(*netmodel.Topology) (engine.Scheduler, func()) {
+		return engine.NewSerial(), func() {}
+	})
+	if len(ref) == 0 {
+		t.Fatal("serial reference run produced no emission digests")
+	}
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		got, delivered := runScenarioMix(t, func(topo *netmodel.Topology) (engine.Scheduler, func()) {
+			x := engine.NewSharded(engine.ShardedOptions{
+				Shards:       topo.NumSwitches(),
+				Workers:      workers,
+				Lookahead:    fabric.Options{}.MinCrossLatency(),
+				ForceWorkers: true,
+			})
+			return x, x.Stop
+		})
+		if delivered != refDelivered {
+			t.Errorf("workers=%d: delivered %d packets, serial delivered %d", workers, delivered, refDelivered)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d leaves emitted, serial had %d", workers, len(got), len(ref))
+		}
+		for leaf, h := range ref {
+			if got[leaf] != h {
+				t.Errorf("workers=%d: leaf %d digest %#x, serial %#x", workers, leaf, got[leaf], h)
+			}
+		}
+	}
+}
+
+// TestGeneratorDigestSameSeedReproduces pins run-to-run reproducibility
+// on a single engine (the cheaper, more local property).
+func TestGeneratorDigestSameSeedReproduces(t *testing.T) {
+	a, _ := runScenarioMix(t, func(*netmodel.Topology) (engine.Scheduler, func()) {
+		return engine.NewSerial(), func() {}
+	})
+	b, _ := runScenarioMix(t, func(*netmodel.Topology) (engine.Scheduler, func()) {
+		return engine.NewSerial(), func() {}
+	})
+	if len(a) != len(b) {
+		t.Fatalf("leaf sets differ: %d vs %d", len(a), len(b))
+	}
+	for leaf, h := range a {
+		if b[leaf] != h {
+			t.Errorf("leaf %d digest differs across identical runs", leaf)
+		}
+	}
+}

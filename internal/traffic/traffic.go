@@ -43,35 +43,114 @@ func (s FlowSpec) packet() dataplane.Packet {
 }
 
 // Generator drives workloads onto a fabric. Seeded deterministically:
-// the same seed yields the same packet sequence.
+// the same seed yields the same per-switch packet sequence on any
+// engine at any worker count.
 //
-// Generators schedule on the root scheduler and inject packets at
-// arbitrary leaves, so they are serial-engine only; the sharded engine's
-// scalable workload is BulkWorkload, which ticks on each switch's home
-// shard.
+// Every flow is homed on its ingress leaf — the leaf its source host
+// attaches to — and ticks on that leaf's home shard
+// (fabric.SchedulerFor), injecting through the fused fast path so each
+// leaf's flow cache stays hot. Emission-time randomness (jitter, start
+// phase, random destination picks) comes from per-flow splitmix streams
+// keyed by (seed, flow creation index), never a shared *rand.Rand, so
+// the sequence a leaf emits is a pure function of the seed and the
+// order scenarios were constructed in — independent of how shards
+// interleave. Construction-time randomness (which hosts a scenario
+// picks) still uses one seeded source, drawn only on the driving
+// goroutine while building scenarios.
+//
+// Scenario stop funcs follow the engine's ownership contract: call them
+// from the driving goroutine between runs (or from a callback on the
+// flow's own shard).
 type Generator struct {
-	fab  *fabric.Fabric
-	loop engine.Scheduler
-	rng  *rand.Rand
+	fab   *fabric.Fabric
+	seed  int64
+	setup *rand.Rand
+	// nextFlow numbers flows in creation order; it keys each flow's
+	// splitmix stream.
+	nextFlow uint64
+	// digests holds one per-leaf emission digest cell, built up front so
+	// emission never mutates the map (concurrent reads from many shards
+	// are safe; each cell has a single writing shard).
+	digests map[netmodel.SwitchID]*ingressDigest
 }
 
 // NewGenerator returns a generator over the fabric.
 func NewGenerator(fab *fabric.Fabric, seed int64) *Generator {
-	return &Generator{fab: fab, loop: fab.Sched(), rng: rand.New(rand.NewSource(seed))}
+	g := &Generator{
+		fab:     fab,
+		seed:    seed,
+		setup:   rand.New(rand.NewSource(seed)),
+		digests: make(map[netmodel.SwitchID]*ingressDigest),
+	}
+	for _, sw := range fab.Topology().Switches() {
+		g.digests[sw.ID] = &ingressDigest{h: digestOffset}
+	}
+	return g
 }
 
-// Rand exposes the generator's deterministic source for scenario code.
-func (g *Generator) Rand() *rand.Rand { return g.rng }
+// Rand exposes the generator's construction-time random source. It is
+// only safe to draw from on the driving goroutine (scenario setup);
+// emission-time draws come from per-flow streams.
+func (g *Generator) Rand() *rand.Rand { return g.setup }
+
+// stream allocates the next flow's RNG stream.
+func (g *Generator) stream() stream {
+	id := g.nextFlow
+	g.nextFlow++
+	return stream{state: bulkMix(uint64(g.seed), id)}
+}
+
+// ingress resolves a source address to its ingress leaf and that leaf's
+// home-shard scheduler. Unroutable sources (fab.Send rejects their
+// packets anyway) are homed on the central shard so their schedule
+// still ticks deterministically.
+func (g *Generator) ingress(src netip.Addr) (netmodel.SwitchID, engine.Scheduler) {
+	if h, ok := g.fab.Topology().HostByIP(src); ok {
+		return h.Leaf, g.fab.SchedulerFor(h.Leaf)
+	}
+	return -1, g.fab.CentralSched()
+}
+
+// inject folds the packet into the ingress leaf's emission digest and
+// sends it. Must run on the leaf's home shard (or the driving goroutine
+// between runs, for Burst).
+func (g *Generator) inject(leaf netmodel.SwitchID, clock engine.Clock, p dataplane.Packet) {
+	if d := g.digests[leaf]; d != nil {
+		d.fold(clock.Now(), p)
+	}
+	_ = g.fab.Send(p)
+}
+
+// PerSwitchDigest returns, per ingress leaf, a digest of every packet
+// the generator injected there: emission time, 5-tuple, size, flags,
+// and app kind, folded in emission order. This is the generator's
+// determinism contract made checkable — the same seed must produce
+// byte-identical digests on the serial engine and on the sharded engine
+// at any worker count (workload-scale and the traffic tests compare
+// them). Call it while the engine is quiescent. Leaves that emitted
+// nothing are omitted.
+func (g *Generator) PerSwitchDigest() map[netmodel.SwitchID]uint64 {
+	out := make(map[netmodel.SwitchID]uint64, len(g.digests))
+	for id, d := range g.digests {
+		if d.h != digestOffset {
+			out[id] = d.h
+		}
+	}
+	return out
+}
 
 // StartFlow emits spec's packets until stop is called, at the given
 // mean rate with uniform +/-50% inter-packet jitter. The jitter (and a
 // random start phase) keeps concurrent flows interleaving like real
 // traffic; strictly periodic flows would alias with periodic samplers
-// and rate limiters.
+// and rate limiters. The flow ticks on its ingress leaf's home shard.
 func (g *Generator) StartFlow(spec FlowSpec) (stop func()) {
 	if spec.Rate <= 0 {
 		panic(fmt.Sprintf("traffic: flow rate must be positive, got %g", spec.Rate))
 	}
+	leaf, sched := g.ingress(spec.Src)
+	pkt := spec.packet()
+	rng := g.stream()
 	interval := float64(time.Second) / spec.Rate
 	stopped := false
 	var emit func()
@@ -80,24 +159,95 @@ func (g *Generator) StartFlow(spec FlowSpec) (stop func()) {
 		if d <= 0 {
 			d = time.Nanosecond
 		}
-		g.loop.After(d, emit)
+		sched.After(d, emit)
 	}
 	emit = func() {
 		if stopped {
 			return
 		}
-		_ = g.fab.Send(spec.packet())
-		schedule(0.5 + g.rng.Float64())
+		g.inject(leaf, sched, pkt)
+		schedule(0.5 + rng.float64())
 	}
-	schedule(g.rng.Float64()) // random start phase
+	schedule(rng.float64()) // random start phase
 	return func() { stopped = true }
 }
 
-// Burst sends n packets of the flow immediately.
+// Burst sends n packets of the flow immediately (driving goroutine,
+// between runs).
 func (g *Generator) Burst(spec FlowSpec, n int) {
+	leaf, sched := g.ingress(spec.Src)
+	pkt := spec.packet()
 	for i := 0; i < n; i++ {
-		_ = g.fab.Send(spec.packet())
+		g.inject(leaf, sched, pkt)
 	}
+}
+
+// --- Per-flow RNG streams and the emission digest ---
+
+// stream is a splitmix64 generator seeded per flow with
+// bulkMix(seed, flow index) — the same pure-function construction
+// BulkWorkload uses for its heavy sets. State is owned by the flow's
+// closure on its home shard; nothing is shared.
+type stream struct{ state uint64 }
+
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 draws a uniform value in [0, 1).
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// intn draws a uniform value in [0, n).
+func (s *stream) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// FNV-1a parameters for the emission digest.
+const (
+	digestOffset uint64 = 14695981039346656037
+	digestPrime  uint64 = 1099511628211
+)
+
+// ingressDigest accumulates one leaf's emission digest. Padded to a
+// cache line: cells are written concurrently by different shards and
+// must not false-share.
+type ingressDigest struct {
+	h uint64
+	_ [56]byte
+}
+
+func (d *ingressDigest) fold(at time.Duration, p dataplane.Packet) {
+	var keyArr [64]byte
+	key := p.Flow().AppendTo(keyArr[:0])
+	h := foldUint(d.h, uint64(at))
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= digestPrime
+	}
+	h = foldUint(h, uint64(p.Size))
+	h ^= uint64(p.Flags)
+	h *= digestPrime
+	h ^= uint64(p.App.Kind)
+	h *= digestPrime
+	d.h = h
+}
+
+func foldUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= digestPrime
+		v >>= 8
+	}
+	return h
 }
 
 // --- Attack / scenario generators (Tab. I workloads) ---
@@ -109,13 +259,13 @@ func (g *Generator) SYNFlood(target netip.Addr, nSources int, rate float64) (sto
 	hosts := g.fab.Topology().Hosts()
 	specs := make([]FlowSpec, 0, nSources)
 	for i := 0; i < nSources; i++ {
-		src := hosts[g.rng.Intn(len(hosts))].IP
+		src := hosts[g.setup.Intn(len(hosts))].IP
 		if src == target {
 			continue
 		}
 		specs = append(specs, FlowSpec{
 			Src: src, Dst: target,
-			SrcPort: uint16(g.rng.Intn(60000) + 1024), DstPort: 80,
+			SrcPort: uint16(g.setup.Intn(60000) + 1024), DstPort: 80,
 			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagSYN,
 			PacketSize: 60, Rate: rate / float64(nSources),
 		})
@@ -123,12 +273,14 @@ func (g *Generator) SYNFlood(target netip.Addr, nSources int, rate float64) (sto
 	return g.startAll(specs)
 }
 
-// PortScan probes sequential destination ports on target from src.
+// PortScan probes sequential destination ports on target from src. The
+// scan ticks on src's ingress leaf.
 func (g *Generator) PortScan(src, target netip.Addr, portsPerSec float64) (stop func()) {
+	leaf, sched := g.ingress(src)
 	next := uint16(1)
 	interval := time.Duration(float64(time.Second) / portsPerSec)
-	tk := g.loop.Every(interval, func() {
-		_ = g.fab.Send(dataplane.Packet{
+	tk := sched.Every(interval, func() {
+		g.inject(leaf, sched, dataplane.Packet{
 			SrcIP: src, DstIP: target,
 			SrcPort: 40000, DstPort: next,
 			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagSYN, Size: 60,
@@ -146,7 +298,7 @@ func (g *Generator) PortScan(src, target netip.Addr, portsPerSec float64) (stop 
 func (g *Generator) SuperSpreader(src netip.Addr, fanout int, rate float64) (stop func()) {
 	hosts := g.fab.Topology().Hosts()
 	dsts := make([]netip.Addr, 0, fanout)
-	for _, h := range g.rng.Perm(len(hosts)) {
+	for _, h := range g.setup.Perm(len(hosts)) {
 		ip := hosts[h].IP
 		if ip != src {
 			dsts = append(dsts, ip)
@@ -155,13 +307,15 @@ func (g *Generator) SuperSpreader(src netip.Addr, fanout int, rate float64) (sto
 			break
 		}
 	}
+	leaf, sched := g.ingress(src)
+	rng := g.stream()
 	i := 0
 	interval := time.Duration(float64(time.Second) / rate)
-	tk := g.loop.Every(interval, func() {
+	tk := sched.Every(interval, func() {
 		// Random destination order: real spreaders do not round-robin
 		// in lockstep with samplers.
-		dst := dsts[g.rng.Intn(len(dsts))]
-		_ = g.fab.Send(dataplane.Packet{
+		dst := dsts[rng.intn(len(dsts))]
+		g.inject(leaf, sched, dataplane.Packet{
 			SrcIP: src, DstIP: dst,
 			SrcPort: uint16(30000 + i%1000), DstPort: 443,
 			Proto: dataplane.ProtoTCP, Flags: dataplane.FlagSYN, Size: 60,
@@ -178,13 +332,13 @@ func (g *Generator) DNSReflection(victim netip.Addr, nReflectors int, rate float
 	hosts := g.fab.Topology().Hosts()
 	specs := make([]FlowSpec, 0, nReflectors)
 	for i := 0; i < nReflectors; i++ {
-		refl := hosts[g.rng.Intn(len(hosts))].IP
+		refl := hosts[g.setup.Intn(len(hosts))].IP
 		if refl == victim {
 			continue
 		}
 		specs = append(specs, FlowSpec{
 			Src: refl, Dst: victim,
-			SrcPort: 53, DstPort: uint16(g.rng.Intn(60000) + 1024),
+			SrcPort: 53, DstPort: uint16(g.setup.Intn(60000) + 1024),
 			Proto: dataplane.ProtoUDP, PacketSize: 3000,
 			Rate: rate / float64(nReflectors),
 			App:  dataplane.AppInfo{Kind: dataplane.AppDNS, DNSResponse: true, DNSQName: "any.example."},
@@ -209,7 +363,7 @@ func (g *Generator) Slowloris(dst netip.Addr, nConns int, perConnRate float64) (
 	hosts := g.fab.Topology().Hosts()
 	specs := make([]FlowSpec, 0, nConns)
 	for i := 0; i < nConns; i++ {
-		src := hosts[g.rng.Intn(len(hosts))].IP
+		src := hosts[g.setup.Intn(len(hosts))].IP
 		if src == dst {
 			continue
 		}

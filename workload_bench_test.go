@@ -1,0 +1,95 @@
+package farm_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"farm/internal/engine"
+	"farm/internal/fabric"
+	"farm/internal/netmodel"
+	"farm/internal/traffic"
+)
+
+// runWorkloadScenario drives the full attack-scenario cocktail — SYN
+// flood, port scan (stopped mid-run), super-spreader, DNS reflection,
+// SSH brute force, Slowloris, plus a background flow per leaf — on a
+// 2-spine/12-leaf fabric for simFor of virtual time. It returns the
+// delivered-packet count as the cross-engine sanity check: with the
+// per-leaf schedules this must agree exactly between serial and
+// sharded runs (the per-switch digest tests pin the stronger
+// byte-identity property).
+func runWorkloadScenario(tb testing.TB, eng engine.Scheduler, simFor time.Duration) uint64 {
+	tb.Helper()
+	const leaves = 12
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
+		Spines: 2, Leaves: leaves, HostsPerLeaf: 8,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fab := fabric.New(topo, eng, fabric.Options{})
+	gen := traffic.NewGenerator(fab, 11)
+	victim := fabric.HostIP(0, 0)
+	stopScan := gen.PortScan(fabric.HostIP(1, 0), victim, 2000)
+	stops := []func(){
+		gen.SYNFlood(victim, 12, 6000),
+		gen.SuperSpreader(fabric.HostIP(2, 1), 16, 3000),
+		gen.DNSReflection(victim, 6, 3000),
+		gen.SSHBruteForce(fabric.HostIP(3, 2), fabric.HostIP(0, 1), 500),
+		gen.Slowloris(fabric.HostIP(4, 3), 16, 50),
+	}
+	for i := 0; i < leaves; i++ {
+		stops = append(stops, gen.StartFlow(traffic.FlowSpec{
+			Src: fabric.HostIP(i, 4), Dst: fabric.HostIP((i+1)%leaves, 4),
+			SrcPort: uint16(10000 + i), DstPort: 80, PacketSize: 400, Rate: 800,
+		}))
+	}
+	eng.RunFor(simFor / 2)
+	stopScan()
+	eng.RunFor(simFor - simFor/2)
+	for _, s := range stops {
+		s()
+	}
+	return fab.Delivered()
+}
+
+// BenchmarkWorkloadSharded compares the serial engine against the
+// sharded executor on pure traffic generation. central-share is the
+// fraction of executed events that ran on shard 0: the serial engine is
+// one shard (share 1 by construction), while with per-leaf schedules
+// the sharded runs push scenario emission out to the ingress leaves.
+func BenchmarkWorkloadSharded(b *testing.B) {
+	const simFor = time.Second
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delivered := runWorkloadScenario(b, engine.NewSerial(), simFor)
+			b.ReportMetric(float64(delivered), "delivered")
+			b.ReportMetric(1, "central-share")
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("sharded/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x := engine.NewSharded(engine.ShardedOptions{
+					Shards:    14, // one per switch: 2 spines + 12 leaves
+					Workers:   workers,
+					Lookahead: fabric.Options{}.MinCrossLatency(),
+				})
+				delivered := runWorkloadScenario(b, x, simFor)
+				counts := x.ShardEventCounts()
+				x.Stop()
+				var total uint64
+				for _, c := range counts {
+					total += c
+				}
+				b.ReportMetric(float64(delivered), "delivered")
+				if total > 0 {
+					b.ReportMetric(float64(counts[fabric.CentralShard])/float64(total), "central-share")
+				}
+			}
+		})
+	}
+}
