@@ -10,13 +10,14 @@
 //	farm-bench -list
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// ablation engine-scale packet-path workload-scale.
+// ablation engine-scale packet-path workload-scale placement-scale.
 //
 // -json prints the selected experiment's result as machine-readable
-// JSON instead of a table (supported by packet-path and
-// workload-scale; CI archives `farm-bench -exp packet-path -json` as
-// BENCH_packetpath.json and `-exp workload-scale -json` as
-// BENCH_workload.json).
+// JSON instead of a table (supported by packet-path, workload-scale,
+// and placement-scale; CI archives `farm-bench -exp packet-path -json`
+// as BENCH_packetpath.json, `-exp workload-scale -json` as
+// BENCH_workload.json, and `-exp placement-scale -json` as
+// BENCH_placement.json).
 //
 // -parallel N selects the sharded conservative-parallel event executor
 // with N workers for the experiments that support it (all of fig4 —
@@ -32,6 +33,12 @@
 // cocktail once on the serial engine and once per sharded worker
 // count, compares per-ingress-leaf emission digests, and exits
 // non-zero on any divergence.
+//
+// placement-scale replays a placement churn script (cold start, task
+// arrival/departure, switch failure, steady state) under serial,
+// parallel, warm-start, and from-scratch solves, compares placement
+// digests within each step, and exits non-zero on any divergence —
+// the runtime gate on the optimizer's determinism contract.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiments; combined with the engine's per-phase pprof labels
@@ -130,6 +137,7 @@ func main() {
 		{"engine-scale", "Engine scaling: Fig. 4 pipeline on a 500-switch fat-tree", runEngineScale},
 		{"packet-path", "Packet path: linear classifier vs bucketed index + flow cache", runPacketPath},
 		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
+		{"placement-scale", "Placement scale: serial vs parallel vs warm-start solves (digest A/B)", runPlacementScale},
 	}
 	if *list {
 		for _, e := range exps {
@@ -317,6 +325,31 @@ func runWorkloadScale(full bool) error {
 	// non-nil error if any sharded run's digests differ from serial.
 	// Render what we measured either way, then fail the process.
 	res, err := experiments.WorkloadScale(cfg)
+	if res != nil {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+		} else {
+			fmt.Print(res.Table().Render())
+		}
+	}
+	return err
+}
+
+func runPlacementScale(full bool) error {
+	cfg := experiments.PlacementScaleConfig{}
+	if full {
+		// The paper-scale Fig. 7 point: 10200 seeds on 1040 switches.
+		cfg.Switches = 1040
+		cfg.Seeds = 10200
+		cfg.Tasks = 60
+	}
+	// Like workload-scale, a divergence returns the measured result AND
+	// an error: render first, then fail the process.
+	res, err := experiments.PlacementScale(cfg)
 	if res != nil {
 		if jsonOut {
 			enc := json.NewEncoder(os.Stdout)

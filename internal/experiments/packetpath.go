@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"time"
 
 	"farm/internal/dataplane"
@@ -43,11 +44,13 @@ type PacketPathConfig struct {
 // — Consistent reports that check — so the fast classifier provably
 // does not change what any experiment observes.
 type PacketPathResult struct {
-	Rules    int `json:"rules"`
-	Samplers int `json:"samplers"`
-	Flows    int `json:"flows"`
-	Packets  int `json:"packets"`
-	Churns   int `json:"churns"`
+	Rules      int `json:"rules"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	Samplers   int `json:"samplers"`
+	Flows      int `json:"flows"`
+	Packets    int `json:"packets"`
+	Churns     int `json:"churns"`
 
 	NaiveNsPerPkt float64 `json:"naive_ns_per_pkt"`
 	FastNsPerPkt  float64 `json:"fast_ns_per_pkt"`
@@ -97,6 +100,7 @@ func PacketPath(cfg PacketPathConfig) (*PacketPathResult, error) {
 	res := &PacketPathResult{
 		Rules: cfg.Rules, Samplers: cfg.Samplers,
 		Flows: cfg.Flows, Packets: cfg.Packets,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 	}
 	var hitRate float64
 	run := func(fast bool) (time.Duration, packetPathDigest, error) {

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"farm/internal/netmodel"
+	"farm/internal/placement"
+)
+
+// PlacementScaleConfig parameterizes the placement A/B experiment: a
+// churn script (cold start, task arrival, task departure, switch
+// failure, steady state) replayed under serial, parallel, and
+// warm-start solves. Parallel and warm-start runs must reproduce the
+// serial reference byte-for-byte (placement digest) — any divergence is
+// an error, the same runtime gate the engine, packet path, and workload
+// experiments pin for their layers.
+type PlacementScaleConfig struct {
+	// Switches/Seeds/Tasks shape the random Fig. 7 scenario; defaults
+	// 40/400/12 (quick). The paper-scale point is 1040/10200/60.
+	Switches, Seeds, Tasks int
+	// Seed feeds the scenario generator; 0 means 7.
+	Seed int64
+	// Workers are the step-3 LP worker counts to A/B against the serial
+	// reference; nil means {1, 4, 16}.
+	Workers []int
+}
+
+// PlacementScaleRun is one solve of one churn step.
+type PlacementScaleRun struct {
+	Label   string `json:"label"`
+	Workers int    `json:"workers"` // step-3 LP workers (1 = serial)
+	// Warm reports whether the solve was allowed to warm-start from the
+	// previous step's placement (false = ForceFull).
+	Warm bool `json:"warm"`
+	// Digest fingerprints the full placement result (assignments,
+	// allocations, utilities, drops, migrations).
+	Digest     string  `json:"digest"`
+	Placed     int     `json:"placed_seeds"`
+	Dropped    int     `json:"dropped_tasks"`
+	Utility    float64 `json:"utility"`
+	Migrations int     `json:"migrations"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// Consistent reports whether this run's digest matched the step's
+	// serial warm reference (vacuously true for the reference; full
+	// solves are compared on utility, not digest — re-placing from
+	// scratch may legitimately land elsewhere).
+	Consistent bool `json:"consistent"`
+}
+
+// PlacementScaleStep is one churn event and its solves.
+type PlacementScaleStep struct {
+	Label string              `json:"label"`
+	Runs  []PlacementScaleRun `json:"runs"`
+}
+
+// PlacementScaleResult is the full churn-script outcome.
+type PlacementScaleResult struct {
+	Switches   int                  `json:"switches"`
+	Seeds      int                  `json:"seeds"`
+	Tasks      int                  `json:"tasks"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Steps      []PlacementScaleStep `json:"steps"`
+}
+
+// placementChurnState carries the evolving scenario between steps.
+type placementChurnState struct {
+	switches []placement.SwitchInfo
+	seeds    []placement.SeedSpec
+	current  map[string]placement.Assignment
+	touched  []netmodel.SwitchID // nil = cold (full solve)
+}
+
+func (s *placementChurnState) input(workers int, forceFull bool) *placement.Input {
+	in := &placement.Input{
+		Switches:  append([]placement.SwitchInfo(nil), s.switches...),
+		Seeds:     append([]placement.SeedSpec(nil), s.seeds...),
+		Current:   map[string]placement.Assignment{},
+		Parallel:  workers,
+		ForceFull: forceFull,
+	}
+	for k, v := range s.current {
+		in.Current[k] = v
+	}
+	if s.touched != nil {
+		in.Touched = append([]netmodel.SwitchID{}, s.touched...)
+	}
+	return in
+}
+
+// PlacementScale replays the churn script and errors on any divergence
+// between the serial reference and the parallel runs of each step.
+func PlacementScale(cfg PlacementScaleConfig) (*PlacementScaleResult, error) {
+	if cfg.Switches == 0 {
+		cfg.Switches = 40
+	}
+	if cfg.Seeds == 0 {
+		cfg.Seeds = 400
+	}
+	if cfg.Tasks == 0 {
+		cfg.Tasks = 12
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	if cfg.Workers == nil {
+		cfg.Workers = []int{1, 4, 16}
+	}
+	res := &PlacementScaleResult{
+		Switches:   cfg.Switches,
+		Seeds:      cfg.Seeds,
+		Tasks:      cfg.Tasks,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	base := placement.RandomScenario(placement.ScenarioConfig{
+		Switches: cfg.Switches, Seeds: cfg.Seeds, Tasks: cfg.Tasks, Seed: cfg.Seed,
+	})
+	st := &placementChurnState{
+		switches: base.Switches,
+		seeds:    base.Seeds,
+		current:  map[string]placement.Assignment{},
+		touched:  nil, // cold start
+	}
+
+	runOne := func(label string, workers int, forceFull bool) (PlacementScaleRun, *placement.Result, error) {
+		in := st.input(workers, forceFull)
+		start := time.Now()
+		r, err := placement.Heuristic(in)
+		if err != nil {
+			return PlacementScaleRun{}, nil, err
+		}
+		elapsed := time.Since(start)
+		if err := placement.CheckFeasible(in, r); err != nil {
+			return PlacementScaleRun{}, nil, fmt.Errorf("placement-scale: %s: %w", label, err)
+		}
+		return PlacementScaleRun{
+			Label:      label,
+			Workers:    workers,
+			Warm:       !forceFull && in.Touched != nil && len(in.Current) > 0,
+			Digest:     r.Digest(),
+			Placed:     len(r.Placed),
+			Dropped:    len(r.DroppedTasks),
+			Utility:    r.Utility,
+			Migrations: r.Migrations,
+			ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+		}, r, nil
+	}
+
+	var firstDivergence error
+	runStep := func(label string) error {
+		step := PlacementScaleStep{Label: label}
+		ref, refRes, err := runOne("serial", -1, false)
+		if err != nil {
+			return err
+		}
+		ref.Consistent = true
+		step.Runs = append(step.Runs, ref)
+		for _, w := range cfg.Workers {
+			run, _, err := runOne(fmt.Sprintf("parallel-%dw", w), w, false)
+			if err != nil {
+				return err
+			}
+			run.Consistent = run.Digest == ref.Digest
+			if !run.Consistent && firstDivergence == nil {
+				firstDivergence = fmt.Errorf(
+					"placement-scale: step %s with %d workers diverged from serial (digest %s vs %s)",
+					label, w, run.Digest, ref.Digest)
+			}
+			step.Runs = append(step.Runs, run)
+		}
+		// A from-scratch solve for runtime/utility comparison (skipped
+		// on the cold step, where every solve is already full).
+		if st.touched != nil {
+			full, _, err := runOne("full", -1, true)
+			if err != nil {
+				return err
+			}
+			full.Consistent = true // not digest-compared by design
+			step.Runs = append(step.Runs, full)
+		}
+		res.Steps = append(res.Steps, step)
+		st.current = refRes.Placed
+		return nil
+	}
+
+	// Step 1: cold start — every solve is a full solve.
+	if err := runStep("cold-start"); err != nil {
+		return nil, err
+	}
+
+	// Step 2: one task arrives. No existing switch changed, so the
+	// dirty set is empty and only the new task places.
+	extra := placement.RandomScenario(placement.ScenarioConfig{
+		Switches: cfg.Switches,
+		Seeds:    maxInt(1, cfg.Seeds/cfg.Tasks),
+		Tasks:    1,
+		Seed:     cfg.Seed + 7,
+	})
+	for i := range extra.Seeds {
+		extra.Seeds[i].ID = fmt.Sprintf("tadd/s%d", i)
+		extra.Seeds[i].Task = "taskadd"
+	}
+	st.seeds = append(st.seeds, extra.Seeds...)
+	st.touched = []netmodel.SwitchID{}
+	if err := runStep("add-task"); err != nil {
+		return nil, err
+	}
+
+	// Step 3: one task departs; its former switches are the dirty set.
+	goneTask := st.seeds[0].Task
+	var kept []placement.SeedSpec
+	dirty := map[netmodel.SwitchID]bool{}
+	for _, s := range st.seeds {
+		if s.Task == goneTask {
+			if a, ok := st.current[s.ID]; ok {
+				dirty[a.Switch] = true
+			}
+			delete(st.current, s.ID)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	st.seeds = kept
+	st.touched = sortedIDs(dirty)
+	if err := runStep("remove-task"); err != nil {
+		return nil, err
+	}
+
+	// Step 4: kill the most loaded switch. Seeds placed there lose
+	// their assignment; seeds with no surviving candidate drop out of
+	// the model (mirroring the seeder's failover path).
+	load := map[netmodel.SwitchID]int{}
+	for _, a := range st.current {
+		load[a.Switch]++
+	}
+	victim := st.switches[0].ID
+	for _, sw := range st.switches {
+		if load[sw.ID] > load[victim] || (load[sw.ID] == load[victim] && sw.ID < victim) {
+			victim = sw.ID
+		}
+	}
+	var liveSW []placement.SwitchInfo
+	for _, sw := range st.switches {
+		if sw.ID != victim {
+			liveSW = append(liveSW, sw)
+		}
+	}
+	st.switches = liveSW
+	kept = kept[:0:0]
+	for _, s := range st.seeds {
+		var cands []netmodel.SwitchID
+		for _, c := range s.Candidates {
+			if c != victim {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 {
+			delete(st.current, s.ID)
+			continue
+		}
+		s.Candidates = cands
+		kept = append(kept, s)
+	}
+	st.seeds = kept
+	for id, a := range st.current {
+		if a.Switch == victim {
+			delete(st.current, id)
+		}
+	}
+	st.touched = []netmodel.SwitchID{victim}
+	if err := runStep("kill-switch"); err != nil {
+		return nil, err
+	}
+
+	// Step 5: steady state — nothing changed; the warm solve should pin
+	// everything and return almost instantly.
+	st.touched = []netmodel.SwitchID{}
+	if err := runStep("settle"); err != nil {
+		return nil, err
+	}
+
+	return res, firstDivergence
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortedIDs(m map[netmodel.SwitchID]bool) []netmodel.SwitchID {
+	out := make([]netmodel.SwitchID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Table renders the result. ElapsedMS varies by host; the Digest column
+// is the determinism artifact (within each step, serial vs parallel).
+func (r *PlacementScaleResult) Table() *Table {
+	t := &Table{
+		Title:   "Placement scale: serial vs parallel vs warm-start solves (digest A/B)",
+		Columns: []string{"digest", "warm", "placed", "dropped", "utility", "migr", "wall ms"},
+	}
+	for _, step := range r.Steps {
+		for _, run := range step.Runs {
+			warm := "full"
+			if run.Warm {
+				warm = "warm"
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: step.Label + "/" + run.Label,
+				Values: []string{
+					run.Digest,
+					warm,
+					fmt.Sprintf("%d", run.Placed),
+					fmt.Sprintf("%d", run.Dropped),
+					fmt.Sprintf("%.1f", run.Utility),
+					fmt.Sprintf("%d", run.Migrations),
+					fmtFloat(run.ElapsedMS),
+				},
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d switches, %d seeds, %d tasks; GOMAXPROCS=%d, NumCPU=%d",
+			r.Switches, r.Seeds, r.Tasks, r.GoMaxProcs, r.NumCPU),
+		"digest = placement result fingerprint; within a step, parallel runs must match the serial reference",
+		"full = from-scratch re-solve for comparison (utility-checked, not digest-checked)")
+	return t
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestPlacementScaleConsistent runs the churn-script digest A/B at
+// reduced scale, so `go test -race` exercises the parallel per-switch
+// LP fan-out and the divergence gate together.
+func TestPlacementScaleConsistent(t *testing.T) {
+	res, err := PlacementScale(PlacementScaleConfig{
+		Switches: 20,
+		Seeds:    120,
+		Tasks:    8,
+		Workers:  []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 5 {
+		t.Fatalf("got %d steps, want 5", len(res.Steps))
+	}
+	for _, step := range res.Steps {
+		ref := step.Runs[0]
+		for _, run := range step.Runs[1:] {
+			if !run.Consistent {
+				t.Fatalf("step %s run %s diverged: digest %s vs serial %s",
+					step.Label, run.Label, run.Digest, ref.Digest)
+			}
+		}
+	}
+	// The churn steps after cold start must actually warm-start: the
+	// point of the dirty-set plumbing.
+	for _, step := range res.Steps[1:] {
+		if !step.Runs[0].Warm {
+			t.Fatalf("step %s reference did not warm-start", step.Label)
+		}
+	}
+	if res.GoMaxProcs <= 0 || res.NumCPU <= 0 {
+		t.Fatalf("missing host parallelism fields: GOMAXPROCS=%d NumCPU=%d",
+			res.GoMaxProcs, res.NumCPU)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -62,10 +63,12 @@ type WorkloadScaleRun struct {
 
 // WorkloadScaleResult is the full A/B outcome.
 type WorkloadScaleResult struct {
-	Ports    int                `json:"ports"`
-	Duration time.Duration      `json:"duration_virtual_ns"`
-	Runs     []WorkloadScaleRun `json:"runs"`
-	digests  []map[netmodel.SwitchID]uint64
+	Ports      int                `json:"ports"`
+	Duration   time.Duration      `json:"duration_virtual_ns"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Runs       []WorkloadScaleRun `json:"runs"`
+	digests    []map[netmodel.SwitchID]uint64
 }
 
 // workloadMix starts the Tab. I attack cocktail plus background flows
@@ -112,8 +115,10 @@ func WorkloadScale(cfg WorkloadScaleConfig) (*WorkloadScaleResult, error) {
 		cfg.Seed = 11
 	}
 	res := &WorkloadScaleResult{
-		Ports:    cfg.Leaves * cfg.HostsPerLeaf,
-		Duration: cfg.Duration,
+		Ports:      cfg.Leaves * cfg.HostsPerLeaf,
+		Duration:   cfg.Duration,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	runOne := func(label string, workers int) (WorkloadScaleRun, map[netmodel.SwitchID]uint64, error) {

@@ -94,6 +94,13 @@ type constraint struct {
 
 // Problem is a linear or mixed-integer linear program under
 // construction. The zero value is not usable; call New.
+//
+// A Problem is not safe for concurrent use: besides the builder state,
+// it owns a grow-only scratch arena (bounds, flattened constraint rows,
+// the dense tableau) that Solve reuses across calls, so repeat solves
+// of same-shaped problems are allocation-light. Parallel solvers (the
+// placement heuristic's per-switch redistribution pool) keep one
+// Problem per worker and Reset it between solves.
 type Problem struct {
 	sense    Sense
 	vars     []variable
@@ -104,6 +111,8 @@ type Problem struct {
 	// ErrDeadline (set by SolveMILP so a single huge relaxation cannot
 	// blow through the branch-and-bound budget).
 	deadline time.Time
+	// scr is the reusable solve arena (see solveRelaxation).
+	scr scratch
 }
 
 // ErrDeadline is returned when a solve exceeds the configured deadline.
@@ -112,6 +121,20 @@ var ErrDeadline = errors.New("lp: deadline exceeded during simplex")
 // New returns an empty problem with the given optimization sense.
 func New(sense Sense) *Problem {
 	return &Problem{sense: sense}
+}
+
+// Reset clears the problem for rebuilding under a new sense while
+// keeping every allocated buffer (variables, constraint rows, objective,
+// solve arena) for reuse. Anything previously returned by the problem —
+// Var handles, Solutions — is invalidated except Solution.Values, which
+// is always freshly allocated.
+func (p *Problem) Reset(sense Sense) {
+	p.sense = sense
+	p.vars = p.vars[:0]
+	p.cons = p.cons[:0]
+	p.objCoefs = p.objCoefs[:0]
+	p.objConst = 0
+	p.deadline = time.Time{}
 }
 
 // NumVars returns the number of declared variables.
@@ -146,17 +169,26 @@ func (p *Problem) AddIntVar(name string, lb, ub float64) Var {
 // SetInteger marks an existing variable as integral.
 func (p *Problem) SetInteger(v Var) { p.vars[v].integer = true }
 
-// AddConstraint adds sum(coefs) op rhs.
+// AddConstraint adds sum(coefs) op rhs. The coefs slice is copied; after
+// a Reset, retired rows' backing arrays are reused.
 func (p *Problem) AddConstraint(coefs []Coef, op Op, rhs float64) {
-	cs := make([]Coef, len(coefs))
+	var cs []Coef
+	if len(p.cons) < cap(p.cons) {
+		// Reclaim the coef backing of the retired row in this slot.
+		cs = p.cons[: len(p.cons)+1 : cap(p.cons)][len(p.cons)].coefs[:0]
+	}
+	if cap(cs) >= len(coefs) {
+		cs = cs[:len(coefs)]
+	} else {
+		cs = make([]Coef, len(coefs))
+	}
 	copy(cs, coefs)
 	p.cons = append(p.cons, constraint{coefs: cs, op: op, rhs: rhs})
 }
 
 // SetObjective sets the objective sum(coefs) + constant.
 func (p *Problem) SetObjective(coefs []Coef, constant float64) {
-	p.objCoefs = make([]Coef, len(coefs))
-	copy(p.objCoefs, coefs)
+	p.objCoefs = append(p.objCoefs[:0], coefs...)
 	p.objConst = constant
 }
 
@@ -186,12 +218,84 @@ func (p *Problem) Solve() (*Solution, error) {
 	return p.solveRelaxation(nil, nil)
 }
 
+// scratch is the grow-only solve arena owned by a Problem: every buffer
+// solveRelaxation needs, reused across calls so repeat solves of
+// same-shaped problems allocate only the escaping Solution.
+type scratch struct {
+	lb, ub   []float64
+	rowCoefs []float64 // flattened n-wide shifted constraint rows
+	rowRHS   []float64
+	rowOps   []Op
+	cost     []float64
+	c1, c2   []float64
+	xs       []float64
+	tab      tableau
+	tabA     []float64 // dense tableau backing
+}
+
+// growF returns *buf resized to n without zeroing, growing it if needed.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) >= n {
+		*buf = (*buf)[:n]
+	} else {
+		*buf = make([]float64, n)
+	}
+	return *buf
+}
+
+// growFZero returns *buf resized to n with every element zeroed.
+func growFZero(buf *[]float64, n int) []float64 {
+	b := growF(buf, n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// tableau returns the arena's reusable tableau sized to m rows and
+// maxCols columns, fully cleared.
+func (s *scratch) tableau(m, maxCols int) *tableau {
+	t := &s.tab
+	need := m * maxCols
+	if cap(s.tabA) >= need {
+		s.tabA = s.tabA[:need]
+		for i := range s.tabA {
+			s.tabA[i] = 0
+		}
+	} else {
+		s.tabA = make([]float64, need)
+	}
+	if cap(t.a) >= m {
+		t.a = t.a[:m]
+	} else {
+		t.a = make([][]float64, m)
+	}
+	for i := range t.a {
+		t.a[i] = s.tabA[i*maxCols : (i+1)*maxCols]
+	}
+	t.b = growFZero(&t.b, m)
+	if cap(t.basis) >= m {
+		t.basis = t.basis[:m]
+	} else {
+		t.basis = make([]int, m)
+	}
+	for i := range t.basis {
+		t.basis[i] = -1
+	}
+	t.m, t.ncols = m, maxCols
+	t.frozenFrom = -1
+	t.objConst = 0
+	t.deadline = time.Time{}
+	return t
+}
+
 // solveRelaxation solves the LP relaxation with optional per-variable
 // bound overrides (used by branch & bound; nil means no override).
 func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solution, error) {
 	n := len(p.vars)
-	lb := make([]float64, n)
-	ub := make([]float64, n)
+	s := &p.scr
+	lb := growF(&s.lb, n)
+	ub := growF(&s.ub, n)
 	for i, v := range p.vars {
 		lb[i], ub[i] = v.lb, v.ub
 	}
@@ -215,33 +319,41 @@ func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solu
 	}
 
 	// Shift every variable by its lower bound: x = x' + lb, x' >= 0.
-	// Finite upper bounds become extra rows x' <= ub-lb.
-	type row struct {
-		coefs []float64
-		op    Op
-		rhs   float64
+	// Finite upper bounds become extra rows x' <= ub-lb. Rows live in
+	// the arena's flattened n-wide buffer.
+	maxRows := len(p.cons) + n
+	rowCoefs := growFZero(&s.rowCoefs, maxRows*n)
+	rowRHS := growF(&s.rowRHS, maxRows)
+	if cap(s.rowOps) >= maxRows {
+		s.rowOps = s.rowOps[:maxRows]
+	} else {
+		s.rowOps = make([]Op, maxRows)
 	}
-	rows := make([]row, 0, len(p.cons)+n)
+	rowOps := s.rowOps
+	m := 0
 	for _, c := range p.cons {
-		r := row{coefs: make([]float64, n), op: c.op, rhs: c.rhs}
+		rc := rowCoefs[m*n : (m+1)*n]
+		rhs := c.rhs
 		for _, cf := range c.coefs {
-			r.coefs[cf.Var] += cf.Val
-			r.rhs -= cf.Val * lb[cf.Var]
+			rc[cf.Var] += cf.Val
+			rhs -= cf.Val * lb[cf.Var]
 		}
-		rows = append(rows, r)
+		rowOps[m], rowRHS[m] = c.op, rhs
+		m++
 	}
 	for i := 0; i < n; i++ {
-		if !math.IsInf(ub[i], 1) && ub[i]-lb[i] > eps {
-			r := row{coefs: make([]float64, n), op: LE, rhs: ub[i] - lb[i]}
-			r.coefs[i] = 1
-			rows = append(rows, r)
-		} else if !math.IsInf(ub[i], 1) {
+		if math.IsInf(ub[i], 1) {
+			continue
+		}
+		op := LE
+		if ub[i]-lb[i] <= eps {
 			// Fixed variable: pin with an equality so the tableau
 			// cannot drift.
-			r := row{coefs: make([]float64, n), op: EQ, rhs: ub[i] - lb[i]}
-			r.coefs[i] = 1
-			rows = append(rows, r)
+			op = EQ
 		}
+		rowCoefs[m*n+i] = 1
+		rowOps[m], rowRHS[m] = op, ub[i]-lb[i]
+		m++
 	}
 
 	// Objective in "minimize" form over shifted variables.
@@ -249,39 +361,42 @@ func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solu
 	if p.sense == Maximize {
 		objSign = -1
 	}
-	cost := make([]float64, n)
+	cost := growFZero(&s.cost, n)
 	objShift := p.objConst
 	for _, cf := range p.objCoefs {
 		cost[cf.Var] += objSign * cf.Val
 		objShift += cf.Val * lb[cf.Var]
 	}
 
-	m := len(rows)
 	// Column layout: [structural n][slack/surplus][artificial].
 	nSlack := 0
-	for _, r := range rows {
-		if r.op != EQ {
+	for i := 0; i < m; i++ {
+		if rowOps[i] != EQ {
 			nSlack++
 		}
 	}
 	total := n + nSlack + m // upper bound on artificials: one per row
-	t := newTableau(m, total)
+	t := s.tableau(m, total)
 	t.deadline = p.deadline
 	slackCol := n
 	artCol := n + nSlack
 	nArt := 0
-	for i, r := range rows {
-		rhs := r.rhs
+	for i := 0; i < m; i++ {
+		rc := rowCoefs[i*n : (i+1)*n]
+		rhs := rowRHS[i]
 		sign := 1.0
 		if rhs < 0 {
 			sign = -1
 			rhs = -rhs
 		}
-		for j, c := range r.coefs {
-			t.a[i][j] = sign * c
+		row := t.a[i]
+		for j, c := range rc {
+			if c != 0 {
+				row[j] = sign * c
+			}
 		}
 		t.b[i] = rhs
-		op := r.op
+		op := rowOps[i]
 		if sign < 0 {
 			switch op {
 			case LE:
@@ -316,7 +431,7 @@ func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solu
 
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		c1 := make([]float64, t.ncols)
+		c1 := growFZero(&s.c1, t.ncols)
 		for j := artStart; j < artStart+nArt; j++ {
 			c1[j] = 1
 		}
@@ -334,28 +449,24 @@ func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solu
 			return &Solution{Status: Infeasible}, nil
 		}
 		// Pivot remaining artificials out of the basis where possible.
+		// A row with no eligible column is redundant: its artificial
+		// stays basic at zero, and phase 2 freezes artificials out of
+		// the entering-column choice.
 		for i := 0; i < m; i++ {
 			if t.basis[i] < artStart {
 				continue
 			}
-			pivoted := false
 			for j := 0; j < artStart; j++ {
 				if math.Abs(t.a[i][j]) > 1e-7 {
 					t.pivot(i, j)
-					pivoted = true
 					break
 				}
-			}
-			if !pivoted {
-				// Redundant row; leave the artificial basic at zero
-				// but forbid artificials from re-entering below.
-				_ = pivoted
 			}
 		}
 	}
 
 	// Phase 2: minimize the real cost; artificial columns are frozen.
-	c2 := make([]float64, t.ncols)
+	c2 := growFZero(&s.c2, t.ncols)
 	copy(c2, cost)
 	t.frozenFrom = artStart
 	if err := t.setObjective(c2); err != nil {
@@ -369,8 +480,9 @@ func (p *Problem) solveRelaxation(lbOverride, ubOverride map[Var]float64) (*Solu
 		return &Solution{Status: Unbounded}, nil
 	}
 
-	// Extract the solution, undoing the lower-bound shift.
-	xs := make([]float64, n)
+	// Extract the solution, undoing the lower-bound shift. Values is
+	// freshly allocated — it escapes into the Solution.
+	xs := growFZero(&s.xs, n)
 	for i := 0; i < m; i++ {
 		if t.basis[i] < n {
 			xs[t.basis[i]] = t.b[i]
@@ -399,24 +511,13 @@ type tableau struct {
 	deadline   time.Time
 }
 
-func newTableau(m, maxCols int) *tableau {
-	t := &tableau{m: m, ncols: maxCols, frozenFrom: -1}
-	t.a = make([][]float64, m)
-	backing := make([]float64, m*maxCols)
-	for i := range t.a {
-		t.a[i] = backing[i*maxCols : (i+1)*maxCols]
-	}
-	t.b = make([]float64, m)
-	t.basis = make([]int, m)
-	for i := range t.basis {
-		t.basis[i] = -1
-	}
-	return t
-}
-
 // setObjective installs cost vector c and prices out the current basis.
 func (t *tableau) setObjective(c []float64) error {
-	t.obj = make([]float64, t.ncols)
+	if cap(t.obj) >= t.ncols {
+		t.obj = t.obj[:t.ncols]
+	} else {
+		t.obj = make([]float64, t.ncols)
+	}
 	copy(t.obj, c)
 	t.objConst = 0
 	for i := 0; i < t.m; i++ {

@@ -5,8 +5,7 @@ import (
 	"testing"
 )
 
-func randomLP(rng *rand.Rand, vars, cons int) *Problem {
-	p := New(Maximize)
+func fillRandomLP(p *Problem, rng *rand.Rand, vars, cons int) {
 	vs := make([]Var, vars)
 	for i := range vs {
 		vs[i] = p.AddVar("v", 0, 100)
@@ -28,12 +27,18 @@ func randomLP(rng *rand.Rand, vars, cons int) *Problem {
 		obj[i] = Coef{vs[i], rng.Float64() * 10}
 	}
 	p.SetObjective(obj, 0)
+}
+
+func randomLP(rng *rand.Rand, vars, cons int) *Problem {
+	p := New(Maximize)
+	fillRandomLP(p, rng, vars, cons)
 	return p
 }
 
 func BenchmarkSimplexSmall(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	p := randomLP(rng, 10, 15)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Solve(); err != nil {
@@ -45,8 +50,26 @@ func BenchmarkSimplexSmall(b *testing.B) {
 func BenchmarkSimplexMedium(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	p := randomLP(rng, 60, 80)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimplexRebuildReuse measures the redistribution hot path's
+// shape: rebuild a same-shaped LP into one Reset problem arena and
+// solve, every iteration. Grow-only buffers make repeat solves
+// allocation-light.
+func BenchmarkSimplexRebuildReuse(b *testing.B) {
+	p := New(Maximize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Reset(Maximize)
+		fillRandomLP(p, rand.New(rand.NewSource(2)), 60, 80)
 		if _, err := p.Solve(); err != nil {
 			b.Fatal(err)
 		}
@@ -64,6 +87,7 @@ func BenchmarkMILPKnapsack20(b *testing.B) {
 	}
 	p.AddConstraint(weights, LE, 80)
 	p.SetObjective(values, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.SolveMILP(MILPOptions{}); err != nil {

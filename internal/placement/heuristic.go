@@ -4,11 +4,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"farm/internal/lp"
 	"farm/internal/netmodel"
 )
+
+// testRedistErr, when non-nil (tests only), injects an error into the
+// per-switch redistribution solve — real LP failures are near impossible
+// to provoke from feasible greedy allocations, and the migrate pass's
+// error propagation needs a regression test.
+var testRedistErr func(netmodel.SwitchID) error
 
 // Heuristic runs Alg. 1: (1) sort tasks by decreasing minimum utility,
 // (2) greedily place each task's seeds at their cheapest viable
@@ -16,6 +24,18 @@ import (
 // whole tasks that do not fit, (3) redistribute resources with one LP
 // per switch, (4+5) evaluate migration benefits and apply them in
 // decreasing order.
+//
+// Step 3's per-switch LPs are independent and fan out over a worker
+// pool (Input.Parallel); outcomes are merged in switch order, so the
+// result is byte-identical to the serial run at any worker count.
+//
+// When Input.Current and Input.Touched are both set (and ForceFull is
+// not), the solve warm-starts: tasks whose current assignments are
+// still valid and feasible are pinned as-is, greedy placement runs only
+// for the rest, and redistribution and migration are confined to the
+// dirty switch neighborhoods. Because the previous solve's LP outcomes
+// are stored in Current and the LP is deterministic, skipping clean
+// switches reproduces exactly what re-solving them would produce.
 func Heuristic(in *Input) (*Result, error) {
 	start := time.Now()
 	if err := in.Validate(); err != nil {
@@ -23,30 +43,65 @@ func Heuristic(in *Input) (*Result, error) {
 	}
 	st := newHeurState(in)
 
+	// Warm start: pin tasks whose current placement is still valid.
+	pinActive, dirty := st.pinCurrent()
+
 	// Step 1: task order by decreasing minimum utility.
 	taskOrder := st.sortTasks()
 
-	// Step 2: greedy placement.
+	// Step 2: greedy placement of everything not pinned.
 	var dropped []string
 	for _, task := range taskOrder {
+		if st.pinned[task] {
+			continue
+		}
 		if !st.placeTask(task) {
 			dropped = append(dropped, task)
 		}
 	}
 
-	// Step 3: LP resource redistribution per switch.
+	// Step 3: LP resource redistribution per switch. A warm-start solve
+	// only revisits dirty switches: Touched ones, the old homes of
+	// re-placed seeds, and whatever greedy just filled.
 	if !in.SkipRedistribution {
-		for _, sw := range in.Switches {
-			if err := st.redistribute(sw); err != nil {
-				return nil, err
+		sws := in.Switches
+		if pinActive {
+			for id := range st.greedyOn {
+				dirty[id] = true
 			}
+			sws = sws[:0:0]
+			for _, sw := range in.Switches {
+				if dirty[sw.ID] {
+					sws = append(sws, sw)
+				}
+			}
+		}
+		if err := st.redistributeAll(sws); err != nil {
+			return nil, err
 		}
 	}
 
-	// Steps 4+5: migration by decreasing benefit.
+	// Steps 4+5: migration by decreasing benefit. Warm-start solves
+	// only reconsider seeds sitting on dirty switches.
 	migrations := 0
 	if !in.DisableMigration && len(in.Current) > 0 {
-		migrations = st.migrate()
+		var scope map[string]bool
+		if pinActive {
+			for id := range st.greedyOn {
+				dirty[id] = true
+			}
+			scope = map[string]bool{}
+			for n := range dirty {
+				for _, id := range st.seedsOn[n] {
+					scope[id] = true
+				}
+			}
+		}
+		var err error
+		migrations, err = st.migrate(scope)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{
@@ -60,6 +115,26 @@ func Heuristic(in *Input) (*Result, error) {
 	return res, nil
 }
 
+// lpRow is one prebaked constraint row of the per-switch LP: sparse
+// coefficients over the case's variable list plus a right-hand side.
+type lpRow struct {
+	res  []int // indices into caseLP.res
+	vals []float64
+	rhs  float64
+}
+
+// caseLP is the switch-independent part of a seed case's step-3 LP
+// fragment, baked once per solve so redistribute never re-sorts names
+// or re-walks polynomials.
+type caseLP struct {
+	res      []string // sorted resources the case or polls mention, sans poll
+	varNames []string // interned "<seed>.<res>" LP variable names
+	utilRows []lpRow  // t <= term rows: -coef per res, rhs = term const
+	conRows  []lpRow  // case constraints as GE rows, rhs = -const
+	pollRows []lpRow  // poll demand rows: -alpha*coef per res, rhs = alpha*const
+	pollSubj []string // subject per pollRows entry
+}
+
 type seedPrep struct {
 	spec *SeedSpec
 	// per case: minimal allocation and its utility (nil = infeasible
@@ -67,13 +142,18 @@ type seedPrep struct {
 	minAllocs []netmodel.Resources
 	minUtils  []float64
 	bestMin   float64 // max over cases of minUtils
+	utilName  string  // interned "<seed>.u" LP variable name
+	cases     []caseLP
 }
 
 type heurState struct {
 	in     *Input
+	alpha  float64
 	preps  map[string]*seedPrep
 	tasks  map[string][]*seedPrep
 	placed map[string]Assignment
+	// pinned marks tasks kept at their Current assignment (warm start).
+	pinned map[string]bool
 
 	remaining map[netmodel.SwitchID]netmodel.Resources
 	// pollMax[n][subject] = current max demand for the subject on n
@@ -81,21 +161,41 @@ type heurState struct {
 	pollMax map[netmodel.SwitchID]map[string]float64
 	// seedsOn[n] = IDs placed on n (sorted when consumed).
 	seedsOn map[netmodel.SwitchID][]string
+
+	// swIdx indexes Input.Switches by ID — the O(N) switchByID scan was
+	// 16% of the paper-scale flat profile.
+	swIdx map[netmodel.SwitchID]int
+	// slackCache memoizes normalizedSlack per switch index until the
+	// switch's remaining capacity changes.
+	slackCache []float64
+	slackOK    []bool
+	// greedyOn records switches greedy placement touched this run.
+	greedyOn map[netmodel.SwitchID]bool
+	// lpProb is the reusable serial-path LP arena (migrate and
+	// single-worker redistribution).
+	lpProb *lp.Problem
 }
 
 func newHeurState(in *Input) *heurState {
 	st := &heurState{
 		in:        in,
+		alpha:     in.alphaPoll(),
 		preps:     map[string]*seedPrep{},
 		tasks:     map[string][]*seedPrep{},
 		placed:    map[string]Assignment{},
+		pinned:    map[string]bool{},
 		remaining: map[netmodel.SwitchID]netmodel.Resources{},
 		pollMax:   map[netmodel.SwitchID]map[string]float64{},
 		seedsOn:   map[netmodel.SwitchID][]string{},
+		swIdx:     make(map[netmodel.SwitchID]int, len(in.Switches)),
+		greedyOn:  map[netmodel.SwitchID]bool{},
 	}
-	for _, sw := range in.Switches {
+	st.slackCache = make([]float64, len(in.Switches))
+	st.slackOK = make([]bool, len(in.Switches))
+	for i, sw := range in.Switches {
 		st.remaining[sw.ID] = sw.Capacity.Clone()
 		st.pollMax[sw.ID] = map[string]float64{}
+		st.swIdx[sw.ID] = i
 	}
 	// The largest capacity any switch offers — feasibility screen for
 	// minimal allocations.
@@ -109,7 +209,7 @@ func newHeurState(in *Input) *heurState {
 	}
 	for i := range in.Seeds {
 		s := &in.Seeds[i]
-		p := &seedPrep{spec: s, bestMin: math.Inf(-1)}
+		p := &seedPrep{spec: s, bestMin: math.Inf(-1), utilName: s.ID + ".u"}
 		for _, c := range s.Utility {
 			alloc, ok := minimalAlloc(c, maxCap)
 			if !ok {
@@ -124,10 +224,225 @@ func newHeurState(in *Input) *heurState {
 				p.bestMin = u
 			}
 		}
+		st.bakeCases(p)
 		st.preps[s.ID] = p
 		st.tasks[s.Task] = append(st.tasks[s.Task], p)
 	}
 	return st
+}
+
+// bakeCases precomputes every case's step-3 LP fragment for one seed.
+func (st *heurState) bakeCases(p *seedPrep) {
+	s := p.spec
+	p.cases = make([]caseLP, len(s.Utility))
+	for ci, c := range s.Utility {
+		cl := &p.cases[ci]
+		names := map[string]bool{}
+		for _, con := range c.Constraints {
+			for _, v := range con.Vars() {
+				names[v] = true
+			}
+		}
+		for _, term := range c.Util {
+			for _, v := range term.Vars() {
+				names[v] = true
+			}
+		}
+		for _, pd := range s.Polls {
+			for _, v := range pd.Rate.Vars() {
+				names[v] = true
+			}
+		}
+		for v := range names {
+			if v != netmodel.ResPoll {
+				cl.res = append(cl.res, v)
+			}
+		}
+		sort.Strings(cl.res)
+		resIdx := make(map[string]int, len(cl.res))
+		for ri, r := range cl.res {
+			cl.varNames = append(cl.varNames, s.ID+"."+r)
+			resIdx[r] = ri
+		}
+		sparse := func(coefOf func(string) float64, vars []string, scale float64) ([]int, []float64) {
+			var is []int
+			var vs []float64
+			for _, r := range vars {
+				ri, ok := resIdx[r]
+				if !ok {
+					continue // poll-typed terms never become LP variables
+				}
+				is = append(is, ri)
+				vs = append(vs, scale*coefOf(r))
+			}
+			return is, vs
+		}
+		for _, term := range c.Util {
+			is, vs := sparse(term.CoefOf, term.Vars(), -1)
+			cl.utilRows = append(cl.utilRows, lpRow{res: is, vals: vs, rhs: term.Const})
+		}
+		for _, con := range c.Constraints {
+			is, vs := sparse(con.CoefOf, con.Vars(), 1)
+			if len(is) == 0 {
+				continue
+			}
+			cl.conRows = append(cl.conRows, lpRow{res: is, vals: vs, rhs: -con.Const})
+		}
+		for _, pd := range s.Polls {
+			is, vs := sparse(pd.Rate.CoefOf, pd.Rate.Vars(), -st.alpha)
+			cl.pollRows = append(cl.pollRows, lpRow{res: is, vals: vs, rhs: st.alpha * pd.Rate.Const})
+			cl.pollSubj = append(cl.pollSubj, pd.Subject)
+		}
+	}
+}
+
+func (st *heurState) switchInfo(n netmodel.SwitchID) SwitchInfo {
+	return st.in.Switches[st.swIdx[n]]
+}
+
+// pinCurrent arms the warm-start path: every task whose Current
+// assignments are still valid (switch alive, candidate sets and cases
+// unchanged-compatible, constraints feasible, aggregate capacity
+// respected) is pinned in place. Returns whether pinning is active and
+// the dirty switch set seeding step 3's scope.
+func (st *heurState) pinCurrent() (bool, map[netmodel.SwitchID]bool) {
+	in := st.in
+	if in.ForceFull || in.Touched == nil || len(in.Current) == 0 {
+		return false, nil
+	}
+	// A task pins iff every one of its seeds can stay put (C1).
+	pinned := map[string]bool{}
+	for name, seeds := range st.tasks {
+		ok := true
+		for _, p := range seeds {
+			a, has := in.Current[p.spec.ID]
+			if !has {
+				ok = false
+				break
+			}
+			if _, exists := st.swIdx[a.Switch]; !exists {
+				ok = false
+				break
+			}
+			inCand := false
+			for _, c := range p.spec.Candidates {
+				if c == a.Switch {
+					inCand = true
+					break
+				}
+			}
+			if !inCand || a.Case < 0 || a.Case >= len(p.spec.Utility) ||
+				!p.spec.Utility[a.Case].Feasible(a.Alloc.AsFloats(), 1e-6) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pinned[name] = true
+		}
+	}
+	// Aggregate feasibility: the pinned load must fit every switch
+	// (capacities may have shrunk since the last solve). An overloaded
+	// switch unpins every task touching it; one pass suffices because
+	// unpinning only reduces usage elsewhere.
+	used := map[netmodel.SwitchID]netmodel.Resources{}
+	polls := map[netmodel.SwitchID]map[string]float64{}
+	tasksOn := map[netmodel.SwitchID][]string{}
+	for name := range pinned {
+		for _, p := range st.tasks[name] {
+			a := in.Current[p.spec.ID]
+			if used[a.Switch] == nil {
+				used[a.Switch] = netmodel.Resources{}
+				polls[a.Switch] = map[string]float64{}
+			}
+			used[a.Switch] = used[a.Switch].Add(allocSansPoll(a.Alloc))
+			for _, pd := range p.spec.Polls {
+				d := st.alpha * pd.Rate.Eval(a.Alloc.AsFloats())
+				if d > polls[a.Switch][pd.Subject] {
+					polls[a.Switch][pd.Subject] = d
+				}
+			}
+			tasksOn[a.Switch] = append(tasksOn[a.Switch], name)
+		}
+	}
+	for _, sw := range in.Switches {
+		over := false
+		for r, v := range used[sw.ID] {
+			if v > sw.Capacity[r]+1e-9 {
+				over = true
+				break
+			}
+		}
+		if !over && pollTotal(polls[sw.ID]) > sw.Capacity[netmodel.ResPoll]+1e-9 {
+			over = true
+		}
+		if over {
+			for _, name := range tasksOn[sw.ID] {
+				delete(pinned, name)
+			}
+		}
+	}
+	// Fallback: a mostly-stale problem re-solves in full. Staleness
+	// counts only tasks that HAD a placement and lost their pin —
+	// tasks with no Current entries (new arrivals, previously dropped)
+	// go through greedy regardless and do not invalidate the pins.
+	hadCurrent, stale := 0, 0
+	for name, seeds := range st.tasks {
+		had := false
+		for _, p := range seeds {
+			if _, ok := in.Current[p.spec.ID]; ok {
+				had = true
+				break
+			}
+		}
+		if had {
+			hadCurrent++
+			if !pinned[name] {
+				stale++
+			}
+		}
+	}
+	if hadCurrent > 0 && float64(stale)/float64(hadCurrent) > in.fullThreshold() {
+		return false, nil
+	}
+	// Commit pins in sorted seed order.
+	var ids []string
+	for name := range pinned {
+		for _, p := range st.tasks[name] {
+			ids = append(ids, p.spec.ID)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := st.preps[id]
+		a := in.Current[id]
+		st.placeSeedAt(p, a.Switch, Assignment{
+			Alloc:   a.Alloc.Clone(),
+			Case:    a.Case,
+			Utility: caseUtilityAt(p.spec.Utility[a.Case], a.Alloc),
+		})
+	}
+	st.pinned = pinned
+	// Dirty switches: the caller-declared Touched set plus the old
+	// homes of every seed that must re-place.
+	dirty := map[netmodel.SwitchID]bool{}
+	for _, id := range in.Touched {
+		if _, ok := st.swIdx[id]; ok {
+			dirty[id] = true
+		}
+	}
+	for i := range in.Seeds {
+		s := &in.Seeds[i]
+		if pinned[s.Task] {
+			continue
+		}
+		if a, ok := in.Current[s.ID]; ok {
+			if _, exists := st.swIdx[a.Switch]; exists {
+				dirty[a.Switch] = true
+			}
+		}
+	}
+	return true, dirty
 }
 
 // sortTasks orders tasks by decreasing minimum utility (the utility of
@@ -161,9 +476,15 @@ func (st *heurState) sortTasks() []string {
 }
 
 // normalizedSlack scores a switch's remaining headroom as the mean of
-// remaining/capacity over its resource types.
+// remaining/capacity over its resource types. Values are cached per
+// switch until its remaining capacity changes — greedy placement reads
+// this once per (seed, candidate) pair.
 func (st *heurState) normalizedSlack(n netmodel.SwitchID) float64 {
-	sw, _ := st.in.switchByID(n)
+	i := st.swIdx[n]
+	if st.slackOK[i] {
+		return st.slackCache[i]
+	}
+	sw := st.in.Switches[i]
 	rem := st.remaining[n]
 	total, count := 0.0, 0
 	for r, c := range sw.Capacity {
@@ -173,19 +494,24 @@ func (st *heurState) normalizedSlack(n netmodel.SwitchID) float64 {
 		total += rem[r] / c
 		count++
 	}
-	if count == 0 {
-		return 0
+	v := 0.0
+	if count > 0 {
+		v = total / float64(count)
 	}
-	return total / float64(count)
+	st.slackCache[i], st.slackOK[i] = v, true
+	return v
 }
 
-// pollFits computes the increase in total shared polling consumption on
-// switch n if a seed with the given demands is added, and reports
-// whether it fits the remaining poll budget.
+func (st *heurState) invalidateSlack(n netmodel.SwitchID) {
+	st.slackOK[st.swIdx[n]] = false
+}
+
+// pollDelta computes the increase in total shared polling consumption on
+// switch n if a seed with the given demands is added.
 func (st *heurState) pollDelta(n netmodel.SwitchID, spec *SeedSpec, alloc netmodel.Resources) float64 {
 	delta := 0.0
 	for _, pd := range spec.Polls {
-		demand := st.in.alphaPoll() * pd.Rate.Eval(alloc.AsFloats())
+		demand := st.alpha * pd.Rate.Eval(alloc.AsFloats())
 		cur := st.pollMax[n][pd.Subject]
 		if demand > cur {
 			delta += demand - cur
@@ -196,7 +522,7 @@ func (st *heurState) pollDelta(n netmodel.SwitchID, spec *SeedSpec, alloc netmod
 
 func (st *heurState) commitPolls(n netmodel.SwitchID, spec *SeedSpec, alloc netmodel.Resources) {
 	for _, pd := range spec.Polls {
-		demand := st.in.alphaPoll() * pd.Rate.Eval(alloc.AsFloats())
+		demand := st.alpha * pd.Rate.Eval(alloc.AsFloats())
 		if demand > st.pollMax[n][pd.Subject] {
 			st.pollMax[n][pd.Subject] = demand
 		}
@@ -211,7 +537,7 @@ func (st *heurState) recomputePolls(n netmodel.SwitchID) {
 		a := st.placed[id]
 		spec := st.preps[id].spec
 		for _, pd := range spec.Polls {
-			demand := st.in.alphaPoll() * pd.Rate.Eval(a.Alloc.AsFloats())
+			demand := st.alpha * pd.Rate.Eval(a.Alloc.AsFloats())
 			if demand > m[pd.Subject] {
 				m[pd.Subject] = demand
 			}
@@ -239,14 +565,14 @@ func (st *heurState) fits(n netmodel.SwitchID, spec *SeedSpec, alloc netmodel.Re
 			return false
 		}
 	}
-	sw, _ := st.in.switchByID(n)
+	sw := st.switchInfo(n)
 	if pollTotal(st.pollMax[n])+st.pollDelta(n, spec, alloc) > sw.Capacity[netmodel.ResPoll]+1e-9 {
 		return false
 	}
 	return true
 }
 
-// placeSeed commits one seed.
+// placeSeed commits one seed at its minimal allocation.
 func (st *heurState) placeSeed(p *seedPrep, n netmodel.SwitchID, caseIdx int) {
 	alloc := p.minAllocs[caseIdx].Clone()
 	st.placed[p.spec.ID] = Assignment{
@@ -258,6 +584,8 @@ func (st *heurState) placeSeed(p *seedPrep, n netmodel.SwitchID, caseIdx int) {
 	st.remaining[n] = st.remaining[n].Sub(allocSansPoll(alloc))
 	st.commitPolls(n, p.spec, alloc)
 	st.seedsOn[n] = append(st.seedsOn[n], p.spec.ID)
+	st.greedyOn[n] = true
+	st.invalidateSlack(n)
 }
 
 func allocSansPoll(a netmodel.Resources) netmodel.Resources {
@@ -282,6 +610,7 @@ func (st *heurState) unplaceSeed(id string) {
 		}
 	}
 	st.recomputePolls(a.Switch)
+	st.invalidateSlack(a.Switch)
 }
 
 // placeTask greedily places all seeds of a task; false (with rollback)
@@ -289,6 +618,10 @@ func (st *heurState) unplaceSeed(id string) {
 func (st *heurState) placeTask(task string) bool {
 	seeds := st.tasks[task]
 	var committed []string
+	// Switches first dirtied by THIS task, unmarked again if the task
+	// rolls back — a failed attempt leaves no trace, so hopeless tasks
+	// do not drag clean switches into a warm solve's dirty set.
+	var newlyMarked []netmodel.SwitchID
 	unplaced := map[string]*seedPrep{}
 	for _, p := range seeds {
 		unplaced[p.spec.ID] = p
@@ -354,7 +687,13 @@ func (st *heurState) placeTask(task string) bool {
 			for _, id := range committed {
 				st.unplaceSeed(id)
 			}
+			for _, n := range newlyMarked {
+				delete(st.greedyOn, n)
+			}
 			return false
+		}
+		if !st.greedyOn[best.n] {
+			newlyMarked = append(newlyMarked, best.n)
 		}
 		st.placeSeed(best.p, best.n, best.caseIdx)
 		committed = append(committed, best.p.spec.ID)
@@ -363,115 +702,172 @@ func (st *heurState) placeTask(task string) bool {
 	return true
 }
 
-// redistribute solves the per-switch LP of step 3: maximize the sum of
-// the placed seeds' utilities subject to their selected cases, the
-// switch capacities, and the shared polling budget.
+// redistOutcome is the solved step-3 LP of one switch: the new
+// allocations and utilities for its seeds (in sorted seed order). nil
+// means "keep the greedy allocation" (empty switch or non-optimal LP).
+type redistOutcome struct {
+	ids    []string
+	allocs []netmodel.Resources
+	utils  []float64
+}
+
+// redistributeAll runs step 3 over the given switches. With more than
+// one worker the independent per-switch LPs fan out over a pool — each
+// worker owns one lp.Problem arena — and outcomes are applied serially
+// in switch order, so the result is byte-identical to the serial run at
+// any worker count. Per-switch solves read only switch-local state
+// (seedsOn, the placed entries of resident seeds, the preps), and
+// applies only write switch-local state, so solve-all-then-apply is
+// equivalent to the interleaved serial loop.
+func (st *heurState) redistributeAll(sws []SwitchInfo) error {
+	workers := st.in.parallelWorkers()
+	if workers > len(sws) {
+		workers = len(sws)
+	}
+	if workers <= 1 {
+		for _, sw := range sws {
+			if err := st.redistribute(sw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	outcomes := make([]*redistOutcome, len(sws))
+	errs := make([]error, len(sws))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prob := lp.New(lp.Maximize)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sws) {
+					return
+				}
+				outcomes[i], errs[i] = st.solveRedist(sws[i], prob)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err // lowest switch index wins, matching serial
+		}
+	}
+	for i, sw := range sws {
+		st.applyRedist(sw, outcomes[i])
+	}
+	return nil
+}
+
+// redistribute solves and applies one switch's step-3 LP (serial path
+// and the migrate pass), reusing the state's LP arena.
 func (st *heurState) redistribute(sw SwitchInfo) error {
+	if st.lpProb == nil {
+		st.lpProb = lp.New(lp.Maximize)
+	}
+	out, err := st.solveRedist(sw, st.lpProb)
+	if err != nil {
+		return err
+	}
+	st.applyRedist(sw, out)
+	return nil
+}
+
+// solveRedist builds and solves the per-switch LP of step 3: maximize
+// the sum of the placed seeds' utilities subject to their selected
+// cases, the switch capacities, and the shared polling budget. It is
+// strictly read-only on shared state (safe to run concurrently for
+// distinct switches) and reuses prob as its arena.
+func (st *heurState) solveRedist(sw SwitchInfo, prob *lp.Problem) (*redistOutcome, error) {
+	if testRedistErr != nil {
+		if err := testRedistErr(sw.ID); err != nil {
+			return nil, fmt.Errorf("placement: redistribution on switch %d: %w", sw.ID, err)
+		}
+	}
 	ids := append([]string(nil), st.seedsOn[sw.ID]...)
 	if len(ids) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Strings(ids)
 
-	prob := lp.New(lp.Maximize)
-	type seedVars struct {
-		res  map[string]lp.Var
-		util lp.Var
-	}
-	sv := map[string]*seedVars{}
+	prob.Reset(lp.Maximize)
+	resVars := make([][]lp.Var, len(ids))
+	utilVars := make([]lp.Var, len(ids))
+	cls := make([]*caseLP, len(ids))
 	var obj []lp.Coef
+	var coefs []lp.Coef // scratch row, copied by AddConstraint
 
-	// Per-resource usage sums (excluding poll, handled via subjects).
+	// Per-resource usage sums (excluding poll, handled via subjects)
+	// and poll subject variables, both in deterministic first-use order
+	// — row order must not depend on map iteration, or degenerate LPs
+	// could pick different vertices run to run.
 	usage := map[string][]lp.Coef{}
-	// Poll subject vars.
+	var usageOrder []string
 	pollres := map[string]lp.Var{}
+	var pollOrder []string
 
-	for _, id := range ids {
+	for k, id := range ids {
 		p := st.preps[id]
 		a := st.placed[id]
-		c := p.spec.Utility[a.Case]
-		vars := &seedVars{res: map[string]lp.Var{}}
-		// Variables: every resource the case or polls mention.
-		names := map[string]bool{}
-		for _, con := range c.Constraints {
-			for _, v := range con.Vars() {
-				names[v] = true
+		cl := &p.cases[a.Case]
+		cls[k] = cl
+		rv := make([]lp.Var, len(cl.res))
+		for ri, r := range cl.res {
+			v := prob.AddVar(cl.varNames[ri], 0, sw.Capacity[r])
+			rv[ri] = v
+			if _, seen := usage[r]; !seen {
+				usageOrder = append(usageOrder, r)
 			}
-		}
-		for _, term := range c.Util {
-			for _, v := range term.Vars() {
-				names[v] = true
-			}
-		}
-		for _, pd := range p.spec.Polls {
-			for _, v := range pd.Rate.Vars() {
-				names[v] = true
-			}
-		}
-		ordered := make([]string, 0, len(names))
-		for v := range names {
-			ordered = append(ordered, v)
-		}
-		sort.Strings(ordered)
-		for _, r := range ordered {
-			if r == netmodel.ResPoll {
-				continue
-			}
-			v := prob.AddVar(id+"."+r, 0, sw.Capacity[r])
-			vars.res[r] = v
 			usage[r] = append(usage[r], lp.Coef{Var: v, Val: 1})
 		}
+		resVars[k] = rv
 		// Utility variable with t <= each min-term.
-		vars.util = prob.AddVar(id+".u", 0, lp.Inf)
-		obj = append(obj, lp.Coef{Var: vars.util, Val: 1})
-		for _, term := range c.Util {
-			coefs := []lp.Coef{{Var: vars.util, Val: 1}}
-			for _, r := range term.Vars() {
-				if rv, ok := vars.res[r]; ok {
-					coefs = append(coefs, lp.Coef{Var: rv, Val: -term.CoefOf(r)})
-				}
+		u := prob.AddVar(p.utilName, 0, lp.Inf)
+		utilVars[k] = u
+		obj = append(obj, lp.Coef{Var: u, Val: 1})
+		for _, row := range cl.utilRows {
+			coefs = append(coefs[:0], lp.Coef{Var: u, Val: 1})
+			for j, ri := range row.res {
+				coefs = append(coefs, lp.Coef{Var: rv[ri], Val: row.vals[j]})
 			}
-			prob.AddConstraint(coefs, lp.LE, term.Const)
+			prob.AddConstraint(coefs, lp.LE, row.rhs)
 		}
 		// Case constraints.
-		for _, con := range c.Constraints {
-			var coefs []lp.Coef
-			for _, r := range con.Vars() {
-				if rv, ok := vars.res[r]; ok {
-					coefs = append(coefs, lp.Coef{Var: rv, Val: con.CoefOf(r)})
-				}
+		for _, row := range cl.conRows {
+			coefs = coefs[:0]
+			for j, ri := range row.res {
+				coefs = append(coefs, lp.Coef{Var: rv[ri], Val: row.vals[j]})
 			}
-			if len(coefs) == 0 {
-				continue
-			}
-			prob.AddConstraint(coefs, lp.GE, -con.Const)
+			prob.AddConstraint(coefs, lp.GE, row.rhs)
 		}
 		// Poll demands: pollres_p >= alpha * rate(res).
-		for _, pd := range p.spec.Polls {
-			pv, ok := pollres[pd.Subject]
+		for pi, row := range cl.pollRows {
+			subject := cl.pollSubj[pi]
+			pv, ok := pollres[subject]
 			if !ok {
-				pv = prob.AddVar("poll."+pd.Subject, 0, lp.Inf)
-				pollres[pd.Subject] = pv
+				pv = prob.AddVar("poll."+subject, 0, lp.Inf)
+				pollres[subject] = pv
+				pollOrder = append(pollOrder, subject)
 			}
-			coefs := []lp.Coef{{Var: pv, Val: 1}}
-			for _, r := range pd.Rate.Vars() {
-				if rv, ok := vars.res[r]; ok {
-					coefs = append(coefs, lp.Coef{Var: rv, Val: -st.in.alphaPoll() * pd.Rate.CoefOf(r)})
-				}
+			coefs = append(coefs[:0], lp.Coef{Var: pv, Val: 1})
+			for j, ri := range row.res {
+				coefs = append(coefs, lp.Coef{Var: rv[ri], Val: row.vals[j]})
 			}
-			prob.AddConstraint(coefs, lp.GE, st.in.alphaPoll()*pd.Rate.Const)
+			prob.AddConstraint(coefs, lp.GE, row.rhs)
 		}
-		sv[id] = vars
 	}
 
 	// Capacity rows.
-	for r, coefs := range usage {
-		prob.AddConstraint(coefs, lp.LE, sw.Capacity[r])
+	for _, r := range usageOrder {
+		prob.AddConstraint(usage[r], lp.LE, sw.Capacity[r])
 	}
-	if len(pollres) > 0 {
-		var coefs []lp.Coef
-		for _, pv := range pollres {
-			coefs = append(coefs, lp.Coef{Var: pv, Val: 1})
+	if len(pollOrder) > 0 {
+		coefs = coefs[:0]
+		for _, subject := range pollOrder {
+			coefs = append(coefs, lp.Coef{Var: pollres[subject], Val: 1})
 		}
 		prob.AddConstraint(coefs, lp.LE, sw.Capacity[netmodel.ResPoll])
 	}
@@ -479,23 +875,39 @@ func (st *heurState) redistribute(sw SwitchInfo) error {
 	prob.SetObjective(obj, 0)
 	sol, err := prob.Solve()
 	if err != nil {
-		return fmt.Errorf("placement: redistribution on switch %d: %w", sw.ID, err)
+		return nil, fmt.Errorf("placement: redistribution on switch %d: %w", sw.ID, err)
 	}
 	if sol.Status != lp.Optimal {
 		// The greedy allocation is feasible by construction; keep it.
-		return nil
+		return nil, nil
 	}
-	for _, id := range ids {
-		vars := sv[id]
-		a := st.placed[id]
+	out := &redistOutcome{
+		ids:    ids,
+		allocs: make([]netmodel.Resources, len(ids)),
+		utils:  make([]float64, len(ids)),
+	}
+	for k := range ids {
 		alloc := netmodel.Resources{}
-		for r, v := range vars.res {
+		for ri, v := range resVars[k] {
 			if x := sol.Value(v); x > 1e-9 {
-				alloc[r] = x
+				alloc[cls[k].res[ri]] = x
 			}
 		}
-		a.Alloc = alloc
-		a.Utility = sol.Value(vars.util)
+		out.allocs[k] = alloc
+		out.utils[k] = sol.Value(utilVars[k])
+	}
+	return out, nil
+}
+
+// applyRedist commits one switch's solved LP outcome.
+func (st *heurState) applyRedist(sw SwitchInfo, out *redistOutcome) {
+	if out == nil {
+		return
+	}
+	for k, id := range out.ids {
+		a := st.placed[id]
+		a.Alloc = out.allocs[k]
+		a.Utility = out.utils[k]
 		st.placed[id] = a
 	}
 	st.recomputePolls(sw.ID)
@@ -504,11 +916,11 @@ func (st *heurState) redistribute(sw SwitchInfo) error {
 	for r, v := range sw.Capacity {
 		rem[r] = v
 	}
-	for _, id := range ids {
+	for _, id := range out.ids {
 		rem = rem.Sub(allocSansPoll(st.placed[id].Alloc))
 	}
 	st.remaining[sw.ID] = rem
-	return nil
+	st.invalidateSlack(sw.ID)
 }
 
 // switchUtility sums the current utilities on a switch.
@@ -520,20 +932,23 @@ func (st *heurState) switchUtility(n netmodel.SwitchID) float64 {
 	return total
 }
 
-// migrate evaluates moving each seed to each alternative candidate and
-// applies moves in decreasing benefit order (steps 4 and 5 of Alg. 1).
-// The benefit is the change in the two affected switches' LP-optimal
-// utility minus the migration cost.
-func (st *heurState) migrate() int {
+// migrate evaluates moving each in-scope seed to each alternative
+// candidate and applies moves in decreasing benefit order (steps 4 and
+// 5 of Alg. 1). The benefit is the change in the two affected switches'
+// LP-optimal utility minus the migration cost. A nil scope considers
+// every placed seed. Redistribution failures mid-migration abort the
+// pass — the error propagates instead of silently leaving placed state
+// and poll maxima inconsistent.
+func (st *heurState) migrate(scope map[string]bool) (int, error) {
 	type move struct {
 		id      string
 		to      netmodel.SwitchID
 		benefit float64
 	}
-	evaluate := func(id string) (move, bool) {
+	evaluate := func(id string) (move, bool, error) {
 		a, ok := st.placed[id]
 		if !ok {
-			return move{}, false
+			return move{}, false, nil
 		}
 		p := st.preps[id]
 		best := move{id: id, benefit: 0}
@@ -542,24 +957,34 @@ func (st *heurState) migrate() int {
 			if n == a.Switch {
 				continue
 			}
-			b, ok := st.moveBenefit(id, n)
+			b, ok, err := st.moveBenefit(id, n)
+			if err != nil {
+				return move{}, false, err
+			}
 			if ok && b > best.benefit+1e-9 {
 				best = move{id: id, to: n, benefit: b}
 				found = true
 			}
 		}
-		return best, found
+		return best, found, nil
 	}
 
 	ids := make([]string, 0, len(st.placed))
 	for id := range st.placed {
+		if scope != nil && !scope[id] {
+			continue
+		}
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 
 	var queue []move
 	for _, id := range ids {
-		if mv, ok := evaluate(id); ok {
+		mv, ok, err := evaluate(id)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			queue = append(queue, mv)
 		}
 	}
@@ -573,19 +998,26 @@ func (st *heurState) migrate() int {
 	migrations := 0
 	for _, mv := range queue {
 		// Re-evaluate: earlier moves may have consumed the target.
-		cur, ok := evaluate(mv.id)
+		cur, ok, err := evaluate(mv.id)
+		if err != nil {
+			return migrations, err
+		}
 		if !ok || cur.to != mv.to || cur.benefit <= 0 {
 			continue
 		}
-		if st.applyMove(mv.id, mv.to) {
+		applied, err := st.applyMove(mv.id, mv.to)
+		if err != nil {
+			return migrations, err
+		}
+		if applied {
 			migrations++
 		}
 	}
-	return migrations
+	return migrations, nil
 }
 
 // moveBenefit estimates the utility change of moving a seed to switch n.
-func (st *heurState) moveBenefit(id string, n netmodel.SwitchID) (float64, bool) {
+func (st *heurState) moveBenefit(id string, n netmodel.SwitchID) (float64, bool, error) {
 	a := st.placed[id]
 	from := a.Switch
 	before := st.switchUtility(from) + st.switchUtility(n)
@@ -594,28 +1026,36 @@ func (st *heurState) moveBenefit(id string, n netmodel.SwitchID) (float64, bool)
 	p := st.preps[id]
 	alloc := p.minAllocs[a.Case]
 	if alloc == nil {
-		return 0, false
+		return 0, false, nil
 	}
 	st.unplaceSeed(id)
 	if !st.fits(n, p.spec, alloc) {
 		// Restore.
 		st.placeSeedAt(p, from, a)
-		return 0, false
+		return 0, false, nil
 	}
 	st.placeSeed(p, n, a.Case)
-	swFrom, _ := st.in.switchByID(from)
-	swTo, _ := st.in.switchByID(n)
-	_ = st.redistribute(swFrom)
-	_ = st.redistribute(swTo)
+	swFrom := st.switchInfo(from)
+	swTo := st.switchInfo(n)
+	if err := st.redistribute(swFrom); err != nil {
+		return 0, false, err
+	}
+	if err := st.redistribute(swTo); err != nil {
+		return 0, false, err
+	}
 	after := st.switchUtility(from) + st.switchUtility(n)
 
 	// Roll back.
 	st.unplaceSeed(id)
 	st.placeSeedAt(p, from, a)
-	_ = st.redistribute(swFrom)
-	_ = st.redistribute(swTo)
+	if err := st.redistribute(swFrom); err != nil {
+		return 0, false, err
+	}
+	if err := st.redistribute(swTo); err != nil {
+		return 0, false, err
+	}
 
-	return after - before - st.in.migrationCost(), true
+	return after - before - st.in.migrationCost(), true, nil
 }
 
 // placeSeedAt restores a specific prior assignment.
@@ -625,10 +1065,11 @@ func (st *heurState) placeSeedAt(p *seedPrep, n netmodel.SwitchID, a Assignment)
 	st.remaining[n] = st.remaining[n].Sub(allocSansPoll(a.Alloc))
 	st.commitPolls(n, p.spec, a.Alloc)
 	st.seedsOn[n] = append(st.seedsOn[n], p.spec.ID)
+	st.invalidateSlack(n)
 }
 
 // applyMove performs the migration for real.
-func (st *heurState) applyMove(id string, n netmodel.SwitchID) bool {
+func (st *heurState) applyMove(id string, n netmodel.SwitchID) (bool, error) {
 	a := st.placed[id]
 	from := a.Switch
 	p := st.preps[id]
@@ -636,12 +1077,14 @@ func (st *heurState) applyMove(id string, n netmodel.SwitchID) bool {
 	st.unplaceSeed(id)
 	if alloc == nil || !st.fits(n, p.spec, alloc) {
 		st.placeSeedAt(p, from, a)
-		return false
+		return false, nil
 	}
 	st.placeSeed(p, n, a.Case)
-	swFrom, _ := st.in.switchByID(from)
-	swTo, _ := st.in.switchByID(n)
-	_ = st.redistribute(swFrom)
-	_ = st.redistribute(swTo)
-	return true
+	if err := st.redistribute(st.switchInfo(from)); err != nil {
+		return false, err
+	}
+	if err := st.redistribute(st.switchInfo(n)); err != nil {
+		return false, err
+	}
+	return true, nil
 }

@@ -10,6 +10,7 @@ package placement
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -72,11 +73,36 @@ type Input struct {
 	// resource redistribution, leaving every seed at its greedy minimal
 	// allocation (ablation: isolates step 3 of Alg. 1).
 	SkipRedistribution bool
+	// Parallel is the worker count for the heuristic's per-switch LP
+	// redistribution (step 3): 0 means GOMAXPROCS, negative means
+	// serial. The output is byte-identical at any worker count — the
+	// same determinism contract the engine and traffic generator pin.
+	Parallel int
+	// ForceFull disables warm-start pinning: even with Current and
+	// Touched set, every task re-places from scratch.
+	ForceFull bool
+	// Touched lists the switches whose capacity or hosted workload
+	// changed since the solve that produced Current. A non-nil Touched
+	// (possibly empty) arms the warm-start path: tasks whose current
+	// assignments are still valid and feasible keep them without
+	// re-running greedy placement, and only the affected switch
+	// neighborhoods are re-solved. nil means "unknown" and forces the
+	// classic full solve, so existing callers are unaffected.
+	Touched []netmodel.SwitchID
+	// FullThreshold is the fraction of tasks that must re-place before
+	// the warm-start path gives up its pins and falls back to the full
+	// solve; 0 means DefaultFullThreshold.
+	FullThreshold float64
 }
 
 // DefaultMigrationCost approximates the transient double resource usage
 // of a migration (§IV-B-a) as a flat utility penalty a move must beat.
 const DefaultMigrationCost = 1.0
+
+// DefaultFullThreshold is the warm-start fallback point: when more than
+// this fraction of tasks must re-place, pinning buys little and the
+// heuristic runs the classic full solve instead.
+const DefaultFullThreshold = 0.25
 
 // Result is the outcome of a placement run.
 type Result struct {
@@ -99,6 +125,23 @@ func (in *Input) migrationCost() float64 {
 		return DefaultMigrationCost
 	}
 	return in.MigrationCost
+}
+
+func (in *Input) fullThreshold() float64 {
+	if in.FullThreshold == 0 {
+		return DefaultFullThreshold
+	}
+	return in.FullThreshold
+}
+
+func (in *Input) parallelWorkers() int {
+	if in.Parallel > 0 {
+		return in.Parallel
+	}
+	if in.Parallel < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (in *Input) switchByID(id netmodel.SwitchID) (SwitchInfo, bool) {
@@ -223,6 +266,56 @@ func CheckFeasible(in *Input, res *Result) error {
 		}
 	}
 	return nil
+}
+
+// Digest folds the full placement decision — every assignment's switch,
+// case, utility, and allocation, plus dropped tasks and the migration
+// count — into one FNV-1a value. Two results are byte-identical iff
+// their digests match; the determinism tests and the placement-scale
+// gate compare serial, parallel, and warm-start runs through it.
+func (r *Result) Digest() string {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		mix(uint64(len(s)))
+	}
+	ids := make([]string, 0, len(r.Placed))
+	for id := range r.Placed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var resNames []string
+	for _, id := range ids {
+		a := r.Placed[id]
+		mixStr(id)
+		mix(uint64(a.Switch))
+		mix(uint64(a.Case))
+		mix(math.Float64bits(a.Utility))
+		resNames = resNames[:0]
+		for name := range a.Alloc {
+			resNames = append(resNames, name)
+		}
+		sort.Strings(resNames)
+		for _, name := range resNames {
+			mixStr(name)
+			mix(math.Float64bits(a.Alloc[name]))
+		}
+	}
+	for _, t := range r.DroppedTasks {
+		mixStr(t)
+	}
+	mix(uint64(r.Migrations))
+	return fmt.Sprintf("%016x", h)
 }
 
 // TotalUtility recomputes MU from a result (diagnostics).

@@ -3,6 +3,8 @@ package placement
 import (
 	"testing"
 	"time"
+
+	"farm/internal/netmodel"
 )
 
 func benchScenario(seeds, switches int) *Input {
@@ -13,6 +15,7 @@ func benchScenario(seeds, switches int) *Input {
 
 func BenchmarkHeuristic100(b *testing.B) {
 	in := benchScenario(100, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Heuristic(in); err != nil {
@@ -23,6 +26,7 @@ func BenchmarkHeuristic100(b *testing.B) {
 
 func BenchmarkHeuristic1000(b *testing.B) {
 	in := benchScenario(1000, 100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Heuristic(in); err != nil {
@@ -31,8 +35,47 @@ func BenchmarkHeuristic1000(b *testing.B) {
 	}
 }
 
+// BenchmarkHeuristicWarmReplan measures the dirty-set replan path: one
+// task's seeds are removed from an otherwise pinned 1000-seed
+// placement — the seeder's task-departure latency.
+func BenchmarkHeuristicWarmReplan(b *testing.B) {
+	in := benchScenario(1000, 100)
+	first, err := Heuristic(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gone := in.Seeds[0].Task
+	warm := *in
+	warm.Seeds = nil
+	warm.Current = map[string]Assignment{}
+	dirty := map[netmodel.SwitchID]bool{}
+	for _, s := range in.Seeds {
+		if s.Task == gone {
+			if a, ok := first.Placed[s.ID]; ok {
+				dirty[a.Switch] = true
+			}
+			continue
+		}
+		warm.Seeds = append(warm.Seeds, s)
+		if a, ok := first.Placed[s.ID]; ok {
+			warm.Current[s.ID] = a
+		}
+	}
+	for id := range dirty {
+		warm.Touched = append(warm.Touched, id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Heuristic(&warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMILP20(b *testing.B) {
 	in := benchScenario(20, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MILP(in, MILPOptions{Timeout: 5 * time.Second}); err != nil {

@@ -1,0 +1,191 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"farm/internal/netmodel"
+)
+
+// digestScenario is the shared mid-size random problem for the
+// determinism tests: big enough to exercise LP degeneracy, drops, and
+// migrations, small enough for -race.
+func digestScenario() *Input {
+	return RandomScenario(ScenarioConfig{Switches: 30, Seeds: 200, Tasks: 10, Seed: 3})
+}
+
+func solveAt(t *testing.T, in *Input, workers int) *Result {
+	t.Helper()
+	cp := *in
+	cp.Parallel = workers
+	res, err := Heuristic(&cp)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := CheckFeasible(&cp, res); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+// TestHeuristicDigestAcrossWorkers pins the step-3 determinism
+// contract: the parallel per-switch LP fan-out must reproduce the
+// serial solve byte-for-byte at any worker count (mirroring
+// TestGeneratorDigestAcrossEngines for the traffic layer).
+func TestHeuristicDigestAcrossWorkers(t *testing.T) {
+	in := digestScenario()
+	ref := solveAt(t, in, -1)
+	for _, workers := range []int{1, 4, 16} {
+		res := solveAt(t, in, workers)
+		if got, want := res.Digest(), ref.Digest(); got != want {
+			t.Fatalf("workers=%d digest %s, serial %s", workers, got, want)
+		}
+	}
+}
+
+// TestHeuristicWarmDigestAcrossWorkers pins the same contract for
+// warm-start replans: after a churn event, the warm solve is identical
+// at 1/4/16 workers.
+func TestHeuristicWarmDigestAcrossWorkers(t *testing.T) {
+	in := digestScenario()
+	first := solveAt(t, in, -1)
+
+	// Churn: drop the first task, dirtying its former switches.
+	gone := in.Seeds[0].Task
+	warm := *in
+	warm.Seeds = nil
+	warm.Current = map[string]Assignment{}
+	dirty := map[netmodel.SwitchID]bool{}
+	for _, s := range in.Seeds {
+		if s.Task == gone {
+			if a, ok := first.Placed[s.ID]; ok {
+				dirty[a.Switch] = true
+			}
+			continue
+		}
+		warm.Seeds = append(warm.Seeds, s)
+	}
+	for id, a := range first.Placed {
+		if _, kept := warm.Current[id]; kept {
+			continue
+		}
+		warm.Current[id] = a
+	}
+	for id := range dirty {
+		warm.Touched = append(warm.Touched, id)
+	}
+
+	ref := solveAt(t, &warm, -1)
+	for _, workers := range []int{1, 4, 16} {
+		res := solveAt(t, &warm, workers)
+		if got, want := res.Digest(), ref.Digest(); got != want {
+			t.Fatalf("warm workers=%d digest %s, serial %s", workers, got, want)
+		}
+	}
+}
+
+// TestHeuristicWarmStartPinsUnchanged: with nothing touched, a warm
+// replan reproduces the previous placement exactly — pinned tasks keep
+// their assignments and no migrations fire.
+func TestHeuristicWarmStartPinsUnchanged(t *testing.T) {
+	in := digestScenario()
+	first := solveAt(t, in, -1)
+
+	warm := *in
+	warm.Current = first.Placed
+	warm.Touched = []netmodel.SwitchID{}
+	res := solveAt(t, &warm, -1)
+
+	if res.Migrations != 0 {
+		t.Fatalf("migrations = %d on an untouched warm replan", res.Migrations)
+	}
+	for id, a := range first.Placed {
+		got, ok := res.Placed[id]
+		if !ok {
+			t.Fatalf("seed %s lost its placement on an untouched warm replan", id)
+		}
+		if got.Switch != a.Switch || got.Case != a.Case || !sameRes(got.Alloc, a.Alloc) {
+			t.Fatalf("seed %s changed on an untouched warm replan: %+v -> %+v", id, a, got)
+		}
+	}
+}
+
+func sameRes(a, b netmodel.Resources) bool {
+	return a.AtLeast(b, 1e-9) && b.AtLeast(a, 1e-9)
+}
+
+// TestHeuristicNilTouchedIsClassic: Touched nil must leave the classic
+// full solve untouched, even with Current set — existing callers see
+// identical behavior.
+func TestHeuristicNilTouchedIsClassic(t *testing.T) {
+	in := digestScenario()
+	first := solveAt(t, in, -1)
+
+	withCur := *in
+	withCur.Current = first.Placed
+	classic := solveAt(t, &withCur, -1)
+
+	forced := withCur
+	forced.Touched = []netmodel.SwitchID{}
+	forced.ForceFull = true
+	full := solveAt(t, &forced, -1)
+
+	if classic.Digest() != full.Digest() {
+		t.Fatalf("nil-Touched solve %s differs from ForceFull solve %s",
+			classic.Digest(), full.Digest())
+	}
+}
+
+// TestHeuristicWarmFallsBackWhenMostlyDirty: when more tasks must
+// re-place than the threshold allows, the warm path gives up and the
+// result equals the full solve.
+func TestHeuristicWarmFallsBackWhenMostlyDirty(t *testing.T) {
+	in := digestScenario()
+	first := solveAt(t, in, -1)
+
+	warm := *in
+	warm.Touched = []netmodel.SwitchID{}
+	warm.FullThreshold = 0.05
+	// Keep Current for only a handful of seeds: almost every task is
+	// dirty, far past the 5% threshold.
+	warm.Current = map[string]Assignment{}
+	n := 0
+	for _, s := range in.Seeds {
+		if a, ok := first.Placed[s.ID]; ok && n < 3 {
+			warm.Current[s.ID] = a
+			n++
+		}
+	}
+	fellBack := solveAt(t, &warm, -1)
+
+	forced := warm
+	forced.ForceFull = true
+	full := solveAt(t, &forced, -1)
+	if fellBack.Digest() != full.Digest() {
+		t.Fatalf("over-threshold warm solve %s differs from full solve %s",
+			fellBack.Digest(), full.Digest())
+	}
+}
+
+// TestMigrateRedistributeErrorPropagates is the regression test for
+// the formerly swallowed `_ = st.redistribute(...)` calls in the
+// migration pass: an LP failure mid-migration must surface as an
+// error, not silently leave inconsistent state behind.
+func TestMigrateRedistributeErrorPropagates(t *testing.T) {
+	in := digestScenario()
+	first := solveAt(t, in, -1)
+	in.Current = first.Placed
+	// Skip step 3 so the only redistribution solves are the migration
+	// pass's benefit evaluations — the site that used to discard errors.
+	in.SkipRedistribution = true
+
+	testRedistErr = func(netmodel.SwitchID) error {
+		return fmt.Errorf("injected LP failure")
+	}
+	defer func() { testRedistErr = nil }()
+
+	_, err := Heuristic(in)
+	if err == nil {
+		t.Fatal("Heuristic swallowed an injected redistribution failure in the migration pass")
+	}
+}

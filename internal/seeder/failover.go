@@ -43,6 +43,7 @@ func (sd *Seeder) FailSwitch(id netmodel.SwitchID) (dropped []string, err error)
 			}
 		}
 	}
+	sd.touched[id] = true
 
 	if err := sd.optimizeAndApply(); err != nil {
 		return nil, err
@@ -86,6 +87,9 @@ func (sd *Seeder) RecoverSwitch(id netmodel.SwitchID) error {
 		return fmt.Errorf("seeder: switch %d is not failed", id)
 	}
 	delete(sd.failed, id)
+	// Migrating seeds back onto the recovered switch requires looking at
+	// every current placement, so this replan is a full solve.
+	sd.fullNeeded = true
 	return sd.optimizeAndApply()
 }
 

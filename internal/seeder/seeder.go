@@ -49,7 +49,13 @@ type Options struct {
 	// StateTransferBytesPerSec models migration state transfer speed;
 	// 0 means 10 MB/s.
 	StateTransferBytesPerSec float64
-	Logf                     func(format string, args ...any)
+	// ForceFullPlacement disables warm-start replans: every
+	// re-optimization solves the whole placement from scratch.
+	ForceFullPlacement bool
+	// PlacementParallel is the step-3 LP worker count (0 = GOMAXPROCS,
+	// negative = serial). The result is identical at any setting.
+	PlacementParallel int
+	Logf              func(format string, args ...any)
 }
 
 // Seeder is the centralized control instance.
@@ -65,6 +71,19 @@ type Seeder struct {
 	placements map[string]placement.Assignment
 	// failed switches are excluded from placement (fault tolerance).
 	failed map[netmodel.SwitchID]bool
+
+	// touched accumulates switches whose load or availability changed
+	// since the last successful optimization — the dirty set handed to
+	// the optimizer's warm-start path. solvedOnce and fullNeeded decide
+	// whether the next solve may warm-start at all.
+	touched    map[netmodel.SwitchID]bool
+	solvedOnce bool
+	fullNeeded bool
+	// droppedLast records which tasks the last solve dropped. A warm
+	// replan that drops a task the previous solve placed (or one never
+	// solved at all) may just be hitting its pins, not real capacity —
+	// such fresh drops trigger one full re-solve before they stand.
+	droppedLast map[string]bool
 
 	migrations uint64
 	logf       func(string, ...any)
@@ -104,15 +123,17 @@ func New(fab *fabric.Fabric, opts Options) *Seeder {
 		opts.Soil = soil.DefaultOptions()
 	}
 	sd := &Seeder{
-		fab:        fab,
-		opts:       opts,
-		soils:      map[netmodel.SwitchID]*soil.Soil{},
-		byName:     map[string]netmodel.SwitchID{},
-		tasks:      map[string]*task{},
-		harvesters: map[string]*harvest.Harvester{},
-		placements: map[string]placement.Assignment{},
-		failed:     map[netmodel.SwitchID]bool{},
-		logf:       opts.Logf,
+		fab:         fab,
+		opts:        opts,
+		soils:       map[netmodel.SwitchID]*soil.Soil{},
+		byName:      map[string]netmodel.SwitchID{},
+		tasks:       map[string]*task{},
+		harvesters:  map[string]*harvest.Harvester{},
+		placements:  map[string]placement.Assignment{},
+		failed:      map[netmodel.SwitchID]bool{},
+		touched:     map[netmodel.SwitchID]bool{},
+		droppedLast: map[string]bool{},
+		logf:        opts.Logf,
 	}
 	for _, sw := range fab.Topology().Switches() {
 		s := soil.New(fab, sw.ID, opts.Soil)
@@ -232,6 +253,9 @@ func (sd *Seeder) RemoveTask(name string) error {
 			if err := sd.soils[s.deployedAt].Remove(s.ref.ID()); err != nil {
 				sd.logf("seeder: remove %s: %v", s.id, err)
 			}
+			// The freed capacity makes the switch worth revisiting on
+			// the next warm-start replan.
+			sd.touched[s.deployedAt] = true
 			delete(sd.placements, s.id)
 		}
 	}
@@ -241,8 +265,13 @@ func (sd *Seeder) RemoveTask(name string) error {
 }
 
 // Reoptimize re-runs global placement over all tasks (called when
-// resources deplete or workloads change).
-func (sd *Seeder) Reoptimize() error { return sd.optimizeAndApply() }
+// resources deplete or workloads change). Because anything may have
+// drifted, this always solves from scratch; incremental paths
+// (AddTask, RemoveTask, FailSwitch) warm-start instead.
+func (sd *Seeder) Reoptimize() error {
+	sd.fullNeeded = true
+	return sd.optimizeAndApply()
+}
 
 // StartAutoReoptimize re-runs global placement periodically — the
 // paper's seeder re-optimizes whenever an input of the placement
@@ -251,7 +280,7 @@ func (sd *Seeder) Reoptimize() error { return sd.optimizeAndApply() }
 // function.
 func (sd *Seeder) StartAutoReoptimize(interval time.Duration) (stop func()) {
 	tk := sd.fab.CentralSched().Every(interval, func() {
-		if err := sd.optimizeAndApply(); err != nil {
+		if err := sd.Reoptimize(); err != nil {
 			sd.logf("seeder: auto reoptimize: %v", err)
 		}
 	})
@@ -523,7 +552,41 @@ func (sd *Seeder) optimizeAndApply() error {
 	if err != nil {
 		return err
 	}
-	return sd.apply(res)
+	if in.Touched != nil && sd.freshDrop(res) {
+		// The warm replan dropped a task the previous solve placed (or
+		// one it never saw). Pins can starve a fitting task, so give
+		// the full solver one shot before the drop stands.
+		in.Touched = nil
+		in.ForceFull = true
+		if res, err = placement.Heuristic(in); err != nil {
+			return err
+		}
+	}
+	if err := sd.apply(res); err != nil {
+		return err
+	}
+	sd.droppedLast = map[string]bool{}
+	for _, t := range res.DroppedTasks {
+		sd.droppedLast[t] = true
+	}
+	// The dirty set is consumed; future replans may warm-start from the
+	// placement just applied.
+	sd.solvedOnce = true
+	sd.fullNeeded = false
+	sd.touched = map[netmodel.SwitchID]bool{}
+	return nil
+}
+
+// freshDrop reports whether res drops a task the previous solve did
+// not — the signal that warm-start pinning, not capacity, may be what
+// starved it.
+func (sd *Seeder) freshDrop(res *placement.Result) bool {
+	for _, t := range res.DroppedTasks {
+		if !sd.droppedLast[t] {
+			return true
+		}
+	}
+	return false
 }
 
 func (sd *Seeder) buildInput() *placement.Input {
@@ -531,6 +594,14 @@ func (sd *Seeder) buildInput() *placement.Input {
 		AlphaPoll:     sd.opts.AlphaPoll,
 		MigrationCost: sd.opts.MigrationCost,
 		Current:       map[string]placement.Assignment{},
+		Parallel:      sd.opts.PlacementParallel,
+	}
+	if sd.solvedOnce && !sd.fullNeeded && !sd.opts.ForceFullPlacement && !sd.opts.UseMILP {
+		in.Touched = make([]netmodel.SwitchID, 0, len(sd.touched))
+		for id := range sd.touched {
+			in.Touched = append(in.Touched, id)
+		}
+		sort.Slice(in.Touched, func(i, j int) bool { return in.Touched[i] < in.Touched[j] })
 	}
 	in.Switches = sd.liveSwitches()
 	names := make([]string, 0, len(sd.tasks))
