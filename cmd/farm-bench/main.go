@@ -10,7 +10,8 @@
 //	farm-bench -list
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// ablation engine-scale packet-path workload-scale placement-scale.
+// ablation engine-scale packet-path workload-scale placement-scale
+// fleet-soak.
 //
 // -json prints the selected experiment's result as machine-readable
 // JSON instead of a table (supported by packet-path, workload-scale,
@@ -57,6 +58,7 @@ import (
 	"time"
 
 	"farm/internal/experiments"
+	"farm/internal/fleet"
 )
 
 type experiment struct {
@@ -138,6 +140,7 @@ func main() {
 		{"packet-path", "Packet path: linear classifier vs bucketed index + flow cache", runPacketPath},
 		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
 		{"placement-scale", "Placement scale: serial vs parallel vs warm-start solves (digest A/B)", runPlacementScale},
+		{"fleet-soak", "Fleet soak: concurrent RPC clients + forced failover on a live fleetd", runFleetSoak},
 	}
 	if *list {
 		for _, e := range exps {
@@ -362,6 +365,47 @@ func runPlacementScale(full bool) error {
 		}
 	}
 	return err
+}
+
+// runFleetSoak is the daemon's survivability gate (docs/fleetd.md): N
+// concurrent RPC clients churn the catalogue against a live fleet
+// service while the active control replica is killed mid-run. Unlike
+// the other experiments it exercises the wall-clock engine, so elapsed
+// time is real time.
+func runFleetSoak(full bool) error {
+	cfg := fleet.SoakConfig{
+		Service: fleet.Config{
+			Spines: 2, Leaves: 3, HostsPerLeaf: 4,
+			Traffic:           true,
+			HeartbeatInterval: 10 * time.Millisecond,
+		},
+		Clients: 8,
+		Rounds:  3,
+	}
+	if full {
+		cfg.Service.Leaves = 8
+		cfg.Service.HostsPerLeaf = 8
+		cfg.Clients = 16
+		cfg.Rounds = 6
+	}
+	res, err := fleet.Soak(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(res); encErr != nil {
+			return encErr
+		}
+	} else {
+		fmt.Print(res)
+	}
+	if !res.Passed() {
+		return fmt.Errorf("fleet-soak failed: lost=%v unexpected=%v takeovers=%d",
+			res.Lost, res.Unexpected, res.Takeovers)
+	}
+	return nil
 }
 
 func runAblation(bool) error {

@@ -1,7 +1,8 @@
 // farmctl is the operator CLI: compile Almanac sources, inspect the
 // static analysis the seeder would perform (placement directives,
 // utility polynomials, polling subjects), export the XML wire format,
-// and run a task from the built-in catalogue on an emulated fabric.
+// run a task from the built-in catalogue on an emulated fabric, and —
+// in client mode — drive a running farm-fleetd over its RPC port.
 //
 // Usage:
 //
@@ -10,8 +11,14 @@
 //	farmctl xml      <file.alm> [machine] # emit the XML wire format
 //	farmctl fmt      <file.alm>           # reprint in canonical form
 //	farmctl tasks                         # list the Tab. I catalogue
-//	farmctl run <task> [-leaves N] [-seconds S]
+//	farmctl run <task> [-leaves N] [-seconds S] [-seed N]
 //	farmctl builtins                      # runtime library functions
+//	farmctl submit <task> [-addr HOST:PORT] [-wait DUR]
+//	farmctl retire <task> [-addr HOST:PORT] [-wait DUR]
+//	farmctl status [-addr HOST:PORT]
+//
+// Client-mode commands talk to a fleetd started with -rpc; the default
+// address matches fleetd's default RPC port.
 package main
 
 import (
@@ -20,274 +27,261 @@ import (
 	"os"
 	"time"
 
-	"farm/internal/almanac"
-	"farm/internal/core"
-	"farm/internal/engine"
-	"farm/internal/fabric"
-	"farm/internal/harvest"
-	"farm/internal/netmodel"
-	"farm/internal/seeder"
-	"farm/internal/soil"
-	"farm/internal/tasks"
-	"farm/internal/traffic"
+	"farm/internal/fleet"
 )
+
+// defaultRPCAddr matches farm-fleetd's -rpc default.
+const defaultRPCAddr = "127.0.0.1:7344"
+
+// command is one farmctl subcommand: every entry parses its own flags
+// with a flag.NewFlagSet and runs against the parsed remainder.
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
+}
+
+var commands []command
+
+func init() {
+	commands = []command{
+		{"compile", "parse + compile an Almanac source, report per-machine stats", cmdCompile},
+		{"analyze", "placement/utility/poll analysis for one machine", cmdAnalyze},
+		{"xml", "emit one machine's XML wire format", cmdXML},
+		{"fmt", "reprint an Almanac source in canonical form", cmdFmt},
+		{"tasks", "list the Tab. I catalogue", cmdTasks},
+		{"run", "run a catalogue task on a one-shot emulated fabric", cmdRun},
+		{"builtins", "list runtime library functions", cmdBuiltins},
+		{"submit", "deploy a catalogue task on a running fleetd", cmdSubmit},
+		{"retire", "undeploy a task from a running fleetd", cmdRetire},
+		{"status", "show a running fleetd's task/placement status", cmdStatus},
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "compile":
-		err = cmdCompile(os.Args[2:])
-	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
-	case "xml":
-		err = cmdXML(os.Args[2:])
-	case "fmt":
-		err = cmdFmt(os.Args[2:])
-	case "tasks":
-		err = cmdTasks()
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "builtins":
-		for _, n := range core.BuiltinNames() {
-			fmt.Println(n)
+	for _, c := range commands {
+		if c.name == os.Args[1] {
+			if err := c.run(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "farmctl:", err)
+				os.Exit(1)
+			}
+			return
 		}
-	default:
-		usage()
-		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "farmctl:", err)
-		os.Exit(1)
-	}
+	usage()
+	os.Exit(2)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: farmctl <compile|analyze|xml|fmt|tasks|run|builtins> ...`)
+	fmt.Fprintln(os.Stderr, "usage: farmctl <command> [flags]")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", c.name, c.summary)
+	}
 }
 
-func loadProgram(path string) (*almanac.Program, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// newFlagSet builds the per-command FlagSet all subcommands share.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: farmctl %s [flags] [args]\n", name)
+		fs.PrintDefaults()
 	}
-	return almanac.Parse(string(data))
+	return fs
 }
 
-func pickMachine(prog *almanac.Program, args []string) (string, error) {
-	if len(args) > 0 {
-		return args[0], nil
-	}
-	if len(prog.Machines) == 0 {
-		return "", fmt.Errorf("source declares no machines")
-	}
-	return prog.Machines[0].Name, nil
-}
-
-func cmdCompile(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("compile needs a source file")
-	}
-	prog, err := loadProgram(args[0])
-	if err != nil {
-		return err
-	}
-	cms, err := almanac.Compile(prog)
-	if err != nil {
-		return err
-	}
-	for _, cm := range cms {
-		fmt.Printf("machine %s: %d states (initial %s), %d vars (%d external), %d triggers, %d placements\n",
-			cm.Name, len(cm.States), cm.InitialState, len(cm.Vars), len(cm.ExternalVars()), len(cm.Triggers), len(cm.Placements))
-	}
-	fmt.Printf("ok: %d machine(s), %d function(s), %d struct(s)\n",
-		len(cms), len(prog.Funcs), len(prog.Structs))
-	return nil
-}
-
-func cmdAnalyze(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("analyze needs a source file")
-	}
-	prog, err := loadProgram(args[0])
-	if err != nil {
-		return err
-	}
-	name, err := pickMachine(prog, args[1:])
-	if err != nil {
-		return err
-	}
-	cm, err := almanac.CompileMachine(prog, name)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("machine %s\n", cm.Name)
-	for _, warn := range almanac.Lint(cm) {
-		fmt.Printf("WARNING: %s\n", warn)
-	}
-	fmt.Println("placement directives:")
-	for _, pl := range cm.Placements {
-		if pl.HasRange {
-			fmt.Printf("  place %s %s range %s ...\n", pl.Quant, pl.Anchor, pl.RangeOp)
-		} else if len(pl.Switches) > 0 {
-			fmt.Printf("  place %s on %d named switches\n", pl.Quant, len(pl.Switches))
-		} else {
-			fmt.Printf("  place %s (all switches)\n", pl.Quant)
-		}
-	}
-	fmt.Println("per-state utility (C^s >= 0 -> u^s):")
-	for _, st := range cm.States {
-		u, err := almanac.AnalyzeUtility(st.Util, nil)
-		if err != nil {
-			fmt.Printf("  %s: needs deployment-time constants (%v)\n", st.Name, err)
-			continue
-		}
-		for i, c := range u {
-			fmt.Printf("  %s case %d:\n", st.Name, i)
-			for _, con := range c.Constraints {
-				fmt.Printf("    constraint: %s >= 0\n", con)
-			}
-			fmt.Printf("    utility:    %s\n", c.Util)
-		}
-	}
-	fmt.Println("trigger variables:")
-	pis, err := almanac.AnalyzePolls(cm, nil)
-	if err != nil {
-		return err
-	}
-	for _, pi := range pis {
-		fmt.Printf("  %s (%s): rate/s = %s", pi.Name, pi.TType, pi.RatePerSec)
-		if pi.What.Kind == almanac.ConstFilter {
-			if key, err := soil.SubjectKey(pi.What); err == nil {
-				fmt.Printf(", subject = %s", key)
-			}
-		}
-		fmt.Println()
-	}
-	return nil
-}
-
-// cmdFmt reprints a source file in canonical form.
-func cmdFmt(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("fmt needs a source file")
-	}
-	prog, err := loadProgram(args[0])
-	if err != nil {
-		return err
-	}
-	fmt.Print(almanac.Print(prog))
-	return nil
-}
-
-func cmdXML(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("xml needs a source file")
-	}
-	prog, err := loadProgram(args[0])
-	if err != nil {
-		return err
-	}
-	name, err := pickMachine(prog, args[1:])
-	if err != nil {
-		return err
-	}
-	cm, err := almanac.CompileMachine(prog, name)
-	if err != nil {
-		return err
-	}
-	data, err := almanac.EncodeXML(cm)
-	if err != nil {
-		return err
-	}
-	fmt.Println(string(data))
-	return nil
-}
-
-func cmdTasks() error {
-	for _, d := range tasks.All() {
-		fmt.Printf("  %-16s %s\n", d.Name, d.Description)
-	}
-	return nil
-}
-
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	leaves := fs.Int("leaves", 4, "leaf switches")
-	seconds := fs.Int("seconds", 2, "simulated seconds")
-	// Accept the task name anywhere among the flags.
-	taskName := ""
-	var flagArgs []string
+// parseWithPositionals parses flags while collecting up to max leading
+// non-flag arguments, so `farmctl run hh -leaves 6` and
+// `farmctl run -leaves 6 hh` both work.
+func parseWithPositionals(fs *flag.FlagSet, args []string, max int) ([]string, error) {
+	var pos, flagArgs []string
 	for _, a := range args {
-		if taskName == "" && len(a) > 0 && a[0] != '-' {
-			taskName = a
+		if len(pos) < max && len(a) > 0 && a[0] != '-' {
+			pos = append(pos, a)
 			continue
 		}
 		flagArgs = append(flagArgs, a)
 	}
 	if err := fs.Parse(flagArgs); err != nil {
+		return nil, err
+	}
+	pos = append(pos, fs.Args()...)
+	return pos, nil
+}
+
+func cmdCompile(args []string) error {
+	fs := newFlagSet("compile")
+	pos, err := parseWithPositionals(fs, args, 1)
+	if err != nil {
 		return err
 	}
-	if taskName == "" {
+	if len(pos) < 1 {
+		return fmt.Errorf("compile needs a source file")
+	}
+	return fleet.CompileReport(os.Stdout, pos[0])
+}
+
+func cmdAnalyze(args []string) error {
+	fs := newFlagSet("analyze")
+	pos, err := parseWithPositionals(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	if len(pos) < 1 {
+		return fmt.Errorf("analyze needs a source file")
+	}
+	machine := ""
+	if len(pos) > 1 {
+		machine = pos[1]
+	}
+	return fleet.AnalyzeReport(os.Stdout, pos[0], machine)
+}
+
+func cmdXML(args []string) error {
+	fs := newFlagSet("xml")
+	pos, err := parseWithPositionals(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	if len(pos) < 1 {
+		return fmt.Errorf("xml needs a source file")
+	}
+	machine := ""
+	if len(pos) > 1 {
+		machine = pos[1]
+	}
+	return fleet.XMLReport(os.Stdout, pos[0], machine)
+}
+
+func cmdFmt(args []string) error {
+	fs := newFlagSet("fmt")
+	pos, err := parseWithPositionals(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	if len(pos) < 1 {
+		return fmt.Errorf("fmt needs a source file")
+	}
+	return fleet.FormatSource(os.Stdout, pos[0])
+}
+
+func cmdTasks(args []string) error {
+	fs := newFlagSet("tasks")
+	if _, err := parseWithPositionals(fs, args, 0); err != nil {
+		return err
+	}
+	fleet.ListCatalogue(os.Stdout)
+	return nil
+}
+
+func cmdBuiltins(args []string) error {
+	fs := newFlagSet("builtins")
+	if _, err := parseWithPositionals(fs, args, 0); err != nil {
+		return err
+	}
+	fleet.ListBuiltins(os.Stdout)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := newFlagSet("run")
+	leaves := fs.Int("leaves", 4, "leaf switches")
+	seconds := fs.Int("seconds", 2, "simulated seconds")
+	seed := fs.Int64("seed", time.Now().UnixNano()%1000, "traffic seed")
+	pos, err := parseWithPositionals(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	if len(pos) < 1 {
 		return fmt.Errorf("run needs a task name (see farmctl tasks)")
 	}
-	d, err := tasks.ByName(taskName)
+	return fleet.RunTask(os.Stdout, pos[0], fleet.RunOptions{
+		Leaves: *leaves, Seconds: *seconds, Seed: *seed,
+	})
+}
+
+// dialFleet connects to a running fleetd's RPC port.
+func dialFleet(addr string) (*fleet.Client, error) {
+	c, err := fleet.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial fleetd at %s: %w (is farm-fleetd running with -rpc?)", addr, err)
+	}
+	return c, nil
+}
+
+func cmdSubmit(args []string) error {
+	fs := newFlagSet("submit")
+	addr := fs.String("addr", defaultRPCAddr, "fleetd RPC address")
+	wait := fs.Duration("wait", 5*time.Second, "retry window across leadership gaps")
+	pos, err := parseWithPositionals(fs, args, 1)
 	if err != nil {
 		return err
 	}
-	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
-		Spines: 2, Leaves: *leaves, HostsPerLeaf: 8,
-	})
+	if len(pos) < 1 {
+		return fmt.Errorf("submit needs a task name (see farmctl tasks)")
+	}
+	c, err := dialFleet(*addr)
 	if err != nil {
 		return err
 	}
-	loop := engine.NewSerial()
-	fab := fabric.New(topo, loop, fabric.Options{})
-	sd := seeder.New(fab, seeder.Options{})
-	reports := 0
-	spec := seeder.TaskSpec{
-		Name: d.Name, Source: d.Source, Machines: d.Machines,
-		Externals: d.DefaultExternals,
-		Harvester: harvest.FuncLogic{
-			Message: func(ctx harvest.Context, from soil.SeedRef, v core.Value) {
-				reports++
-				if reports <= 10 {
-					fmt.Printf("[%10v] %s: %s\n", ctx.Now(), from.Switch, core.FormatValue(v))
-				}
-			},
-		},
-	}
-	if err := sd.AddTask(spec); err != nil {
+	defer c.Close()
+	if err := c.SubmitWait(pos[0], *wait); err != nil {
 		return err
 	}
-	fmt.Printf("running %s on %d switches with mixed traffic for %ds (simulated)\n",
-		d.Name, topo.NumSwitches(), *seconds)
+	fmt.Printf("submitted %s\n", pos[0])
+	return nil
+}
 
-	// A workload cocktail so most tasks have something to see.
-	gen := traffic.NewGenerator(fab, time.Now().UnixNano()%1000)
-	stops := []func(){
-		gen.SYNFlood(fabric.HostIP(0, 0), 8, 4000),
-		gen.PortScan(fabric.HostIP(1, 0), fabric.HostIP(0, 1), 1000),
-		gen.SuperSpreader(fabric.HostIP(2%(*leaves), 0), 16, 2000),
-		gen.SSHBruteForce(fabric.HostIP(1, 2), fabric.HostIP(0, 2), 200),
-		gen.DNSReflection(fabric.HostIP(0, 3), 4, 1000),
-		gen.Slowloris(fabric.HostIP(0, 4), 12, 50),
+func cmdRetire(args []string) error {
+	fs := newFlagSet("retire")
+	addr := fs.String("addr", defaultRPCAddr, "fleetd RPC address")
+	wait := fs.Duration("wait", 5*time.Second, "retry window across leadership gaps")
+	pos, err := parseWithPositionals(fs, args, 1)
+	if err != nil {
+		return err
 	}
-	defer func() {
-		for _, s := range stops {
-			s()
-		}
-	}()
-	w := traffic.NewBulkWorkload(fab, traffic.BulkConfig{
-		Tick: 10 * time.Millisecond, HeavyRatio: 0.1, Churn: time.Second, Seed: 5,
-	})
-	defer w.Stop()
+	if len(pos) < 1 {
+		return fmt.Errorf("retire needs a task name")
+	}
+	c, err := dialFleet(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.RetireWait(pos[0], *wait); err != nil {
+		return err
+	}
+	fmt.Printf("retired %s\n", pos[0])
+	return nil
+}
 
-	loop.RunFor(time.Duration(*seconds) * time.Second)
-	fmt.Printf("done: %d harvester reports, %d packets dropped by local reactions\n",
-		reports, fab.DroppedInFabric())
+func cmdStatus(args []string) error {
+	fs := newFlagSet("status")
+	addr := fs.String("addr", defaultRPCAddr, "fleetd RPC address")
+	if _, err := parseWithPositionals(fs, args, 0); err != nil {
+		return err
+	}
+	c, err := dialFleet(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("leader: %s (term %d)  engine time: %v  takeovers: %d  draining: %v\n",
+		st.Leader, st.Term, st.Now, st.Takeovers, st.Draining)
+	fmt.Printf("tasks: %d deployed, %d migrations, %d harvester reports\n",
+		len(st.Tasks), st.Migrations, st.HarvestReports)
+	for _, t := range st.Tasks {
+		fmt.Printf("  %-16s seeds=%d\n", t.Name, t.Seeds)
+	}
+	if len(st.FailedSwitches) > 0 {
+		fmt.Printf("failed switches: %v\n", st.FailedSwitches)
+	}
 	return nil
 }

@@ -30,14 +30,51 @@ type RealTime struct {
 	start  time.Time
 	events eventHeap
 	seq    uint64
+	closed bool
 	// wake preempts a sleeping run loop when a new earliest event
 	// arrives from another goroutine.
 	wake chan struct{}
+	// done is closed by Close: every sleeping run loop selects on it so
+	// a long-lived daemon's shutdown never waits out a wall deadline.
+	done chan struct{}
 }
 
 // NewRealTime returns a wall-clock scheduler whose time starts now.
 func NewRealTime() *RealTime {
-	return &RealTime{start: time.Now(), wake: make(chan struct{}, 1)}
+	return &RealTime{
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// Close shuts the scheduler down: any goroutine blocked in
+// Step/RunUntil/RunFor/Drain wakes immediately and returns without
+// running further events, and later run calls return at once. Events
+// still pending (and any scheduled afterwards) never fire. Close is
+// idempotent and safe from any goroutine — it is the daemon shutdown
+// path, where the driving goroutine is asleep inside RunFor and must
+// be released without waiting out the current deadline.
+func (r *RealTime) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		r.closed = true
+		close(r.done)
+	}
+	return nil
+}
+
+// Done exposes the closed-on-Close channel so callers waiting on the
+// scheduler (an exec path handing work to the run loop) can abandon the
+// wait when the scheduler shuts down underneath them.
+func (r *RealTime) Done() <-chan struct{} { return r.done }
+
+// Closed reports whether Close has been called.
+func (r *RealTime) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
 }
 
 // Now returns the elapsed wall time since construction.
@@ -47,6 +84,12 @@ func (r *RealTime) Now() time.Duration { return time.Since(r.start) }
 // run loop gets to it).
 func (r *RealTime) At(at time.Duration, fn func()) Timer {
 	r.mu.Lock()
+	if r.closed {
+		// The scheduler is shut down: the event would never run, so
+		// don't hold it. The inert handle keeps callers race-free.
+		r.mu.Unlock()
+		return &realTimer{}
+	}
 	if now := r.Now(); at < now {
 		at = now
 	}
@@ -95,6 +138,10 @@ func (r *RealTime) Step() bool { return r.runNext(-1) }
 func (r *RealTime) runNext(bound time.Duration) bool {
 	for {
 		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return false
+		}
 		for len(r.events) > 0 && r.events[0].stopped {
 			heap.Pop(&r.events)
 		}
@@ -116,12 +163,16 @@ func (r *RealTime) runNext(bound time.Duration) bool {
 		wait := head.at - r.Now()
 		r.mu.Unlock()
 		// Sleep toward the deadline, preempted if an earlier event is
-		// scheduled meanwhile; then re-evaluate from scratch.
+		// scheduled meanwhile (or the scheduler shuts down); then
+		// re-evaluate from scratch.
 		tmr := time.NewTimer(wait)
 		select {
 		case <-tmr.C:
 		case <-r.wake:
 			tmr.Stop()
+		case <-r.done:
+			tmr.Stop()
+			return false
 		}
 	}
 }
@@ -132,17 +183,24 @@ func (r *RealTime) RunUntil(t time.Duration) {
 	for {
 		for r.runNext(t) {
 		}
+		if r.Closed() {
+			return
+		}
 		wait := t - r.Now()
 		if wait <= 0 {
 			return
 		}
 		// Idle until t, but stay preemptible: an event scheduled from
-		// another goroutine with a deadline before t must still run.
+		// another goroutine with a deadline before t must still run,
+		// and Close must release the loop immediately.
 		tmr := time.NewTimer(wait)
 		select {
 		case <-tmr.C:
 		case <-r.wake:
 			tmr.Stop()
+		case <-r.done:
+			tmr.Stop()
+			return
 		}
 	}
 }

@@ -79,6 +79,47 @@ func TestRealTimeStepAndDrain(t *testing.T) {
 	}
 }
 
+// TestRealTimeCloseWakesBlockedRun is the daemon-shutdown contract: a
+// run loop asleep toward a far-future deadline must return within
+// 100 ms of Close, not wait the deadline out.
+func TestRealTimeCloseWakesBlockedRun(t *testing.T) {
+	r := NewRealTime()
+	r.After(time.Hour, func() { t.Error("event fired after Close") })
+	returned := make(chan struct{})
+	go func() {
+		r.RunFor(time.Hour)
+		close(returned)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the loop reach its sleep
+	start := time.Now()
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-returned:
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("RunFor still blocked 100ms after Close")
+	}
+	if d := time.Since(start); d >= 100*time.Millisecond {
+		t.Fatalf("shutdown took %v, want < 100ms", d)
+	}
+	// After Close the scheduler is inert: runs return immediately and
+	// new events are refused.
+	if r.Step() {
+		t.Fatal("Step ran an event after Close")
+	}
+	if tm := r.After(time.Millisecond, func() { t.Error("post-Close event fired") }); tm.Stop() {
+		t.Fatal("post-Close timer claimed to be stoppable")
+	}
+	r.RunFor(5 * time.Millisecond)
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
 // TestRealTimeCrossGoroutineSchedule exercises the wake path: an event
 // scheduled from another goroutine with an earlier deadline than the
 // one the run loop is sleeping toward must still fire on time.

@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"time"
+
+	"farm/internal/transport/bus"
+)
+
+// Control-bus topics of the active/standby pair. The active replica
+// publishes heartbeats and task-state deltas; both replicas subscribe,
+// so the standby mirrors the task set and watches for leader silence.
+const (
+	topicHeartbeat = "fleet.heartbeat"
+	topicState     = "fleet.state"
+)
+
+// hbMsg is one heartbeat.
+type hbMsg struct {
+	Leader string
+	Term   uint64
+}
+
+// stateDelta is one mirrored task-state change.
+type stateDelta struct {
+	Op   string // "add" | "remove"
+	Task string
+}
+
+type replicaRole int
+
+const (
+	roleStandby replicaRole = iota
+	roleActive
+	roleDead
+)
+
+func (r replicaRole) String() string {
+	switch r {
+	case roleActive:
+		return "active"
+	case roleStandby:
+		return "standby"
+	default:
+		return "dead"
+	}
+}
+
+// Replica is one control instance of the active/standby seeder pair.
+// All of its state is owned by the engine goroutine: role transitions,
+// mirror updates, and heartbeat bookkeeping happen inside events, so
+// the failure detector and the mutation path can never race.
+type Replica struct {
+	svc  *Service
+	name string
+	role replicaRole
+
+	// mirror is this replica's copy of the deployed-task set, kept in
+	// sync by the state deltas the active replica publishes. On
+	// promotion it is reconciled against the fabric's surviving state.
+	mirror map[string]struct{}
+
+	// lastHB is the engine time of the last heartbeat heard from the
+	// other replica (zero until the first one).
+	lastHB time.Duration
+
+	hbTick  interface{ Stop() }
+	monTick interface{ Stop() }
+	unsub   []func()
+}
+
+func newReplica(s *Service, name string) *Replica {
+	return &Replica{svc: s, name: name, mirror: map[string]struct{}{}}
+}
+
+// wire subscribes the replica to the control-bus topics. Runs before
+// the drive loop starts (or on the engine goroutine).
+func (r *Replica) wire() {
+	r.unsub = append(r.unsub,
+		r.svc.broker.Subscribe(topicHeartbeat, r.onHeartbeat),
+		r.svc.broker.Subscribe(topicState, r.onState),
+	)
+}
+
+func (r *Replica) onHeartbeat(m bus.Message) {
+	hb, ok := m.Payload.(hbMsg)
+	if !ok || hb.Leader == r.name || r.role == roleDead {
+		return
+	}
+	r.lastHB = r.svc.rt.Now()
+}
+
+func (r *Replica) onState(m bus.Message) {
+	d, ok := m.Payload.(stateDelta)
+	if !ok || r.role == roleDead {
+		return
+	}
+	switch d.Op {
+	case "add":
+		r.mirror[d.Task] = struct{}{}
+	case "remove":
+		delete(r.mirror, d.Task)
+	}
+}
+
+// promote makes the replica the active leader. On a takeover it first
+// reconciles its mirrored task set against the fabric's surviving
+// state — re-admitting any task whose deployment died with the old
+// leader and adopting any it missed — and then forces a full placement
+// replan, the warm-start machinery's recovery path.
+func (r *Replica) promote(takeover bool, reason string) {
+	s := r.svc
+	r.role = roleActive
+	if r.monTick != nil {
+		r.monTick.Stop()
+		r.monTick = nil
+	}
+	s.term++
+	if takeover {
+		s.takeovers++
+		s.takeoversA.Store(s.takeovers)
+	}
+	s.leader = r
+
+	if takeover {
+		for _, name := range sortedKeys(r.mirror) {
+			if s.sd.HasTask(name) {
+				continue
+			}
+			spec, err := CatalogueSpec(name, s)
+			if err != nil {
+				s.cfg.Logf("fleet: %s takeover: mirrored task %s: %v", r.name, name, err)
+				delete(r.mirror, name)
+				continue
+			}
+			if err := s.sd.AddTask(spec); err != nil {
+				s.cfg.Logf("fleet: %s takeover: re-admit %s: %v", r.name, name, err)
+				delete(r.mirror, name)
+			}
+		}
+		for _, name := range s.sd.TaskNames() {
+			r.mirror[name] = struct{}{}
+		}
+		if err := s.sd.Reoptimize(); err != nil {
+			s.cfg.Logf("fleet: %s takeover: forced-full replan: %v", r.name, err)
+		}
+		s.audit = append(s.audit, AuditEntry{
+			Seq: len(s.audit), At: s.rt.Now(), Term: s.term, Op: "takeover", Arg: r.name + ": " + reason,
+		})
+	}
+
+	// Leadership becomes visible to the fast paths only once the
+	// takeover replan has run, so "ready" implies a consistent fabric.
+	s.leaderView.Store(&leaderInfo{name: r.name, term: s.term})
+	r.heartbeat()
+	r.hbTick = s.rt.Every(s.cfg.HeartbeatInterval, r.heartbeat)
+	s.cfg.Logf("fleet: %s promoted to leader (term %d, %s)", r.name, s.term, reason)
+}
+
+// standby arms the failure detector.
+func (r *Replica) standby() {
+	r.role = roleStandby
+	r.monTick = r.svc.rt.Every(r.svc.cfg.HeartbeatInterval, r.monitor)
+}
+
+func (r *Replica) heartbeat() {
+	if r.role != roleActive {
+		return
+	}
+	r.svc.broker.Publish(topicHeartbeat, hbMsg{Leader: r.name, Term: r.svc.term})
+}
+
+// monitor is the standby's failure detector. A stale heartbeat makes
+// the replica *suspect* leader loss; it confirms with a zero-delay
+// re-check so that heartbeat deliveries already queued behind a stalled
+// run loop (their deadlines predate this event's) get to land first —
+// a slow engine must not masquerade as a dead leader.
+func (r *Replica) monitor() {
+	if r.role != roleStandby {
+		return
+	}
+	now := r.svc.rt.Now()
+	if r.lastHB == 0 {
+		// Startup grace: begin the clock at the first observation.
+		r.lastHB = now
+		return
+	}
+	if now-r.lastHB <= r.svc.cfg.HeartbeatTimeout {
+		return
+	}
+	r.svc.rt.After(0, func() {
+		if r.role != roleStandby {
+			return
+		}
+		if r.svc.rt.Now()-r.lastHB <= r.svc.cfg.HeartbeatTimeout {
+			return
+		}
+		r.promote(true, "heartbeat timeout")
+	})
+}
+
+// kill stops the replica dead: no more heartbeats, no more mutations.
+// The standby notices via heartbeat silence and takes over.
+func (r *Replica) kill() {
+	s := r.svc
+	r.role = roleDead
+	if r.hbTick != nil {
+		r.hbTick.Stop()
+		r.hbTick = nil
+	}
+	if r.monTick != nil {
+		r.monTick.Stop()
+		r.monTick = nil
+	}
+	for _, u := range r.unsub {
+		u()
+	}
+	r.unsub = nil
+	if s.leader == r {
+		s.leader = nil
+		s.leaderView.Store(nil)
+	}
+	s.cfg.Logf("fleet: %s killed", r.name)
+}
+
+// shutdown quiesces timers and subscriptions for service stop.
+func (r *Replica) shutdown() {
+	if r.hbTick != nil {
+		r.hbTick.Stop()
+		r.hbTick = nil
+	}
+	if r.monTick != nil {
+		r.monTick.Stop()
+		r.monTick = nil
+	}
+	for _, u := range r.unsub {
+		u()
+	}
+	r.unsub = nil
+	r.role = roleDead
+}
+
+// submit admits one catalogue task and mirrors the addition.
+func (r *Replica) submit(name string) error {
+	s := r.svc
+	if s.sd.HasTask(name) {
+		return nil
+	}
+	spec, err := CatalogueSpec(name, s)
+	if err != nil {
+		return err
+	}
+	if err := s.sd.AddTask(spec); err != nil {
+		return err
+	}
+	s.broker.Publish(topicState, stateDelta{Op: "add", Task: name})
+	return nil
+}
+
+// retire removes one task and mirrors the removal.
+func (r *Replica) retire(name string) error {
+	s := r.svc
+	if !s.sd.HasTask(name) {
+		return nil
+	}
+	if err := s.sd.RemoveTask(name); err != nil {
+		return err
+	}
+	s.broker.Publish(topicState, stateDelta{Op: "remove", Task: name})
+	return nil
+}

@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"farm/internal/tasks"
+	"farm/internal/transport"
+)
+
+// The operator RPC rides the transport package's length-prefixed TCP
+// framing (the Fig. 10 socket path) with JSON payloads: one request
+// frame in, one response frame out, concurrent across connections.
+//
+// Ops: ping, submit <task>, retire <task>, status, catalogue.
+
+type rpcRequest struct {
+	Op   string `json:"op"`
+	Task string `json:"task,omitempty"`
+}
+
+type rpcResponse struct {
+	OK bool `json:"ok"`
+	// Err is set when OK is false; Retryable marks leadership gaps the
+	// client may simply retry through (a standby is taking over).
+	Err       string          `json:"err,omitempty"`
+	Retryable bool            `json:"retryable,omitempty"`
+	Status    *StatusSnapshot `json:"status,omitempty"`
+	Catalogue []string        `json:"catalogue,omitempty"`
+}
+
+// rpcState tracks the service's RPC listener.
+type rpcState struct {
+	srv *transport.TCPServer
+}
+
+func (s *Service) startRPC() error {
+	if s.cfg.RPCAddr == "" {
+		return nil
+	}
+	srv, err := transport.NewTCPServerOn(s.cfg.RPCAddr, s.handleRPC)
+	if err != nil {
+		return err
+	}
+	s.rpcState.srv = srv
+	return nil
+}
+
+// RPCAddr returns the RPC listen address ("" when disabled).
+func (s *Service) RPCAddr() string {
+	if s.rpcState.srv == nil {
+		return ""
+	}
+	return s.rpcState.srv.Addr()
+}
+
+func (s *Service) handleRPC(req []byte) []byte {
+	var q rpcRequest
+	resp := rpcResponse{OK: true}
+	if err := json.Unmarshal(req, &q); err != nil {
+		resp = errResponse(fmt.Errorf("fleet: bad request: %w", err))
+	} else {
+		resp = s.dispatchRPC(q)
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		out = []byte(`{"ok":false,"err":"fleet: response marshal failed"}`)
+	}
+	return out
+}
+
+func (s *Service) dispatchRPC(q rpcRequest) rpcResponse {
+	switch q.Op {
+	case "ping":
+		return rpcResponse{OK: true}
+	case "submit":
+		if err := s.Submit(q.Task); err != nil {
+			return errResponse(err)
+		}
+		return rpcResponse{OK: true}
+	case "retire":
+		if err := s.Retire(q.Task); err != nil {
+			return errResponse(err)
+		}
+		return rpcResponse{OK: true}
+	case "status":
+		st, err := s.Status()
+		if err != nil {
+			return errResponse(err)
+		}
+		return rpcResponse{OK: true, Status: st}
+	case "catalogue":
+		return rpcResponse{OK: true, Catalogue: tasks.Names()}
+	default:
+		return errResponse(fmt.Errorf("fleet: unknown op %q", q.Op))
+	}
+}
+
+func errResponse(err error) rpcResponse {
+	return rpcResponse{
+		OK:        false,
+		Err:       err.Error(),
+		Retryable: errors.Is(err, ErrNoLeader),
+	}
+}
+
+// Client is an operator-side RPC client for a running fleetd.
+type Client struct {
+	conn transport.Conn
+}
+
+// Dial connects to a fleetd RPC endpoint.
+func Dial(addr string) (*Client, error) {
+	conn, err := transport.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(q rpcRequest) (rpcResponse, error) {
+	req, err := json.Marshal(q)
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	raw, err := c.conn.Call(req)
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	var resp rpcResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return rpcResponse{}, fmt.Errorf("fleet: bad response: %w", err)
+	}
+	return resp, nil
+}
+
+// retryableError marks a server-reported condition the caller may wait
+// out (no leader during failover).
+type retryableError struct{ msg string }
+
+func (e retryableError) Error() string { return e.msg }
+
+// IsRetryable reports whether err is a transient leadership gap.
+func IsRetryable(err error) bool {
+	var re retryableError
+	return errors.As(err, &re)
+}
+
+func (c *Client) do(q rpcRequest) (rpcResponse, error) {
+	resp, err := c.call(q)
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		if resp.Retryable {
+			return resp, retryableError{msg: resp.Err}
+		}
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a no-op.
+func (c *Client) Ping() error {
+	_, err := c.do(rpcRequest{Op: "ping"})
+	return err
+}
+
+// Submit deploys a catalogue task on the fleet.
+func (c *Client) Submit(task string) error {
+	_, err := c.do(rpcRequest{Op: "submit", Task: task})
+	return err
+}
+
+// Retire undeploys a task.
+func (c *Client) Retire(task string) error {
+	_, err := c.do(rpcRequest{Op: "retire", Task: task})
+	return err
+}
+
+// Status fetches the service status snapshot.
+func (c *Client) Status() (*StatusSnapshot, error) {
+	resp, err := c.do(rpcRequest{Op: "status"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// Catalogue lists the Tab. I tasks the fleet can run.
+func (c *Client) Catalogue() ([]string, error) {
+	resp, err := c.do(rpcRequest{Op: "catalogue"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Catalogue, nil
+}
+
+// SubmitWait submits with retries across leadership gaps: while the
+// server answers "no leader", it backs off and retries until the
+// deadline — the client half of surviving a failover without losing
+// the task.
+func (c *Client) SubmitWait(task string, deadline time.Duration) error {
+	return c.retryWait(deadline, func() error { return c.Submit(task) })
+}
+
+// RetireWait retires with the same retry behavior as SubmitWait.
+func (c *Client) RetireWait(task string, deadline time.Duration) error {
+	return c.retryWait(deadline, func() error { return c.Retire(task) })
+}
+
+func (c *Client) retryWait(deadline time.Duration, op func() error) error {
+	start := time.Now()
+	for {
+		err := op()
+		if err == nil || !IsRetryable(err) {
+			return err
+		}
+		if time.Since(start) > deadline {
+			return fmt.Errorf("fleet: gave up after %v: %w", deadline, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -164,6 +164,47 @@ func (sd *Seeder) Harvester(taskName string) (*harvest.Harvester, bool) {
 // Migrations returns how many live migrations the seeder has performed.
 func (sd *Seeder) Migrations() uint64 { return sd.migrations }
 
+// TaskNames lists the currently deployed tasks, sorted.
+func (sd *Seeder) TaskNames() []string {
+	out := make([]string, 0, len(sd.tasks))
+	for n := range sd.tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasTask reports whether a task is currently deployed.
+func (sd *Seeder) HasTask(name string) bool {
+	_, ok := sd.tasks[name]
+	return ok
+}
+
+// TaskSeeds returns, for one task, every deployed seed's ID and the
+// name of the switch hosting it (the operator-API view of a task).
+func (sd *Seeder) TaskSeeds(name string) map[string]string {
+	t, ok := sd.tasks[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]string, len(t.seeds))
+	for _, s := range t.seeds {
+		if s.deployed {
+			out[s.id] = sd.fab.Topology().Switch(s.deployedAt).Name
+		}
+	}
+	return out
+}
+
+// PlacementDigest folds the seeder's live placement state (every
+// assignment plus the cumulative migration count) into the same FNV-1a
+// digest placement.Result uses, so two seeders that applied equivalent
+// mutation sequences can be compared byte-for-byte.
+func (sd *Seeder) PlacementDigest() string {
+	res := placement.Result{Placed: sd.placements, Migrations: int(sd.migrations)}
+	return res.Digest()
+}
+
 // Placements returns the current seed ID → assignment map (copy).
 func (sd *Seeder) Placements() map[string]placement.Assignment {
 	out := make(map[string]placement.Assignment, len(sd.placements))

@@ -124,7 +124,13 @@ const maxFrame = 16 * 1024 * 1024
 
 // NewTCPServer starts a server on a random loopback port.
 func NewTCPServer(h Handler) (*TCPServer, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return NewTCPServerOn("127.0.0.1:0", h)
+}
+
+// NewTCPServerOn starts a server on an explicit listen address — the
+// daemon path, where operators point clients at a configured port.
+func NewTCPServerOn(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
@@ -183,8 +189,13 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
-// Close implements Server. It stops accepting and waits for in-flight
-// connection goroutines to finish.
+// Close implements Server. It stops accepting new connections and
+// drains in-flight Calls before returning: tracked connections are
+// half-closed (read side only), so a handler that already accepted a
+// request finishes it and writes its response back to the caller, and
+// the per-connection goroutine exits on the EOF it reads next. Only
+// then are the connections fully closed. A Call in flight at Close time
+// therefore completes normally; a Call issued after Close fails.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -192,18 +203,35 @@ func (s *TCPServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	err := s.listener.Close()
+	for _, c := range conns {
+		// Stop new requests from arriving while leaving the write side
+		// open for the in-flight response.
+		if hc, ok := c.(interface{ CloseRead() error }); ok {
+			_ = hc.CloseRead()
+		} else {
+			c.Close()
+		}
+	}
 	s.wg.Wait()
 	return err
 }
 
 // Dial implements Server.
 func (s *TCPServer) Dial() (Conn, error) {
-	c, err := net.Dial("tcp", s.Addr())
+	return DialTCP(s.Addr())
+}
+
+// DialTCP connects a client to a TCPServer listening at addr — the
+// client half of the RPC path for processes that do not host the server
+// (a farmctl talking to a running fleetd).
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func echoUpper(req []byte) []byte {
@@ -221,5 +222,107 @@ func TestFrameRejectsOversized(t *testing.T) {
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	if _, err := readFrame(&buf); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestTCPCloseDrainsInFlightCall is the shutdown-drain contract: a Call
+// whose request the server has already accepted must receive its
+// response even when Close is invoked while the handler is still
+// running — Close half-closes the connection and waits, it does not cut
+// the response off mid-frame.
+func TestTCPCloseDrainsInFlightCall(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := NewTCPServer(func(req []byte) []byte {
+		close(entered)
+		<-release
+		return append([]byte("ok:"), req...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := srv.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	type callResult struct {
+		resp []byte
+		err  error
+	}
+	callDone := make(chan callResult, 1)
+	go func() {
+		resp, err := conn.Call([]byte("x"))
+		callDone <- callResult{resp, err}
+	}()
+	<-entered // the handler holds the request now
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- srv.Close() }()
+
+	// Close must not return while the call is in flight.
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned before the in-flight call finished")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case res := <-callDone:
+		if res.err != nil {
+			t.Fatalf("in-flight Call failed across Close: %v", res.err)
+		}
+		if string(res.resp) != "ok:x" {
+			t.Fatalf("in-flight Call returned %q, want %q", res.resp, "ok:x")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight Call never completed")
+	}
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the handler finished")
+	}
+
+	// The drained connection is dead: the next Call must fail rather
+	// than hang.
+	if _, err := conn.Call([]byte("y")); err == nil {
+		t.Fatal("Call after Close succeeded")
+	}
+}
+
+// TestTCPCloseIdempotentWithIdleConn pins that Close still returns
+// promptly when connections are idle (blocked in readFrame, no request
+// in flight) and that a second Close is a no-op.
+func TestTCPCloseIdempotentWithIdleConn(t *testing.T) {
+	srv, err := NewTCPServer(func(req []byte) []byte { return req })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := srv.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() { done <- srv.Close() }()
+	go func() { done <- srv.Close() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close blocked on an idle connection")
+		}
 	}
 }
