@@ -11,14 +11,15 @@
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // ablation engine-scale packet-path workload-scale placement-scale
-// fleet-soak.
+// transport-scale fleet-soak.
 //
 // -json prints the selected experiment's result as machine-readable
 // JSON instead of a table (supported by packet-path, workload-scale,
-// and placement-scale; CI archives `farm-bench -exp packet-path -json`
-// as BENCH_packetpath.json, `-exp workload-scale -json` as
-// BENCH_workload.json, and `-exp placement-scale -json` as
-// BENCH_placement.json).
+// placement-scale, and transport-scale; CI archives `farm-bench -exp
+// packet-path -json` as BENCH_packetpath.json, `-exp workload-scale
+// -json` as BENCH_workload.json, `-exp placement-scale -json` as
+// BENCH_placement.json, and `-exp transport-scale -json` as
+// BENCH_transport.json).
 //
 // -parallel N selects the sharded conservative-parallel event executor
 // with N workers for the experiments that support it (all of fig4 —
@@ -34,6 +35,12 @@
 // cocktail once on the serial engine and once per sharded worker
 // count, compares per-ingress-leaf emission digests, and exits
 // non-zero on any divergence.
+//
+// transport-scale is the wire-path A/B: the same deterministic record
+// stream driven through the TCP transport unbatched (one record per
+// round trip) and batched (CallBatch frames), sweeping to 10k seeds,
+// comparing per-seed response digests, and exiting non-zero on any
+// divergence — batching must change throughput, never bytes.
 //
 // placement-scale replays a placement churn script (cold start, task
 // arrival/departure, switch failure, steady state) under serial,
@@ -140,6 +147,7 @@ func main() {
 		{"packet-path", "Packet path: linear classifier vs bucketed index + flow cache", runPacketPath},
 		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
 		{"placement-scale", "Placement scale: serial vs parallel vs warm-start solves (digest A/B)", runPlacementScale},
+		{"transport-scale", "Transport scale: unbatched vs batched wire path to 10k seeds (digest A/B)", runTransportScale},
 		{"fleet-soak", "Fleet soak: concurrent RPC clients + forced failover on a live fleetd", runFleetSoak},
 	}
 	if *list {
@@ -353,6 +361,29 @@ func runPlacementScale(full bool) error {
 	// Like workload-scale, a divergence returns the measured result AND
 	// an error: render first, then fail the process.
 	res, err := experiments.PlacementScale(cfg)
+	if res != nil {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+		} else {
+			fmt.Print(res.Table().Render())
+		}
+	}
+	return err
+}
+
+func runTransportScale(full bool) error {
+	cfg := experiments.TransportScaleConfig{}
+	if full {
+		cfg.RecordsPerSeed = 16
+		cfg.Conns = 8
+	}
+	// Like workload-scale, a divergence returns the measured result AND
+	// an error: render first, then fail the process.
+	res, err := experiments.TransportScale(cfg)
 	if res != nil {
 		if jsonOut {
 			enc := json.NewEncoder(os.Stdout)

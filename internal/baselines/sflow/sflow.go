@@ -30,6 +30,13 @@ type Config struct {
 	// AnalysisInterval is the collector's processing period; detection
 	// happens at analysis boundaries. 0 means PollInterval.
 	AnalysisInterval time.Duration
+	// SampleExportBatch coalesces this many packet samples into one
+	// datagram toward the collector (0 or 1 = one datagram per sample,
+	// the classic behavior). The same total sample bytes cross the
+	// collection network in fewer, larger packets; partial batches are
+	// flushed on the poll tick, so no sample lingers longer than one
+	// PollInterval.
+	SampleExportBatch int
 	// HHThresholdBytesPerSec classifies a port as a heavy hitter.
 	HHThresholdBytesPerSec float64
 }
@@ -114,10 +121,33 @@ func Deploy(fab *fabric.Fabric, cfg Config) *System {
 		})
 		s.tickers = append(s.tickers, tk)
 		if cfg.SampleOneInN > 0 {
+			batch := cfg.SampleExportBatch
+			if batch < 1 {
+				batch = 1
+			}
+			// Per-switch pending batch, confined to the switch's home
+			// shard (the sampler callback and the flush ticker both run
+			// there); only the shipped datagram crosses to the collector.
+			pendBytes, pendCount := 0, 0
+			ship := func() {
+				if pendCount == 0 {
+					return
+				}
+				n, size := uint64(pendCount), pendBytes
+				pendBytes, pendCount = 0, 0
+				fab.SendToCentral(swID, size, func() { s.samplesRecv += n })
+			}
 			stop := drv.StartSampling(dataplane.Filter{}, cfg.SampleOneInN, func(p dataplane.Packet) {
 				cpu.Charge(costs.SampleProcess)
-				fab.SendToCentral(swID, sampleBytes(p), func() { s.samplesRecv++ })
+				pendBytes += sampleBytes(p)
+				pendCount++
+				if pendCount >= batch {
+					ship()
+				}
 			})
+			if batch > 1 {
+				s.tickers = append(s.tickers, sched.Every(cfg.PollInterval, ship))
+			}
 			s.stopSamplers = append(s.stopSamplers, stop)
 		}
 	}

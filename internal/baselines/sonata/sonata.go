@@ -129,6 +129,10 @@ type System struct {
 	detections []Detection
 	tickers    []engine.Ticker
 	stops      []func()
+	// keyScratch is the stream processor's reusable sort buffer;
+	// processBatch runs only on the central shard, so reuse is safe and
+	// the per-window key sort stops allocating once it has grown.
+	keyScratch []string
 	// exported counts records shipped to the stream processor, in
 	// per-shard single-writer lanes (flush tickers run on every shard);
 	// RecordsAggregated sums them between runs.
@@ -240,7 +244,7 @@ func (s *System) IngestCounterWindow(q Query, sw netmodel.SwitchID, portBytes ma
 }
 
 func (s *System) processBatch(q Query, sw netmodel.SwitchID, batch map[string]float64) {
-	keys := make([]string, 0, len(batch))
+	keys := s.keyScratch[:0]
 	for k := range batch {
 		keys = append(keys, k)
 	}
@@ -256,6 +260,12 @@ func (s *System) processBatch(q Query, sw netmodel.SwitchID, batch map[string]fl
 			s.OnDetect(d)
 		}
 	}
+	// Keep the grown backing array but drop the key references, so the
+	// scratch never pins a retired batch's strings.
+	for i := range keys {
+		keys[i] = ""
+	}
+	s.keyScratch = keys[:0]
 }
 
 // Detections returns all having-matches so far. Call it while the

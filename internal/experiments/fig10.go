@@ -49,7 +49,7 @@ func Fig10(cfg Fig10Config) (*Fig10Result, error) {
 		cfg.PayloadBytes = 256
 	}
 	res := &Fig10Result{}
-	handler := func(req []byte) []byte { return req } // echo soil
+	handler := func(dst, req []byte) []byte { return append(dst, req...) } // echo soil
 
 	for _, n := range cfg.SeedCounts {
 		shared := transport.NewSharedBufServer(64*1024, handler)

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"farm/internal/transport"
+)
+
+// TransportScaleConfig parameterizes the batched-wire-path A/B
+// experiment: the same deterministic record stream — RecordsPerSeed
+// records for each of N seeds — driven through the TCP transport once
+// with one-record-per-round-trip calls (the reference) and once with
+// batched CallBatch frames, comparing per-seed response digests. Any
+// divergence is an error: batching must change throughput, never
+// bytes. The sweep runs to 10k seeds by default, the scale where the
+// per-call overhead dominated before the frame arena rebuild.
+type TransportScaleConfig struct {
+	// SeedCounts are the sweep points; nil means {100, 1000, 10000}.
+	SeedCounts []int
+	// RecordsPerSeed is how many records each seed ships; 0 means 8.
+	RecordsPerSeed int
+	// RecordBytes is the record payload size; 0 means 256 (a typical
+	// statistics record).
+	RecordBytes int
+	// Batch is the CallBatch size for the batched runs; 0 means 64.
+	Batch int
+	// Conns is the number of concurrent client connections (each owns a
+	// contiguous block of seeds); 0 means 4.
+	Conns int
+}
+
+// TransportScaleRun is one (mode, seed count) measurement.
+type TransportScaleRun struct {
+	Label string `json:"label"`
+	Seeds int    `json:"seeds"`
+	// Batch is the records-per-frame for this run (1 = unbatched).
+	Batch int `json:"batch"`
+	// Digest folds the per-seed response digests in seed order —
+	// byte-identical between the unbatched and batched modes by
+	// contract.
+	Digest     string  `json:"digest"`
+	Records    uint64  `json:"records"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// AllocsPerOp is the heap-allocation count per record over the
+	// whole process (client goroutines + server) during the run — an
+	// aggregate runtime.MemStats delta, so it includes scheduler noise,
+	// unlike the surgical BenchmarkTransport* numbers.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Consistent reports whether this run's digests matched the
+	// unbatched reference (vacuously true for the reference itself).
+	Consistent bool `json:"consistent"`
+}
+
+// TransportScaleResult is the full sweep outcome.
+type TransportScaleResult struct {
+	RecordBytes    int                 `json:"record_bytes"`
+	RecordsPerSeed int                 `json:"records_per_seed"`
+	Conns          int                 `json:"conns"`
+	GoMaxProcs     int                 `json:"gomaxprocs"`
+	NumCPU         int                 `json:"num_cpu"`
+	Runs           []TransportScaleRun `json:"runs"`
+}
+
+// tsHandler is the soil-side echo-with-transform: the response is the
+// request with every byte flipped through a constant, so a digest match
+// proves the records crossed the wire and the handler, not just that
+// the client hashed its own buffers.
+func tsHandler(dst, req []byte) []byte {
+	for _, b := range req {
+		dst = append(dst, b^0x5A)
+	}
+	return dst
+}
+
+const (
+	fnvOffset64 = uint64(14695981039346656037)
+	fnvPrime64  = uint64(1099511628211)
+)
+
+func fnvFold(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// tsFillRecord writes the deterministic record for (seed, seq):
+// [4B seed][4B seq][payload derived from both].
+func tsFillRecord(buf []byte, seed, seq int) {
+	buf[0], buf[1], buf[2], buf[3] = byte(seed>>24), byte(seed>>16), byte(seed>>8), byte(seed)
+	buf[4], buf[5], buf[6], buf[7] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+	for i := 8; i < len(buf); i++ {
+		buf[i] = byte(seed*31 + seq*7 + i)
+	}
+}
+
+// tsRun drives one full sweep point: seeds × RecordsPerSeed records
+// through Conns connections, batch records per frame (1 = plain Call).
+// It returns the per-seed digests for the A/B comparison.
+func tsRun(label string, seeds, batch int, cfg TransportScaleConfig) (TransportScaleRun, []uint64, error) {
+	srv, err := transport.NewTCPServer(tsHandler)
+	if err != nil {
+		return TransportScaleRun{}, nil, err
+	}
+	defer srv.Close()
+
+	conns := cfg.Conns
+	if conns > seeds {
+		conns = seeds
+	}
+	// Workers write disjoint seed blocks of the shared digest slice, so
+	// no lock is needed; the final fold walks it in seed order.
+	digests := make([]uint64, seeds)
+	errs := make([]error, conns)
+	per := (seeds + conns - 1) / conns
+
+	var wg sync.WaitGroup
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > seeds {
+			hi = seeds
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			conn, err := srv.Dial()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer conn.Close()
+			// Reusable request slots: the record buffers and the batch
+			// header slice live for the whole worker.
+			bufs := make([][]byte, batch)
+			for i := range bufs {
+				bufs[i] = make([]byte, cfg.RecordBytes)
+			}
+			reqs := make([][]byte, 0, batch)
+			for seed := lo; seed < hi; seed++ {
+				h := fnvOffset64
+				if batch <= 1 {
+					for seq := 0; seq < cfg.RecordsPerSeed; seq++ {
+						tsFillRecord(bufs[0], seed, seq)
+						resp, err := conn.Call(bufs[0])
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						h = fnvFold(h, resp)
+					}
+				} else {
+					for base := 0; base < cfg.RecordsPerSeed; base += batch {
+						n := cfg.RecordsPerSeed - base
+						if n > batch {
+							n = batch
+						}
+						reqs = reqs[:0]
+						for j := 0; j < n; j++ {
+							tsFillRecord(bufs[j], seed, base+j)
+							reqs = append(reqs, bufs[j])
+						}
+						resps, err := conn.CallBatch(reqs)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						for _, r := range resps {
+							h = fnvFold(h, r)
+						}
+					}
+				}
+				digests[seed] = h
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+	for _, err := range errs {
+		if err != nil {
+			return TransportScaleRun{}, nil, err
+		}
+	}
+
+	records := uint64(seeds) * uint64(cfg.RecordsPerSeed)
+	run := TransportScaleRun{
+		Label:       label,
+		Seeds:       seeds,
+		Batch:       batch,
+		Digest:      tsCombine(digests),
+		Records:     records,
+		MsgsPerSec:  float64(records) / elapsed.Seconds(),
+		ElapsedMS:   float64(elapsed.Nanoseconds()) / 1e6,
+		AllocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(records),
+	}
+	return run, digests, nil
+}
+
+// tsCombine folds the per-seed digests into one value in seed order.
+func tsCombine(digests []uint64) string {
+	h := fnvOffset64
+	for seed, v := range digests {
+		for _, x := range []uint64{uint64(seed), v} {
+			for i := 0; i < 8; i++ {
+				h ^= x & 0xff
+				h *= fnvPrime64
+				x >>= 8
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func tsDigestsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TransportScale runs the batched-vs-unbatched wire-path A/B sweep and
+// errors on any digest divergence between the two emission modes.
+func TransportScale(cfg TransportScaleConfig) (*TransportScaleResult, error) {
+	if cfg.SeedCounts == nil {
+		cfg.SeedCounts = []int{100, 1000, 10000}
+	}
+	if cfg.RecordsPerSeed == 0 {
+		cfg.RecordsPerSeed = 8
+	}
+	if cfg.RecordBytes == 0 {
+		cfg.RecordBytes = 256
+	}
+	if cfg.RecordBytes < 8 {
+		return nil, fmt.Errorf("transport-scale: RecordBytes %d is below the 8-byte record header", cfg.RecordBytes)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Conns == 0 {
+		cfg.Conns = 4
+	}
+	res := &TransportScaleResult{
+		RecordBytes:    cfg.RecordBytes,
+		RecordsPerSeed: cfg.RecordsPerSeed,
+		Conns:          cfg.Conns,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+	}
+
+	var firstDivergence error
+	for _, seeds := range cfg.SeedCounts {
+		ref, refDigests, err := tsRun(fmt.Sprintf("unbatched-%d", seeds), seeds, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ref.Consistent = true
+		res.Runs = append(res.Runs, ref)
+
+		run, digests, err := tsRun(fmt.Sprintf("batched-%d", seeds), seeds, cfg.Batch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		run.Consistent = tsDigestsEqual(refDigests, digests)
+		if !run.Consistent && firstDivergence == nil {
+			firstDivergence = fmt.Errorf(
+				"transport-scale: batched run at %d seeds diverged from unbatched (digest %s vs %s)",
+				seeds, run.Digest, ref.Digest)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, firstDivergence
+}
+
+// Table renders the result. MsgsPerSec, ElapsedMS, and AllocsPerOp vary
+// by host (they are the point of the experiment); the Digest column is
+// the determinism artifact.
+func (r *TransportScaleResult) Table() *Table {
+	t := &Table{
+		Title:   "Transport scale: unbatched vs batched wire path (digest A/B)",
+		Columns: []string{"seeds", "batch", "digest", "records", "msgs/sec", "allocs/op", "wall ms"},
+	}
+	for _, run := range r.Runs {
+		t.Rows = append(t.Rows, Row{
+			Label: run.Label,
+			Values: []string{
+				fmt.Sprintf("%d", run.Seeds),
+				fmt.Sprintf("%d", run.Batch),
+				run.Digest,
+				fmt.Sprintf("%d", run.Records),
+				fmt.Sprintf("%.0f", run.MsgsPerSec),
+				fmt.Sprintf("%.1f", run.AllocsPerOp),
+				fmtFloat(run.ElapsedMS),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d-byte records, %d per seed, %d client connections; TCP loopback", r.RecordBytes, r.RecordsPerSeed, r.Conns),
+		"digest = per-seed FNV-1a over handler responses, folded in seed order; identical across modes by contract",
+		"allocs/op = whole-process Mallocs delta per record (includes scheduler noise; see BenchmarkTransport* for the surgical 0-alloc gate)")
+	return t
+}

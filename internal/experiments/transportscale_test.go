@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// TestTransportScaleConsistent runs a miniature sweep and requires the
+// batched and unbatched digests to agree — the same gate farm-bench
+// enforces at 10k seeds, sized for CI.
+func TestTransportScaleConsistent(t *testing.T) {
+	res, err := TransportScale(TransportScaleConfig{
+		SeedCounts:     []int{5, 40},
+		RecordsPerSeed: 6,
+		RecordBytes:    64,
+		Batch:          4,
+		Conns:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(res.Runs))
+	}
+	for i := 0; i < len(res.Runs); i += 2 {
+		ref, run := res.Runs[i], res.Runs[i+1]
+		if !run.Consistent {
+			t.Fatalf("batched run %q inconsistent with %q", run.Label, ref.Label)
+		}
+		if run.Digest != ref.Digest {
+			t.Fatalf("digest %s vs %s at %d seeds", run.Digest, ref.Digest, ref.Seeds)
+		}
+		if ref.Batch != 1 || run.Batch != 4 {
+			t.Fatalf("batch sizes = %d/%d, want 1/4", ref.Batch, run.Batch)
+		}
+		if want := uint64(ref.Seeds) * 6; ref.Records != want || run.Records != want {
+			t.Fatalf("records = %d/%d, want %d", ref.Records, run.Records, want)
+		}
+	}
+	// Distinct seed counts must produce distinct digests (the fold keys
+	// on seed index, so a truncated sweep cannot masquerade as a full
+	// one).
+	if res.Runs[0].Digest == res.Runs[2].Digest {
+		t.Fatal("digests identical across different seed counts")
+	}
+}
+
+// TestTransportScaleRejectsTinyRecords pins the header floor.
+func TestTransportScaleRejectsTinyRecords(t *testing.T) {
+	if _, err := TransportScale(TransportScaleConfig{RecordBytes: 4}); err == nil {
+		t.Fatal("RecordBytes below the record header accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"farm/internal/tasks"
@@ -11,10 +12,55 @@ import (
 )
 
 // The operator RPC rides the transport package's length-prefixed TCP
-// framing (the Fig. 10 socket path) with JSON payloads: one request
-// frame in, one response frame out, concurrent across connections.
+// batch framing (the Fig. 10 socket path) with JSON payloads: one
+// request record in, one response record out, concurrent across
+// connections.
+//
+// Both directions encode through pooled codecs instead of per-call
+// json.Marshal: a json.Encoder writes straight into a reusable byte
+// slice (server side: the transport's connection-local scratch, so the
+// response JSON lands directly in the outgoing wire frame), and the
+// encoder machinery itself is recycled through a sync.Pool.
 //
 // Ops: ping, submit <task>, retire <task>, status, catalogue.
+
+// sliceWriter adapts an append-grown byte slice to io.Writer so a
+// json.Encoder can emit into transport-owned buffers.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// rpcCodec is one pooled encoder. The sliceWriter's buffer is swapped
+// in per call and detached before the codec returns to the pool, so
+// the pooled object never retains (or races on) wire memory.
+type rpcCodec struct {
+	sw  sliceWriter
+	enc *json.Encoder
+}
+
+var codecPool = sync.Pool{New: func() any {
+	c := &rpcCodec{}
+	c.enc = json.NewEncoder(&c.sw)
+	return c
+}}
+
+// encodeInto appends v's JSON encoding (plus the encoder's trailing
+// newline) to dst using a pooled encoder.
+func encodeInto(dst []byte, v any) ([]byte, error) {
+	c := codecPool.Get().(*rpcCodec)
+	c.sw.b = dst
+	err := c.enc.Encode(v)
+	out := c.sw.b
+	c.sw.b = nil
+	codecPool.Put(c)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
 
 type rpcRequest struct {
 	Op   string `json:"op"`
@@ -56,7 +102,7 @@ func (s *Service) RPCAddr() string {
 	return s.rpcState.srv.Addr()
 }
 
-func (s *Service) handleRPC(req []byte) []byte {
+func (s *Service) handleRPC(dst, req []byte) []byte {
 	var q rpcRequest
 	resp := rpcResponse{OK: true}
 	if err := json.Unmarshal(req, &q); err != nil {
@@ -64,9 +110,9 @@ func (s *Service) handleRPC(req []byte) []byte {
 	} else {
 		resp = s.dispatchRPC(q)
 	}
-	out, err := json.Marshal(resp)
+	out, err := encodeInto(dst[:0], &resp)
 	if err != nil {
-		out = []byte(`{"ok":false,"err":"fleet: response marshal failed"}`)
+		return append(dst[:0], `{"ok":false,"err":"fleet: response marshal failed"}`...)
 	}
 	return out
 }
@@ -106,9 +152,13 @@ func errResponse(err error) rpcResponse {
 	}
 }
 
-// Client is an operator-side RPC client for a running fleetd.
+// Client is an operator-side RPC client for a running fleetd. Requests
+// encode into a client-owned reusable buffer (mu serializes calls, as
+// the underlying Conn would anyway).
 type Client struct {
 	conn transport.Conn
+	mu   sync.Mutex
+	enc  []byte
 }
 
 // Dial connects to a fleetd RPC endpoint.
@@ -124,11 +174,16 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) call(q rpcRequest) (rpcResponse, error) {
-	req, err := json.Marshal(q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	enc, err := encodeInto(c.enc[:0], &q)
 	if err != nil {
 		return rpcResponse{}, err
 	}
-	raw, err := c.conn.Call(req)
+	c.enc = enc
+	// raw aliases the connection's receive arena: decode before the
+	// next call (we hold mu, so that is guaranteed).
+	raw, err := c.conn.Call(c.enc)
 	if err != nil {
 		return rpcResponse{}, err
 	}

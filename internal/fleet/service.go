@@ -202,6 +202,10 @@ func New(cfg Config) (*Service, error) {
 		broker:    bus.New(rt, nil),
 		driveDone: make(chan struct{}),
 	}
+	// Bound control-plane fan-out queues so a wedged subscriber degrades
+	// into counted drops (surfaced via /metrics) instead of unbounded
+	// memory growth; see docs/transport.md for the policy.
+	s.broker.SetQueueLimit(4096)
 	s.replicas = []*Replica{
 		newReplica(s, "seeder-a"),
 		newReplica(s, "seeder-b"),
@@ -589,9 +593,14 @@ type MetricsSnapshot struct {
 	Migrations      uint64        `json:"migrations"`
 	BusPublished    uint64        `json:"bus_published"`
 	BusDelivered    uint64        `json:"bus_delivered"`
-	HarvestReports  uint64        `json:"harvest_reports"`
-	Term            uint64        `json:"term"`
-	Takeovers       uint64        `json:"takeovers"`
+	BusCoalesced    uint64        `json:"bus_coalesced"`
+	BusDropped      uint64        `json:"bus_dropped"`
+	// BusDroppedByTopic breaks bus overflow drops down per topic (absent
+	// topics never dropped).
+	BusDroppedByTopic map[string]uint64 `json:"bus_dropped_by_topic,omitempty"`
+	HarvestReports    uint64            `json:"harvest_reports"`
+	Term              uint64            `json:"term"`
+	Takeovers         uint64            `json:"takeovers"`
 }
 
 // LaneStat is one NetMeter lane's cumulative counters.
@@ -619,7 +628,14 @@ func (s *Service) Metrics() (*MetricsSnapshot, error) {
 		m.Tasks = len(s.sd.TaskNames())
 		m.PlacedSeeds = len(s.sd.Placements())
 		m.Migrations = s.sd.Migrations()
-		m.BusPublished, m.BusDelivered = s.broker.Stats()
+		bs := s.broker.Stats()
+		m.BusPublished = bs.Published
+		m.BusDelivered = bs.Delivered
+		m.BusCoalesced = bs.Coalesced
+		m.BusDropped = bs.Dropped
+		if bs.Dropped > 0 {
+			m.BusDroppedByTopic = s.broker.DroppedByTopic()
+		}
 		m.Term = s.term
 		m.Takeovers = s.takeovers
 	})

@@ -1,29 +1,51 @@
 // Package transport implements the two soil↔seed communication schemes
 // the paper compares in §VI-E (Fig. 10): a socket-based RPC path (the
-// gRPC role, built on TCP loopback with length-prefixed frames — stdlib
-// only) and a lightweight shared-memory buffer usable when seeds run as
-// threads of the soil process.
+// gRPC role, built on TCP loopback with length-prefixed batch frames —
+// stdlib only) and a lightweight shared-memory buffer usable when seeds
+// run as threads of the soil process.
 //
 // These are real transports measured with real wall-clock time; the
 // simulated control plane uses transport/bus instead.
+//
+// Frames are multi-record batches assembled in pooled, grow-only
+// arenas: one Write per frame, zero allocations on the steady-state
+// path, and CallBatch amortizes a round trip over many records (the
+// transport-scale experiment's ≥5× messages/sec lever). See
+// docs/transport.md for the frame format and the buffer-ownership
+// contract.
 package transport
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 )
 
 // Handler processes one request and returns the response payload.
-type Handler func(req []byte) []byte
+//
+// Ownership contract: req is only valid for the duration of the call —
+// the transport reuses its backing buffer for the next frame. dst is a
+// length-zero scratch slice with transport-owned, connection-local
+// capacity; handlers should append their response to dst and return
+// the result. Returning a slice not derived from dst is also permitted
+// (the transport copies the response onto the wire before the handler
+// can be invoked again on the same connection), but the append form is
+// what keeps the response path allocation-free.
+type Handler func(dst, req []byte) []byte
 
 // Conn is one seed's channel to its soil.
+//
+// Ownership contract: response slices returned by Call and CallBatch
+// alias the connection's receive arena and are valid only until the
+// next call on the same Conn — copy to retain.
 type Conn interface {
 	// Call performs a synchronous request/response round trip.
 	Call(req []byte) ([]byte, error)
+	// CallBatch performs one round trip carrying len(reqs) records in a
+	// single frame each way, returning one response per request. The
+	// amortized cost per record is a fraction of Call's.
+	CallBatch(reqs [][]byte) ([][]byte, error)
 	Close() error
 }
 
@@ -45,6 +67,7 @@ type SharedBufServer struct {
 	handler Handler
 	mu      sync.Mutex
 	buf     []byte
+	scratch []byte // handler response destination, reused under mu
 	closed  bool
 }
 
@@ -80,10 +103,32 @@ func (s *SharedBufServer) Dial() (Conn, error) {
 
 type sharedBufConn struct {
 	srv *SharedBufServer
+	// out and outRecs are the connection-local response arena: response
+	// views returned to the caller stay valid until the next call.
+	out     []byte
+	outRecs [][]byte
+	bounds  []int
 }
 
 // ErrTooLarge is returned when a request exceeds the shared buffer.
 var ErrTooLarge = errors.New("transport: request exceeds shared buffer capacity")
+
+// call runs one record through the shared buffer with srv.mu held and
+// appends the response to c.out.
+func (c *sharedBufConn) call(req []byte) error {
+	s := c.srv
+	if len(req) > len(s.buf) {
+		return ErrTooLarge
+	}
+	// Copy in (the seed writes into the shared region), handle, copy out.
+	n := copy(s.buf, req)
+	resp := s.handler(s.scratch[:0], s.buf[:n])
+	if cap(resp) > cap(s.scratch) {
+		s.scratch = resp
+	}
+	c.out = append(c.out, resp...)
+	return nil
+}
 
 func (c *sharedBufConn) Call(req []byte) ([]byte, error) {
 	s := c.srv
@@ -92,23 +137,44 @@ func (c *sharedBufConn) Call(req []byte) ([]byte, error) {
 	if s.closed {
 		return nil, errors.New("transport: shared-buffer server closed")
 	}
-	if len(req) > len(s.buf) {
-		return nil, ErrTooLarge
+	c.out = c.out[:0]
+	if err := c.call(req); err != nil {
+		return nil, err
 	}
-	// Copy in (the seed writes into the shared region), handle, copy out.
-	n := copy(s.buf, req)
-	resp := s.handler(s.buf[:n])
-	out := make([]byte, len(resp))
-	copy(out, resp)
-	return out, nil
+	return c.out, nil
+}
+
+func (c *sharedBufConn) CallBatch(reqs [][]byte) ([][]byte, error) {
+	s := c.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("transport: shared-buffer server closed")
+	}
+	c.out = c.out[:0]
+	// Record offsets first: c.out may reallocate while the batch grows,
+	// so the response views are materialized only after the last append.
+	c.bounds = c.bounds[:0]
+	for _, req := range reqs {
+		c.bounds = append(c.bounds, len(c.out))
+		if err := c.call(req); err != nil {
+			return nil, err
+		}
+	}
+	c.bounds = append(c.bounds, len(c.out))
+	c.outRecs = c.outRecs[:0]
+	for i := range reqs {
+		c.outRecs = append(c.outRecs, c.out[c.bounds[i]:c.bounds[i+1]:c.bounds[i+1]])
+	}
+	return c.outRecs, nil
 }
 
 func (c *sharedBufConn) Close() error { return nil }
 
 // --- TCP RPC transport (seeds as processes; the gRPC role) ---
 
-// TCPServer serves length-prefixed request/response frames over TCP
-// loopback connections, one connection per seed process.
+// TCPServer serves length-prefixed batch frames over TCP loopback
+// connections, one connection per seed process.
 type TCPServer struct {
 	handler  Handler
 	listener net.Listener
@@ -117,10 +183,6 @@ type TCPServer struct {
 	closed   bool
 	conns    map[net.Conn]struct{}
 }
-
-// maxFrame bounds a frame to keep a corrupt length prefix from
-// allocating unbounded memory.
-const maxFrame = 16 * 1024 * 1024
 
 // NewTCPServer starts a server on a random loopback port.
 func NewTCPServer(h Handler) (*TCPServer, error) {
@@ -171,21 +233,32 @@ func (s *TCPServer) acceptLoop() {
 			return
 		}
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer s.untrack(conn)
-			defer conn.Close()
-			for {
-				req, err := readFrame(conn)
-				if err != nil {
-					return
-				}
-				resp := s.handler(req)
-				if err := writeFrame(conn, resp); err != nil {
-					return
-				}
-			}
-		}()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection's read-handle-write loop on a pooled
+// frame arena: each inbound batch is decoded in place, every record's
+// response is appended into the outgoing frame as the handler returns
+// it, and the whole response batch leaves in one Write.
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+	a := getArena()
+	defer putArena(a)
+	for {
+		recs, err := a.readBatch(conn)
+		if err != nil {
+			return
+		}
+		a.beginBatch()
+		for _, req := range recs {
+			a.handle(s.handler, req)
+		}
+		if err := a.writeTo(conn); err != nil {
+			return
+		}
 	}
 }
 
@@ -238,47 +311,66 @@ func DialTCP(addr string) (Conn, error) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
-	return &tcpConn{c: c}, nil
+	return &tcpConn{c: c, a: getArena()}, nil
 }
 
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu     sync.Mutex
+	c      net.Conn
+	a      *frameArena
+	closed bool
 }
 
 func (c *tcpConn) Call(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.c, req); err != nil {
+	if c.closed {
+		return nil, errors.New("transport: connection closed")
+	}
+	c.a.beginBatch()
+	c.a.appendRecord(req)
+	recs, err := c.roundTrip(1)
+	if err != nil {
 		return nil, err
 	}
-	return readFrame(c.c)
+	return recs[0], nil
 }
 
-func (c *tcpConn) Close() error { return c.c.Close() }
-
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+func (c *tcpConn) CallBatch(reqs [][]byte) ([][]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("transport: connection closed")
 	}
-	_, err := w.Write(payload)
-	return err
+	c.a.beginBatch()
+	for _, req := range reqs {
+		c.a.appendRecord(req)
+	}
+	return c.roundTrip(len(reqs))
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+func (c *tcpConn) roundTrip(want int) ([][]byte, error) {
+	if err := c.a.writeTo(c.c); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	recs, err := c.a.readBatch(c.c)
+	if err != nil {
 		return nil, err
 	}
-	return buf, nil
+	if len(recs) != want {
+		return nil, fmt.Errorf("transport: %d responses for %d requests: %w", len(recs), want, errMalformedBatch)
+	}
+	return recs, nil
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	putArena(c.a)
+	c.a = nil
+	return c.c.Close()
 }

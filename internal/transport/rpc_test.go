@@ -2,15 +2,22 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 )
 
-func echoUpper(req []byte) []byte {
-	out := bytes.ToUpper(req)
-	return out
+func echoUpper(dst, req []byte) []byte {
+	for _, b := range req {
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		dst = append(dst, b)
+	}
+	return dst
 }
 
 func testConnBasics(t *testing.T, srv Server) {
@@ -154,7 +161,7 @@ func TestSharedBufManyClientsConcurrent(t *testing.T) {
 }
 
 func TestTCPLargePayload(t *testing.T) {
-	srv, err := NewTCPServer(func(req []byte) []byte { return req })
+	srv, err := NewTCPServer(func(dst, req []byte) []byte { return append(dst, req...) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,8 +227,168 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRejectsOversized(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, err := readFrame(&buf); err == nil {
+	_, err := readFrame(&buf)
+	if err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if want := fmt.Sprintf("frame of %d bytes", uint32(0xFFFFFFFF)); !strings.Contains(err.Error(), want) {
+		t.Fatalf("err %q does not name the offending size %q", err, want)
+	}
+	// The arena read path reports the same typed error.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	a := getArena()
+	defer putArena(a)
+	if _, err := a.readBatch(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("readBatch err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	w := getArena()
+	r := getArena()
+	defer putArena(w)
+	defer putArena(r)
+	payloads := [][]byte{[]byte(""), []byte("a"), bytes.Repeat([]byte("z"), 100000)}
+	var buf bytes.Buffer
+	w.beginBatch()
+	for _, p := range payloads {
+		w.appendRecord(p)
+	}
+	if err := w.writeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.readBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(payloads) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(payloads))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(recs[i], p) {
+			t.Fatalf("record %d corrupted: %d vs %d bytes", i, len(recs[i]), len(p))
+		}
+	}
+}
+
+func TestBatchFrameRejectsMalformed(t *testing.T) {
+	r := getArena()
+	defer putArena(r)
+	cases := map[string][]byte{
+		"empty body":      {0, 0, 0, 0},
+		"truncated count": {0, 0, 0, 2, 0, 0, 0, 1},
+		"record overrun":  {0, 0, 0, 9, 0, 0, 0, 1, 0, 0, 0, 99, 'x'},
+		"trailing bytes":  {0, 0, 0, 10, 0, 0, 0, 1, 0, 0, 0, 1, 'x', 'y'},
+	}
+	for name, raw := range cases {
+		var buf bytes.Buffer
+		buf.Write(raw)
+		if _, err := r.readBatch(&buf); err == nil {
+			t.Fatalf("%s: malformed batch accepted", name)
+		}
+	}
+}
+
+func testCallBatch(t *testing.T, srv Server) {
+	t.Helper()
+	c, err := srv.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 17
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i] = []byte(fmt.Sprintf("batch-msg-%d", i))
+	}
+	for round := 0; round < 5; round++ {
+		resps, err := c.CallBatch(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resps) != n {
+			t.Fatalf("%d responses for %d requests", len(resps), n)
+		}
+		for i, resp := range resps {
+			if string(resp) != fmt.Sprintf("BATCH-MSG-%d", i) {
+				t.Fatalf("round %d record %d = %q", round, i, resp)
+			}
+		}
+	}
+	// Batches interleave with single calls on the same connection.
+	resp, err := c.Call([]byte("solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "SOLO" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestTCPCallBatch(t *testing.T) {
+	srv, err := NewTCPServer(echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	testCallBatch(t, srv)
+}
+
+func TestSharedBufCallBatch(t *testing.T) {
+	srv := NewSharedBufServer(1024, echoUpper)
+	defer srv.Close()
+	testCallBatch(t, srv)
+}
+
+// TestTCPCallBatchConcurrent drives batched calls from many
+// connections at once: per-connection arenas must not bleed into each
+// other through the shared pool.
+func TestTCPCallBatchConcurrent(t *testing.T) {
+	srv, err := NewTCPServer(echoUpper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := srv.Dial()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			reqs := make([][]byte, 9)
+			for round := 0; round < 40; round++ {
+				for j := range reqs {
+					reqs[j] = []byte(fmt.Sprintf("c%d-r%d-m%d", id, round, j))
+				}
+				resps, err := c.CallBatch(reqs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j, resp := range resps {
+					if string(resp) != fmt.Sprintf("C%d-R%d-M%d", id, round, j) {
+						errs <- fmt.Errorf("client %d round %d record %d = %q", id, round, j, resp)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 
@@ -233,10 +400,10 @@ func TestFrameRejectsOversized(t *testing.T) {
 func TestTCPCloseDrainsInFlightCall(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	srv, err := NewTCPServer(func(req []byte) []byte {
+	srv, err := NewTCPServer(func(dst, req []byte) []byte {
 		close(entered)
 		<-release
-		return append([]byte("ok:"), req...)
+		return append(append(dst, "ok:"...), req...)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -300,7 +467,7 @@ func TestTCPCloseDrainsInFlightCall(t *testing.T) {
 // promptly when connections are idle (blocked in readFrame, no request
 // in flight) and that a second Close is a no-op.
 func TestTCPCloseIdempotentWithIdleConn(t *testing.T) {
-	srv, err := NewTCPServer(func(req []byte) []byte { return req })
+	srv, err := NewTCPServer(func(dst, req []byte) []byte { return append(dst, req...) })
 	if err != nil {
 		t.Fatal(err)
 	}
