@@ -11,15 +11,23 @@
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // ablation engine-scale packet-path workload-scale placement-scale
-// transport-scale fleet-soak.
+// transport-scale seed-path fleet-soak.
 //
 // -json prints the selected experiment's result as machine-readable
 // JSON instead of a table (supported by packet-path, workload-scale,
-// placement-scale, and transport-scale; CI archives `farm-bench -exp
-// packet-path -json` as BENCH_packetpath.json, `-exp workload-scale
-// -json` as BENCH_workload.json, `-exp placement-scale -json` as
-// BENCH_placement.json, and `-exp transport-scale -json` as
-// BENCH_transport.json).
+// placement-scale, transport-scale, and seed-path; CI archives
+// `farm-bench -exp packet-path -json` as BENCH_packetpath.json, `-exp
+// workload-scale -json` as BENCH_workload.json, `-exp placement-scale
+// -json` as BENCH_placement.json, `-exp transport-scale -json` as
+// BENCH_transport.json, and `-exp seed-path -json` as
+// BENCH_seedpath.json).
+//
+// seed-path is the bytecode VM's A/B gate: every catalogue task runs
+// at fabric scale once on the AST interpreter and once on the
+// compiled back end under identical traffic; harvester report
+// streams, final seed snapshots, and delivery counters are folded
+// into digests that must match, and the wall-clock ratio is the
+// fleet-level speedup. Any divergence exits non-zero.
 //
 // -parallel N selects the sharded conservative-parallel event executor
 // with N workers for the experiments that support it (all of fig4 —
@@ -148,6 +156,7 @@ func main() {
 		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
 		{"placement-scale", "Placement scale: serial vs parallel vs warm-start solves (digest A/B)", runPlacementScale},
 		{"transport-scale", "Transport scale: unbatched vs batched wire path to 10k seeds (digest A/B)", runTransportScale},
+		{"seed-path", "Seed path: AST interpreter vs bytecode VM over the task catalogue (digest A/B)", runSeedPath},
 		{"fleet-soak", "Fleet soak: concurrent RPC clients + forced failover on a live fleetd", runFleetSoak},
 	}
 	if *list {
@@ -384,6 +393,29 @@ func runTransportScale(full bool) error {
 	// Like workload-scale, a divergence returns the measured result AND
 	// an error: render first, then fail the process.
 	res, err := experiments.TransportScale(cfg)
+	if res != nil {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+		} else {
+			fmt.Print(res.Table().Render())
+		}
+	}
+	return err
+}
+
+func runSeedPath(full bool) error {
+	cfg := experiments.SeedPathConfig{}
+	if full {
+		cfg.Leaves = 6
+		cfg.Millis = 4000
+	}
+	// Like workload-scale, a divergence returns the measured result AND
+	// an error: render first, then fail the process.
+	res, err := experiments.SeedPath(cfg)
 	if res != nil {
 		if jsonOut {
 			enc := json.NewEncoder(os.Stdout)

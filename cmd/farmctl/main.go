@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	farmctl compile  <file.alm>           # parse + compile + report
+//	farmctl compile  <file.alm> [-dump]   # parse + compile + report (-dump: bytecode disassembly)
 //	farmctl analyze  <file.alm> [machine] # placement/utility/poll analysis
 //	farmctl xml      <file.alm> [machine] # emit the XML wire format
 //	farmctl fmt      <file.alm>           # reprint in canonical form
@@ -114,6 +114,7 @@ func parseWithPositionals(fs *flag.FlagSet, args []string, max int) ([]string, e
 
 func cmdCompile(args []string) error {
 	fs := newFlagSet("compile")
+	dump := fs.Bool("dump", false, "disassemble the lowered bytecode for every machine")
 	pos, err := parseWithPositionals(fs, args, 1)
 	if err != nil {
 		return err
@@ -121,7 +122,7 @@ func cmdCompile(args []string) error {
 	if len(pos) < 1 {
 		return fmt.Errorf("compile needs a source file")
 	}
-	return fleet.CompileReport(os.Stdout, pos[0])
+	return fleet.CompileReport(os.Stdout, pos[0], *dump)
 }
 
 func cmdAnalyze(args []string) error {

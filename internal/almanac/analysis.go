@@ -119,47 +119,26 @@ func evalConstBinary(ex *BinaryExpr, l, r Const) (Const, error) {
 		return merged, nil
 	}
 	if l.Kind == ConstNum && r.Kind == ConstNum {
-		switch ex.Op {
-		case "+":
-			return NumConst(l.Num + r.Num), nil
-		case "-":
-			return NumConst(l.Num - r.Num), nil
-		case "*":
-			return NumConst(l.Num * r.Num), nil
-		case "/":
-			if r.Num == 0 {
-				return Const{}, anaErr(ex.Line(), "division by zero")
+		if res, ok, err := NumArith(ex.Op, l.Num, r.Num); ok {
+			if err != nil {
+				return Const{}, anaErr(ex.Line(), "%v", err)
 			}
-			return NumConst(l.Num / r.Num), nil
-		case "==":
-			return BoolConst(l.Num == r.Num), nil
-		case "<>":
-			return BoolConst(l.Num != r.Num), nil
-		case "<=":
-			return BoolConst(l.Num <= r.Num), nil
-		case ">=":
-			return BoolConst(l.Num >= r.Num), nil
-		case "<":
-			return BoolConst(l.Num < r.Num), nil
-		case ">":
-			return BoolConst(l.Num > r.Num), nil
+			return NumConst(res), nil
+		}
+		if res, ok := NumCompare(ex.Op, l.Num, r.Num); ok {
+			return BoolConst(res), nil
 		}
 	}
 	if l.Kind == ConstBool && r.Kind == ConstBool {
-		switch ex.Op {
-		case "and":
-			return BoolConst(l.Bool && r.Bool), nil
-		case "or":
-			return BoolConst(l.Bool || r.Bool), nil
+		if res, ok := BoolLogic(ex.Op, l.Bool, r.Bool); ok {
+			return BoolConst(res), nil
 		}
 	}
 	if l.Kind == ConstStr && r.Kind == ConstStr {
-		switch ex.Op {
-		case "==":
-			return BoolConst(l.Str == r.Str), nil
-		case "<>":
-			return BoolConst(l.Str != r.Str), nil
-		case "+":
+		if res, ok := StrCompare(ex.Op, l.Str, r.Str); ok {
+			return BoolConst(res), nil
+		}
+		if ex.Op == "+" {
 			return StrConst(l.Str + r.Str), nil
 		}
 	}

@@ -43,8 +43,17 @@ func TestParserRobustToMutations(t *testing.T) {
 			}()
 			prog, err := Parse(string(src))
 			if err == nil && prog != nil {
-				// If it still parses, compilation must also not panic.
-				_, _ = Compile(prog)
+				// If it still parses, compilation must also not panic —
+				// and whatever passes sema must lower to bytecode, since
+				// the compiled back end is the soil default.
+				cms, cerr := Compile(prog)
+				if cerr == nil {
+					for _, cm := range cms {
+						if _, lerr := Lower(cm, nil); lerr != nil {
+							t.Fatalf("sema-accepted mutant failed to lower: %v\n---\n%s", lerr, src)
+						}
+					}
+				}
 			}
 		}()
 	}
@@ -73,6 +82,38 @@ func TestWhateverCompilesEncodes(t *testing.T) {
 			}
 			if _, err := DecodeXML(data); err != nil {
 				t.Fatalf("decode failed: %v", err)
+			}
+		}
+	}
+}
+
+// Whatever compiles also lowers, disassembles, and reports sane
+// compiled-size metrics (the farmctl compile/analyze surface).
+func TestWhateverCompilesLowers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		src := hhSource
+		src = strings.ReplaceAll(src, "hitters", "h"+string(rune('a'+rng.Intn(26))))
+		src = strings.ReplaceAll(src, "thresh", "t"+string(rune('a'+rng.Intn(26))))
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		cms, err := Compile(prog)
+		if err != nil {
+			continue
+		}
+		for _, cm := range cms {
+			lp, err := Lower(cm, []string{"list_len", "list_get", "addTCAMRule"})
+			if err != nil {
+				t.Fatalf("lower failed for compiling machine: %v", err)
+			}
+			if lp.NumInstrs() <= 0 {
+				t.Fatalf("lowered %s has no instructions", cm.Name)
+			}
+			dump := lp.Disassemble()
+			if !strings.Contains(dump, "machine "+cm.Name) || !strings.Contains(dump, "chunk 0") {
+				t.Fatalf("disassembly incomplete:\n%s", dump)
 			}
 		}
 	}

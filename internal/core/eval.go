@@ -430,43 +430,32 @@ func (s *Seed) evalBinary(ex *almanac.BinaryExpr, sc *scope) (Value, error) {
 	if !lok || !rok {
 		return nil, fmt.Errorf("core: %s %s %s is not defined (line %d)", TypeName(l), ex.Op, TypeName(r), ex.Line())
 	}
-	bothInt := func() bool {
-		_, li := l.(int64)
-		_, ri := r.(int64)
-		return li && ri
+	// Arithmetic stays in int64 when both operands are longs; the
+	// float semantics (and division-by-zero) come from the shared
+	// almanac operator table so EvalConst, the interpreter, and the
+	// bytecode VM cannot drift.
+	if res, ok, err := almanac.NumArith(ex.Op, lf, rf); ok {
+		if err != nil {
+			return nil, fmt.Errorf("core: %v (line %d)", err, ex.Line())
+		}
+		li, lint := l.(int64)
+		ri, rint := r.(int64)
+		if lint && rint {
+			switch ex.Op {
+			case "+":
+				return li + ri, nil
+			case "-":
+				return li - ri, nil
+			case "*":
+				return li * ri, nil
+			case "/":
+				return li / ri, nil
+			}
+		}
+		return res, nil
 	}
-	switch ex.Op {
-	case "+":
-		if bothInt() {
-			return l.(int64) + r.(int64), nil
-		}
-		return lf + rf, nil
-	case "-":
-		if bothInt() {
-			return l.(int64) - r.(int64), nil
-		}
-		return lf - rf, nil
-	case "*":
-		if bothInt() {
-			return l.(int64) * r.(int64), nil
-		}
-		return lf * rf, nil
-	case "/":
-		if rf == 0 {
-			return nil, fmt.Errorf("core: division by zero (line %d)", ex.Line())
-		}
-		if bothInt() {
-			return l.(int64) / r.(int64), nil
-		}
-		return lf / rf, nil
-	case "<=":
-		return lf <= rf, nil
-	case ">=":
-		return lf >= rf, nil
-	case "<":
-		return lf < rf, nil
-	case ">":
-		return lf > rf, nil
+	if res, ok := almanac.NumCompare(ex.Op, lf, rf); ok {
+		return res, nil
 	}
 	return nil, fmt.Errorf("core: unknown operator %q", ex.Op)
 }

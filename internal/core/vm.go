@@ -1,0 +1,1688 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"farm/internal/almanac"
+	"farm/internal/dataplane"
+	"farm/internal/netmodel"
+)
+
+// The bytecode VM: executes an almanac.Lowered program allocation-free
+// in steady state. Values live unboxed in rval frames (machine env
+// slots, per-state persistent slots, a growable locals stack for
+// handler/function activations, and a shared operand stack); only
+// reference values (lists, maps, structs, sketches, ...) carry a boxed
+// payload. The AST interpreter (seed.go/eval.go) stays the semantic
+// reference: every operation here must match it bit-for-bit, including
+// error strings — the parity property tests enforce that.
+
+// rkind tags an rval.
+type rkind uint8
+
+const (
+	rkUndef rkind = iota // local slot whose DeclStmt has not executed yet
+	rkNil
+	rkInt
+	rkFloat
+	rkBool
+	rkStr
+	rkRef
+	rkMark // internal OpAndL marker ("lhs was truthy")
+)
+
+// rval is an unboxed VM value. Exactly one payload field is meaningful
+// for a given kind; bools use i (0/1). Strings keep their boxed Value
+// in ref — the common sources (literals, unbox) already hold one, so no
+// conversion happens, and the struct stays 40 bytes, which matters:
+// the dispatch loop is dominated by rval copies between slots.
+type rval struct {
+	k   rkind
+	i   int64
+	f   float64
+	ref Value
+}
+
+// asStr reads an rkStr payload.
+func (r rval) asStr() string { return r.ref.(string) }
+
+func rint(v int64) rval     { return rval{k: rkInt, i: v} }
+func rfloat(v float64) rval { return rval{k: rkFloat, f: v} }
+func rstr(v string) rval    { return rval{k: rkStr, ref: v} }
+func rbool(v bool) rval {
+	if v {
+		return rval{k: rkBool, i: 1}
+	}
+	return rval{k: rkBool}
+}
+func rref(v Value) rval { return rval{k: rkRef, ref: v} }
+
+// unbox converts a boxed Value into an rval.
+func unbox(v Value) rval {
+	switch x := v.(type) {
+	case nil:
+		return rval{k: rkNil}
+	case int64:
+		return rint(x)
+	case float64:
+		return rfloat(x)
+	case bool:
+		return rbool(x)
+	case string:
+		return rstr(x)
+	default:
+		return rref(v)
+	}
+}
+
+// box converts an rval back into a boxed Value (cold paths only:
+// bridged builtins, snapshots, sends, struct/list construction).
+func (r rval) box() Value {
+	switch r.k {
+	case rkUndef, rkNil:
+		return nil
+	case rkInt:
+		return r.i
+	case rkFloat:
+		return r.f
+	case rkBool:
+		return r.i != 0
+	case rkStr:
+		return r.ref
+	default:
+		return r.ref
+	}
+}
+
+// typeNameR mirrors TypeName without boxing.
+func typeNameR(r rval) string {
+	switch r.k {
+	case rkUndef, rkNil:
+		return "nil"
+	case rkInt:
+		return "long"
+	case rkFloat:
+		return "float"
+	case rkBool:
+		return "bool"
+	case rkStr:
+		return "string"
+	default:
+		return TypeName(r.ref)
+	}
+}
+
+// truthyR mirrors Truthy without boxing.
+func truthyR(r rval) (bool, error) {
+	switch r.k {
+	case rkBool, rkInt:
+		return r.i != 0, nil
+	case rkFloat:
+		return r.f != 0, nil
+	case rkNil:
+		return false, nil
+	}
+	return false, fmt.Errorf("core: %s is not usable as a condition", typeNameR(r))
+}
+
+// asFloatR mirrors AsFloat without boxing.
+func asFloatR(r rval) (float64, bool) {
+	switch r.k {
+	case rkInt:
+		return float64(r.i), true
+	case rkFloat:
+		return r.f, true
+	}
+	return 0, false
+}
+
+// eqR mirrors Equal on two rvals. Kinds that differ (with rkInt/rkFloat
+// as one numeric class) can never be Equal, which matches every branch
+// of the boxed implementation; same-class scalars compare directly and
+// references defer to Equal.
+func eqR(l, r rval) bool {
+	if lf, ok := asFloatR(l); ok {
+		rf, ok2 := asFloatR(r)
+		return ok2 && lf == rf
+	}
+	switch l.k {
+	case rkBool:
+		return r.k == rkBool && l.i == r.i
+	case rkStr:
+		return r.k == rkStr && l.asStr() == r.asStr()
+	case rkNil, rkUndef:
+		return r.k == rkNil || r.k == rkUndef
+	case rkRef:
+		return r.k == rkRef && Equal(l.ref, r.ref)
+	}
+	return false
+}
+
+// eqVR mirrors Equal(boxed, rval) without boxing the right side.
+func eqVR(v Value, r rval) bool {
+	if fv, ok := AsFloat(v); ok {
+		rf, ok2 := asFloatR(r)
+		return ok2 && fv == rf
+	}
+	switch x := v.(type) {
+	case bool:
+		return r.k == rkBool && x == (r.i != 0)
+	case string:
+		return r.k == rkStr && x == r.asStr()
+	case nil:
+		return r.k == rkNil
+	default:
+		return r.k == rkRef && Equal(v, r.ref)
+	}
+}
+
+// Prebuilt boxed zero values for reference kinds that are immutable (or
+// never mutated through the shared box), so OpZero stays allocation
+// free where the interpreter's zeroValue would re-box.
+var (
+	zeroListVal   Value = List(nil)
+	zeroFilterVal Value = FilterVal{}
+	zeroActionVal Value = ActionVal(dataplane.ActAllow)
+	zeroPacketVal Value = PacketVal{}
+)
+
+// zeroRval mirrors zeroValue. TMap must be fresh per execution (maps
+// are mutable references).
+func zeroRval(t almanac.Type) rval {
+	switch t {
+	case almanac.TBool:
+		return rbool(false)
+	case almanac.TInt, almanac.TLong:
+		return rint(0)
+	case almanac.TFloat:
+		return rfloat(0)
+	case almanac.TString:
+		return rstr("")
+	case almanac.TList:
+		return rref(zeroListVal)
+	case almanac.TMap:
+		return rref(MapVal{})
+	case almanac.TFilter:
+		return rref(zeroFilterVal)
+	case almanac.TAction:
+		return rref(zeroActionVal)
+	case almanac.TPacket:
+		return rref(zeroPacketVal)
+	default:
+		return rval{k: rkNil}
+	}
+}
+
+// vmSeed executes one deployed machine on the lowered back end. It
+// satisfies Runner exactly like *Seed does.
+type vmSeed struct {
+	in      *Seed // interpreter twin: init evaluation, host, bridged builtins
+	lp      *linkedLowered
+	env     []rval
+	states  [][]rval
+	state   int32
+	started bool
+	actions int
+
+	stack   []rval
+	sp      int
+	locals  []rval
+	lbase   int
+	scratch []Value // bridge argument buffer
+	bindBuf [1]rval
+}
+
+// newVMSeed builds the VM instance. Construction delegates to NewSeed
+// so init-expression evaluation, external binding/validation, and every
+// construction-time error string are shared with the interpreter; the
+// resulting maps are then flattened into slots.
+func newVMSeed(cm *almanac.CompiledMachine, externals map[string]Value, host Host, lp *linkedLowered) (*vmSeed, error) {
+	in, err := NewSeed(cm, externals, host)
+	if err != nil {
+		return nil, err
+	}
+	m := &vmSeed{in: in, lp: lp, state: lp.p.InitialState}
+	m.env = make([]rval, len(lp.p.EnvSlots))
+	for i, s := range lp.p.EnvSlots {
+		m.env[i] = unbox(in.env[s.Name])
+	}
+	m.states = make([][]rval, len(lp.p.States))
+	for si := range lp.p.States {
+		slots := lp.p.States[si].Slots
+		fr := make([]rval, len(slots))
+		sv := in.stateVars[lp.p.States[si].Name]
+		for i, s := range slots {
+			fr[i] = unbox(sv[s.Name])
+		}
+		m.states[si] = fr
+	}
+	m.stack = make([]rval, 32)
+	m.locals = make([]rval, 32)
+	return m, nil
+}
+
+func (m *vmSeed) Machine() *almanac.CompiledMachine { return m.in.Machine() }
+
+func (m *vmSeed) State() string { return m.lp.p.States[m.state].Name }
+
+func (m *vmSeed) Var(name string) (Value, bool) {
+	if ei, ok := m.lp.envIdx[name]; ok {
+		return m.env[ei].box(), true
+	}
+	return nil, false
+}
+
+func (m *vmSeed) TakeActionCount() int {
+	n := m.actions
+	m.actions = 0
+	return n
+}
+
+func (m *vmSeed) Start() error {
+	if m.started {
+		return fmt.Errorf("core: seed %s already started", m.lp.p.Machine)
+	}
+	m.started = true
+	if ci := m.lp.p.States[m.state].Enter; ci >= 0 {
+		return m.runTop(ci, nil, 0)
+	}
+	return nil
+}
+
+func (m *vmSeed) HandleTrigger(varName string, data Value) error {
+	ti, ok := m.lp.trigIdx[varName]
+	if !ok {
+		return nil
+	}
+	ci := m.lp.p.States[m.state].OnVar[ti]
+	if ci < 0 {
+		return nil // no handler in this state: the event is simply ignored
+	}
+	if m.lp.p.Chunks[ci].HasBind {
+		m.bindBuf[0] = unbox(data)
+		return m.runTop(ci, m.bindBuf[:1], 0)
+	}
+	return m.runTop(ci, nil, 0)
+}
+
+func (m *vmSeed) HandleRecv(from MsgSource, v Value) error {
+	st := &m.lp.p.States[m.state]
+	for i := range st.Recvs {
+		rc := &st.Recvs[i]
+		if !recvMatches(rc.Trigger, from, v) {
+			continue
+		}
+		if m.lp.p.Chunks[rc.Chunk].HasBind {
+			m.bindBuf[0] = unbox(CloneValue(v))
+			return m.runTop(rc.Chunk, m.bindBuf[:1], 0)
+		}
+		return m.runTop(rc.Chunk, nil, 0)
+	}
+	return nil
+}
+
+func (m *vmSeed) HandleRealloc() error {
+	if ci := m.lp.p.States[m.state].Realloc; ci >= 0 {
+		return m.runTop(ci, nil, 0)
+	}
+	return nil
+}
+
+func (m *vmSeed) Snapshot() Snapshot {
+	env := make(map[string]Value, len(m.env))
+	for i, s := range m.lp.p.EnvSlots {
+		env[s.Name] = CloneValue(m.env[i].box())
+	}
+	sv := make(map[string]map[string]Value, len(m.states))
+	for si := range m.lp.p.States {
+		slots := m.lp.p.States[si].Slots
+		vars := make(map[string]Value, len(slots))
+		for i, s := range slots {
+			vars[s.Name] = CloneValue(m.states[si][i].box())
+		}
+		sv[m.lp.p.States[si].Name] = vars
+	}
+	return Snapshot{Machine: m.lp.p.Machine, State: m.State(), Env: env, StateVars: sv}
+}
+
+func (m *vmSeed) Restore(snap Snapshot) error {
+	if snap.Machine != m.lp.p.Machine {
+		return fmt.Errorf("core: snapshot of %s cannot restore into %s", snap.Machine, m.lp.p.Machine)
+	}
+	tgt, ok := m.lp.stateIdx[snap.State]
+	if !ok {
+		return fmt.Errorf("core: snapshot state %s unknown", snap.State)
+	}
+	for k, v := range snap.Env {
+		ei, ok := m.lp.envIdx[k]
+		if !ok {
+			return fmt.Errorf("core: snapshot variable %s unknown", k)
+		}
+		m.env[ei] = unbox(CloneValue(v))
+	}
+	for stName, vars := range snap.StateVars {
+		si, ok := m.lp.stateIdx[stName]
+		if !ok {
+			return fmt.Errorf("core: snapshot state %s unknown", stName)
+		}
+		idx := m.lp.svIdx[si]
+		for k, v := range vars {
+			if vi, ok := idx[k]; ok {
+				m.states[si][vi] = unbox(CloneValue(v))
+			}
+			// Names the state never declared are silently dropped: the
+			// interpreter would stash them in its map where no program
+			// accepted by sema can observe them.
+		}
+	}
+	m.state = tgt
+	m.started = true
+	return nil
+}
+
+// runTop runs a handler chunk and then any transition cascade it
+// requests, with the interpreter's exact depth accounting (the depth
+// bound is checked before a chunk's body runs).
+func (m *vmSeed) runTop(ci int32, args []rval, depth int) error {
+	if depth > maxTransitChain {
+		return fmt.Errorf("core: seed %s: transition chain exceeds %d (state-machine loop?)", m.lp.p.Machine, maxTransitChain)
+	}
+	res, err := m.runChunk(ci, args)
+	if err != nil {
+		return err
+	}
+	if res.kind == ctrlTransit {
+		return m.transitionTo(res.transit, depth+1)
+	}
+	return nil
+}
+
+func (m *vmSeed) transitionTo(target int32, depth int) error {
+	if target < 0 {
+		// Handler transits are sema-validated; lowering emits OpErr for
+		// the unknown-state case, so this is unreachable. Keep the
+		// interpreter's error as a backstop.
+		return fmt.Errorf("core: seed %s: transit to unknown state %s", m.lp.p.Machine, "?")
+	}
+	old := &m.lp.p.States[m.state]
+	if old.Exit >= 0 {
+		res, err := m.runChunk(old.Exit, nil)
+		if err != nil {
+			return err
+		}
+		if res.kind == ctrlTransit {
+			return fmt.Errorf("core: seed %s: transit inside exit handler is not allowed", m.lp.p.Machine)
+		}
+	}
+	m.state = target
+	if ci := m.lp.p.States[target].Enter; ci >= 0 {
+		return m.runTop(ci, nil, depth)
+	}
+	return nil
+}
+
+// chunkResult is what a chunk halts with.
+type chunkResult struct {
+	kind    ctrl
+	transit int32
+	val     rval
+}
+
+func (m *vmSeed) growStack(sp int) []rval {
+	ns := make([]rval, len(m.stack)*2+8)
+	copy(ns, m.stack[:sp])
+	m.stack = ns
+	return ns
+}
+
+// dynLoad is the interpreter's scope chain minus handler locals
+// (resolved statically): current state's vars, then machine env.
+func (m *vmSeed) dynLoad(name string, line int32) (rval, error) {
+	if vi, ok := m.lp.svIdx[m.state][name]; ok {
+		return m.states[m.state][vi], nil
+	}
+	if ei, ok := m.lp.envIdx[name]; ok {
+		return m.env[ei], nil
+	}
+	return rval{}, fmt.Errorf("core: undeclared variable %s (line %d)", name, line)
+}
+
+func (m *vmSeed) dynStore(name string, v rval) error {
+	if vi, ok := m.lp.svIdx[m.state][name]; ok {
+		m.states[m.state][vi] = v
+		return nil
+	}
+	if ei, ok := m.lp.envIdx[name]; ok {
+		m.env[ei] = v
+		return nil
+	}
+	return fmt.Errorf("core: assignment to undeclared variable %s", name)
+}
+
+func opSym(op almanac.Op) string {
+	switch op {
+	case almanac.OpAdd:
+		return "+"
+	case almanac.OpSub:
+		return "-"
+	case almanac.OpMul:
+		return "*"
+	case almanac.OpDiv:
+		return "/"
+	case almanac.OpLt:
+		return "<"
+	case almanac.OpLe:
+		return "<="
+	case almanac.OpGt:
+		return ">"
+	case almanac.OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// cmpBase maps a fused compare-and-branch opcode back to the plain
+// comparison it was peepholed from, for the shared binOp slow path and
+// its error strings.
+func cmpBase(op almanac.Op) almanac.Op {
+	switch op {
+	case almanac.OpJLt:
+		return almanac.OpLt
+	case almanac.OpJLe:
+		return almanac.OpLe
+	case almanac.OpJGt:
+		return almanac.OpGt
+	default:
+		return almanac.OpGe
+	}
+}
+
+// setBoolR and setFloatR write a result into a stack slot touching only
+// the discriminant and its payload; readers never look at the other
+// fields, so skipping them avoids rewriting the whole rval.
+func setBoolR(l *rval, b bool) {
+	l.k = rkBool
+	if b {
+		l.i = 1
+	} else {
+		l.i = 0
+	}
+}
+
+func setFloatR(l *rval, f float64) {
+	l.k = rkFloat
+	l.f = f
+}
+
+// runChunk executes one chunk with the given bindings in local slots
+// 0..len(args)-1; all other local slots start undefined.
+func (m *vmSeed) runChunk(ci int32, args []rval) (chunkResult, error) {
+	ch := &m.lp.p.Chunks[ci]
+	lbase := m.lbase
+	need := lbase + int(ch.NumLocals)
+	if need > len(m.locals) {
+		nl := make([]rval, need*2+8)
+		copy(nl, m.locals[:lbase])
+		m.locals = nl
+	}
+	loc := m.locals[lbase:need:need]
+	n := copy(loc, args)
+	for i := n; i < len(loc); i++ {
+		loc[i] = rval{}
+	}
+	m.lbase = need
+	spBase := m.sp
+	res, err := m.run(ch.Code, loc)
+	m.lbase = lbase
+	m.sp = spBase
+	return res, err
+}
+
+func (m *vmSeed) run(code []almanac.Instr, loc []rval) (chunkResult, error) {
+	lp := m.lp
+	p := lp.p
+	lits := lp.lits
+	env := m.env
+	stf := m.states[m.state] // m.state is fixed for a chunk: transit exits it
+	st := m.stack
+	sp := m.sp
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		switch in.Op {
+		case almanac.OpNop:
+
+		case almanac.OpConst:
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = lits[in.A]
+			sp++
+
+		case almanac.OpZero:
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = zeroRval(almanac.Type(in.A))
+			sp++
+
+		case almanac.OpLoadEnv:
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = env[in.A]
+			sp++
+
+		case almanac.OpStoreEnv:
+			sp--
+			env[in.A] = st[sp]
+
+		case almanac.OpLoadSt:
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = stf[in.A]
+			sp++
+
+		case almanac.OpStoreSt:
+			sp--
+			stf[in.A] = st[sp]
+
+		case almanac.OpLoadLocEnv:
+			v := loc[in.A]
+			if v.k == rkUndef {
+				v = env[in.B]
+			}
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = v
+			sp++
+
+		case almanac.OpLoadLocSt:
+			v := loc[in.A]
+			if v.k == rkUndef {
+				v = stf[in.B]
+			}
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = v
+			sp++
+
+		case almanac.OpLoadLocDyn:
+			v := loc[in.A]
+			if v.k == rkUndef {
+				var err error
+				v, err = m.dynLoad(p.Names[in.B], in.Line)
+				if err != nil {
+					return chunkResult{}, err
+				}
+			}
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = v
+			sp++
+
+		case almanac.OpLoadLocErr:
+			v := loc[in.A]
+			if v.k == rkUndef {
+				return chunkResult{}, fmt.Errorf("core: undeclared variable %s (line %d)", p.Names[in.B], in.Line)
+			}
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = v
+			sp++
+
+		case almanac.OpStoreLocal:
+			sp--
+			loc[in.A] = st[sp]
+
+		case almanac.OpStoreLocEnv:
+			sp--
+			if loc[in.A].k != rkUndef {
+				loc[in.A] = st[sp]
+			} else {
+				env[in.B] = st[sp]
+			}
+
+		case almanac.OpStoreLocSt:
+			sp--
+			if loc[in.A].k != rkUndef {
+				loc[in.A] = st[sp]
+			} else {
+				stf[in.B] = st[sp]
+			}
+
+		case almanac.OpStoreLocDyn:
+			sp--
+			if loc[in.A].k != rkUndef {
+				loc[in.A] = st[sp]
+			} else if err := m.dynStore(p.Names[in.B], st[sp]); err != nil {
+				return chunkResult{}, err
+			}
+
+		case almanac.OpStoreLocErr:
+			sp--
+			if loc[in.A].k != rkUndef {
+				loc[in.A] = st[sp]
+			} else {
+				return chunkResult{}, fmt.Errorf("core: assignment to undeclared variable %s", p.Names[in.B])
+			}
+
+		case almanac.OpLoadDyn:
+			v, err := m.dynLoad(p.Names[in.A], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = v
+			sp++
+
+		case almanac.OpStoreDyn:
+			sp--
+			if err := m.dynStore(p.Names[in.A], st[sp]); err != nil {
+				return chunkResult{}, err
+			}
+
+		case almanac.OpLoadErr:
+			return chunkResult{}, fmt.Errorf("core: undeclared variable %s (line %d)", p.Names[in.A], in.Line)
+
+		case almanac.OpStoreErr:
+			return chunkResult{}, fmt.Errorf("core: assignment to undeclared variable %s", p.Names[in.A])
+
+		case almanac.OpJump:
+			pc = int(in.A) - 1
+
+		case almanac.OpJumpIfFalse:
+			sp--
+			b, err := truthyR(st[sp])
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if !b {
+				pc = int(in.A) - 1
+			}
+
+		case almanac.OpLoopInit:
+			loc[in.A] = rint(0)
+
+		case almanac.OpLoopCheck:
+			if loc[in.A].i >= maxWhileIterations {
+				return chunkResult{}, fmt.Errorf("core: while loop exceeded %d iterations (line %d)", maxWhileIterations, in.Line)
+			}
+			loc[in.A].i++
+
+		case almanac.OpTransit:
+			m.sp = sp
+			return chunkResult{kind: ctrlTransit, transit: in.A}, nil
+
+		case almanac.OpReturn:
+			res := chunkResult{kind: ctrlReturn, val: rval{k: rkNil}}
+			if in.A == 1 {
+				sp--
+				res.val = st[sp]
+			}
+			m.sp = sp
+			return res, nil
+
+		case almanac.OpNot:
+			b, err := truthyR(st[sp-1])
+			if err != nil {
+				return chunkResult{}, err
+			}
+			st[sp-1] = rbool(!b)
+
+		case almanac.OpNeg:
+			switch st[sp-1].k {
+			case rkInt:
+				st[sp-1].i = -st[sp-1].i
+			case rkFloat:
+				st[sp-1].f = -st[sp-1].f
+			default:
+				return chunkResult{}, fmt.Errorf("core: unary - on %s", typeNameR(st[sp-1]))
+			}
+
+		case almanac.OpEq:
+			sp--
+			setBoolR(&st[sp-1], eqR(st[sp-1], st[sp]))
+
+		case almanac.OpNe:
+			sp--
+			setBoolR(&st[sp-1], !eqR(st[sp-1], st[sp]))
+
+		case almanac.OpJEq:
+			sp -= 2
+			if !eqR(st[sp], st[sp+1]) {
+				pc = int(in.A) - 1
+			}
+
+		case almanac.OpJNe:
+			sp -= 2
+			if eqR(st[sp], st[sp+1]) {
+				pc = int(in.A) - 1
+			}
+
+		case almanac.OpJLt, almanac.OpJLe, almanac.OpJGt, almanac.OpJGe:
+			sp -= 2
+			l := &st[sp]
+			r := &st[sp+1]
+			var b bool
+			if l.k == rkInt && r.k == rkInt {
+				switch in.Op {
+				case almanac.OpJLt:
+					b = l.i < r.i
+				case almanac.OpJLe:
+					b = l.i <= r.i
+				case almanac.OpJGt:
+					b = l.i > r.i
+				default:
+					b = l.i >= r.i
+				}
+			} else if lf, lok := asFloatR(*l); lok {
+				rf, rok := asFloatR(*r)
+				if !rok {
+					return chunkResult{}, fmt.Errorf("core: %s %s %s is not defined (line %d)",
+						typeNameR(*l), opSym(cmpBase(in.Op)), typeNameR(*r), in.Line)
+				}
+				switch in.Op {
+				case almanac.OpJLt:
+					b = lf < rf
+				case almanac.OpJLe:
+					b = lf <= rf
+				case almanac.OpJGt:
+					b = lf > rf
+				default:
+					b = lf >= rf
+				}
+			} else {
+				// Non-numeric left operand: the shared slow path raises
+				// exactly the error the unfused comparison would.
+				v, err := m.binOp(almanac.Instr{Op: cmpBase(in.Op), Line: in.Line}, *l, *r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				b = v.i != 0
+			}
+			if !b {
+				pc = int(in.A) - 1
+			}
+
+		case almanac.OpAdd, almanac.OpSub, almanac.OpMul, almanac.OpDiv,
+			almanac.OpLt, almanac.OpLe, almanac.OpGt, almanac.OpGe:
+			sp--
+			l := &st[sp-1]
+			r := &st[sp]
+			if l.k == rkInt && r.k == rkInt {
+				// Long/long fast path inline; division falls through to
+				// binOp when the divisor is zero (for the error).
+				done := true
+				switch in.Op {
+				case almanac.OpAdd:
+					l.i += r.i
+				case almanac.OpSub:
+					l.i -= r.i
+				case almanac.OpMul:
+					l.i *= r.i
+				case almanac.OpDiv:
+					if r.i == 0 {
+						done = false
+					} else {
+						l.i /= r.i
+					}
+				case almanac.OpLt:
+					setBoolR(l, l.i < r.i)
+				case almanac.OpLe:
+					setBoolR(l, l.i <= r.i)
+				case almanac.OpGt:
+					setBoolR(l, l.i > r.i)
+				default:
+					setBoolR(l, l.i >= r.i)
+				}
+				if done {
+					break
+				}
+			}
+			lf, lok := asFloatR(*l)
+			rf, rok := asFloatR(*r)
+			if lok && rok {
+				// Mixed/float numeric fast path; division by zero falls
+				// through to binOp for the shared error string.
+				done := true
+				switch in.Op {
+				case almanac.OpAdd:
+					setFloatR(l, lf+rf)
+				case almanac.OpSub:
+					setFloatR(l, lf-rf)
+				case almanac.OpMul:
+					setFloatR(l, lf*rf)
+				case almanac.OpDiv:
+					if rf == 0 {
+						done = false
+					} else {
+						setFloatR(l, lf/rf)
+					}
+				case almanac.OpLt:
+					setBoolR(l, lf < rf)
+				case almanac.OpLe:
+					setBoolR(l, lf <= rf)
+				case almanac.OpGt:
+					setBoolR(l, lf > rf)
+				default:
+					setBoolR(l, lf >= rf)
+				}
+				if done {
+					break
+				}
+			}
+			v, err := m.binOp(*in, st[sp-1], st[sp])
+			if err != nil {
+				return chunkResult{}, err
+			}
+			st[sp-1] = v
+
+		case almanac.OpTruthy:
+			b, err := truthyR(st[sp-1])
+			if err != nil {
+				return chunkResult{}, err
+			}
+			st[sp-1] = rbool(b)
+
+		case almanac.OpAndL:
+			l := st[sp-1]
+			if l.k == rkRef {
+				if _, ok := l.ref.(FilterVal); ok {
+					break // leave the filter for OpAndR, evaluate rhs
+				}
+			}
+			b, err := truthyR(l)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if !b {
+				st[sp-1] = rbool(false)
+				pc = int(in.A) - 1
+				break
+			}
+			st[sp-1] = rval{k: rkMark}
+
+		case almanac.OpAndR:
+			sp--
+			r := st[sp]
+			mark := st[sp-1]
+			if mark.k == rkMark {
+				b, err := truthyR(r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				st[sp-1] = rbool(b)
+				break
+			}
+			lf := mark.ref.(FilterVal)
+			rf, ok := r.ref.(FilterVal)
+			if r.k != rkRef || !ok {
+				return chunkResult{}, fmt.Errorf("core: filter and %s", typeNameR(r))
+			}
+			lc := almanac.FilterConst(lf.F)
+			lc.PortAny = lf.PortAny
+			rc := almanac.FilterConst(rf.F)
+			rc.PortAny = rf.PortAny
+			merged, err := almanac.MergeFilterConsts(lc, rc)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			st[sp-1] = rref(FilterVal{F: merged.Filter, PortAny: merged.PortAny})
+
+		case almanac.OpOrL:
+			b, err := truthyR(st[sp-1])
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if b {
+				st[sp-1] = rbool(true)
+				pc = int(in.A) - 1
+			} else {
+				sp--
+			}
+
+		case almanac.OpField:
+			v, err := m.fieldOp(st[sp-1], p.Names[in.A], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			st[sp-1] = v
+
+		case almanac.OpFilterAtom:
+			v, err := filterAtomOp(st[sp-1], p.Names[in.A], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			st[sp-1] = v
+
+		case almanac.OpFilterAny:
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = rref(FilterVal{PortAny: true})
+			sp++
+
+		case almanac.OpStructLit:
+			site := &p.Structs[in.A]
+			n := len(site.Fields)
+			fields := make(MapVal, n)
+			for i := 0; i < n; i++ {
+				fields[site.Fields[i]] = st[sp-n+i].box()
+			}
+			sp -= n
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = rref(StructVal{Type: site.TypeName, Fields: fields})
+			sp++
+
+		case almanac.OpListLit:
+			n := int(in.A)
+			out := make(List, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, st[sp-n+i].box())
+			}
+			sp -= n
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = rref(out)
+			sp++
+
+		case almanac.OpCallB:
+			argc := int(in.B)
+			argv := st[sp-argc : sp]
+			if nf := lp.natives[in.A]; nf != nil {
+				res, handled, err := nf(m, argv, in.Line)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				if handled {
+					sp -= argc
+					if sp == len(st) {
+						st = m.growStack(sp)
+					}
+					st[sp] = res
+					sp++
+					break
+				}
+			}
+			// Bridge: box the arguments and run the shared builtin, so
+			// every cold path and error string has a single source.
+			m.scratch = m.scratch[:0]
+			for _, a := range argv {
+				m.scratch = append(m.scratch, a.box())
+			}
+			v, err := lp.bfns[in.A](m.in, m.scratch, int(in.Line))
+			if err != nil {
+				return chunkResult{}, err
+			}
+			sp -= argc
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = unbox(v)
+			sp++
+
+		case almanac.OpCallFn:
+			fn := &p.Funcs[in.A]
+			argc := int(in.B)
+			sp -= argc
+			m.sp = sp
+			res, err := m.runChunk(fn.Chunk, st[sp:sp+argc])
+			st = m.stack // the callee may have grown the shared stack
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if res.kind == ctrlTransit {
+				return chunkResult{}, fmt.Errorf("core: transit inside function %s is not allowed", fn.Name)
+			}
+			v := res.val
+			if res.kind != ctrlReturn {
+				v = rval{k: rkNil}
+			}
+			if sp == len(st) {
+				st = m.growStack(sp)
+			}
+			st[sp] = v
+			sp++
+
+		case almanac.OpStep:
+			m.actions++
+
+		case almanac.OpPop:
+			sp--
+
+		case almanac.OpSend:
+			site := &p.Sends[in.A]
+			dest := SendDest{Harvester: site.Harvester, Machine: site.Machine}
+			if site.HasDst {
+				sp--
+				d := st[sp]
+				if d.k != rkStr {
+					return chunkResult{}, fmt.Errorf("core: send destination must be a string, got %s", typeNameR(d))
+				}
+				dest.Dst = d.asStr()
+			}
+			sp--
+			m.in.host.Send(dest, CloneValue(st[sp].box()))
+
+		case almanac.OpSetIval:
+			sp--
+			v := st[sp]
+			name := p.Names[in.A]
+			ms, ok := asFloatR(v)
+			if !ok || ms <= 0 {
+				return chunkResult{}, fmt.Errorf("core: trigger %s.ival must be a positive number, got %s", name, FormatValue(v.box()))
+			}
+			m.in.host.SetTriggerInterval(name, ms)
+
+		case almanac.OpSetTrigger:
+			sp--
+			v := st[sp]
+			name := p.Names[in.A]
+			var sv StructVal
+			ok := v.k == rkRef
+			if ok {
+				sv, ok = v.ref.(StructVal)
+			}
+			if !ok {
+				return chunkResult{}, fmt.Errorf("core: trigger %s must be assigned a Poll/Probe value", name)
+			}
+			ivalV, ok := sv.Fields["ival"]
+			if !ok {
+				return chunkResult{}, fmt.Errorf("core: trigger %s reassignment needs .ival", name)
+			}
+			ms, ok := AsFloat(ivalV)
+			if !ok || ms <= 0 {
+				return chunkResult{}, fmt.Errorf("core: trigger %s.ival must be a positive number", name)
+			}
+			m.in.host.SetTriggerInterval(name, ms)
+
+		case almanac.OpFieldAssign:
+			sp--
+			if err := m.fieldAssign(&p.FieldAssigns[in.A], loc, st[sp]); err != nil {
+				return chunkResult{}, err
+			}
+
+		case almanac.OpErr:
+			return chunkResult{}, errors.New(p.Errs[in.A])
+
+		default:
+			return chunkResult{}, fmt.Errorf("core: vm: unknown opcode %d", in.Op)
+		}
+	}
+	m.sp = sp
+	return chunkResult{val: rval{k: rkNil}}, nil
+}
+
+// binOp implements + - * / < <= > >= with the interpreter's exact
+// semantics: string/list concatenation for +, int64 arithmetic when
+// both operands are longs, the shared almanac float table otherwise.
+func (m *vmSeed) binOp(in almanac.Instr, l, r rval) (rval, error) {
+	if l.k == rkInt && r.k == rkInt {
+		switch in.Op {
+		case almanac.OpAdd:
+			return rint(l.i + r.i), nil
+		case almanac.OpSub:
+			return rint(l.i - r.i), nil
+		case almanac.OpMul:
+			return rint(l.i * r.i), nil
+		case almanac.OpDiv:
+			if r.i == 0 {
+				return rval{}, fmt.Errorf("core: division by zero (line %d)", in.Line)
+			}
+			return rint(l.i / r.i), nil
+		case almanac.OpLt:
+			return rbool(l.i < r.i), nil
+		case almanac.OpLe:
+			return rbool(l.i <= r.i), nil
+		case almanac.OpGt:
+			return rbool(l.i > r.i), nil
+		case almanac.OpGe:
+			return rbool(l.i >= r.i), nil
+		}
+	}
+	if in.Op == almanac.OpAdd {
+		if l.k == rkStr && r.k == rkStr {
+			return rstr(l.asStr() + r.asStr()), nil
+		}
+		if l.k == rkRef && r.k == rkRef {
+			if ll, ok := l.ref.(List); ok {
+				if rl, ok := r.ref.(List); ok {
+					out := make(List, 0, len(ll)+len(rl))
+					out = append(out, ll...)
+					return rref(append(out, rl...)), nil
+				}
+			}
+		}
+	}
+	lf, lok := asFloatR(l)
+	rf, rok := asFloatR(r)
+	if !lok || !rok {
+		return rval{}, fmt.Errorf("core: %s %s %s is not defined (line %d)", typeNameR(l), opSym(in.Op), typeNameR(r), in.Line)
+	}
+	if res, ok, err := almanac.NumArith(opSym(in.Op), lf, rf); ok {
+		if err != nil {
+			return rval{}, fmt.Errorf("core: %v (line %d)", err, in.Line)
+		}
+		return rfloat(res), nil
+	}
+	res, _ := almanac.NumCompare(opSym(in.Op), lf, rf)
+	return rbool(res), nil
+}
+
+// fieldOp mirrors evalField/packetField.
+func (m *vmSeed) fieldOp(x rval, field string, line int32) (rval, error) {
+	if x.k == rkRef {
+		switch v := x.ref.(type) {
+		case StructVal:
+			f, ok := v.Fields[field]
+			if !ok {
+				return rval{}, fmt.Errorf("core: struct %s has no field %s (line %d)", v.Type, field, line)
+			}
+			return unbox(f), nil
+		case ResourcesVal:
+			return unbox(netmodel.Resources(v)[field]), nil
+		case MapVal:
+			return unbox(v[field]), nil
+		case PacketVal:
+			return packetFieldR(v, field, line)
+		}
+	}
+	return rval{}, fmt.Errorf("core: %s has no fields (line %d)", typeNameR(x), line)
+}
+
+// packetFieldR mirrors packetField without boxing.
+func packetFieldR(p PacketVal, field string, line int32) (rval, error) {
+	switch field {
+	case "srcIP":
+		return rstr(p.SrcIP.String()), nil
+	case "dstIP":
+		return rstr(p.DstIP.String()), nil
+	case "srcPort":
+		return rint(int64(p.SrcPort)), nil
+	case "dstPort":
+		return rint(int64(p.DstPort)), nil
+	case "proto":
+		return rstr(dataplaneProtoName(p)), nil
+	case "size":
+		return rint(int64(p.Size)), nil
+	case "syn":
+		return rbool(p.Flags.Has(flagSYN)), nil
+	case "ack":
+		return rbool(p.Flags.Has(flagACK)), nil
+	case "fin":
+		return rbool(p.Flags.Has(flagFIN)), nil
+	case "rst":
+		return rbool(p.Flags.Has(flagRST)), nil
+	case "dnsResponse":
+		return rbool(p.App.DNSResponse), nil
+	case "dnsQName":
+		return rstr(p.App.DNSQName), nil
+	case "sshAuthFail":
+		return rbool(p.App.SSHAuthFail), nil
+	case "httpPartial":
+		return rbool(p.App.HTTPPartial), nil
+	case "flow":
+		return rstr(dataplanePacket(p).Flow().String()), nil
+	}
+	return rval{}, fmt.Errorf("core: packet has no field %s (line %d)", field, line)
+}
+
+// filterAtomOp mirrors evalFilterAtom (the non-ANY path).
+func filterAtomOp(arg rval, field string, line int32) (rval, error) {
+	var c almanac.Const
+	switch arg.k {
+	case rkInt:
+		c = almanac.NumConst(float64(arg.i))
+	case rkFloat:
+		c = almanac.NumConst(arg.f)
+	case rkStr:
+		c = almanac.StrConst(arg.asStr())
+	default:
+		return rval{}, fmt.Errorf("core: filter field %s: unsupported argument %s (line %d)", field, typeNameR(arg), line)
+	}
+	fc, err := almanac.BuildFilterAtom(field, c)
+	if err != nil {
+		return rval{}, fmt.Errorf("core: %w (line %d)", err, line)
+	}
+	return rref(FilterVal{F: fc.Filter, PortAny: fc.PortAny}), nil
+}
+
+// fieldAssign mirrors execAssign's struct-field path.
+func (m *vmSeed) fieldAssign(fa *almanac.FieldAssignSite, loc []rval, v rval) error {
+	var cur rval
+	found := false
+	if fa.Local >= 0 && loc[fa.Local].k != rkUndef {
+		cur = loc[fa.Local]
+		found = true
+	} else if fa.Dyn {
+		if vi, ok := m.lp.svIdx[m.state][fa.Target]; ok {
+			cur = m.states[m.state][vi]
+			found = true
+		} else if ei, ok := m.lp.envIdx[fa.Target]; ok {
+			cur = m.env[ei]
+			found = true
+		}
+	} else if fa.St >= 0 {
+		cur = m.states[m.state][fa.St]
+		found = true
+	} else if fa.Env >= 0 {
+		cur = m.env[fa.Env]
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("core: assignment to undeclared variable %s", fa.Target)
+	}
+	var sv StructVal
+	ok := cur.k == rkRef
+	if ok {
+		sv, ok = cur.ref.(StructVal)
+	}
+	if !ok {
+		return fmt.Errorf("core: %s is %s, not a struct", fa.Target, typeNameR(cur))
+	}
+	if _, ok := sv.Fields[fa.Field]; !ok {
+		return fmt.Errorf("core: struct %s has no field %s", sv.Type, fa.Field)
+	}
+	sv.Fields[fa.Field] = v.box()
+	return nil
+}
+
+// nativeFn is an unboxed fast path for one builtin: handled=false means
+// "bridge to the boxed builtin" (unexpected types, arity, or any error
+// case — error strings have exactly one source, builtins.go).
+type nativeFn func(m *vmSeed, args []rval, line int32) (res rval, handled bool, err error)
+
+var vmNatives = map[string]nativeFn{
+	"list_len":          nvListLen,
+	"is_list_empty":     nvListEmpty,
+	"list_get":          nvListGet,
+	"list_contains":     nvListContains,
+	"list_clear":        nvListClear,
+	"map_new":           nvMapNew,
+	"map_get":           nvMapGet,
+	"map_set":           nvMapSet,
+	"map_has":           nvMapHas,
+	"map_del":           nvMapDel,
+	"map_len":           nvMapLen,
+	"min":               nvMin,
+	"max":               nvMax,
+	"abs":               nvAbs,
+	"floor":             nvFloor,
+	"log":               nvLog,
+	"log2":              nvLog2,
+	"now":               nvNow,
+	"str":               nvStr,
+	"getHH":             nvGetHH,
+	"sketch_add":        nvSketchAdd,
+	"sketch_count":      nvSketchCount,
+	"sketch_total":      nvSketchTotal,
+	"distinct_add":      nvDistinctAdd,
+	"distinct_estimate": nvDistinctEstimate,
+}
+
+// asListR extracts a List per asList semantics (nil passes); handled
+// reports whether the rval is list-shaped at all.
+func asListR(r rval) (List, bool) {
+	if r.k == rkNil {
+		return nil, true
+	}
+	if r.k == rkRef {
+		if l, ok := r.ref.(List); ok {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+func nvListLen(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	l, ok := asListR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rint(int64(len(l))), true, nil
+}
+
+func nvListEmpty(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	l, ok := asListR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rbool(len(l) == 0), true, nil
+}
+
+func nvListGet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	l, ok := asListR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	idx, ok := asFloatR(args[1])
+	if !ok {
+		return rval{}, false, nil
+	}
+	i := int(idx)
+	if i < 0 || i >= len(l) {
+		return rval{}, false, nil // bridge for the exact range error
+	}
+	return unbox(l[i]), true, nil
+}
+
+func nvListContains(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	l, ok := asListR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	for _, e := range l {
+		if eqVR(e, args[1]) {
+			return rbool(true), true, nil
+		}
+	}
+	return rbool(false), true, nil
+}
+
+func nvListClear(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	return rref(zeroListVal), true, nil
+}
+
+func nvMapNew(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 0 {
+		return rval{}, false, nil
+	}
+	return rref(MapVal{}), true, nil
+}
+
+func nvMapGet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 3 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	mv, ok := args[0].ref.(MapVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	if v, ok := mv[args[1].asStr()]; ok {
+		return unbox(v), true, nil
+	}
+	return args[2], true, nil
+}
+
+func nvMapSet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 3 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	mv, ok := args[0].ref.(MapVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	mv[args[1].asStr()] = args[2].box()
+	return args[0], true, nil
+}
+
+func nvMapHas(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	mv, ok := args[0].ref.(MapVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	_, has := mv[args[1].asStr()]
+	return rbool(has), true, nil
+}
+
+func nvMapDel(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	mv, ok := args[0].ref.(MapVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	delete(mv, args[1].asStr())
+	return args[0], true, nil
+}
+
+func nvMapLen(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef {
+		return rval{}, false, nil
+	}
+	mv, ok := args[0].ref.(MapVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rint(int64(len(mv))), true, nil
+}
+
+// nvMinMax mirrors biMin/biMax: float comparison, int64 result when
+// every operand is a long (including the same float64→int64 narrowing).
+func nvMinMax(args []rval, max bool) (rval, bool, error) {
+	if len(args) == 0 {
+		return rval{}, false, nil
+	}
+	allInt := true
+	best, ok := asFloatR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkInt {
+		allInt = false
+	}
+	for _, a := range args[1:] {
+		f, ok := asFloatR(a)
+		if !ok {
+			return rval{}, false, nil
+		}
+		if a.k != rkInt {
+			allInt = false
+		}
+		if (max && f > best) || (!max && f < best) {
+			best = f
+		}
+	}
+	if allInt {
+		return rint(int64(best)), true, nil
+	}
+	return rfloat(best), true, nil
+}
+
+func nvMin(_ *vmSeed, args []rval, _ int32) (rval, bool, error) { return nvMinMax(args, false) }
+func nvMax(_ *vmSeed, args []rval, _ int32) (rval, bool, error) { return nvMinMax(args, true) }
+
+func nvAbs(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	switch args[0].k {
+	case rkInt:
+		if args[0].i < 0 {
+			return rint(-args[0].i), true, nil
+		}
+		return args[0], true, nil
+	case rkFloat:
+		return rfloat(math.Abs(args[0].f)), true, nil
+	}
+	return rval{}, false, nil
+}
+
+func nvFloor(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	f, ok := asFloatR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rint(int64(math.Floor(f))), true, nil
+}
+
+func nvLog(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	f, ok := asFloatR(args[0])
+	if !ok || f <= 0 {
+		return rval{}, false, nil
+	}
+	return rfloat(math.Log(f)), true, nil
+}
+
+func nvLog2(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 {
+		return rval{}, false, nil
+	}
+	f, ok := asFloatR(args[0])
+	if !ok || f <= 0 {
+		return rval{}, false, nil
+	}
+	return rfloat(math.Log2(f)), true, nil
+}
+
+func nvNow(m *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 0 {
+		return rval{}, false, nil
+	}
+	return rfloat(float64(m.in.host.Now().Milliseconds())), true, nil
+}
+
+func nvStr(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 || args[0].k != rkStr {
+		return rval{}, false, nil
+	}
+	return args[0], true, nil
+}
+
+func nvGetHH(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	stats, ok := asListR(args[0])
+	if !ok {
+		return rval{}, false, nil
+	}
+	th, ok := asFloatR(args[1])
+	if !ok {
+		return rval{}, false, nil
+	}
+	var hitters List
+	for _, rec := range stats {
+		sv, ok := rec.(StructVal)
+		if !ok || sv.Type != "PortStats" {
+			return rval{}, false, nil // bridge for the exact error
+		}
+		d, _ := AsFloat(sv.Fields["dTxBytes"])
+		if d >= th {
+			hitters = append(hitters, sv.Fields["port"])
+		}
+	}
+	return rref(hitters), true, nil
+}
+
+func nvSketchAdd(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 3 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	s, ok := args[0].ref.(SketchVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	delta, ok := asFloatR(args[2])
+	if !ok || delta < 0 {
+		return rval{}, false, nil
+	}
+	s.S.Add(args[1].asStr(), uint64(delta))
+	return args[0], true, nil
+}
+
+func nvSketchCount(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	s, ok := args[0].ref.(SketchVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rint(int64(s.S.Count(args[1].asStr()))), true, nil
+}
+
+func nvSketchTotal(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 || args[0].k != rkRef {
+		return rval{}, false, nil
+	}
+	s, ok := args[0].ref.(SketchVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rint(int64(s.S.Total())), true, nil
+}
+
+func nvDistinctAdd(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 2 {
+		return rval{}, false, nil
+	}
+	if args[0].k != rkRef || args[1].k != rkStr {
+		return rval{}, false, nil
+	}
+	d, ok := args[0].ref.(DistinctVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	d.D.Add(args[1].asStr())
+	return args[0], true, nil
+}
+
+func nvDistinctEstimate(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+	if len(args) != 1 || args[0].k != rkRef {
+		return rval{}, false, nil
+	}
+	d, ok := args[0].ref.(DistinctVal)
+	if !ok {
+		return rval{}, false, nil
+	}
+	return rfloat(d.D.Estimate()), true, nil
+}

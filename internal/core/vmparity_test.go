@@ -1,0 +1,585 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"farm/internal/almanac"
+	"farm/internal/dataplane"
+)
+
+// The bytecode VM must be observationally identical to the AST
+// interpreter: same states, same variables, same emissions, same error
+// strings, same action counts. These tests run both back ends side by
+// side over snippets, hand-picked corner cases, and long random trigger
+// sequences, and diff everything.
+
+func parityCompile(t *testing.T, src, name string) *almanac.CompiledMachine {
+	t.Helper()
+	prog, err := almanac.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	cm, err := almanac.CompileMachine(prog, name)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cm
+}
+
+// backendPair holds the interpreter and the VM deployed from one
+// machine with identical externals.
+type backendPair struct {
+	interp Runner
+	vm     Runner
+	hi     *mockHost
+	hv     *mockHost
+}
+
+func newBackendPair(t *testing.T, cm *almanac.CompiledMachine, ext map[string]Value) *backendPair {
+	t.Helper()
+	hi, hv := newMockHost(), newMockHost()
+	ri, erri := NewRunner(cm, cloneExternals(ext), hi, true)
+	rv, errv := NewRunner(cm, cloneExternals(ext), hv, false)
+	if (erri == nil) != (errv == nil) || (erri != nil && erri.Error() != errv.Error()) {
+		t.Fatalf("construction diverged: interp=%v vm=%v", erri, errv)
+	}
+	if erri != nil {
+		return nil
+	}
+	if _, ok := ri.(*Seed); !ok {
+		t.Fatalf("interpret=true returned %T", ri)
+	}
+	if _, ok := rv.(*vmSeed); !ok {
+		t.Fatalf("interpret=false returned %T (lowering fell back?)", rv)
+	}
+	return &backendPair{interp: ri, vm: rv, hi: hi, hv: hv}
+}
+
+func cloneExternals(ext map[string]Value) map[string]Value {
+	if ext == nil {
+		return nil
+	}
+	out := make(map[string]Value, len(ext))
+	for k, v := range ext {
+		out[k] = CloneValue(v)
+	}
+	return out
+}
+
+// fingerprint renders a runner's full observable state deterministically.
+func fingerprint(r Runner) string {
+	snap := r.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "state=%s\n", snap.State)
+	for _, k := range sortedKeys(snap.Env) {
+		fmt.Fprintf(&b, "env %s=%s\n", k, FormatValue(snap.Env[k]))
+	}
+	stNames := make([]string, 0, len(snap.StateVars))
+	for k := range snap.StateVars {
+		stNames = append(stNames, k)
+	}
+	sort.Strings(stNames)
+	for _, st := range stNames {
+		for _, k := range sortedKeys(snap.StateVars[st]) {
+			fmt.Fprintf(&b, "var %s.%s=%s\n", st, k, FormatValue(snap.StateVars[st][k]))
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]Value) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hostTrace renders every externally visible host interaction.
+func hostTrace(h *mockHost) string {
+	var b strings.Builder
+	for _, m := range h.sent {
+		fmt.Fprintf(&b, "send harv=%v machine=%q dst=%q v=%s\n", m.to.Harvester, m.to.Machine, m.to.Dst, FormatValue(m.v))
+	}
+	ivals := make([]string, 0, len(h.intervals))
+	for k, v := range h.intervals {
+		ivals = append(ivals, fmt.Sprintf("ival %s=%g", k, v))
+	}
+	sort.Strings(ivals)
+	for _, s := range ivals {
+		fmt.Fprintf(&b, "%s\n", s)
+	}
+	for _, c := range h.execCalls {
+		fmt.Fprintf(&b, "exec %s\n", c)
+	}
+	for _, l := range h.logs {
+		fmt.Fprintf(&b, "log %s\n", l)
+	}
+	return b.String()
+}
+
+// diffPair asserts both backends are indistinguishable right now.
+func diffPair(t *testing.T, p *backendPair, ctx string) {
+	t.Helper()
+	if a, b := p.interp.State(), p.vm.State(); a != b {
+		t.Fatalf("%s: state interp=%s vm=%s", ctx, a, b)
+	}
+	if a, b := fingerprint(p.interp), fingerprint(p.vm); a != b {
+		t.Fatalf("%s: fingerprint diverged\n--- interp ---\n%s--- vm ---\n%s", ctx, a, b)
+	}
+	if a, b := hostTrace(p.hi), hostTrace(p.hv); a != b {
+		t.Fatalf("%s: host trace diverged\n--- interp ---\n%s--- vm ---\n%s", ctx, a, b)
+	}
+	if a, b := p.interp.TakeActionCount(), p.vm.TakeActionCount(); a != b {
+		t.Fatalf("%s: action count interp=%d vm=%d", ctx, a, b)
+	}
+}
+
+// parityErr asserts the two error outcomes are identical and returns
+// the shared error (nil when both succeeded).
+func parityErr(t *testing.T, ctx string, erri, errv error) error {
+	t.Helper()
+	if (erri == nil) != (errv == nil) || (erri != nil && erri.Error() != errv.Error()) {
+		t.Fatalf("%s: error diverged\ninterp: %v\nvm:     %v", ctx, erri, errv)
+	}
+	return erri
+}
+
+func TestVMSnippetParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		decls string
+		body  string
+	}{
+		{"integer arithmetic", "long a; long b;", "a = 7 * 6 - 2; b = a / 4;"},
+		{"float promotion", "float f;", "f = 3 / 2.0;"},
+		{"division by zero", "long a;", "a = 1 / 0;"},
+		{"float division by zero", "float a;", "a = 1.0 / 0;"},
+		{"string concat", "string s; bool eq;", `s = "a" + "b"; eq = s == "ab";`},
+		{"list concat", "list l; long n; bool has;", "l = [1, 2] + [3]; n = list_len(l); has = list_contains(l, 3);"},
+		{"map ops", "map m; long v; long missing; long sz;", `m = map_set(m, "k", 5); v = map_get(m, "k", 0); missing = map_get(m, "nope", 42); sz = map_len(m);`},
+		{"while loop", "long sum; long i;", "i = 1; while (i <= 10) { sum = sum + i; i = i + 1; }"},
+		{"if else chains", "long x; string cls;", `x = 7; if (x > 10) then { cls = "big"; } else if (x > 5) then { cls = "mid"; } else { cls = "small"; }`},
+		{"short circuit", "bool a; bool b;", "a = false and (1 / 0 == 1); b = true or (1 / 0 == 1);"},
+		{"not and comparisons", "bool a; bool b; bool c;", "a = not (1 > 2); b = 3 <> 4; c = 2 <= 2;"},
+		{"mixed compare", "bool a; bool b;", "a = 1 < 1.5; b = 2.0 >= 2;"},
+		{"math builtins", "long mn; long mx; long ab; long fl;", "mn = min(3, 1, 2); mx = max(3, 1, 2); ab = abs(0 - 9); fl = floor(3.9);"},
+		{"float min max", "float mn; float mx;", "mn = min(3, 1.5); mx = max(0 - 2.5, 1);"},
+		{"log builtins", "float a; float b;", "a = log(8.0); b = log2(8);"},
+		{"log of nonpositive", "float a;", "a = log(0);"},
+		{"unary minus", "long a; float b;", "a = -5; b = -(2.5);"},
+		{"unary minus error", "string s; long a;", `s = "x"; a = -s;`},
+		{"condition type error", "long a;", `if ("nope") then { a = 1; }`},
+		{"add type error", "long a;", `a = 1 + "x";`},
+		{"struct literal and field assign", "long out;", "Pair p = Pair { .a = 1, .b = 2 }; p.a = 10; out = p.a + p.b;"},
+		{"struct field missing", "long out;", "Pair p = Pair { .a = 1, .b = 2 }; out = p.c;"},
+		{"field assign non-struct", "long x;", "x = 1; x.a = 2;"},
+		{"filter values", "filter f; bool removed;", `f = dstPort 80 and proto "tcp"; addTCAMRule(f, drop(), 5); removed = removeTCAMRule(f);`},
+		{"filter and non-filter", "filter f;", `f = dstPort 80 and 1;`},
+		{"sketch roundtrip", "list sk; long c; long tot;", `sk = sketch_new(64, 3); sketch_add(sk, "k", 5); sketch_add(sk, "k", 2); c = sketch_count(sk, "k"); tot = sketch_total(sk);`},
+		{"distinct estimate", "list d; float est;", `d = distinct_new(1024); distinct_add(d, "a"); distinct_add(d, "b"); distinct_add(d, "a"); est = distinct_estimate(d);`},
+		{"undeclared variable", "", "nosuch = 1;"},
+		{"undeclared read", "long a;", "a = nosuch;"},
+		{"unknown function", "long a;", "a = frobnicate(1);"},
+		{"function arity", "long a;", "a = f2(1);"},
+		{"list_get out of range", "long a;", "a = list_get([1], 5);"},
+		{"list_get negative", "long a;", "a = list_get([1], 0 - 1);"},
+		{"str rendering", "string s;", "s = str(42);"},
+		{"str passthrough", "string s;", `s = str("x");`},
+		{"now builtin", "float n;", "n = now();"},
+		{"list append and clear", "list l; long n;", "l = list_append(l, 9); l = list_append(l, 8); n = list_len(l); l = list_clear(l);"},
+		{"map keys", "map m; list ks;", `m = map_set(m, "b", 1); m = map_set(m, "a", 2); ks = map_keys(m);`},
+		{"map has and del", "map m; bool h1; bool h2;", `m = map_set(m, "k", 1); h1 = map_has(m, "k"); m = map_del(m, "k"); h2 = map_has(m, "k");`},
+		{"nested function calls", "long out;", "out = f2(f2(1, 2), f2(3, 4));"},
+		{"function return nothing", "long out;", "out = 5; noret(1);"},
+		{"conditional decl then use", "long out;", "if (1 > 2) then { long x = 5; } out = 1;"},
+		{"conditional decl undeclared read", "long out;", "if (1 > 2) then { long x = 5; } out = x;"},
+		{"decl shadows machine var", "long g; long out;", "g = 1; long g = 7; out = g;"},
+		{"conditional shadow falls back", "long g; long out;", "g = 3; if (1 > 2) then { long g = 7; g = 9; } out = g;"},
+		{"transit to other", "long a;", "a = 1; transit other;"},
+		{"transit inside loop", "long i;", "while (i < 5) { i = i + 1; if (i == 3) then { transit other; } }"},
+		{"send to harvester", "long a;", "a = 4; send a to harvester;"},
+		{"send list clones", "list l;", "l = [1]; send l to harvester; l = list_append(l, 2);"},
+		{"trigger retune", "", "p.ival = 50;"},
+		{"trigger retune bad", "", "p.ival = 0 - 5;"},
+		{"trigger retune non-number", "", `p.ival = "fast";`},
+		{"trigger other field", "", "p.what = 1;"},
+		{"res fields", "float c;", "c = res().vCPU + res().RAM;"},
+		{"exec hook", "string r;", `r = str(exec("cmd", 1));`},
+		{"log hook", "", `log_msg("hello " + str(7));`},
+		{"empty list zero", "list l; bool e;", "e = is_list_empty(l);"},
+		{"map zero fresh", "map m; long n;", `m = map_set(m, "x", 1); n = map_len(m);`},
+		{"eq across types", "bool a; bool b; bool c;", `a = 1 == 1.0; b = 1 == "1"; c = [1] == [1];`},
+		{"nil compare", "bool a;", "a = exec(\"x\", 0) == exec(\"y\", 0);"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			src := `
+struct Pair { long a; long b; }
+function f2(long a, long b) { return a * 10 + b; }
+function noret(long a) { a = a + 1; }
+machine T {
+  place all;
+  poll p = Poll { .ival = 10, .what = port ANY };
+  ` + c.decls + `
+  state s {
+    when (enter) do {
+      ` + c.body + `
+    }
+  }
+  state other {
+    when (enter) do { }
+  }
+}
+`
+			cm := parityCompile(t, src, "T")
+			p := newBackendPair(t, cm, nil)
+			erri := p.interp.Start()
+			errv := p.vm.Start()
+			parityErr(t, "start", erri, errv)
+			diffPair(t, p, "after start")
+		})
+	}
+}
+
+// propertySource is a machine exercising state vars, transit cascades,
+// exit handlers, functions, maps, lists, and recv dispatch.
+const propertySource = `
+struct Rec { string key; long n; }
+function clamp(long x, long lo, long hi) {
+  if (x < lo) then { return lo; }
+  if (x > hi) then { return hi; }
+  return x;
+}
+machine P {
+  place all;
+  poll tick = Poll { .ival = 10, .what = port ANY };
+  poll tock = Poll { .ival = 20, .what = port ANY };
+  long total;
+  map counts;
+  list seen;
+  string last;
+
+  state idle {
+    when (tick as v) do {
+      total = total + clamp(v, 0 - 5, 5);
+      last = str(v);
+      if (total > 40) then { transit busy; }
+    }
+    when (tock as v) do {
+      counts = map_set(counts, str(v), map_get(counts, str(v), 0) + 1);
+      if (map_len(counts) > 6) then { transit busy; }
+    }
+    when (recv long x from harvester) do { total = total - x; }
+    when (recv Rec r from harvester) do {
+      counts = map_set(counts, r.key, r.n);
+    }
+  }
+  state busy {
+    long rounds;
+    when (enter) do { send total to harvester; }
+    when (tick as v) do {
+      rounds = rounds + 1;
+      seen = seen + [v];
+      if (rounds >= 3) then {
+        rounds = 0;
+        transit idle;
+      }
+    }
+    when (realloc) do { tick.ival = 15; }
+    when (exit) do {
+      total = 0;
+      counts = map_new();
+      seen = list_clear(seen);
+    }
+  }
+}
+`
+
+// TestVMRandomProperty drives both backends through thousands of random
+// steps and requires byte-identical observable behaviour throughout,
+// including periodic snapshots.
+func TestVMRandomProperty(t *testing.T) {
+	cm := parityCompile(t, propertySource, "P")
+	rng := rand.New(rand.NewSource(42))
+	p := newBackendPair(t, cm, nil)
+	parityErr(t, "start", p.interp.Start(), p.vm.Start())
+	const steps = 12000
+	harv := MsgSource{Harvester: true}
+	for i := 0; i < steps; i++ {
+		var erri, errv error
+		ctx := fmt.Sprintf("step %d", i)
+		switch k := rng.Intn(10); k {
+		case 0, 1, 2, 3:
+			v := int64(rng.Intn(21) - 10)
+			erri = p.interp.HandleTrigger("tick", v)
+			errv = p.vm.HandleTrigger("tick", v)
+		case 4, 5:
+			v := int64(rng.Intn(9))
+			erri = p.interp.HandleTrigger("tock", v)
+			errv = p.vm.HandleTrigger("tock", v)
+		case 6:
+			v := int64(rng.Intn(30))
+			erri = p.interp.HandleRecv(harv, v)
+			errv = p.vm.HandleRecv(harv, v)
+		case 7:
+			v := StructVal{Type: "Rec", Fields: MapVal{"key": fmt.Sprintf("k%d", rng.Intn(5)), "n": int64(rng.Intn(100))}}
+			erri = p.interp.HandleRecv(harv, v)
+			errv = p.vm.HandleRecv(harv, v)
+		case 8:
+			erri = p.interp.HandleRealloc()
+			errv = p.vm.HandleRealloc()
+		case 9:
+			// Unknown trigger / unmatched recv are dropped by both.
+			erri = p.interp.HandleTrigger("nosuch", int64(1))
+			errv = p.vm.HandleTrigger("nosuch", int64(1))
+		}
+		parityErr(t, ctx, erri, errv)
+		if i%251 == 0 {
+			diffPair(t, p, ctx)
+		}
+		if i%997 == 0 {
+			// Cross-restore: snapshot each backend and restore it into
+			// the other; they must remain identical afterwards.
+			si, sv := p.interp.Snapshot(), p.vm.Snapshot()
+			if err := p.interp.Restore(sv); err != nil {
+				t.Fatalf("%s: restore vm snapshot into interp: %v", ctx, err)
+			}
+			if err := p.vm.Restore(si); err != nil {
+				t.Fatalf("%s: restore interp snapshot into vm: %v", ctx, err)
+			}
+			diffPair(t, p, ctx+" after cross-restore")
+		}
+	}
+	diffPair(t, p, "final")
+}
+
+// TestVMSnapshotCrossBackend covers the failover path: run on one back
+// end, snapshot, restore into the other, and require identical
+// subsequent behaviour (both directions).
+func TestVMSnapshotCrossBackend(t *testing.T) {
+	cm := parityCompile(t, propertySource, "P")
+	drive := func(r Runner, rng *rand.Rand, n int) {
+		t.Helper()
+		harv := MsgSource{Harvester: true}
+		for i := 0; i < n; i++ {
+			var err error
+			switch rng.Intn(4) {
+			case 0, 1:
+				err = r.HandleTrigger("tick", int64(rng.Intn(21)-10))
+			case 2:
+				err = r.HandleTrigger("tock", int64(rng.Intn(9)))
+			case 3:
+				err = r.HandleRecv(harv, int64(rng.Intn(30)))
+			}
+			if err != nil {
+				t.Fatalf("drive step %d: %v", i, err)
+			}
+		}
+	}
+	for _, dir := range []struct {
+		name string
+		from bool // interpret for the source backend
+	}{{"interp-to-vm", true}, {"vm-to-interp", false}} {
+		t.Run(dir.name, func(t *testing.T) {
+			src, err := NewRunner(cm, nil, newMockHost(), dir.from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := src.Start(); err != nil {
+				t.Fatal(err)
+			}
+			drive(src, rand.New(rand.NewSource(7)), 500)
+			snap := src.Snapshot()
+
+			// Restore the snapshot into a fresh runner of the opposite
+			// back end and into a fresh one of the same back end; drive
+			// all three identically and compare.
+			hi, hv := newMockHost(), newMockHost()
+			same, err := NewRunner(cm, nil, hi, dir.from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			other, err := NewRunner(cm, nil, hv, !dir.from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := same.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if err := other.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if a, b := fingerprint(same), fingerprint(other); a != b {
+				t.Fatalf("restored fingerprints differ\n--- same ---\n%s--- other ---\n%s", a, b)
+			}
+			drive(same, rand.New(rand.NewSource(11)), 500)
+			drive(other, rand.New(rand.NewSource(11)), 500)
+			if a, b := fingerprint(same), fingerprint(other); a != b {
+				t.Fatalf("post-restore behaviour diverged\n--- same ---\n%s--- other ---\n%s", a, b)
+			}
+			if a, b := hostTrace(hi), hostTrace(hv); a != b {
+				t.Fatalf("post-restore host traces diverged\n--- same ---\n%s--- other ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestVMRestoreErrors pins the error strings of invalid snapshots on
+// both back ends.
+func TestVMRestoreErrors(t *testing.T) {
+	cm := parityCompile(t, propertySource, "P")
+	for _, snap := range []Snapshot{
+		{Machine: "Q", State: "idle"},
+		{Machine: "P", State: "nope"},
+		{Machine: "P", State: "idle", Env: map[string]Value{"ghost": int64(1)}},
+		{Machine: "P", State: "idle", StateVars: map[string]map[string]Value{"nope": {}}},
+	} {
+		p := newBackendPair(t, cm, nil)
+		erri := p.interp.Restore(snap)
+		errv := p.vm.Restore(snap)
+		if parityErr(t, fmt.Sprintf("restore %+v", snap), erri, errv) == nil {
+			t.Fatalf("restore %+v: expected error", snap)
+		}
+	}
+}
+
+// TestVMHHParity runs the paper's heavy-hitter seed on both back ends
+// with real PortStats batches, TCAM writes, and harvester traffic.
+func TestVMHHParity(t *testing.T) {
+	cm := compileSrc(t, hhRunnableSource, "HH")
+	ext := map[string]Value{"threshold": int64(1000)}
+	p := newBackendPair(t, cm, ext)
+	parityErr(t, "start", p.interp.Start(), p.vm.Start())
+	rng := rand.New(rand.NewSource(3))
+	harv := MsgSource{Harvester: true}
+	for i := 0; i < 400; i++ {
+		ctx := fmt.Sprintf("step %d", i)
+		switch rng.Intn(6) {
+		case 0, 1, 2, 3:
+			stats := make(List, 0, 8)
+			for pt := 0; pt < 8; pt++ {
+				stats = append(stats, StructVal{Type: "PortStats", Fields: MapVal{
+					"port":     int64(pt),
+					"dTxBytes": float64(rng.Intn(3000)),
+				}})
+			}
+			parityErr(t, ctx,
+				p.interp.HandleTrigger("pollStats", stats),
+				p.vm.HandleTrigger("pollStats", CloneValue(stats)))
+		case 4:
+			th := int64(rng.Intn(2500))
+			parityErr(t, ctx, p.interp.HandleRecv(harv, th), p.vm.HandleRecv(harv, th))
+		case 5:
+			parityErr(t, ctx, p.interp.HandleRecv(harv, ActionVal(dataplane.ActDrop)), p.vm.HandleRecv(harv, ActionVal(dataplane.ActDrop)))
+		}
+		if i%37 == 0 {
+			diffPair(t, p, ctx)
+		}
+	}
+	diffPair(t, p, "final")
+	if len(p.hi.sent) == 0 {
+		t.Fatal("test never exercised the send path")
+	}
+}
+
+// TestConstOpsCrossCheck drives the shared operator table through all
+// three consumers — EvalConst, the interpreter, and the VM — over an
+// operator/operand matrix and requires agreement.
+func TestConstOpsCrossCheck(t *testing.T) {
+	type operand struct {
+		lit   string  // DSL literal
+		num   float64 // numeric value
+		isInt bool    // a long at runtime (floats at deployment time)
+	}
+	operands := []operand{
+		{"0", 0, true}, {"1", 1, true}, {"7", 7, true}, {"0 - 3", -3, true},
+		{"2.5", 2.5, false}, {"0.0", 0, false},
+	}
+	ops := []string{"+", "-", "*", "/", "<", "<=", ">", ">=", "==", "<>"}
+	for _, op := range ops {
+		for _, l := range operands {
+			for _, r := range operands {
+				expr := fmt.Sprintf("(%s) %s (%s)", l.lit, op, r.lit)
+				// Reference: the shared table via EvalConst.
+				prog, err := almanac.Parse(fmt.Sprintf(`
+machine C {
+  place all;
+  float x = %s;
+  state s { when (enter) do { } }
+}`, expr))
+				var cref almanac.Const
+				var cerr error
+				if err == nil {
+					cref, cerr = almanac.EvalConst(prog.Machines[0].Vars[0].Init, nil)
+				} else {
+					t.Fatalf("parse %s: %v", expr, err)
+				}
+
+				// Runtime: both backends computing the same expression
+				// into a dynamically typed variable.
+				src := fmt.Sprintf(`
+machine C {
+  place all;
+  state s {
+    when (enter) do {
+      map m;
+      m = map_set(m, "r", %s);
+      send map_get(m, "r", 0) to harvester;
+    }
+  }
+}`, expr)
+				cm := parityCompile(t, src, "C")
+				p := newBackendPair(t, cm, nil)
+				erri := p.interp.Start()
+				errv := p.vm.Start()
+				parityErr(t, expr, erri, errv)
+				diffPair(t, p, expr)
+
+				if cerr != nil || erri != nil {
+					// Division by zero: every consumer must refuse.
+					if strings.Contains(expr, "/") {
+						if cerr == nil || erri == nil {
+							t.Fatalf("%s: const err=%v runtime err=%v", expr, cerr, erri)
+						}
+						continue
+					}
+					t.Fatalf("%s: unexpected errors const=%v runtime=%v", expr, cerr, erri)
+				}
+				got := FormatValue(p.hi.sent[0].v)
+				var want string
+				switch cref.Kind {
+				case almanac.ConstNum:
+					want = FormatValue(cref.Num)
+					// The runtime keeps int64 where both operands are
+					// longs (integer division included); deployment-time
+					// constants are float-only. Compare numerically with
+					// that documented difference applied.
+					expect := cref.Num
+					if op == "/" && l.isInt && r.isInt {
+						expect = float64(int64(l.num) / int64(r.num))
+					}
+					if f, ok := AsFloat(p.hi.sent[0].v); ok {
+						if f != expect {
+							t.Fatalf("%s: runtime %v, const %v (expect %v)", expr, f, cref.Num, expect)
+						}
+						continue
+					}
+				case almanac.ConstBool:
+					want = FormatValue(cref.Bool)
+				default:
+					t.Fatalf("%s: unexpected const kind %v", expr, cref.Kind)
+				}
+				if got != want {
+					t.Fatalf("%s: runtime %s, const %s", expr, got, want)
+				}
+			}
+		}
+	}
+}

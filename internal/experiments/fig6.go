@@ -76,6 +76,9 @@ type Fig6Config struct {
 	MLSeedCounts []int
 	// Duration is the measured window; 0 means 2 s.
 	Duration time.Duration
+	// Interpreter forces the AST back end instead of the bytecode VM,
+	// for before/after comparisons of the compiled seed path.
+	Interpreter bool
 }
 
 // Fig6 deploys increasing numbers of collocated seeds on one switch and
@@ -108,7 +111,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 			}
 		}
 		for _, n := range counts {
-			p, err := fig6Run(v, n, cfg.Duration)
+			p, err := fig6Run(v, n, cfg.Duration, cfg.Interpreter)
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +141,7 @@ func (r *Fig6Result) Table() *Table {
 	return t
 }
 
-func fig6Run(v Fig6Variant, seeds int, duration time.Duration) (Fig6Point, error) {
+func fig6Run(v Fig6Variant, seeds int, duration time.Duration, interpreter bool) (Fig6Point, error) {
 	topo := netmodel.New()
 	// One big switch with per-seed-scaled capacity so admission control
 	// is not the variable under test.
@@ -157,6 +160,7 @@ func fig6Run(v Fig6Variant, seeds int, duration time.Duration) (Fig6Point, error
 	// separate processes — the paper attributes its blow-up to the many
 	// context switches; the partitioned panel (6d) uses threads.
 	opts := soil.DefaultOptions()
+	opts.Interpreter = interpreter
 	if v.MLIterations > 0 && v.IvalMs == 1 {
 		opts.ExecModel = soil.Processes
 	}

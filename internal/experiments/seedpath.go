@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/engine"
+	"farm/internal/fabric"
+	"farm/internal/harvest"
+	"farm/internal/netmodel"
+	"farm/internal/seeder"
+	"farm/internal/soil"
+	"farm/internal/tasks"
+	"farm/internal/traffic"
+)
+
+// The seed-path experiment is the ISSUE 8 gate for the bytecode VM: the
+// whole task catalogue deployed at fabric scale, once on the AST
+// interpreter and once on the compiled back end, under an identical
+// deterministic traffic cocktail. Everything observable — the full
+// harvester report stream, every seed's final snapshot on every switch,
+// per-soil poll delivery counters, and fabric drop totals — is folded
+// into a digest per run; any difference between the two back ends is a
+// hard failure, and the wall-clock ratio is the fleet-level speedup.
+
+// SeedPathConfig parameterizes the back-end A/B run.
+type SeedPathConfig struct {
+	// Tasks to run; nil = the whole catalogue.
+	Tasks []string
+	// Leaves in the spine-leaf fabric; default 3.
+	Leaves int
+	// Millis of simulated time per run; default 1200.
+	Millis int
+	// Seed drives the traffic cocktail; default 11.
+	Seed int64
+}
+
+// SeedPathTaskResult is one task's A/B outcome.
+type SeedPathTaskResult struct {
+	Task       string  `json:"task"`
+	Seeds      int     `json:"seeds"`
+	Reports    int     `json:"reports"`
+	InterpMs   float64 `json:"interp_wall_ms"`
+	CompiledMs float64 `json:"compiled_wall_ms"`
+	Speedup    float64 `json:"speedup"`
+	Digest     string  `json:"digest"`
+	Consistent bool    `json:"consistent"`
+}
+
+// SeedPathResult is the full catalogue sweep.
+type SeedPathResult struct {
+	GoMaxProcs  int                  `json:"gomaxprocs"`
+	NumCPU      int                  `json:"num_cpu"`
+	Leaves      int                  `json:"leaves"`
+	Millis      int                  `json:"millis"`
+	Tasks       []SeedPathTaskResult `json:"tasks"`
+	MeanSpeedup float64              `json:"mean_speedup"`
+	Consistent  bool                 `json:"consistent"`
+}
+
+// seedPathRun executes one task on one back end and returns the
+// observable digest plus timing.
+func seedPathRun(d tasks.Def, cfg SeedPathConfig, interpret bool) (digest string, reports, seeds int, wall time.Duration, err error) {
+	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
+		Spines: 2, Leaves: cfg.Leaves, HostsPerLeaf: 8,
+	})
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	loop := engine.NewSerial()
+	fab := fabric.New(topo, loop, fabric.Options{})
+	opts := soil.DefaultOptions()
+	opts.Interpreter = interpret
+	sd := seeder.New(fab, seeder.Options{Soil: opts})
+
+	h := fnv.New64a()
+	var inner harvest.Logic
+	if d.NewHarvester != nil {
+		inner = d.NewHarvester()
+	}
+	spec := seeder.TaskSpec{
+		Name: d.Name, Source: d.Source, Machines: d.Machines,
+		Externals: d.DefaultExternals,
+		Harvester: harvest.FuncLogic{
+			Start: func(ctx harvest.Context) {
+				if inner != nil {
+					inner.OnStart(ctx)
+				}
+			},
+			Message: func(ctx harvest.Context, from soil.SeedRef, v core.Value) {
+				reports++
+				fmt.Fprintf(h, "%d|%s|%s|%s\n", ctx.Now(), from.Switch, from.Machine, core.FormatValue(v))
+				if inner != nil {
+					// The task's real harvester runs too, so seed recv
+					// paths (threshold pushes, mitigation commands) are
+					// exercised on both back ends.
+					inner.OnSeedMessage(ctx, from, v)
+				}
+			},
+		},
+	}
+	if err := sd.AddTask(spec); err != nil {
+		return "", 0, 0, 0, err
+	}
+
+	gen := traffic.NewGenerator(fab, cfg.Seed)
+	stops := []func(){
+		gen.SYNFlood(fabric.HostIP(0, 0), 8, 4000),
+		gen.PortScan(fabric.HostIP(1, 0), fabric.HostIP(0, 1), 1000),
+		gen.SuperSpreader(fabric.HostIP(2%cfg.Leaves, 0), 16, 2000),
+		gen.SSHBruteForce(fabric.HostIP(1, 2), fabric.HostIP(0, 2), 200),
+		gen.DNSReflection(fabric.HostIP(0, 3), 4, 1000),
+		gen.Slowloris(fabric.HostIP(0, 4), 12, 50),
+	}
+	defer func() {
+		for _, s := range stops {
+			s()
+		}
+	}()
+	bulk := traffic.NewBulkWorkload(fab, traffic.BulkConfig{
+		Tick: 10 * time.Millisecond, HeavyRatio: 0.1, Churn: time.Second, Seed: 5,
+	})
+	defer bulk.Stop()
+
+	start := time.Now()
+	loop.RunFor(time.Duration(cfg.Millis) * time.Millisecond)
+	wall = time.Since(start)
+
+	// Fold every seed's terminal state, switch by switch in name order.
+	sws := topo.Switches()
+	sort.Slice(sws, func(i, j int) bool { return sws[i].Name < sws[j].Name })
+	for _, sw := range sws {
+		s := sd.Soil(sw.ID)
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(h, "soil %s polls=%d probes=%d\n", sw.Name, s.PollsDelivered(), s.ProbesDelivered())
+		for _, id := range s.SeedIDs() {
+			snap, err := s.SnapshotSeed(id)
+			if err != nil {
+				return "", 0, 0, 0, err
+			}
+			seeds++
+			fmt.Fprintf(h, "seed %s/%s %s\n", sw.Name, id, seedPathSnapString(snap))
+		}
+	}
+	fmt.Fprintf(h, "dropped=%d\n", fab.DroppedInFabric())
+	return fmt.Sprintf("%016x", h.Sum64()), reports, seeds, wall, nil
+}
+
+// seedPathSnapString renders a snapshot deterministically.
+func seedPathSnapString(s core.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state=%s", s.State)
+	keys := make([]string, 0, len(s.Env))
+	for k := range s.Env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, core.FormatValue(s.Env[k]))
+	}
+	sts := make([]string, 0, len(s.StateVars))
+	for k := range s.StateVars {
+		sts = append(sts, k)
+	}
+	sort.Strings(sts)
+	for _, st := range sts {
+		vks := make([]string, 0, len(s.StateVars[st]))
+		for k := range s.StateVars[st] {
+			vks = append(vks, k)
+		}
+		sort.Strings(vks)
+		for _, k := range vks {
+			fmt.Fprintf(&b, " %s.%s=%s", st, k, core.FormatValue(s.StateVars[st][k]))
+		}
+	}
+	return b.String()
+}
+
+// SeedPath runs the catalogue A/B sweep.
+func SeedPath(cfg SeedPathConfig) (*SeedPathResult, error) {
+	if cfg.Leaves == 0 {
+		cfg.Leaves = 3
+	}
+	if cfg.Millis == 0 {
+		cfg.Millis = 1200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	names := cfg.Tasks
+	if names == nil {
+		names = tasks.Names()
+	}
+	res := &SeedPathResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Leaves: cfg.Leaves, Millis: cfg.Millis, Consistent: true,
+	}
+	sum := 0.0
+	for _, name := range names {
+		d, err := tasks.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		iDigest, iReports, iSeeds, iWall, err := seedPathRun(d, cfg, true)
+		if err != nil {
+			return nil, fmt.Errorf("seed-path %s (interpreter): %w", name, err)
+		}
+		cDigest, cReports, _, cWall, err := seedPathRun(d, cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("seed-path %s (compiled): %w", name, err)
+		}
+		tr := SeedPathTaskResult{
+			Task: name, Seeds: iSeeds, Reports: cReports,
+			InterpMs:   float64(iWall.Nanoseconds()) / 1e6,
+			CompiledMs: float64(cWall.Nanoseconds()) / 1e6,
+			Digest:     cDigest,
+			Consistent: iDigest == cDigest && iReports == cReports,
+		}
+		if tr.CompiledMs > 0 {
+			tr.Speedup = tr.InterpMs / tr.CompiledMs
+		}
+		sum += tr.Speedup
+		if !tr.Consistent {
+			res.Consistent = false
+		}
+		res.Tasks = append(res.Tasks, tr)
+	}
+	if len(res.Tasks) > 0 {
+		res.MeanSpeedup = sum / float64(len(res.Tasks))
+	}
+	if !res.Consistent {
+		bad := []string{}
+		for _, tr := range res.Tasks {
+			if !tr.Consistent {
+				bad = append(bad, tr.Task)
+			}
+		}
+		return res, fmt.Errorf("seed-path: back ends diverged on %s", strings.Join(bad, ", "))
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *SeedPathResult) Table() *Table {
+	t := &Table{
+		Title:   "Seed path: AST interpreter vs bytecode VM, full catalogue at fabric scale",
+		Columns: []string{"seeds", "reports", "interp ms", "compiled ms", "speedup", "identical"},
+	}
+	for _, tr := range r.Tasks {
+		t.Rows = append(t.Rows, Row{
+			Label: tr.Task,
+			Values: []string{
+				fmt.Sprint(tr.Seeds), fmt.Sprint(tr.Reports),
+				fmtFloat(tr.InterpMs), fmtFloat(tr.CompiledMs),
+				fmt.Sprintf("%.2fx", tr.Speedup),
+				fmt.Sprint(tr.Consistent),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean wall-clock speedup %.2fx over %d tasks (%d ms simulated each, %d leaves)",
+			r.MeanSpeedup, len(r.Tasks), r.Millis, r.Leaves),
+		"digest folds the harvester report stream, every seed's final snapshot, poll/probe counters, and fabric drops",
+	)
+	return t
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// The quick-scale version of the farm-bench seed-path gate: a couple of
+// catalogue tasks at small fabric scale must produce identical digests
+// on both back ends.
+func TestSeedPathConsistent(t *testing.T) {
+	res, err := SeedPath(SeedPathConfig{
+		Tasks:  []string{"hh", "syn-flood"},
+		Leaves: 2,
+		Millis: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("back ends diverged: %+v", res.Tasks)
+	}
+	for _, tr := range res.Tasks {
+		if tr.Seeds == 0 {
+			t.Fatalf("%s: no seeds deployed", tr.Task)
+		}
+		if tr.Digest == "" {
+			t.Fatalf("%s: empty digest", tr.Task)
+		}
+	}
+	if res.Table().Render() == "" {
+		t.Fatal("empty table")
+	}
+}

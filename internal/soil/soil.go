@@ -45,6 +45,9 @@ type Options struct {
 	// Aggregation enables shared-subject polling aggregation (on in
 	// FARM; off reproduces the naive per-seed polling of Fig. 8).
 	Aggregation bool
+	// Interpreter forces the AST-walking back end for deployed seeds.
+	// The default (false) runs the lowered bytecode programs.
+	Interpreter bool
 }
 
 // DefaultOptions is FARM's production configuration.
@@ -137,6 +140,11 @@ func (s *Soil) SetExecFunc(fn ExecFunc) { s.exec = fn }
 // SetLogf wires diagnostics.
 func (s *Soil) SetLogf(fn func(string, ...any)) { s.logf = fn }
 
+// SetInterpreter switches the execution back end for seeds deployed
+// from now on: true = AST interpreter, false = bytecode VM (default).
+// Already-deployed seeds keep their back end.
+func (s *Soil) SetInterpreter(on bool) { s.opts.Interpreter = on }
+
 // Available returns capacity minus allocations.
 func (s *Soil) Available() netmodel.Resources { return s.capacity.Sub(s.used) }
 
@@ -162,7 +170,7 @@ func (s *Soil) ProbesDelivered() uint64 { return s.probesDelivered }
 // seedRuntime is one deployed seed with its triggers.
 type seedRuntime struct {
 	ref   SeedRef
-	seed  *core.Seed
+	seed  core.Runner
 	alloc netmodel.Resources
 	polls map[string]*almanac.PollInfo
 	subs  []*pollSub
@@ -396,7 +404,7 @@ func (s *Soil) deploy(ref SeedRef, cm *almanac.CompiledMachine, externals map[st
 		timeTickers: map[string]engine.Ticker{},
 	}
 	host := &seedHost{soil: s, rt: rt}
-	seed, err := core.NewSeed(cm, externals, host)
+	seed, err := core.NewRunner(cm, externals, host, s.opts.Interpreter)
 	if err != nil {
 		return fmt.Errorf("soil %s: %w", s.name, err)
 	}

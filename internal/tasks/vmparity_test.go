@@ -1,0 +1,273 @@
+package tasks
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"farm/internal/almanac"
+	"farm/internal/core"
+	"farm/internal/dataplane"
+	"farm/internal/netmodel"
+)
+
+// Satellite of ISSUE 8: the whole task catalogue must (a) lower to
+// bytecode — no machine may silently fall back to the AST walker — and
+// (b) stay in observable lockstep with the interpreter under a random
+// storm of triggers, messages, reallocs, and snapshots.
+
+// parityTaskHost records every externally observable host effect as a
+// deterministic trace line.
+type parityTaskHost struct {
+	now   time.Duration
+	tcam  *dataplane.TCAM
+	trace []string
+}
+
+func newParityTaskHost() *parityTaskHost {
+	return &parityTaskHost{tcam: dataplane.NewTCAM(128)}
+}
+
+func (h *parityTaskHost) Now() time.Duration { return h.now }
+func (h *parityTaskHost) Resources() netmodel.Resources {
+	return netmodel.Resources{netmodel.ResVCPU: 2, netmodel.ResRAM: 1024, netmodel.ResPCIe: 1}
+}
+func (h *parityTaskHost) AddTCAMRule(r dataplane.Rule) error {
+	h.trace = append(h.trace, fmt.Sprintf("tcam+ %+v", r))
+	return h.tcam.AddRule(r)
+}
+func (h *parityTaskHost) RemoveTCAMRule(f dataplane.Filter) bool {
+	h.trace = append(h.trace, fmt.Sprintf("tcam- %+v", f))
+	return h.tcam.RemoveRule(f)
+}
+func (h *parityTaskHost) GetTCAMRule(f dataplane.Filter) (dataplane.Rule, bool) {
+	return h.tcam.GetRule(f)
+}
+func (h *parityTaskHost) Send(to core.SendDest, v core.Value) {
+	h.trace = append(h.trace, fmt.Sprintf("send %+v %s", to, core.FormatValue(v)))
+}
+func (h *parityTaskHost) SetTriggerInterval(trigger string, ms float64) {
+	h.trace = append(h.trace, fmt.Sprintf("ival %s %g", trigger, ms))
+}
+func (h *parityTaskHost) Exec(cmd string, arg core.Value) (core.Value, error) {
+	h.trace = append(h.trace, fmt.Sprintf("exec %s %s", cmd, core.FormatValue(arg)))
+	return int64(1), nil
+}
+func (h *parityTaskHost) Log(format string, args ...any) {
+	h.trace = append(h.trace, "log "+fmt.Sprintf(format, args...))
+}
+
+func snapFingerprint(s core.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state=%s\n", s.State)
+	envKeys := make([]string, 0, len(s.Env))
+	for k := range s.Env {
+		envKeys = append(envKeys, k)
+	}
+	sort.Strings(envKeys)
+	for _, k := range envKeys {
+		fmt.Fprintf(&b, "env %s=%s\n", k, core.FormatValue(s.Env[k]))
+	}
+	stKeys := make([]string, 0, len(s.StateVars))
+	for k := range s.StateVars {
+		stKeys = append(stKeys, k)
+	}
+	sort.Strings(stKeys)
+	for _, st := range stKeys {
+		vks := make([]string, 0, len(s.StateVars[st]))
+		for k := range s.StateVars[st] {
+			vks = append(vks, k)
+		}
+		sort.Strings(vks)
+		for _, k := range vks {
+			fmt.Fprintf(&b, "sv %s.%s=%s\n", st, k, core.FormatValue(s.StateVars[st][k]))
+		}
+	}
+	return b.String()
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+func taskPortStats(rng *rand.Rand, n int) core.List {
+	out := make(core.List, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, core.StructVal{Type: "PortStats", Fields: core.MapVal{
+			"port":     int64(i % 16),
+			"dTxBytes": float64(rng.Intn(4000)),
+			"dRxBytes": float64(rng.Intn(4000)),
+			"txBytes":  float64(rng.Intn(1 << 20)),
+			"rxBytes":  float64(rng.Intn(1 << 20)),
+			"drops":    int64(rng.Intn(10)),
+			"util":     rng.Float64(),
+		}})
+	}
+	return out
+}
+
+func taskPayload(rng *rand.Rand) core.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return taskPortStats(rng, 4+rng.Intn(8))
+	case 1:
+		return int64(rng.Intn(5000))
+	case 2:
+		return rng.Float64() * 5000
+	case 3:
+		return core.StructVal{Type: "PortStats", Fields: core.MapVal{
+			"port": int64(rng.Intn(16)), "dTxBytes": float64(rng.Intn(4000)),
+		}}
+	case 4:
+		return core.ActionVal(dataplane.ActDrop)
+	default:
+		return core.List{int64(rng.Intn(8)), int64(rng.Intn(8))}
+	}
+}
+
+// TestCatalogueLowersToBytecode pins that every catalogued machine
+// lowers — the compiled back end is the default in soil, so a machine
+// that only runs on the interpreter fallback is a regression — and that
+// its disassembly renders.
+func TestCatalogueLowersToBytecode(t *testing.T) {
+	for _, d := range All() {
+		prog, err := almanac.Parse(d.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", d.Name, err)
+		}
+		for _, m := range prog.Machines {
+			cm, err := almanac.CompileMachine(prog, m.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", d.Name, m.Name, err)
+			}
+			lp, err := almanac.Lower(cm, core.BuiltinNames())
+			if err != nil {
+				t.Fatalf("%s/%s: lower: %v", d.Name, m.Name, err)
+			}
+			if lp.NumInstrs() == 0 {
+				t.Fatalf("%s/%s: lowered to an empty program", d.Name, m.Name)
+			}
+			if dump := lp.Disassemble(); !strings.Contains(dump, "machine "+m.Name) {
+				t.Fatalf("%s/%s: disassembly missing header:\n%s", d.Name, m.Name, dump)
+			}
+		}
+	}
+}
+
+// TestCatalogueBackendParity drives every catalogued machine on both
+// back ends through a deterministic random event storm and requires
+// identical states, snapshots, host effects, action counts, and errors.
+func TestCatalogueBackendParity(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			prog, err := almanac.Parse(d.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines := d.Machines
+			if machines == nil {
+				for _, m := range prog.Machines {
+					machines = append(machines, m.Name)
+				}
+			}
+			for _, mn := range machines {
+				cm, err := almanac.CompileMachine(prog, mn)
+				if err != nil {
+					t.Fatalf("compile %s: %v", mn, err)
+				}
+				driveTaskParity(t, cm, d.DefaultExternals[mn])
+			}
+		})
+	}
+}
+
+func driveTaskParity(t *testing.T, cm *almanac.CompiledMachine, ext map[string]core.Value) {
+	t.Helper()
+	hi := newParityTaskHost()
+	hv := newParityTaskHost()
+	ri, errI := core.NewRunner(cm, ext, hi, true)
+	rv, errV := core.NewRunner(cm, ext, hv, false)
+	if errStr(errI) != errStr(errV) {
+		t.Fatalf("%s: construction divergence: interp %v vs vm %v", cm.Name, errI, errV)
+	}
+	if errI != nil {
+		return
+	}
+	if errStr(ri.Start()) != errStr(rv.Start()) {
+		t.Fatalf("%s: start divergence", cm.Name)
+	}
+
+	triggers := make([]string, 0, len(cm.Triggers)+1)
+	for _, tr := range cm.Triggers {
+		triggers = append(triggers, tr.Name)
+	}
+	triggers = append(triggers, "noSuchTrigger")
+
+	rng := rand.New(rand.NewSource(911))
+	diff := func(step int) {
+		t.Helper()
+		if ri.State() != rv.State() {
+			t.Fatalf("%s step %d: state %q vs %q", cm.Name, step, ri.State(), rv.State())
+		}
+		if ai, av := ri.TakeActionCount(), rv.TakeActionCount(); ai != av {
+			t.Fatalf("%s step %d: action count %d vs %d", cm.Name, step, ai, av)
+		}
+		fi, fv := snapFingerprint(ri.Snapshot()), snapFingerprint(rv.Snapshot())
+		if fi != fv {
+			t.Fatalf("%s step %d: snapshot divergence:\n--- interp\n%s--- vm\n%s", cm.Name, step, fi, fv)
+		}
+		if len(hi.trace) != len(hv.trace) {
+			t.Fatalf("%s step %d: trace length %d vs %d", cm.Name, step, len(hi.trace), len(hv.trace))
+		}
+		for i := range hi.trace {
+			if hi.trace[i] != hv.trace[i] {
+				t.Fatalf("%s step %d: trace[%d] %q vs %q", cm.Name, step, i, hi.trace[i], hv.trace[i])
+			}
+		}
+	}
+
+	const steps = 400
+	for step := 0; step < steps; step++ {
+		now := time.Duration(step) * 7 * time.Millisecond
+		hi.now, hv.now = now, now
+		var e1, e2 error
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			tr := triggers[rng.Intn(len(triggers))]
+			v := taskPayload(rng)
+			e1 = ri.HandleTrigger(tr, v)
+			e2 = rv.HandleTrigger(tr, v)
+		case 6, 7:
+			from := core.MsgSource{Harvester: true}
+			if rng.Intn(2) == 0 {
+				from = core.MsgSource{Machine: cm.Name, Switch: "s1"}
+			}
+			v := taskPayload(rng)
+			e1 = ri.HandleRecv(from, v)
+			e2 = rv.HandleRecv(from, v)
+		case 8:
+			e1 = ri.HandleRealloc()
+			e2 = rv.HandleRealloc()
+		default:
+			// Cross-restore: each back end resumes from the other's
+			// snapshot, which must be a no-op divergence-wise.
+			si, sv := ri.Snapshot(), rv.Snapshot()
+			e1 = ri.Restore(sv)
+			e2 = rv.Restore(si)
+		}
+		if errStr(e1) != errStr(e2) {
+			t.Fatalf("%s step %d: error divergence: interp %v vs vm %v", cm.Name, step, e1, e2)
+		}
+		if step%37 == 0 || step == steps-1 {
+			diff(step)
+		}
+	}
+	diff(steps)
+}
