@@ -156,7 +156,7 @@ func main() {
 		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
 		{"placement-scale", "Placement scale: serial vs parallel vs warm-start solves (digest A/B)", runPlacementScale},
 		{"transport-scale", "Transport scale: unbatched vs batched wire path to 10k seeds (digest A/B)", runTransportScale},
-		{"seed-path", "Seed path: AST interpreter vs bytecode VM over the task catalogue (digest A/B)", runSeedPath},
+		{"seed-path", "Seed path: AST interpreter vs stack VM vs register VM over the task catalogue (digest A/B)", runSeedPath},
 		{"fleet-soak", "Fleet soak: concurrent RPC clients + forced failover on a live fleetd", runFleetSoak},
 	}
 	if *list {

@@ -226,6 +226,12 @@ type Lowered struct {
 	Sends        []SendSite
 	Structs      []StructSite
 	FieldAssigns []FieldAssignSite
+
+	// Register form, translated from Chunks by lowerRegisters; index-
+	// parallel to Chunks. RFieldSites counts RField instructions across
+	// the program so executors can size their inline-cache tables.
+	RegChunks   []RegChunk
+	RFieldSites int32
 }
 
 // NumInstrs is the total instruction count across all chunks.
@@ -385,6 +391,11 @@ func Lower(cm *CompiledMachine, builtinNames []string) (lp *Lowered, err error) 
 	}
 	if l.err != nil {
 		return nil, l.err
+	}
+	// Translate to register code; whatever lowers, lowers for both
+	// compiled back ends — a register-translation failure fails Lower.
+	if err := lowerRegisters(l.p); err != nil {
+		return nil, err
 	}
 	return l.p, nil
 }

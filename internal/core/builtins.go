@@ -134,19 +134,22 @@ func biAddTCAMRule(s *Seed, args []Value, line int) (Value, error) {
 	switch {
 	case len(args) == 1:
 		sv, ok := args[0].(StructVal)
-		if !ok || sv.Type != "Rule" {
+		if !ok || sv.Type() != "Rule" {
 			return nil, fmt.Errorf("core: addTCAMRule needs a Rule struct (line %d)", line)
 		}
-		f, ok := sv.Fields["pattern"].(FilterVal)
+		pat, _ := sv.Get("pattern")
+		f, ok := pat.(FilterVal)
 		if !ok {
 			return nil, fmt.Errorf("core: Rule.pattern must be a filter (line %d)", line)
 		}
-		a, ok := sv.Fields["act"].(ActionVal)
+		act, _ := sv.Get("act")
+		a, ok := act.(ActionVal)
 		if !ok {
 			return nil, fmt.Errorf("core: Rule.act must be an action (line %d)", line)
 		}
 		rule.Filter, rule.Action = f.F, dataplane.Action(a)
-		if p, ok := AsFloat(sv.Fields["priority"]); ok {
+		prio, _ := sv.Get("priority")
+		if p, ok := AsFloat(prio); ok {
 			rule.Priority = int(p)
 		}
 	case len(args) >= 2:
@@ -199,10 +202,10 @@ func biGetTCAMRule(s *Seed, args []Value, line int) (Value, error) {
 	if !found {
 		return nil, nil
 	}
-	return StructVal{Type: "Rule", Fields: MapVal{
-		"pattern":  FilterVal{F: r.Filter},
-		"act":      ActionVal(r.Action),
-		"priority": int64(r.Priority),
+	return StructVal{L: ruleLayout, V: []Value{
+		FilterVal{F: r.Filter},
+		ActionVal(r.Action),
+		int64(r.Priority),
 	}}, nil
 }
 
@@ -535,12 +538,21 @@ func biGetHH(_ *Seed, args []Value, line int) (Value, error) {
 	var hitters List
 	for _, rec := range stats {
 		sv, ok := rec.(StructVal)
-		if !ok || sv.Type != "PortStats" {
+		if !ok || sv.Type() != "PortStats" {
 			return nil, fmt.Errorf("core: getHH expects PortStats records, got %s (line %d)", TypeName(rec), line)
 		}
-		d, _ := AsFloat(sv.Fields["dTxBytes"])
+		if sv.L == portStatsLayout {
+			d, _ := AsFloat(sv.V[psDTxBytes])
+			if d >= th {
+				hitters = append(hitters, sv.V[psPort])
+			}
+			continue
+		}
+		dv, _ := sv.Get("dTxBytes")
+		d, _ := AsFloat(dv)
 		if d >= th {
-			hitters = append(hitters, sv.Fields["port"])
+			p, _ := sv.Get("port")
+			hitters = append(hitters, p)
 		}
 	}
 	return hitters, nil

@@ -213,10 +213,9 @@ func (s *Seed) execAssign(st *almanac.AssignStmt, sc *scope) error {
 		if !ok {
 			return fmt.Errorf("core: %s is %s, not a struct", st.Target, TypeName(cur))
 		}
-		if _, ok := sv.Fields[st.Field]; !ok {
-			return fmt.Errorf("core: struct %s has no field %s", sv.Type, st.Field)
+		if !sv.Set(st.Field, val) {
+			return fmt.Errorf("core: struct %s has no field %s", sv.Type(), st.Field)
 		}
-		sv.Fields[st.Field] = val
 		return nil
 	}
 	// Whole-trigger reassignment: y = Poll { .ival = ..., ... }.
@@ -225,7 +224,7 @@ func (s *Seed) execAssign(st *almanac.AssignStmt, sc *scope) error {
 		if !ok {
 			return fmt.Errorf("core: trigger %s must be assigned a Poll/Probe value", st.Target)
 		}
-		ivalV, ok := lit.Fields["ival"]
+		ivalV, ok := lit.Get("ival")
 		if !ok {
 			return fmt.Errorf("core: trigger %s reassignment needs .ival", st.Target)
 		}
@@ -298,13 +297,17 @@ func (s *Seed) eval(e almanac.Expr, sc *scope) (Value, error) {
 	case *almanac.FilterAtom:
 		return s.evalFilterAtom(ex, sc)
 	case *almanac.StructLit:
-		sv := StructVal{Type: ex.TypeName, Fields: MapVal{}}
-		for _, f := range ex.Fields {
+		names := make([]string, len(ex.Fields))
+		for i, f := range ex.Fields {
+			names[i] = f.Name
+		}
+		sv := StructVal{L: LayoutOf(ex.TypeName, names), V: make([]Value, len(names))}
+		for i, f := range ex.Fields {
 			v, err := s.eval(f.Val, sc)
 			if err != nil {
 				return nil, err
 			}
-			sv.Fields[f.Name] = v
+			sv.V[i] = v
 		}
 		return sv, nil
 	case *almanac.ListLit:
@@ -467,10 +470,10 @@ func (s *Seed) evalField(ex *almanac.FieldExpr, sc *scope) (Value, error) {
 	}
 	switch v := x.(type) {
 	case StructVal:
-		if f, ok := v.Fields[ex.Field]; ok {
+		if f, ok := v.Get(ex.Field); ok {
 			return f, nil
 		}
-		return nil, fmt.Errorf("core: struct %s has no field %s (line %d)", v.Type, ex.Field, ex.Line())
+		return nil, fmt.Errorf("core: struct %s has no field %s (line %d)", v.Type(), ex.Field, ex.Line())
 	case ResourcesVal:
 		return netmodel.Resources(v)[ex.Field], nil
 	case MapVal:

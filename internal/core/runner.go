@@ -6,9 +6,35 @@ import (
 	"farm/internal/almanac"
 )
 
-// Runner is a deployed machine instance: either the AST interpreter
-// (*Seed) or the bytecode VM (*vmSeed). Soil programs against this so
-// the back end can be swapped per deployment.
+// Backend selects the execution engine for a deployed machine. The
+// register VM is the zero value and the default; the stack VM and the
+// AST interpreter remain available for A/B comparison and as the
+// semantic reference. All three are cross-restorable: a Snapshot taken
+// on any back end restores into any other.
+type Backend int
+
+const (
+	BackendRegister Backend = iota // register VM over fixed record layouts
+	BackendStack                   // stack bytecode VM
+	BackendInterp                  // AST interpreter (semantic reference)
+)
+
+// String names a backend the way experiment output and bench artifacts
+// spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendRegister:
+		return "register"
+	case BackendStack:
+		return "stack"
+	default:
+		return "interpreted"
+	}
+}
+
+// Runner is a deployed machine instance: the AST interpreter (*Seed),
+// the stack VM (*vmSeed), or the register VM (*rvmSeed). Soil programs
+// against this so the back end can be swapped per deployment.
 type Runner interface {
 	Machine() *almanac.CompiledMachine
 	State() string
@@ -25,6 +51,7 @@ type Runner interface {
 var (
 	_ Runner = (*Seed)(nil)
 	_ Runner = (*vmSeed)(nil)
+	_ Runner = (*rvmSeed)(nil)
 )
 
 // linkedLowered is a Lowered program resolved against this package's
@@ -40,6 +67,10 @@ type linkedLowered struct {
 	svIdx    []map[string]int32
 	bfns     []builtinFn
 	natives  []nativeFn
+	// layouts[i] is the interned record layout for struct site
+	// p.Structs[i]: struct literals become a layout pointer plus a flat
+	// field slice, no per-record map.
+	layouts []*Layout
 }
 
 func link(p *almanac.Lowered) *linkedLowered {
@@ -83,6 +114,10 @@ func link(p *almanac.Lowered) *linkedLowered {
 			lp.natives[i] = vmNatives[n]
 		}
 	}
+	lp.layouts = make([]*Layout, len(p.Structs))
+	for i := range p.Structs {
+		lp.layouts[i] = LayoutOf(p.Structs[i].TypeName, p.Structs[i].Fields)
+	}
 	return lp
 }
 
@@ -112,14 +147,17 @@ func linkedProgram(cm *almanac.CompiledMachine) (*linkedLowered, error) {
 	return res.lp, res.err
 }
 
-// NewRunner deploys a machine on the requested back end. The compiled
-// VM is the default; interpret=true forces the AST walker. If lowering
+// NewRunner deploys a machine on the requested back end. The register
+// VM is the default; BackendInterp forces the AST walker. If lowering
 // fails (it should not for any sema-accepted program), the interpreter
 // is used as a fallback rather than failing the deployment.
-func NewRunner(cm *almanac.CompiledMachine, externals map[string]Value, host Host, interpret bool) (Runner, error) {
-	if !interpret {
+func NewRunner(cm *almanac.CompiledMachine, externals map[string]Value, host Host, be Backend) (Runner, error) {
+	if be != BackendInterp {
 		if lp, err := linkedProgram(cm); err == nil {
-			return newVMSeed(cm, externals, host, lp)
+			if be == BackendStack {
+				return newVMSeed(cm, externals, host, lp)
+			}
+			return newRVMSeed(cm, externals, host, lp)
 		}
 	}
 	return NewSeed(cm, externals, host)

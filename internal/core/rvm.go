@@ -1,0 +1,992 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"farm/internal/almanac"
+)
+
+// The register VM: executes the register form of a lowered program
+// (almanac.RegChunk) with the same observable behaviour as the stack VM
+// and the AST interpreter — the three-way parity storms pin states,
+// snapshots, host-effect traces, action counts, and error strings.
+//
+// Compared to the stack VM it executes far fewer instructions per
+// statement (operands are read in place from registers, literals, and
+// slots instead of being pushed first) and resolves struct field reads
+// through per-site inline caches keyed on the record's interned layout,
+// so the hot path does no map hashing.
+//
+// rvmSeed embeds vmSeed for everything that is not the dispatch loop:
+// construction/frame flattening, Snapshot/Restore, dynamic name
+// resolution, the arithmetic slow path, and the builtin bridge. The
+// embedded stack/locals fields stay nil — only runChunk/run below ever
+// execute code.
+type rvmSeed struct {
+	vmSeed
+	regs  []rval // register arena; chunk frames are windows into it
+	rbase int
+	fc    []fieldCache // one per RField site, lazily filled
+	nargs [2]rval      // RCallB2 argument buffer
+}
+
+// fieldCache is one RField site's inline cache: last-seen layout and
+// the field's slot in it. Caches are per-seed (the linked program is
+// shared across goroutines and must stay immutable).
+type fieldCache struct {
+	l    *Layout
+	slot int32
+}
+
+func newRVMSeed(cm *almanac.CompiledMachine, externals map[string]Value, host Host, lp *linkedLowered) (*rvmSeed, error) {
+	m := &rvmSeed{}
+	if err := m.initFrames(cm, externals, host, lp); err != nil {
+		return nil, err
+	}
+	m.regs = make([]rval, 64)
+	if n := lp.p.RFieldSites; n > 0 {
+		m.fc = make([]fieldCache, n)
+	}
+	return m, nil
+}
+
+func (m *rvmSeed) Start() error {
+	if m.started {
+		return fmt.Errorf("core: seed %s already started", m.lp.p.Machine)
+	}
+	m.started = true
+	if ci := m.lp.p.States[m.state].Enter; ci >= 0 {
+		return m.runTop(ci, nil, 0)
+	}
+	return nil
+}
+
+func (m *rvmSeed) HandleTrigger(varName string, data Value) error {
+	ti, ok := m.lp.trigIdx[varName]
+	if !ok {
+		return nil
+	}
+	ci := m.lp.p.States[m.state].OnVar[ti]
+	if ci < 0 {
+		return nil
+	}
+	if m.lp.p.RegChunks[ci].HasBind {
+		m.bindBuf[0] = unbox(data)
+		return m.runTop(ci, m.bindBuf[:1], 0)
+	}
+	return m.runTop(ci, nil, 0)
+}
+
+func (m *rvmSeed) HandleRecv(from MsgSource, v Value) error {
+	st := &m.lp.p.States[m.state]
+	for i := range st.Recvs {
+		rc := &st.Recvs[i]
+		if !recvMatches(rc.Trigger, from, v) {
+			continue
+		}
+		if m.lp.p.RegChunks[rc.Chunk].HasBind {
+			m.bindBuf[0] = unbox(CloneValue(v))
+			return m.runTop(rc.Chunk, m.bindBuf[:1], 0)
+		}
+		return m.runTop(rc.Chunk, nil, 0)
+	}
+	return nil
+}
+
+func (m *rvmSeed) HandleRealloc() error {
+	if ci := m.lp.p.States[m.state].Realloc; ci >= 0 {
+		return m.runTop(ci, nil, 0)
+	}
+	return nil
+}
+
+func (m *rvmSeed) runTop(ci int32, args []rval, depth int) error {
+	if depth > maxTransitChain {
+		return fmt.Errorf("core: seed %s: transition chain exceeds %d (state-machine loop?)", m.lp.p.Machine, maxTransitChain)
+	}
+	res, err := m.runChunk(ci, args)
+	if err != nil {
+		return err
+	}
+	if res.kind == ctrlTransit {
+		return m.transitionTo(res.transit, depth+1)
+	}
+	return nil
+}
+
+func (m *rvmSeed) transitionTo(target int32, depth int) error {
+	if target < 0 {
+		return fmt.Errorf("core: seed %s: transit to unknown state %s", m.lp.p.Machine, "?")
+	}
+	old := &m.lp.p.States[m.state]
+	if old.Exit >= 0 {
+		res, err := m.runChunk(old.Exit, nil)
+		if err != nil {
+			return err
+		}
+		if res.kind == ctrlTransit {
+			return fmt.Errorf("core: seed %s: transit inside exit handler is not allowed", m.lp.p.Machine)
+		}
+	}
+	m.state = target
+	if ci := m.lp.p.States[target].Enter; ci >= 0 {
+		return m.runTop(ci, nil, depth)
+	}
+	return nil
+}
+
+// runChunk executes one register chunk: carve a frame window out of the
+// arena, bind the arguments, mark the remaining locals undefined, and
+// leave the temporaries dirty (every temporary read is dominated by a
+// write by construction).
+func (m *rvmSeed) runChunk(ci int32, args []rval) (chunkResult, error) {
+	ch := &m.lp.p.RegChunks[ci]
+	base := m.rbase
+	need := base + int(ch.NumRegs)
+	if need > len(m.regs) {
+		nr := make([]rval, need*2+16)
+		copy(nr, m.regs[:base])
+		m.regs = nr
+	}
+	regs := m.regs[base:need:need]
+	n := copy(regs, args)
+	for i := n; i < int(ch.NumLocals); i++ {
+		regs[i] = rval{}
+	}
+	m.rbase = need
+	res, err := m.run(ch, base)
+	m.rbase = base
+	return res, err
+}
+
+// opndBases maps each operand class to its backing storage so reads
+// decode without a data-dependent branch: the class bits index the
+// table, the offset bits index the slice. A branchy decode mispredicts
+// badly in loops because one switch case serves register and literal
+// operands on alternating pcs; two dependent loads do not.
+type opndBases [4][]rval
+
+func (t *opndBases) rd(o int32) rval {
+	return t[o>>almanac.ROpndShift][o&almanac.ROpndMask]
+}
+
+// rdOpnd decodes a class-tagged operand. The plain-register fast path
+// is first: hot loops run almost entirely on registers.
+func rdOpnd(o int32, regs, env, stf, lits []rval) rval {
+	if o <= almanac.ROpndMask {
+		return regs[o]
+	}
+	i := o & almanac.ROpndMask
+	switch o >> almanac.ROpndShift {
+	case almanac.RClassLit:
+		return lits[i]
+	case almanac.RClassEnv:
+		return env[i]
+	default:
+		return stf[i]
+	}
+}
+
+// wrOpnd writes a class-tagged destination (register, env, or state
+// slot — stores retargeted by the translator write slots directly).
+func wrOpnd(d int32, v rval, regs, env, stf []rval) {
+	if d <= almanac.ROpndMask {
+		regs[d] = v
+		return
+	}
+	i := d & almanac.ROpndMask
+	if d>>almanac.ROpndShift == almanac.RClassEnv {
+		env[i] = v
+	} else {
+		stf[i] = v
+	}
+}
+
+// wrScalar writes a scalar result (int, float, bool — ref is never
+// consulted for those kinds) without touching the destination's ref
+// word. Register writes skip the pointer store entirely — no write
+// barrier on the hottest path; env/state slots get a clean full write
+// so long-lived slots never pin a stale reference.
+func wrScalar(d int32, v rval, regs, env, stf []rval) {
+	if d <= almanac.ROpndMask {
+		p := &regs[d]
+		p.k, p.i, p.f = v.k, v.i, v.f
+		return
+	}
+	i := d & almanac.ROpndMask
+	if d>>almanac.ROpndShift == almanac.RClassEnv {
+		env[i] = rval{k: v.k, i: v.i, f: v.f}
+	} else {
+		stf[i] = rval{k: v.k, i: v.i, f: v.f}
+	}
+}
+
+// cmpSlow resolves a fused compare-and-branch whose operands were not
+// both numeric (the inline tiers cover those): a numeric left against a
+// non-numeric right gets the comparison error, everything else goes to
+// binOp (matching the stack VM's cmpBase path and error strings).
+func (m *rvmSeed) cmpSlow(op almanac.Op, l, r rval, line int32) (bool, error) {
+	if _, lok := asFloatR(l); lok {
+		return false, fmt.Errorf("core: %s %s %s is not defined (line %d)",
+			typeNameR(l), opSym(op), typeNameR(r), line)
+	}
+	v, err := m.binOp(almanac.Instr{Op: op, Line: line}, l, r)
+	if err != nil {
+		return false, err
+	}
+	return v.i != 0, nil
+}
+
+// bridgeB boxes the arguments and runs the shared boxed builtin — the
+// fallback for the specialized native opcodes (RListLen, RListGet) when
+// the unboxed fast path does not apply. It mirrors the RCallB bridge so
+// cold paths and error strings have a single source.
+func (m *rvmSeed) bridgeB(name int32, argv []rval, line int32) (rval, error) {
+	m.scratch = m.scratch[:0]
+	for _, a := range argv {
+		m.scratch = append(m.scratch, a.box())
+	}
+	v, err := m.lp.bfns[name](m.in, m.scratch, int(line))
+	if err != nil {
+		return rval{}, err
+	}
+	return unbox(v), nil
+}
+
+func (m *rvmSeed) run(ch *almanac.RegChunk, base int) (chunkResult, error) {
+	lp := m.lp
+	p := lp.p
+	lits := lp.lits
+	env := m.env
+	stf := m.states[m.state] // fixed for the chunk: transit exits it
+	regs := m.regs[base : base+int(ch.NumRegs)]
+	bases := opndBases{almanac.RClassReg: regs, almanac.RClassLit: lits, almanac.RClassEnv: env, almanac.RClassSt: stf}
+	code := ch.Code
+	for pc := 0; pc < len(code); pc++ {
+		in := code[pc]
+		// Folded per-statement accounting. The guard keeps the serial
+		// load-add-store chain through m.actions as short as the real
+		// statement count instead of one RMW per dispatch.
+		if in.Step != 0 {
+			m.actions += int(in.Step)
+		}
+		switch in.Op {
+		case almanac.RNop:
+
+		case almanac.RMove:
+			wrOpnd(in.Dst, bases.rd(in.A), regs, env, stf)
+
+		case almanac.RZero:
+			wrOpnd(in.Dst, zeroRval(almanac.Type(in.A)), regs, env, stf)
+
+		case almanac.RLoadLE:
+			v := regs[in.A]
+			if v.k == rkUndef {
+				v = env[in.B]
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RLoadLS:
+			v := regs[in.A]
+			if v.k == rkUndef {
+				v = stf[in.B]
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RLoadLD:
+			v := regs[in.A]
+			if v.k == rkUndef {
+				var err error
+				v, err = m.dynLoad(p.Names[in.B], in.Line)
+				if err != nil {
+					return chunkResult{}, err
+				}
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RLoadLErr:
+			v := regs[in.A]
+			if v.k == rkUndef {
+				return chunkResult{}, fmt.Errorf("core: undeclared variable %s (line %d)", p.Names[in.B], in.Line)
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RStoreLE:
+			v := bases.rd(in.C)
+			if regs[in.A].k != rkUndef {
+				regs[in.A] = v
+			} else {
+				env[in.B] = v
+			}
+
+		case almanac.RStoreLS:
+			v := bases.rd(in.C)
+			if regs[in.A].k != rkUndef {
+				regs[in.A] = v
+			} else {
+				stf[in.B] = v
+			}
+
+		case almanac.RStoreLD:
+			v := bases.rd(in.C)
+			if regs[in.A].k != rkUndef {
+				regs[in.A] = v
+			} else if err := m.dynStore(p.Names[in.B], v); err != nil {
+				return chunkResult{}, err
+			}
+
+		case almanac.RStoreLErr:
+			v := bases.rd(in.C)
+			if regs[in.A].k != rkUndef {
+				regs[in.A] = v
+			} else {
+				return chunkResult{}, fmt.Errorf("core: assignment to undeclared variable %s", p.Names[in.B])
+			}
+
+		case almanac.RLoadDyn:
+			v, err := m.dynLoad(p.Names[in.A], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RStoreDyn:
+			if err := m.dynStore(p.Names[in.A], bases.rd(in.B)); err != nil {
+				return chunkResult{}, err
+			}
+
+		case almanac.RLoadErr:
+			return chunkResult{}, fmt.Errorf("core: undeclared variable %s (line %d)", p.Names[in.A], in.Line)
+
+		case almanac.RStoreErr:
+			return chunkResult{}, fmt.Errorf("core: assignment to undeclared variable %s", p.Names[in.A])
+
+		case almanac.RJump:
+			pc = int(in.A) - 1
+
+		case almanac.RJF:
+			b, err := truthyR(bases.rd(in.A))
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if !b {
+				pc = int(in.B) - 1
+			}
+
+		case almanac.RLoopInit:
+			regs[in.A] = rint(0)
+
+		case almanac.RLoopCheck:
+			if regs[in.A].i >= maxWhileIterations {
+				return chunkResult{}, fmt.Errorf("core: while loop exceeded %d iterations (line %d)", maxWhileIterations, in.Line)
+			}
+			regs[in.A].i++
+
+		case almanac.RTransit:
+			return chunkResult{kind: ctrlTransit, transit: in.A}, nil
+
+		case almanac.RReturn:
+			res := chunkResult{kind: ctrlReturn, val: rval{k: rkNil}}
+			if in.A >= 0 {
+				res.val = bases.rd(in.A)
+			}
+			return res, nil
+
+		case almanac.RNot:
+			b, err := truthyR(bases.rd(in.A))
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, rbool(!b), regs, env, stf)
+
+		case almanac.RNeg:
+			v := bases.rd(in.A)
+			switch v.k {
+			case rkInt:
+				v.i = -v.i
+			case rkFloat:
+				v.f = -v.f
+			default:
+				return chunkResult{}, fmt.Errorf("core: unary - on %s", typeNameR(v))
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.REq:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			wrOpnd(in.Dst, rbool(eqR(l, r)), regs, env, stf)
+
+		case almanac.RNe:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			wrOpnd(in.Dst, rbool(!eqR(l, r)), regs, env, stf)
+
+		case almanac.RJEq:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if !eqR(l, r) {
+				pc = int(in.C) - 1
+			}
+
+		case almanac.RJNe:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if eqR(l, r) {
+				pc = int(in.C) - 1
+			}
+
+		// Fused compare-and-branch and the numeric operators get one
+		// dispatch case per opcode: a single jump-table hit selects the
+		// operation, with the long/long and float/float tiers inline and
+		// everything else (mixed promotion, strings, lists, division by
+		// zero) in the shared slow helpers below.
+		case almanac.RJLt:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			var b bool
+			if l.k == rkInt && r.k == rkInt {
+				b = l.i < r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				b = l.f < r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				b = float64(l.i) < r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				b = l.f < float64(r.i)
+			} else {
+				var err error
+				if b, err = m.cmpSlow(almanac.OpLt, l, r, in.Line); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			if !b {
+				pc = int(in.C) - 1
+			}
+
+		case almanac.RJLe:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			var b bool
+			if l.k == rkInt && r.k == rkInt {
+				b = l.i <= r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				b = l.f <= r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				b = float64(l.i) <= r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				b = l.f <= float64(r.i)
+			} else {
+				var err error
+				if b, err = m.cmpSlow(almanac.OpLe, l, r, in.Line); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			if !b {
+				pc = int(in.C) - 1
+			}
+
+		case almanac.RJGt:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			var b bool
+			if l.k == rkInt && r.k == rkInt {
+				b = l.i > r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				b = l.f > r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				b = float64(l.i) > r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				b = l.f > float64(r.i)
+			} else {
+				var err error
+				if b, err = m.cmpSlow(almanac.OpGt, l, r, in.Line); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			if !b {
+				pc = int(in.C) - 1
+			}
+
+		case almanac.RJGe:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			var b bool
+			if l.k == rkInt && r.k == rkInt {
+				b = l.i >= r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				b = l.f >= r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				b = float64(l.i) >= r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				b = l.f >= float64(r.i)
+			} else {
+				var err error
+				if b, err = m.cmpSlow(almanac.OpGe, l, r, in.Line); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			if !b {
+				pc = int(in.C) - 1
+			}
+
+		case almanac.RMulAdd:
+			// Fused multiply feeding an add. The operand C read happens
+			// after the product but before the destination write, exactly
+			// like the unfused pair (C may alias Dst).
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				l.i *= r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				l.f *= r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				l.k, l.f = rkFloat, float64(l.i)*r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				l.f *= float64(r.i)
+			} else {
+				v, err := m.binOp(almanac.Instr{Op: almanac.OpMul, Line: in.Line}, l, r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				l = v
+			}
+			c := bases.rd(in.C)
+			if l.k == rkInt && c.k == rkInt {
+				l.i += c.i
+			} else if l.k == rkFloat && c.k == rkFloat {
+				l.f += c.f
+			} else if l.k == rkInt && c.k == rkFloat {
+				l.k, l.f = rkFloat, float64(l.i)+c.f
+			} else if l.k == rkFloat && c.k == rkInt {
+				l.f += float64(c.i)
+			} else {
+				v, err := m.binOp(almanac.Instr{Op: almanac.OpAdd, Line: in.Line}, l, c)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				l = v
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RAdd:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				l.i += r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				l.f += r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				l.k, l.f = rkFloat, float64(l.i)+r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				l.f += float64(r.i)
+			} else {
+				// Non-numeric add (string/list concat, type errors) is
+				// binOp's; its result may be a reference, so this is the
+				// one tier that takes the full write.
+				v, err := m.binOp(almanac.Instr{Op: almanac.OpAdd, Line: in.Line}, l, r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				wrOpnd(in.Dst, v, regs, env, stf)
+				break
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RSub:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				l.i -= r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				l.f -= r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				l.k, l.f = rkFloat, float64(l.i)-r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				l.f -= float64(r.i)
+			} else {
+				v, err := m.binOp(almanac.Instr{Op: almanac.OpSub, Line: in.Line}, l, r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				wrOpnd(in.Dst, v, regs, env, stf)
+				break
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RMul:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				l.i *= r.i
+			} else if l.k == rkFloat && r.k == rkFloat {
+				l.f *= r.f
+			} else if l.k == rkInt && r.k == rkFloat {
+				l.k, l.f = rkFloat, float64(l.i)*r.f
+			} else if l.k == rkFloat && r.k == rkInt {
+				l.f *= float64(r.i)
+			} else {
+				v, err := m.binOp(almanac.Instr{Op: almanac.OpMul, Line: in.Line}, l, r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				wrOpnd(in.Dst, v, regs, env, stf)
+				break
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RDiv:
+			// Division by zero falls to binOp for the shared error.
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt && r.i != 0 {
+				l.i /= r.i
+			} else if l.k == rkFloat && r.k == rkFloat && r.f != 0 {
+				l.f /= r.f
+			} else if l.k == rkInt && r.k == rkFloat && r.f != 0 {
+				l.k, l.f = rkFloat, float64(l.i)/r.f
+			} else if l.k == rkFloat && r.k == rkInt && r.i != 0 {
+				l.f /= float64(r.i)
+			} else {
+				v, err := m.binOp(almanac.Instr{Op: almanac.OpDiv, Line: in.Line}, l, r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				wrOpnd(in.Dst, v, regs, env, stf)
+				break
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RLt:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				setBoolR(&l, l.i < r.i)
+			} else if l.k == rkFloat && r.k == rkFloat {
+				setBoolR(&l, l.f < r.f)
+			} else if l.k == rkInt && r.k == rkFloat {
+				setBoolR(&l, float64(l.i) < r.f)
+			} else if l.k == rkFloat && r.k == rkInt {
+				setBoolR(&l, l.f < float64(r.i))
+			} else {
+				var err error
+				if l, err = m.binOp(almanac.Instr{Op: almanac.OpLt, Line: in.Line}, l, r); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RLe:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				setBoolR(&l, l.i <= r.i)
+			} else if l.k == rkFloat && r.k == rkFloat {
+				setBoolR(&l, l.f <= r.f)
+			} else if l.k == rkInt && r.k == rkFloat {
+				setBoolR(&l, float64(l.i) <= r.f)
+			} else if l.k == rkFloat && r.k == rkInt {
+				setBoolR(&l, l.f <= float64(r.i))
+			} else {
+				var err error
+				if l, err = m.binOp(almanac.Instr{Op: almanac.OpLe, Line: in.Line}, l, r); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RGt:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				setBoolR(&l, l.i > r.i)
+			} else if l.k == rkFloat && r.k == rkFloat {
+				setBoolR(&l, l.f > r.f)
+			} else if l.k == rkInt && r.k == rkFloat {
+				setBoolR(&l, float64(l.i) > r.f)
+			} else if l.k == rkFloat && r.k == rkInt {
+				setBoolR(&l, l.f > float64(r.i))
+			} else {
+				var err error
+				if l, err = m.binOp(almanac.Instr{Op: almanac.OpGt, Line: in.Line}, l, r); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RGe:
+			l := bases.rd(in.A)
+			r := bases.rd(in.B)
+			if l.k == rkInt && r.k == rkInt {
+				setBoolR(&l, l.i >= r.i)
+			} else if l.k == rkFloat && r.k == rkFloat {
+				setBoolR(&l, l.f >= r.f)
+			} else if l.k == rkInt && r.k == rkFloat {
+				setBoolR(&l, float64(l.i) >= r.f)
+			} else if l.k == rkFloat && r.k == rkInt {
+				setBoolR(&l, l.f >= float64(r.i))
+			} else {
+				var err error
+				if l, err = m.binOp(almanac.Instr{Op: almanac.OpGe, Line: in.Line}, l, r); err != nil {
+					return chunkResult{}, err
+				}
+			}
+			wrOpnd(in.Dst, l, regs, env, stf)
+
+		case almanac.RTruthy:
+			b, err := truthyR(bases.rd(in.A))
+			if err != nil {
+				return chunkResult{}, err
+			}
+			regs[in.Dst] = rbool(b)
+
+		case almanac.RAndL:
+			l := bases.rd(in.A)
+			if l.k == rkRef {
+				if _, ok := l.ref.(FilterVal); ok {
+					regs[in.Dst] = l // leave the filter for RAndR
+					break
+				}
+			}
+			b, err := truthyR(l)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if !b {
+				regs[in.Dst] = rbool(false)
+				pc = int(in.B) - 1
+				break
+			}
+			regs[in.Dst] = rval{k: rkMark}
+
+		case almanac.RAndR:
+			r := bases.rd(in.A)
+			mark := regs[in.Dst]
+			if mark.k == rkMark {
+				b, err := truthyR(r)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				regs[in.Dst] = rbool(b)
+				break
+			}
+			lf := mark.ref.(FilterVal)
+			rf, ok := r.ref.(FilterVal)
+			if r.k != rkRef || !ok {
+				return chunkResult{}, fmt.Errorf("core: filter and %s", typeNameR(r))
+			}
+			lc := almanac.FilterConst(lf.F)
+			lc.PortAny = lf.PortAny
+			rc := almanac.FilterConst(rf.F)
+			rc.PortAny = rf.PortAny
+			merged, err := almanac.MergeFilterConsts(lc, rc)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			regs[in.Dst] = rref(FilterVal{F: merged.Filter, PortAny: merged.PortAny})
+
+		case almanac.ROrL:
+			b, err := truthyR(bases.rd(in.A))
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if b {
+				regs[in.Dst] = rbool(true)
+				pc = int(in.B) - 1
+			}
+
+		case almanac.RField:
+			x := bases.rd(in.A)
+			if x.k == rkRef {
+				if sv, ok := x.ref.(StructVal); ok {
+					c := &m.fc[in.C]
+					if c.l == sv.L {
+						wrOpnd(in.Dst, unbox(sv.V[c.slot]), regs, env, stf)
+						break
+					}
+					if i := sv.L.Index(p.Names[in.B]); i >= 0 {
+						c.l, c.slot = sv.L, int32(i)
+						wrOpnd(in.Dst, unbox(sv.V[i]), regs, env, stf)
+						break
+					}
+					return chunkResult{}, fmt.Errorf("core: struct %s has no field %s (line %d)", sv.Type(), p.Names[in.B], in.Line)
+				}
+			}
+			v, err := m.fieldOp(x, p.Names[in.B], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RFilterAtom:
+			v, err := filterAtomOp(bases.rd(in.A), p.Names[in.B], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RFilterAny:
+			wrOpnd(in.Dst, rref(FilterVal{PortAny: true}), regs, env, stf)
+
+		case almanac.RStructLit:
+			l := lp.layouts[in.A]
+			n := len(l.Names)
+			fields := make([]Value, n)
+			for i := 0; i < n; i++ {
+				fields[i] = regs[int(in.B)+i].box()
+			}
+			wrOpnd(in.Dst, rref(StructVal{L: l, V: fields}), regs, env, stf)
+
+		case almanac.RListLit:
+			n := int(in.B)
+			out := make(List, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, regs[int(in.A)+i].box())
+			}
+			wrOpnd(in.Dst, rref(out), regs, env, stf)
+
+		case almanac.RListLen:
+			v := bases.rd(in.B)
+			if l, ok := asListR(v); ok {
+				wrOpnd(in.Dst, rint(int64(len(l))), regs, env, stf)
+				break
+			}
+			m.nargs[0] = v
+			res, err := m.bridgeB(in.A, m.nargs[:1], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, res, regs, env, stf)
+
+		case almanac.RListGet:
+			lv := bases.rd(in.B)
+			iv := bases.rd(in.C)
+			if l, ok := asListR(lv); ok {
+				if idx, ok2 := asFloatR(iv); ok2 {
+					if i := int(idx); i >= 0 && i < len(l) {
+						wrOpnd(in.Dst, unbox(l[i]), regs, env, stf)
+						break
+					}
+				}
+			}
+			m.nargs[0], m.nargs[1] = lv, iv
+			res, err := m.bridgeB(in.A, m.nargs[:2], in.Line)
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, res, regs, env, stf)
+
+		case almanac.RCallB, almanac.RCallB2:
+			var argv []rval
+			if in.Op == almanac.RCallB {
+				argv = regs[in.B : in.B+in.C]
+			} else {
+				argc := 0
+				if in.B >= 0 {
+					m.nargs[0] = bases.rd(in.B)
+					argc = 1
+					if in.C >= 0 {
+						m.nargs[1] = bases.rd(in.C)
+						argc = 2
+					}
+				}
+				argv = m.nargs[:argc]
+			}
+			if nf := lp.natives[in.A]; nf != nil {
+				res, handled, err := nf(m.in, argv, in.Line)
+				if err != nil {
+					return chunkResult{}, err
+				}
+				if handled {
+					wrOpnd(in.Dst, res, regs, env, stf)
+					break
+				}
+			}
+			// Bridge: box the arguments and run the shared builtin, so
+			// every cold path and error string has a single source.
+			m.scratch = m.scratch[:0]
+			for _, a := range argv {
+				m.scratch = append(m.scratch, a.box())
+			}
+			v, err := lp.bfns[in.A](m.in, m.scratch, int(in.Line))
+			if err != nil {
+				return chunkResult{}, err
+			}
+			wrOpnd(in.Dst, unbox(v), regs, env, stf)
+
+		case almanac.RCallFn:
+			fn := &p.Funcs[in.A]
+			res, err := m.runChunk(fn.Chunk, regs[in.B:in.B+in.C])
+			regs = m.regs[base : base+int(ch.NumRegs)] // callee may grow the arena
+			bases[almanac.RClassReg] = regs
+			if err != nil {
+				return chunkResult{}, err
+			}
+			if res.kind == ctrlTransit {
+				return chunkResult{}, fmt.Errorf("core: transit inside function %s is not allowed", fn.Name)
+			}
+			v := res.val
+			if res.kind != ctrlReturn {
+				v = rval{k: rkNil}
+			}
+			wrOpnd(in.Dst, v, regs, env, stf)
+
+		case almanac.RStep:
+			m.actions++
+
+		case almanac.RSend:
+			site := &p.Sends[in.A]
+			dest := SendDest{Harvester: site.Harvester, Machine: site.Machine}
+			if in.C >= 0 {
+				d := bases.rd(in.C)
+				if d.k != rkStr {
+					return chunkResult{}, fmt.Errorf("core: send destination must be a string, got %s", typeNameR(d))
+				}
+				dest.Dst = d.asStr()
+			}
+			m.in.host.Send(dest, CloneValue(bases.rd(in.B).box()))
+
+		case almanac.RSetIval:
+			v := bases.rd(in.B)
+			name := p.Names[in.A]
+			ms, ok := asFloatR(v)
+			if !ok || ms <= 0 {
+				return chunkResult{}, fmt.Errorf("core: trigger %s.ival must be a positive number, got %s", name, FormatValue(v.box()))
+			}
+			m.in.host.SetTriggerInterval(name, ms)
+
+		case almanac.RSetTrigger:
+			v := bases.rd(in.B)
+			name := p.Names[in.A]
+			var sv StructVal
+			ok := v.k == rkRef
+			if ok {
+				sv, ok = v.ref.(StructVal)
+			}
+			if !ok {
+				return chunkResult{}, fmt.Errorf("core: trigger %s must be assigned a Poll/Probe value", name)
+			}
+			ivalV, ok := sv.Get("ival")
+			if !ok {
+				return chunkResult{}, fmt.Errorf("core: trigger %s reassignment needs .ival", name)
+			}
+			ms, ok := AsFloat(ivalV)
+			if !ok || ms <= 0 {
+				return chunkResult{}, fmt.Errorf("core: trigger %s.ival must be a positive number", name)
+			}
+			m.in.host.SetTriggerInterval(name, ms)
+
+		case almanac.RFieldAssign:
+			v := bases.rd(in.B)
+			if err := m.fieldAssign(&p.FieldAssigns[in.A], regs[:ch.NumLocals], v); err != nil {
+				return chunkResult{}, err
+			}
+
+		case almanac.RErr:
+			return chunkResult{}, errors.New(p.Errs[in.A])
+
+		default:
+			return chunkResult{}, fmt.Errorf("core: rvm: unknown opcode %d", in.Op)
+		}
+	}
+	return chunkResult{val: rval{k: rkNil}}, nil
+}

@@ -276,7 +276,7 @@ func recvMatches(trg almanac.EventTrigger, from MsgSource, v Value) bool {
 		return ok
 	case almanac.TStruct:
 		sv, ok := v.(StructVal)
-		return ok && (trg.RecvTypeName == "" || sv.Type == trg.RecvTypeName)
+		return ok && (trg.RecvTypeName == "" || sv.Type() == trg.RecvTypeName)
 	}
 	return false
 }

@@ -47,12 +47,6 @@ type ActionVal dataplane.Action
 // PacketVal is a sampled packet.
 type PacketVal dataplane.Packet
 
-// StructVal is a struct instance.
-type StructVal struct {
-	Type   string
-	Fields MapVal
-}
-
 // ResourcesVal is the allocation returned by res().
 type ResourcesVal netmodel.Resources
 
@@ -164,7 +158,29 @@ func Equal(a, b Value) bool {
 		return true
 	case StructVal:
 		y, ok := b.(StructVal)
-		return ok && x.Type == y.Type && Equal(x.Fields, y.Fields)
+		if !ok || len(x.V) != len(y.V) {
+			return false
+		}
+		if x.L == y.L {
+			for i := range x.V {
+				if !Equal(x.V[i], y.V[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		// Different layouts (e.g. different field order from two
+		// compilation sites): compare by name, like the old map form.
+		if x.Type() != y.Type() {
+			return false
+		}
+		for i, n := range x.L.Names {
+			w, present := y.Get(n)
+			if !present || !Equal(x.V[i], w) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -186,7 +202,11 @@ func CloneValue(v Value) Value {
 		}
 		return out
 	case StructVal:
-		return StructVal{Type: x.Type, Fields: CloneValue(x.Fields).(MapVal)}
+		out := make([]Value, len(x.V))
+		for i, e := range x.V {
+			out[i] = CloneValue(e)
+		}
+		return StructVal{L: x.L, V: out}
 	case ResourcesVal:
 		return ResourcesVal(netmodel.Resources(x).Clone())
 	case SketchVal:
@@ -229,7 +249,19 @@ func FormatValue(v Value) string {
 		}
 		return s + "}"
 	case StructVal:
-		return x.Type + FormatValue(x.Fields)
+		// Render sorted by field name, independent of layout order, so
+		// digests and golden logs stay stable across layouts.
+		names := append([]string(nil), x.L.Names...)
+		sort.Strings(names)
+		s := x.Type() + "{"
+		for i, n := range names {
+			if i > 0 {
+				s += ", "
+			}
+			v, _ := x.Get(n)
+			s += fmt.Sprintf("%s: %s", n, FormatValue(v))
+		}
+		return s + "}"
 	case FilterVal:
 		if x.PortAny {
 			return "filter(port ANY)"
@@ -252,32 +284,26 @@ func FormatValue(v Value) string {
 // statistics poll: cumulative counters plus deltas since the previous
 // poll of the same subject.
 func PortStatsRecord(port int, cur, prev dataplane.PortStats) StructVal {
-	return StructVal{
-		Type: "PortStats",
-		Fields: MapVal{
-			"port":     int64(port),
-			"rxBytes":  int64(cur.RxBytes),
-			"txBytes":  int64(cur.TxBytes),
-			"rxPkts":   int64(cur.RxPackets),
-			"txPkts":   int64(cur.TxPackets),
-			"dRxBytes": int64(cur.RxBytes - prev.RxBytes),
-			"dTxBytes": int64(cur.TxBytes - prev.TxBytes),
-			"dRxPkts":  int64(cur.RxPackets - prev.RxPackets),
-			"dTxPkts":  int64(cur.TxPackets - prev.TxPackets),
-		},
-	}
+	v := make([]Value, len(portStatsLayout.Names))
+	v[psPort] = int64(port)
+	v[psRxBytes] = int64(cur.RxBytes)
+	v[psTxBytes] = int64(cur.TxBytes)
+	v[psRxPkts] = int64(cur.RxPackets)
+	v[psTxPkts] = int64(cur.TxPackets)
+	v[psDRxBytes] = int64(cur.RxBytes - prev.RxBytes)
+	v[psDTxBytes] = int64(cur.TxBytes - prev.TxBytes)
+	v[psDRxPkts] = int64(cur.RxPackets - prev.RxPackets)
+	v[psDTxPkts] = int64(cur.TxPackets - prev.TxPackets)
+	return StructVal{L: portStatsLayout, V: v}
 }
 
 // RuleStatsRecord builds the struct value delivered by a rule-counter
 // poll.
 func RuleStatsRecord(cur, prev dataplane.RuleStats) StructVal {
-	return StructVal{
-		Type: "RuleStats",
-		Fields: MapVal{
-			"packets":  int64(cur.Packets),
-			"bytes":    int64(cur.Bytes),
-			"dPackets": int64(cur.Packets - prev.Packets),
-			"dBytes":   int64(cur.Bytes - prev.Bytes),
-		},
-	}
+	return StructVal{L: ruleStatsLayout, V: []Value{
+		int64(cur.Packets),
+		int64(cur.Bytes),
+		int64(cur.Packets - prev.Packets),
+		int64(cur.Bytes - prev.Bytes),
+	}}
 }

@@ -37,7 +37,7 @@ func randValue(rng *rand.Rand, depth int) Value {
 		}
 		return m
 	case 2:
-		return StructVal{Type: "T", Fields: MapVal{"x": randValue(rng, depth-1)}}
+		return StructOf("T", MapVal{"x": randValue(rng, depth-1)})
 	case 3:
 		return FilterVal{F: dataplane.Filter{DstPort: uint16(rng.Intn(100))}}
 	case 4:
@@ -77,14 +77,14 @@ func TestClonePreservesEqualityAndIsolates(t *testing.T) {
 	}
 	// Directed isolation checks (the random walk above can't easily
 	// capture before/after).
-	orig := MapVal{"k": List{int64(1)}, "s": StructVal{Type: "T", Fields: MapVal{"f": int64(2)}}}
+	orig := MapVal{"k": List{int64(1)}, "s": StructOf("T", MapVal{"f": int64(2)})}
 	c := CloneValue(orig).(MapVal)
 	c["k"].(List)[0] = int64(99)
-	c["s"].(StructVal).Fields["f"] = int64(99)
+	c["s"].(StructVal).Set("f", int64(99))
 	if orig["k"].(List)[0] != int64(1) {
 		t.Fatal("list mutation leaked into the original")
 	}
-	if orig["s"].(StructVal).Fields["f"] != int64(2) {
+	if f, _ := orig["s"].(StructVal).Get("f"); f != int64(2) {
 		t.Fatal("struct mutation leaked into the original")
 	}
 }
@@ -98,7 +98,9 @@ func mutate(v Value) {
 	case MapVal:
 		x["__mutated"] = true
 	case StructVal:
-		x.Fields["__mutated"] = true
+		if len(x.V) > 0 {
+			x.V[0] = int64(123456)
+		}
 	}
 }
 
@@ -151,10 +153,12 @@ func TestPortStatsRecordDeltas(t *testing.T) {
 	cur := dataplane.PortStats{TxBytes: 1000, TxPackets: 10, RxBytes: 500, RxPackets: 5}
 	prev := dataplane.PortStats{TxBytes: 400, TxPackets: 4, RxBytes: 100, RxPackets: 1}
 	rec := PortStatsRecord(7, cur, prev)
-	if rec.Fields["port"] != int64(7) {
-		t.Fatalf("port = %v", rec.Fields["port"])
+	if p, _ := rec.Get("port"); p != int64(7) {
+		t.Fatalf("port = %v", p)
 	}
-	if rec.Fields["dTxBytes"] != int64(600) || rec.Fields["dRxPkts"] != int64(4) {
+	dtx, _ := rec.Get("dTxBytes")
+	drx, _ := rec.Get("dRxPkts")
+	if dtx != int64(600) || drx != int64(4) {
 		t.Fatalf("deltas = %s", FormatValue(rec))
 	}
 }
@@ -164,7 +168,9 @@ func TestRuleStatsRecordDeltas(t *testing.T) {
 		dataplane.RuleStats{Packets: 10, Bytes: 1000},
 		dataplane.RuleStats{Packets: 3, Bytes: 300},
 	)
-	if rec.Fields["dPackets"] != int64(7) || rec.Fields["dBytes"] != int64(700) {
+	dp, _ := rec.Get("dPackets")
+	db, _ := rec.Get("dBytes")
+	if dp != int64(7) || db != int64(700) {
 		t.Fatalf("deltas = %s", FormatValue(rec))
 	}
 }

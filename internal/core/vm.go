@@ -239,11 +239,24 @@ type vmSeed struct {
 // construction-time error string are shared with the interpreter; the
 // resulting maps are then flattened into slots.
 func newVMSeed(cm *almanac.CompiledMachine, externals map[string]Value, host Host, lp *linkedLowered) (*vmSeed, error) {
-	in, err := NewSeed(cm, externals, host)
-	if err != nil {
+	m := &vmSeed{}
+	if err := m.initFrames(cm, externals, host, lp); err != nil {
 		return nil, err
 	}
-	m := &vmSeed{in: in, lp: lp, state: lp.p.InitialState}
+	m.stack = make([]rval, 32)
+	m.locals = make([]rval, 32)
+	return m, nil
+}
+
+// initFrames is the construction path shared with the register VM
+// (which embeds vmSeed): build the interpreter twin, then flatten its
+// env and per-state variable maps into slot frames.
+func (m *vmSeed) initFrames(cm *almanac.CompiledMachine, externals map[string]Value, host Host, lp *linkedLowered) error {
+	in, err := NewSeed(cm, externals, host)
+	if err != nil {
+		return err
+	}
+	m.in, m.lp, m.state = in, lp, lp.p.InitialState
 	m.env = make([]rval, len(lp.p.EnvSlots))
 	for i, s := range lp.p.EnvSlots {
 		m.env[i] = unbox(in.env[s.Name])
@@ -258,9 +271,7 @@ func newVMSeed(cm *almanac.CompiledMachine, externals map[string]Value, host Hos
 		}
 		m.states[si] = fr
 	}
-	m.stack = make([]rval, 32)
-	m.locals = make([]rval, 32)
-	return m, nil
+	return nil
 }
 
 func (m *vmSeed) Machine() *almanac.CompiledMachine { return m.in.Machine() }
@@ -972,17 +983,17 @@ func (m *vmSeed) run(code []almanac.Instr, loc []rval) (chunkResult, error) {
 			sp++
 
 		case almanac.OpStructLit:
-			site := &p.Structs[in.A]
-			n := len(site.Fields)
-			fields := make(MapVal, n)
+			l := lp.layouts[in.A]
+			n := len(l.Names)
+			fields := make([]Value, n)
 			for i := 0; i < n; i++ {
-				fields[site.Fields[i]] = st[sp-n+i].box()
+				fields[i] = st[sp-n+i].box()
 			}
 			sp -= n
 			if sp == len(st) {
 				st = m.growStack(sp)
 			}
-			st[sp] = rref(StructVal{Type: site.TypeName, Fields: fields})
+			st[sp] = rref(StructVal{L: l, V: fields})
 			sp++
 
 		case almanac.OpListLit:
@@ -1002,7 +1013,7 @@ func (m *vmSeed) run(code []almanac.Instr, loc []rval) (chunkResult, error) {
 			argc := int(in.B)
 			argv := st[sp-argc : sp]
 			if nf := lp.natives[in.A]; nf != nil {
-				res, handled, err := nf(m, argv, in.Line)
+				res, handled, err := nf(m.in, argv, in.Line)
 				if err != nil {
 					return chunkResult{}, err
 				}
@@ -1098,7 +1109,7 @@ func (m *vmSeed) run(code []almanac.Instr, loc []rval) (chunkResult, error) {
 			if !ok {
 				return chunkResult{}, fmt.Errorf("core: trigger %s must be assigned a Poll/Probe value", name)
 			}
-			ivalV, ok := sv.Fields["ival"]
+			ivalV, ok := sv.Get("ival")
 			if !ok {
 				return chunkResult{}, fmt.Errorf("core: trigger %s reassignment needs .ival", name)
 			}
@@ -1186,9 +1197,9 @@ func (m *vmSeed) fieldOp(x rval, field string, line int32) (rval, error) {
 	if x.k == rkRef {
 		switch v := x.ref.(type) {
 		case StructVal:
-			f, ok := v.Fields[field]
+			f, ok := v.Get(field)
 			if !ok {
-				return rval{}, fmt.Errorf("core: struct %s has no field %s (line %d)", v.Type, field, line)
+				return rval{}, fmt.Errorf("core: struct %s has no field %s (line %d)", v.Type(), field, line)
 			}
 			return unbox(f), nil
 		case ResourcesVal:
@@ -1292,17 +1303,16 @@ func (m *vmSeed) fieldAssign(fa *almanac.FieldAssignSite, loc []rval, v rval) er
 	if !ok {
 		return fmt.Errorf("core: %s is %s, not a struct", fa.Target, typeNameR(cur))
 	}
-	if _, ok := sv.Fields[fa.Field]; !ok {
-		return fmt.Errorf("core: struct %s has no field %s", sv.Type, fa.Field)
+	if !sv.Set(fa.Field, v.box()) {
+		return fmt.Errorf("core: struct %s has no field %s", sv.Type(), fa.Field)
 	}
-	sv.Fields[fa.Field] = v.box()
 	return nil
 }
 
 // nativeFn is an unboxed fast path for one builtin: handled=false means
 // "bridge to the boxed builtin" (unexpected types, arity, or any error
 // case — error strings have exactly one source, builtins.go).
-type nativeFn func(m *vmSeed, args []rval, line int32) (res rval, handled bool, err error)
+type nativeFn func(s *Seed, args []rval, line int32) (res rval, handled bool, err error)
 
 var vmNatives = map[string]nativeFn{
 	"list_len":          nvListLen,
@@ -1346,7 +1356,7 @@ func asListR(r rval) (List, bool) {
 	return nil, false
 }
 
-func nvListLen(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvListLen(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1357,7 +1367,7 @@ func nvListLen(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rint(int64(len(l))), true, nil
 }
 
-func nvListEmpty(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvListEmpty(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1368,7 +1378,7 @@ func nvListEmpty(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rbool(len(l) == 0), true, nil
 }
 
-func nvListGet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvListGet(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1387,7 +1397,7 @@ func nvListGet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return unbox(l[i]), true, nil
 }
 
-func nvListContains(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvListContains(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1403,21 +1413,21 @@ func nvListContains(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rbool(false), true, nil
 }
 
-func nvListClear(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvListClear(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
 	return rref(zeroListVal), true, nil
 }
 
-func nvMapNew(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvMapNew(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 0 {
 		return rval{}, false, nil
 	}
 	return rref(MapVal{}), true, nil
 }
 
-func nvMapGet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvMapGet(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 3 {
 		return rval{}, false, nil
 	}
@@ -1434,7 +1444,7 @@ func nvMapGet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return args[2], true, nil
 }
 
-func nvMapSet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvMapSet(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 3 {
 		return rval{}, false, nil
 	}
@@ -1449,7 +1459,7 @@ func nvMapSet(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return args[0], true, nil
 }
 
-func nvMapHas(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvMapHas(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1464,7 +1474,7 @@ func nvMapHas(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rbool(has), true, nil
 }
 
-func nvMapDel(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvMapDel(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1479,7 +1489,7 @@ func nvMapDel(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return args[0], true, nil
 }
 
-func nvMapLen(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvMapLen(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1525,10 +1535,10 @@ func nvMinMax(args []rval, max bool) (rval, bool, error) {
 	return rfloat(best), true, nil
 }
 
-func nvMin(_ *vmSeed, args []rval, _ int32) (rval, bool, error) { return nvMinMax(args, false) }
-func nvMax(_ *vmSeed, args []rval, _ int32) (rval, bool, error) { return nvMinMax(args, true) }
+func nvMin(_ *Seed, args []rval, _ int32) (rval, bool, error) { return nvMinMax(args, false) }
+func nvMax(_ *Seed, args []rval, _ int32) (rval, bool, error) { return nvMinMax(args, true) }
 
-func nvAbs(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvAbs(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1544,7 +1554,7 @@ func nvAbs(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rval{}, false, nil
 }
 
-func nvFloor(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvFloor(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1555,7 +1565,7 @@ func nvFloor(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rint(int64(math.Floor(f))), true, nil
 }
 
-func nvLog(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvLog(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1566,7 +1576,7 @@ func nvLog(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rfloat(math.Log(f)), true, nil
 }
 
-func nvLog2(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvLog2(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 {
 		return rval{}, false, nil
 	}
@@ -1577,21 +1587,21 @@ func nvLog2(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rfloat(math.Log2(f)), true, nil
 }
 
-func nvNow(m *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvNow(s *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 0 {
 		return rval{}, false, nil
 	}
-	return rfloat(float64(m.in.host.Now().Milliseconds())), true, nil
+	return rfloat(float64(s.host.Now().Milliseconds())), true, nil
 }
 
-func nvStr(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvStr(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 || args[0].k != rkStr {
 		return rval{}, false, nil
 	}
 	return args[0], true, nil
 }
 
-func nvGetHH(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvGetHH(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1606,18 +1616,27 @@ func nvGetHH(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	var hitters List
 	for _, rec := range stats {
 		sv, ok := rec.(StructVal)
-		if !ok || sv.Type != "PortStats" {
+		if !ok || sv.Type() != "PortStats" {
 			return rval{}, false, nil // bridge for the exact error
 		}
-		d, _ := AsFloat(sv.Fields["dTxBytes"])
+		if sv.L == portStatsLayout {
+			d, _ := AsFloat(sv.V[psDTxBytes])
+			if d >= th {
+				hitters = append(hitters, sv.V[psPort])
+			}
+			continue
+		}
+		dv, _ := sv.Get("dTxBytes")
+		d, _ := AsFloat(dv)
 		if d >= th {
-			hitters = append(hitters, sv.Fields["port"])
+			pv, _ := sv.Get("port")
+			hitters = append(hitters, pv)
 		}
 	}
 	return rref(hitters), true, nil
 }
 
-func nvSketchAdd(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvSketchAdd(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 3 {
 		return rval{}, false, nil
 	}
@@ -1636,7 +1655,7 @@ func nvSketchAdd(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return args[0], true, nil
 }
 
-func nvSketchCount(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvSketchCount(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1650,7 +1669,7 @@ func nvSketchCount(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rint(int64(s.S.Count(args[1].asStr()))), true, nil
 }
 
-func nvSketchTotal(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvSketchTotal(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 || args[0].k != rkRef {
 		return rval{}, false, nil
 	}
@@ -1661,7 +1680,7 @@ func nvSketchTotal(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return rint(int64(s.S.Total())), true, nil
 }
 
-func nvDistinctAdd(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvDistinctAdd(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 2 {
 		return rval{}, false, nil
 	}
@@ -1676,7 +1695,7 @@ func nvDistinctAdd(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
 	return args[0], true, nil
 }
 
-func nvDistinctEstimate(_ *vmSeed, args []rval, _ int32) (rval, bool, error) {
+func nvDistinctEstimate(_ *Seed, args []rval, _ int32) (rval, bool, error) {
 	if len(args) != 1 || args[0].k != rkRef {
 		return rval{}, false, nil
 	}

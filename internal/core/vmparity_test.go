@@ -11,11 +11,12 @@ import (
 	"farm/internal/dataplane"
 )
 
-// The bytecode VM must be observationally identical to the AST
+// The compiled back ends must be observationally identical to the AST
 // interpreter: same states, same variables, same emissions, same error
-// strings, same action counts. These tests run both back ends side by
-// side over snippets, hand-picked corner cases, and long random trigger
-// sequences, and diff everything.
+// strings, same action counts. These tests run all three back ends —
+// interpreter, stack VM, register VM — side by side over snippets,
+// hand-picked corner cases, and long random trigger sequences, and diff
+// everything pairwise against the interpreter.
 
 func parityCompile(t *testing.T, src, name string) *almanac.CompiledMachine {
 	t.Helper()
@@ -30,33 +31,64 @@ func parityCompile(t *testing.T, src, name string) *almanac.CompiledMachine {
 	return cm
 }
 
-// backendPair holds the interpreter and the VM deployed from one
-// machine with identical externals.
-type backendPair struct {
-	interp Runner
-	vm     Runner
-	hi     *mockHost
-	hv     *mockHost
+// parityBackends is every execution engine, interpreter (the semantic
+// reference) first.
+var parityBackends = []Backend{BackendInterp, BackendStack, BackendRegister}
+
+// backendSet holds one runner per back end, deployed from one machine
+// with identical externals, index-parallel to parityBackends.
+type backendSet struct {
+	rs []Runner
+	hs []*mockHost
 }
 
-func newBackendPair(t *testing.T, cm *almanac.CompiledMachine, ext map[string]Value) *backendPair {
+func newBackendSet(t *testing.T, cm *almanac.CompiledMachine, ext map[string]Value) *backendSet {
 	t.Helper()
-	hi, hv := newMockHost(), newMockHost()
-	ri, erri := NewRunner(cm, cloneExternals(ext), hi, true)
-	rv, errv := NewRunner(cm, cloneExternals(ext), hv, false)
-	if (erri == nil) != (errv == nil) || (erri != nil && erri.Error() != errv.Error()) {
-		t.Fatalf("construction diverged: interp=%v vm=%v", erri, errv)
+	p := &backendSet{
+		rs: make([]Runner, len(parityBackends)),
+		hs: make([]*mockHost, len(parityBackends)),
 	}
-	if erri != nil {
+	errs := make([]error, len(parityBackends))
+	for i, be := range parityBackends {
+		p.hs[i] = newMockHost()
+		p.rs[i], errs[i] = NewRunner(cm, cloneExternals(ext), p.hs[i], be)
+	}
+	for i := 1; i < len(errs); i++ {
+		if (errs[0] == nil) != (errs[i] == nil) || (errs[0] != nil && errs[0].Error() != errs[i].Error()) {
+			t.Fatalf("construction diverged: interp=%v %s=%v", errs[0], parityBackends[i], errs[i])
+		}
+	}
+	if errs[0] != nil {
 		return nil
 	}
-	if _, ok := ri.(*Seed); !ok {
-		t.Fatalf("interpret=true returned %T", ri)
+	if _, ok := p.rs[0].(*Seed); !ok {
+		t.Fatalf("BackendInterp returned %T", p.rs[0])
 	}
-	if _, ok := rv.(*vmSeed); !ok {
-		t.Fatalf("interpret=false returned %T (lowering fell back?)", rv)
+	if _, ok := p.rs[1].(*vmSeed); !ok {
+		t.Fatalf("BackendStack returned %T (lowering fell back?)", p.rs[1])
 	}
-	return &backendPair{interp: ri, vm: rv, hi: hi, hv: hv}
+	if _, ok := p.rs[2].(*rvmSeed); !ok {
+		t.Fatalf("BackendRegister returned %T (lowering fell back?)", p.rs[2])
+	}
+	return p
+}
+
+// do applies one step to every back end and asserts the error outcomes
+// are identical, returning the shared error. The callback must build
+// fresh argument values per call (use CloneValue for lists/structs) so
+// back ends never share mutable state.
+func (p *backendSet) do(t *testing.T, ctx string, f func(r Runner) error) error {
+	t.Helper()
+	errs := make([]error, len(p.rs))
+	for i, r := range p.rs {
+		errs[i] = f(r)
+	}
+	for i := 1; i < len(errs); i++ {
+		if (errs[0] == nil) != (errs[i] == nil) || (errs[0] != nil && errs[0].Error() != errs[i].Error()) {
+			t.Fatalf("%s: error diverged\ninterp: %v\n%s: %v", ctx, errs[0], parityBackends[i], errs[i])
+		}
+	}
+	return errs[0]
 }
 
 func cloneExternals(ext map[string]Value) map[string]Value {
@@ -123,31 +155,27 @@ func hostTrace(h *mockHost) string {
 	return b.String()
 }
 
-// diffPair asserts both backends are indistinguishable right now.
-func diffPair(t *testing.T, p *backendPair, ctx string) {
+// diffSet asserts every back end is indistinguishable from the
+// interpreter right now.
+func diffSet(t *testing.T, p *backendSet, ctx string) {
 	t.Helper()
-	if a, b := p.interp.State(), p.vm.State(); a != b {
-		t.Fatalf("%s: state interp=%s vm=%s", ctx, a, b)
+	fp0, tr0 := fingerprint(p.rs[0]), hostTrace(p.hs[0])
+	ac0 := p.rs[0].TakeActionCount()
+	for i := 1; i < len(p.rs); i++ {
+		name := parityBackends[i].String()
+		if a, b := p.rs[0].State(), p.rs[i].State(); a != b {
+			t.Fatalf("%s: state interp=%s %s=%s", ctx, a, name, b)
+		}
+		if b := fingerprint(p.rs[i]); fp0 != b {
+			t.Fatalf("%s: fingerprint diverged\n--- interp ---\n%s--- %s ---\n%s", ctx, fp0, name, b)
+		}
+		if b := hostTrace(p.hs[i]); tr0 != b {
+			t.Fatalf("%s: host trace diverged\n--- interp ---\n%s--- %s ---\n%s", ctx, tr0, name, b)
+		}
+		if b := p.rs[i].TakeActionCount(); ac0 != b {
+			t.Fatalf("%s: action count interp=%d %s=%d", ctx, ac0, name, b)
+		}
 	}
-	if a, b := fingerprint(p.interp), fingerprint(p.vm); a != b {
-		t.Fatalf("%s: fingerprint diverged\n--- interp ---\n%s--- vm ---\n%s", ctx, a, b)
-	}
-	if a, b := hostTrace(p.hi), hostTrace(p.hv); a != b {
-		t.Fatalf("%s: host trace diverged\n--- interp ---\n%s--- vm ---\n%s", ctx, a, b)
-	}
-	if a, b := p.interp.TakeActionCount(), p.vm.TakeActionCount(); a != b {
-		t.Fatalf("%s: action count interp=%d vm=%d", ctx, a, b)
-	}
-}
-
-// parityErr asserts the two error outcomes are identical and returns
-// the shared error (nil when both succeeded).
-func parityErr(t *testing.T, ctx string, erri, errv error) error {
-	t.Helper()
-	if (erri == nil) != (errv == nil) || (erri != nil && erri.Error() != errv.Error()) {
-		t.Fatalf("%s: error diverged\ninterp: %v\nvm:     %v", ctx, erri, errv)
-	}
-	return erri
 }
 
 func TestVMSnippetParity(t *testing.T) {
@@ -239,11 +267,9 @@ machine T {
 }
 `
 			cm := parityCompile(t, src, "T")
-			p := newBackendPair(t, cm, nil)
-			erri := p.interp.Start()
-			errv := p.vm.Start()
-			parityErr(t, "start", erri, errv)
-			diffPair(t, p, "after start")
+			p := newBackendSet(t, cm, nil)
+			p.do(t, "start", func(r Runner) error { return r.Start() })
+			diffSet(t, p, "after start")
 		})
 	}
 }
@@ -302,67 +328,66 @@ machine P {
 }
 `
 
-// TestVMRandomProperty drives both backends through thousands of random
-// steps and requires byte-identical observable behaviour throughout,
-// including periodic snapshots.
+// TestVMRandomProperty drives all three back ends through thousands of
+// random steps and requires byte-identical observable behaviour
+// throughout, including periodic snapshot rotation across back ends.
 func TestVMRandomProperty(t *testing.T) {
 	cm := parityCompile(t, propertySource, "P")
 	rng := rand.New(rand.NewSource(42))
-	p := newBackendPair(t, cm, nil)
-	parityErr(t, "start", p.interp.Start(), p.vm.Start())
+	p := newBackendSet(t, cm, nil)
+	p.do(t, "start", func(r Runner) error { return r.Start() })
 	const steps = 12000
 	harv := MsgSource{Harvester: true}
 	for i := 0; i < steps; i++ {
-		var erri, errv error
 		ctx := fmt.Sprintf("step %d", i)
 		switch k := rng.Intn(10); k {
 		case 0, 1, 2, 3:
 			v := int64(rng.Intn(21) - 10)
-			erri = p.interp.HandleTrigger("tick", v)
-			errv = p.vm.HandleTrigger("tick", v)
+			p.do(t, ctx, func(r Runner) error { return r.HandleTrigger("tick", v) })
 		case 4, 5:
 			v := int64(rng.Intn(9))
-			erri = p.interp.HandleTrigger("tock", v)
-			errv = p.vm.HandleTrigger("tock", v)
+			p.do(t, ctx, func(r Runner) error { return r.HandleTrigger("tock", v) })
 		case 6:
 			v := int64(rng.Intn(30))
-			erri = p.interp.HandleRecv(harv, v)
-			errv = p.vm.HandleRecv(harv, v)
+			p.do(t, ctx, func(r Runner) error { return r.HandleRecv(harv, v) })
 		case 7:
-			v := StructVal{Type: "Rec", Fields: MapVal{"key": fmt.Sprintf("k%d", rng.Intn(5)), "n": int64(rng.Intn(100))}}
-			erri = p.interp.HandleRecv(harv, v)
-			errv = p.vm.HandleRecv(harv, v)
+			key, n := fmt.Sprintf("k%d", rng.Intn(5)), int64(rng.Intn(100))
+			p.do(t, ctx, func(r Runner) error {
+				return r.HandleRecv(harv, StructOf("Rec", MapVal{"key": key, "n": n}))
+			})
 		case 8:
-			erri = p.interp.HandleRealloc()
-			errv = p.vm.HandleRealloc()
+			p.do(t, ctx, func(r Runner) error { return r.HandleRealloc() })
 		case 9:
-			// Unknown trigger / unmatched recv are dropped by both.
-			erri = p.interp.HandleTrigger("nosuch", int64(1))
-			errv = p.vm.HandleTrigger("nosuch", int64(1))
+			// Unknown trigger / unmatched recv are dropped by all.
+			p.do(t, ctx, func(r Runner) error { return r.HandleTrigger("nosuch", int64(1)) })
 		}
-		parityErr(t, ctx, erri, errv)
 		if i%251 == 0 {
-			diffPair(t, p, ctx)
+			diffSet(t, p, ctx)
 		}
 		if i%997 == 0 {
-			// Cross-restore: snapshot each backend and restore it into
-			// the other; they must remain identical afterwards.
-			si, sv := p.interp.Snapshot(), p.vm.Snapshot()
-			if err := p.interp.Restore(sv); err != nil {
-				t.Fatalf("%s: restore vm snapshot into interp: %v", ctx, err)
+			// Cross-restore rotation: snapshot every back end, then
+			// restore each snapshot into the *next* back end. All must
+			// remain identical afterwards.
+			snaps := make([]Snapshot, len(p.rs))
+			for j, r := range p.rs {
+				snaps[j] = r.Snapshot()
 			}
-			if err := p.vm.Restore(si); err != nil {
-				t.Fatalf("%s: restore interp snapshot into vm: %v", ctx, err)
+			for j, r := range p.rs {
+				src := (j + 1) % len(p.rs)
+				if err := r.Restore(snaps[src]); err != nil {
+					t.Fatalf("%s: restore %s snapshot into %s: %v",
+						ctx, parityBackends[src], parityBackends[j], err)
+				}
 			}
-			diffPair(t, p, ctx+" after cross-restore")
+			diffSet(t, p, ctx+" after cross-restore")
 		}
 	}
-	diffPair(t, p, "final")
+	diffSet(t, p, "final")
 }
 
 // TestVMSnapshotCrossBackend covers the failover path: run on one back
-// end, snapshot, restore into the other, and require identical
-// subsequent behaviour (both directions).
+// end, snapshot, restore into every back end, and require identical
+// subsequent behaviour (all source/destination combinations).
 func TestVMSnapshotCrossBackend(t *testing.T) {
 	cm := parityCompile(t, propertySource, "P")
 	drive := func(r Runner, rng *rand.Rand, n int) {
@@ -383,12 +408,10 @@ func TestVMSnapshotCrossBackend(t *testing.T) {
 			}
 		}
 	}
-	for _, dir := range []struct {
-		name string
-		from bool // interpret for the source backend
-	}{{"interp-to-vm", true}, {"vm-to-interp", false}} {
-		t.Run(dir.name, func(t *testing.T) {
-			src, err := NewRunner(cm, nil, newMockHost(), dir.from)
+	for _, from := range parityBackends {
+		from := from
+		t.Run("from-"+from.String(), func(t *testing.T) {
+			src, err := NewRunner(cm, nil, newMockHost(), from)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -398,41 +421,44 @@ func TestVMSnapshotCrossBackend(t *testing.T) {
 			drive(src, rand.New(rand.NewSource(7)), 500)
 			snap := src.Snapshot()
 
-			// Restore the snapshot into a fresh runner of the opposite
-			// back end and into a fresh one of the same back end; drive
-			// all three identically and compare.
-			hi, hv := newMockHost(), newMockHost()
-			same, err := NewRunner(cm, nil, hi, dir.from)
-			if err != nil {
-				t.Fatal(err)
+			// Restore the snapshot into a fresh runner of every back
+			// end; drive them all identically and compare.
+			hosts := make([]*mockHost, len(parityBackends))
+			runners := make([]Runner, len(parityBackends))
+			for i, be := range parityBackends {
+				hosts[i] = newMockHost()
+				runners[i], err = NewRunner(cm, nil, hosts[i], be)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := runners[i].Restore(snap); err != nil {
+					t.Fatal(err)
+				}
 			}
-			other, err := NewRunner(cm, nil, hv, !dir.from)
-			if err != nil {
-				t.Fatal(err)
+			fp0 := fingerprint(runners[0])
+			for i := 1; i < len(runners); i++ {
+				if b := fingerprint(runners[i]); fp0 != b {
+					t.Fatalf("restored fingerprints differ\n--- interp ---\n%s--- %s ---\n%s", fp0, parityBackends[i], b)
+				}
 			}
-			if err := same.Restore(snap); err != nil {
-				t.Fatal(err)
+			for _, r := range runners {
+				drive(r, rand.New(rand.NewSource(11)), 500)
 			}
-			if err := other.Restore(snap); err != nil {
-				t.Fatal(err)
-			}
-			if a, b := fingerprint(same), fingerprint(other); a != b {
-				t.Fatalf("restored fingerprints differ\n--- same ---\n%s--- other ---\n%s", a, b)
-			}
-			drive(same, rand.New(rand.NewSource(11)), 500)
-			drive(other, rand.New(rand.NewSource(11)), 500)
-			if a, b := fingerprint(same), fingerprint(other); a != b {
-				t.Fatalf("post-restore behaviour diverged\n--- same ---\n%s--- other ---\n%s", a, b)
-			}
-			if a, b := hostTrace(hi), hostTrace(hv); a != b {
-				t.Fatalf("post-restore host traces diverged\n--- same ---\n%s--- other ---\n%s", a, b)
+			fp0, tr0 := fingerprint(runners[0]), hostTrace(hosts[0])
+			for i := 1; i < len(runners); i++ {
+				if b := fingerprint(runners[i]); fp0 != b {
+					t.Fatalf("post-restore behaviour diverged\n--- interp ---\n%s--- %s ---\n%s", fp0, parityBackends[i], b)
+				}
+				if b := hostTrace(hosts[i]); tr0 != b {
+					t.Fatalf("post-restore host traces diverged\n--- interp ---\n%s--- %s ---\n%s", tr0, parityBackends[i], b)
+				}
 			}
 		})
 	}
 }
 
 // TestVMRestoreErrors pins the error strings of invalid snapshots on
-// both back ends.
+// every back end.
 func TestVMRestoreErrors(t *testing.T) {
 	cm := parityCompile(t, propertySource, "P")
 	for _, snap := range []Snapshot{
@@ -441,22 +467,21 @@ func TestVMRestoreErrors(t *testing.T) {
 		{Machine: "P", State: "idle", Env: map[string]Value{"ghost": int64(1)}},
 		{Machine: "P", State: "idle", StateVars: map[string]map[string]Value{"nope": {}}},
 	} {
-		p := newBackendPair(t, cm, nil)
-		erri := p.interp.Restore(snap)
-		errv := p.vm.Restore(snap)
-		if parityErr(t, fmt.Sprintf("restore %+v", snap), erri, errv) == nil {
+		snap := snap
+		p := newBackendSet(t, cm, nil)
+		if p.do(t, fmt.Sprintf("restore %+v", snap), func(r Runner) error { return r.Restore(snap) }) == nil {
 			t.Fatalf("restore %+v: expected error", snap)
 		}
 	}
 }
 
-// TestVMHHParity runs the paper's heavy-hitter seed on both back ends
+// TestVMHHParity runs the paper's heavy-hitter seed on all back ends
 // with real PortStats batches, TCAM writes, and harvester traffic.
 func TestVMHHParity(t *testing.T) {
 	cm := compileSrc(t, hhRunnableSource, "HH")
 	ext := map[string]Value{"threshold": int64(1000)}
-	p := newBackendPair(t, cm, ext)
-	parityErr(t, "start", p.interp.Start(), p.vm.Start())
+	p := newBackendSet(t, cm, ext)
+	p.do(t, "start", func(r Runner) error { return r.Start() })
 	rng := rand.New(rand.NewSource(3))
 	harv := MsgSource{Harvester: true}
 	for i := 0; i < 400; i++ {
@@ -465,32 +490,32 @@ func TestVMHHParity(t *testing.T) {
 		case 0, 1, 2, 3:
 			stats := make(List, 0, 8)
 			for pt := 0; pt < 8; pt++ {
-				stats = append(stats, StructVal{Type: "PortStats", Fields: MapVal{
+				stats = append(stats, StructOf("PortStats", MapVal{
 					"port":     int64(pt),
 					"dTxBytes": float64(rng.Intn(3000)),
-				}})
+				}))
 			}
-			parityErr(t, ctx,
-				p.interp.HandleTrigger("pollStats", stats),
-				p.vm.HandleTrigger("pollStats", CloneValue(stats)))
+			p.do(t, ctx, func(r Runner) error {
+				return r.HandleTrigger("pollStats", CloneValue(stats))
+			})
 		case 4:
 			th := int64(rng.Intn(2500))
-			parityErr(t, ctx, p.interp.HandleRecv(harv, th), p.vm.HandleRecv(harv, th))
+			p.do(t, ctx, func(r Runner) error { return r.HandleRecv(harv, th) })
 		case 5:
-			parityErr(t, ctx, p.interp.HandleRecv(harv, ActionVal(dataplane.ActDrop)), p.vm.HandleRecv(harv, ActionVal(dataplane.ActDrop)))
+			p.do(t, ctx, func(r Runner) error { return r.HandleRecv(harv, ActionVal(dataplane.ActDrop)) })
 		}
 		if i%37 == 0 {
-			diffPair(t, p, ctx)
+			diffSet(t, p, ctx)
 		}
 	}
-	diffPair(t, p, "final")
-	if len(p.hi.sent) == 0 {
+	diffSet(t, p, "final")
+	if len(p.hs[0].sent) == 0 {
 		t.Fatal("test never exercised the send path")
 	}
 }
 
 // TestConstOpsCrossCheck drives the shared operator table through all
-// three consumers — EvalConst, the interpreter, and the VM — over an
+// consumers — EvalConst, the interpreter, and both VMs — over an
 // operator/operand matrix and requires agreement.
 func TestConstOpsCrossCheck(t *testing.T) {
 	type operand struct {
@@ -522,7 +547,7 @@ machine C {
 					t.Fatalf("parse %s: %v", expr, err)
 				}
 
-				// Runtime: both backends computing the same expression
+				// Runtime: every back end computing the same expression
 				// into a dynamically typed variable.
 				src := fmt.Sprintf(`
 machine C {
@@ -536,11 +561,9 @@ machine C {
   }
 }`, expr)
 				cm := parityCompile(t, src, "C")
-				p := newBackendPair(t, cm, nil)
-				erri := p.interp.Start()
-				errv := p.vm.Start()
-				parityErr(t, expr, erri, errv)
-				diffPair(t, p, expr)
+				p := newBackendSet(t, cm, nil)
+				erri := p.do(t, expr, func(r Runner) error { return r.Start() })
+				diffSet(t, p, expr)
 
 				if cerr != nil || erri != nil {
 					// Division by zero: every consumer must refuse.
@@ -552,7 +575,7 @@ machine C {
 					}
 					t.Fatalf("%s: unexpected errors const=%v runtime=%v", expr, cerr, erri)
 				}
-				got := FormatValue(p.hi.sent[0].v)
+				got := FormatValue(p.hs[0].sent[0].v)
 				var want string
 				switch cref.Kind {
 				case almanac.ConstNum:
@@ -565,7 +588,7 @@ machine C {
 					if op == "/" && l.isInt && r.isInt {
 						expect = float64(int64(l.num) / int64(r.num))
 					}
-					if f, ok := AsFloat(p.hi.sent[0].v); ok {
+					if f, ok := AsFloat(p.hs[0].sent[0].v); ok {
 						if f != expect {
 							t.Fatalf("%s: runtime %v, const %v (expect %v)", expr, f, cref.Num, expect)
 						}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"farm/internal/almanac"
 	"farm/internal/core"
 	"farm/internal/engine"
 	"farm/internal/fabric"
@@ -19,14 +20,14 @@ import (
 	"farm/internal/traffic"
 )
 
-// The seed-path experiment is the ISSUE 8 gate for the bytecode VM: the
-// whole task catalogue deployed at fabric scale, once on the AST
-// interpreter and once on the compiled back end, under an identical
-// deterministic traffic cocktail. Everything observable — the full
-// harvester report stream, every seed's final snapshot on every switch,
-// per-soil poll delivery counters, and fabric drop totals — is folded
-// into a digest per run; any difference between the two back ends is a
-// hard failure, and the wall-clock ratio is the fleet-level speedup.
+// The seed-path experiment is the compiled back ends' A/B gate: the
+// whole task catalogue deployed at fabric scale, once per back end (AST
+// interpreter, stack VM, register VM), under an identical deterministic
+// traffic cocktail. Everything observable — the full harvester report
+// stream, every seed's final snapshot on every switch, per-soil poll
+// delivery counters, and fabric drop totals — is folded into a digest
+// per run; any difference between back ends is a hard failure, and the
+// wall-clock ratios are the fleet-level speedups.
 
 // SeedPathConfig parameterizes the back-end A/B run.
 type SeedPathConfig struct {
@@ -40,32 +41,50 @@ type SeedPathConfig struct {
 	Seed int64
 }
 
-// SeedPathTaskResult is one task's A/B outcome.
+// SeedPathProgram summarizes a task's lowered programs: how much code
+// each compiled back end executes and how wide its frames are.
+type SeedPathProgram struct {
+	StackInstrs    int `json:"stack_instrs"`
+	RegisterInstrs int `json:"register_instrs"`
+	MaxRegs        int `json:"max_regs"`
+	Layouts        int `json:"layouts"`
+	FieldSites     int `json:"field_sites"`
+}
+
+// SeedPathTaskResult is one task's A/B outcome across the back ends.
 type SeedPathTaskResult struct {
-	Task       string  `json:"task"`
-	Seeds      int     `json:"seeds"`
-	Reports    int     `json:"reports"`
+	Task    string `json:"task"`
+	Seeds   int    `json:"seeds"`
+	Reports int    `json:"reports"`
+
 	InterpMs   float64 `json:"interp_wall_ms"`
-	CompiledMs float64 `json:"compiled_wall_ms"`
-	Speedup    float64 `json:"speedup"`
-	Digest     string  `json:"digest"`
-	Consistent bool    `json:"consistent"`
+	StackMs    float64 `json:"stack_wall_ms"`
+	RegisterMs float64 `json:"register_wall_ms"`
+	// Speedups are wall-clock ratios against the interpreter run.
+	StackSpeedup    float64 `json:"stack_speedup"`
+	RegisterSpeedup float64 `json:"register_speedup"`
+
+	Program SeedPathProgram `json:"program"`
+
+	Digest     string `json:"digest"`
+	Consistent bool   `json:"consistent"`
 }
 
 // SeedPathResult is the full catalogue sweep.
 type SeedPathResult struct {
-	GoMaxProcs  int                  `json:"gomaxprocs"`
-	NumCPU      int                  `json:"num_cpu"`
-	Leaves      int                  `json:"leaves"`
-	Millis      int                  `json:"millis"`
-	Tasks       []SeedPathTaskResult `json:"tasks"`
-	MeanSpeedup float64              `json:"mean_speedup"`
-	Consistent  bool                 `json:"consistent"`
+	GoMaxProcs       int                  `json:"gomaxprocs"`
+	NumCPU           int                  `json:"num_cpu"`
+	Leaves           int                  `json:"leaves"`
+	Millis           int                  `json:"millis"`
+	Tasks            []SeedPathTaskResult `json:"tasks"`
+	MeanStackSpeedup float64              `json:"mean_stack_speedup"`
+	MeanRegSpeedup   float64              `json:"mean_register_speedup"`
+	Consistent       bool                 `json:"consistent"`
 }
 
 // seedPathRun executes one task on one back end and returns the
 // observable digest plus timing.
-func seedPathRun(d tasks.Def, cfg SeedPathConfig, interpret bool) (digest string, reports, seeds int, wall time.Duration, err error) {
+func seedPathRun(d tasks.Def, cfg SeedPathConfig, be core.Backend) (digest string, reports, seeds int, wall time.Duration, err error) {
 	topo, err := netmodel.SpineLeaf(netmodel.SpineLeafOptions{
 		Spines: 2, Leaves: cfg.Leaves, HostsPerLeaf: 8,
 	})
@@ -75,7 +94,7 @@ func seedPathRun(d tasks.Def, cfg SeedPathConfig, interpret bool) (digest string
 	loop := engine.NewSerial()
 	fab := fabric.New(topo, loop, fabric.Options{})
 	opts := soil.DefaultOptions()
-	opts.Interpreter = interpret
+	opts.Backend = be
 	sd := seeder.New(fab, seeder.Options{Soil: opts})
 
 	h := fnv.New64a()
@@ -153,6 +172,38 @@ func seedPathRun(d tasks.Def, cfg SeedPathConfig, interpret bool) (digest string
 	return fmt.Sprintf("%016x", h.Sum64()), reports, seeds, wall, nil
 }
 
+// seedPathProgram lowers every machine of a task and sums the program
+// shape counters both compiled back ends will execute.
+func seedPathProgram(d tasks.Def) (SeedPathProgram, error) {
+	var out SeedPathProgram
+	prog, err := almanac.Parse(d.Source)
+	if err != nil {
+		return out, err
+	}
+	layouts := map[string]bool{}
+	for _, m := range prog.Machines {
+		cm, err := almanac.CompileMachine(prog, m.Name)
+		if err != nil {
+			return out, err
+		}
+		lp, err := almanac.Lower(cm, core.BuiltinNames())
+		if err != nil {
+			return out, err
+		}
+		out.StackInstrs += lp.NumInstrs()
+		out.RegisterInstrs += lp.NumRegInstrs()
+		if mr := int(lp.MaxRegs()); mr > out.MaxRegs {
+			out.MaxRegs = mr
+		}
+		out.FieldSites += int(lp.RFieldSites)
+		for _, s := range lp.Structs {
+			layouts[s.TypeName+"\x1f"+strings.Join(s.Fields, "\x1f")] = true
+		}
+	}
+	out.Layouts = len(layouts)
+	return out, nil
+}
+
 // seedPathSnapString renders a snapshot deterministically.
 func seedPathSnapString(s core.Snapshot) string {
 	var b strings.Builder
@@ -183,7 +234,7 @@ func seedPathSnapString(s core.Snapshot) string {
 	return b.String()
 }
 
-// SeedPath runs the catalogue A/B sweep.
+// SeedPath runs the catalogue A/B sweep across all three back ends.
 func SeedPath(cfg SeedPathConfig) (*SeedPathResult, error) {
 	if cfg.Leaves == 0 {
 		cfg.Leaves = 3
@@ -202,38 +253,54 @@ func SeedPath(cfg SeedPathConfig) (*SeedPathResult, error) {
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		Leaves: cfg.Leaves, Millis: cfg.Millis, Consistent: true,
 	}
-	sum := 0.0
+	sumStack, sumReg := 0.0, 0.0
 	for _, name := range names {
 		d, err := tasks.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		iDigest, iReports, iSeeds, iWall, err := seedPathRun(d, cfg, true)
+		prog, err := seedPathProgram(d)
+		if err != nil {
+			return nil, fmt.Errorf("seed-path %s (lower): %w", name, err)
+		}
+		iDigest, iReports, iSeeds, iWall, err := seedPathRun(d, cfg, core.BackendInterp)
 		if err != nil {
 			return nil, fmt.Errorf("seed-path %s (interpreter): %w", name, err)
 		}
-		cDigest, cReports, _, cWall, err := seedPathRun(d, cfg, false)
+		sDigest, sReports, _, sWall, err := seedPathRun(d, cfg, core.BackendStack)
 		if err != nil {
-			return nil, fmt.Errorf("seed-path %s (compiled): %w", name, err)
+			return nil, fmt.Errorf("seed-path %s (stack): %w", name, err)
+		}
+		rDigest, rReports, _, rWall, err := seedPathRun(d, cfg, core.BackendRegister)
+		if err != nil {
+			return nil, fmt.Errorf("seed-path %s (register): %w", name, err)
 		}
 		tr := SeedPathTaskResult{
-			Task: name, Seeds: iSeeds, Reports: cReports,
+			Task: name, Seeds: iSeeds, Reports: rReports,
 			InterpMs:   float64(iWall.Nanoseconds()) / 1e6,
-			CompiledMs: float64(cWall.Nanoseconds()) / 1e6,
-			Digest:     cDigest,
-			Consistent: iDigest == cDigest && iReports == cReports,
+			StackMs:    float64(sWall.Nanoseconds()) / 1e6,
+			RegisterMs: float64(rWall.Nanoseconds()) / 1e6,
+			Program:    prog,
+			Digest:     rDigest,
+			Consistent: iDigest == sDigest && sDigest == rDigest &&
+				iReports == sReports && sReports == rReports,
 		}
-		if tr.CompiledMs > 0 {
-			tr.Speedup = tr.InterpMs / tr.CompiledMs
+		if tr.StackMs > 0 {
+			tr.StackSpeedup = tr.InterpMs / tr.StackMs
 		}
-		sum += tr.Speedup
+		if tr.RegisterMs > 0 {
+			tr.RegisterSpeedup = tr.InterpMs / tr.RegisterMs
+		}
+		sumStack += tr.StackSpeedup
+		sumReg += tr.RegisterSpeedup
 		if !tr.Consistent {
 			res.Consistent = false
 		}
 		res.Tasks = append(res.Tasks, tr)
 	}
 	if len(res.Tasks) > 0 {
-		res.MeanSpeedup = sum / float64(len(res.Tasks))
+		res.MeanStackSpeedup = sumStack / float64(len(res.Tasks))
+		res.MeanRegSpeedup = sumReg / float64(len(res.Tasks))
 	}
 	if !res.Consistent {
 		bad := []string{}
@@ -250,24 +317,25 @@ func SeedPath(cfg SeedPathConfig) (*SeedPathResult, error) {
 // Table renders the sweep.
 func (r *SeedPathResult) Table() *Table {
 	t := &Table{
-		Title:   "Seed path: AST interpreter vs bytecode VM, full catalogue at fabric scale",
-		Columns: []string{"seeds", "reports", "interp ms", "compiled ms", "speedup", "identical"},
+		Title:   "Seed path: AST interpreter vs stack VM vs register VM, full catalogue at fabric scale",
+		Columns: []string{"seeds", "reports", "interp ms", "stack ms", "register ms", "reg speedup", "instrs s/r", "identical"},
 	}
 	for _, tr := range r.Tasks {
 		t.Rows = append(t.Rows, Row{
 			Label: tr.Task,
 			Values: []string{
 				fmt.Sprint(tr.Seeds), fmt.Sprint(tr.Reports),
-				fmtFloat(tr.InterpMs), fmtFloat(tr.CompiledMs),
-				fmt.Sprintf("%.2fx", tr.Speedup),
+				fmtFloat(tr.InterpMs), fmtFloat(tr.StackMs), fmtFloat(tr.RegisterMs),
+				fmt.Sprintf("%.2fx", tr.RegisterSpeedup),
+				fmt.Sprintf("%d/%d", tr.Program.StackInstrs, tr.Program.RegisterInstrs),
 				fmt.Sprint(tr.Consistent),
 			},
 		})
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("mean wall-clock speedup %.2fx over %d tasks (%d ms simulated each, %d leaves)",
-			r.MeanSpeedup, len(r.Tasks), r.Millis, r.Leaves),
-		"digest folds the harvester report stream, every seed's final snapshot, poll/probe counters, and fabric drops",
+		fmt.Sprintf("mean wall-clock speedup vs interpreter: stack %.2fx, register %.2fx over %d tasks (%d ms simulated each, %d leaves)",
+			r.MeanStackSpeedup, r.MeanRegSpeedup, len(r.Tasks), r.Millis, r.Leaves),
+		"digest folds the harvester report stream, every seed's final snapshot, poll/probe counters, and fabric drops; all three back ends must agree",
 	)
 	return t
 }

@@ -4,7 +4,7 @@ import "testing"
 
 // The quick-scale version of the farm-bench seed-path gate: a couple of
 // catalogue tasks at small fabric scale must produce identical digests
-// on both back ends.
+// on all three back ends.
 func TestSeedPathConsistent(t *testing.T) {
 	res, err := SeedPath(SeedPathConfig{
 		Tasks:  []string{"hh", "syn-flood"},
@@ -23,6 +23,9 @@ func TestSeedPathConsistent(t *testing.T) {
 		}
 		if tr.Digest == "" {
 			t.Fatalf("%s: empty digest", tr.Task)
+		}
+		if tr.Program.StackInstrs == 0 || tr.Program.RegisterInstrs == 0 || tr.Program.MaxRegs == 0 {
+			t.Fatalf("%s: missing program counts: %+v", tr.Task, tr.Program)
 		}
 	}
 	if res.Table().Render() == "" {

@@ -72,6 +72,8 @@ func CompileReport(w io.Writer, path string, dump bool) error {
 		lps[i] = lp
 		fmt.Fprintf(w, "  bytecode: %d instrs in %d chunks, %d state slots, %d env slots, %d literals\n",
 			lp.NumInstrs(), len(lp.Chunks), lp.StateSlots(), len(lp.EnvSlots), len(lp.Lits))
+		fmt.Fprintf(w, "  register form: %d instrs, max frame %d regs, %d record layouts, %d field sites\n",
+			lp.NumRegInstrs(), lp.MaxRegs(), len(lp.Structs), lp.RFieldSites)
 	}
 	fmt.Fprintf(w, "ok: %d machine(s), %d function(s), %d struct(s)\n",
 		len(cms), len(prog.Funcs), len(prog.Structs))
@@ -117,6 +119,8 @@ func AnalyzeReport(w io.Writer, path, machine string) error {
 		}
 		fmt.Fprintf(w, "compiled: %d instrs, %d chunks, %d state slots, %d env slots, max frame %d locals\n",
 			lp.NumInstrs(), len(lp.Chunks), lp.StateSlots(), len(lp.EnvSlots), maxLocals)
+		fmt.Fprintf(w, "register form: %d instrs, max frame %d regs, %d record layouts, %d field sites\n",
+			lp.NumRegInstrs(), lp.MaxRegs(), len(lp.Structs), lp.RFieldSites)
 	}
 	fmt.Fprintln(w, "placement directives:")
 	for _, pl := range cm.Placements {

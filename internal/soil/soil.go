@@ -45,9 +45,10 @@ type Options struct {
 	// Aggregation enables shared-subject polling aggregation (on in
 	// FARM; off reproduces the naive per-seed polling of Fig. 8).
 	Aggregation bool
-	// Interpreter forces the AST-walking back end for deployed seeds.
-	// The default (false) runs the lowered bytecode programs.
-	Interpreter bool
+	// Backend selects the execution engine for deployed seeds. The
+	// zero value is core.BackendRegister (the register VM); the stack
+	// VM and AST interpreter remain available for A/B comparison.
+	Backend core.Backend
 }
 
 // DefaultOptions is FARM's production configuration.
@@ -140,10 +141,9 @@ func (s *Soil) SetExecFunc(fn ExecFunc) { s.exec = fn }
 // SetLogf wires diagnostics.
 func (s *Soil) SetLogf(fn func(string, ...any)) { s.logf = fn }
 
-// SetInterpreter switches the execution back end for seeds deployed
-// from now on: true = AST interpreter, false = bytecode VM (default).
-// Already-deployed seeds keep their back end.
-func (s *Soil) SetInterpreter(on bool) { s.opts.Interpreter = on }
+// SetBackend switches the execution back end for seeds deployed from
+// now on. Already-deployed seeds keep their back end.
+func (s *Soil) SetBackend(be core.Backend) { s.opts.Backend = be }
 
 // Available returns capacity minus allocations.
 func (s *Soil) Available() netmodel.Resources { return s.capacity.Sub(s.used) }
@@ -404,7 +404,7 @@ func (s *Soil) deploy(ref SeedRef, cm *almanac.CompiledMachine, externals map[st
 		timeTickers: map[string]engine.Ticker{},
 	}
 	host := &seedHost{soil: s, rt: rt}
-	seed, err := core.NewRunner(cm, externals, host, s.opts.Interpreter)
+	seed, err := core.NewRunner(cm, externals, host, s.opts.Backend)
 	if err != nil {
 		return fmt.Errorf("soil %s: %w", s.name, err)
 	}

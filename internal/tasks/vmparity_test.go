@@ -14,10 +14,10 @@ import (
 	"farm/internal/netmodel"
 )
 
-// Satellite of ISSUE 8: the whole task catalogue must (a) lower to
-// bytecode — no machine may silently fall back to the AST walker — and
-// (b) stay in observable lockstep with the interpreter under a random
-// storm of triggers, messages, reallocs, and snapshots.
+// The whole task catalogue must (a) lower to bytecode AND register
+// code — no machine may silently fall back to the AST walker — and
+// (b) stay in observable lockstep across all three back ends under a
+// random storm of triggers, messages, reallocs, and snapshots.
 
 // parityTaskHost records every externally observable host effect as a
 // deterministic trace line.
@@ -99,7 +99,7 @@ func errStr(err error) string {
 func taskPortStats(rng *rand.Rand, n int) core.List {
 	out := make(core.List, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, core.StructVal{Type: "PortStats", Fields: core.MapVal{
+		out = append(out, core.StructOf("PortStats", core.MapVal{
 			"port":     int64(i % 16),
 			"dTxBytes": float64(rng.Intn(4000)),
 			"dRxBytes": float64(rng.Intn(4000)),
@@ -107,7 +107,7 @@ func taskPortStats(rng *rand.Rand, n int) core.List {
 			"rxBytes":  float64(rng.Intn(1 << 20)),
 			"drops":    int64(rng.Intn(10)),
 			"util":     rng.Float64(),
-		}})
+		}))
 	}
 	return out
 }
@@ -121,9 +121,9 @@ func taskPayload(rng *rand.Rand) core.Value {
 	case 2:
 		return rng.Float64() * 5000
 	case 3:
-		return core.StructVal{Type: "PortStats", Fields: core.MapVal{
+		return core.StructOf("PortStats", core.MapVal{
 			"port": int64(rng.Intn(16)), "dTxBytes": float64(rng.Intn(4000)),
-		}}
+		})
 	case 4:
 		return core.ActionVal(dataplane.ActDrop)
 	default:
@@ -153,6 +153,13 @@ func TestCatalogueLowersToBytecode(t *testing.T) {
 			if lp.NumInstrs() == 0 {
 				t.Fatalf("%s/%s: lowered to an empty program", d.Name, m.Name)
 			}
+			if lp.NumRegInstrs() == 0 {
+				t.Fatalf("%s/%s: no register code generated", d.Name, m.Name)
+			}
+			if len(lp.RegChunks) != len(lp.Chunks) {
+				t.Fatalf("%s/%s: %d register chunks for %d stack chunks",
+					d.Name, m.Name, len(lp.RegChunks), len(lp.Chunks))
+			}
 			if dump := lp.Disassemble(); !strings.Contains(dump, "machine "+m.Name) {
 				t.Fatalf("%s/%s: disassembly missing header:\n%s", d.Name, m.Name, dump)
 			}
@@ -160,9 +167,10 @@ func TestCatalogueLowersToBytecode(t *testing.T) {
 	}
 }
 
-// TestCatalogueBackendParity drives every catalogued machine on both
-// back ends through a deterministic random event storm and requires
-// identical states, snapshots, host effects, action counts, and errors.
+// TestCatalogueBackendParity drives every catalogued machine on all
+// three back ends through a deterministic random event storm and
+// requires identical states, snapshots, host effects, action counts,
+// and errors, including cross-backend snapshot rotation.
 func TestCatalogueBackendParity(t *testing.T) {
 	for _, d := range All() {
 		d := d
@@ -188,21 +196,39 @@ func TestCatalogueBackendParity(t *testing.T) {
 	}
 }
 
+// parityBackends is every execution engine, the interpreter (semantic
+// reference) first.
+var parityBackends = []core.Backend{core.BackendInterp, core.BackendStack, core.BackendRegister}
+
 func driveTaskParity(t *testing.T, cm *almanac.CompiledMachine, ext map[string]core.Value) {
 	t.Helper()
-	hi := newParityTaskHost()
-	hv := newParityTaskHost()
-	ri, errI := core.NewRunner(cm, ext, hi, true)
-	rv, errV := core.NewRunner(cm, ext, hv, false)
-	if errStr(errI) != errStr(errV) {
-		t.Fatalf("%s: construction divergence: interp %v vs vm %v", cm.Name, errI, errV)
+	n := len(parityBackends)
+	hosts := make([]*parityTaskHost, n)
+	runners := make([]core.Runner, n)
+	errs := make([]error, n)
+	for i, be := range parityBackends {
+		hosts[i] = newParityTaskHost()
+		runners[i], errs[i] = core.NewRunner(cm, ext, hosts[i], be)
 	}
-	if errI != nil {
+	for i := 1; i < n; i++ {
+		if errStr(errs[0]) != errStr(errs[i]) {
+			t.Fatalf("%s: construction divergence: interp %v vs %s %v", cm.Name, errs[0], parityBackends[i], errs[i])
+		}
+	}
+	if errs[0] != nil {
 		return
 	}
-	if errStr(ri.Start()) != errStr(rv.Start()) {
-		t.Fatalf("%s: start divergence", cm.Name)
+	// every applies one step per back end and requires identical errors.
+	every := func(step int, f func(r core.Runner) error) {
+		t.Helper()
+		e0 := f(runners[0])
+		for i := 1; i < n; i++ {
+			if e := f(runners[i]); errStr(e0) != errStr(e) {
+				t.Fatalf("%s step %d: error divergence: interp %v vs %s %v", cm.Name, step, e0, parityBackends[i], e)
+			}
+		}
 	}
+	every(-1, func(r core.Runner) error { return r.Start() })
 
 	triggers := make([]string, 0, len(cm.Triggers)+1)
 	for _, tr := range cm.Triggers {
@@ -213,22 +239,25 @@ func driveTaskParity(t *testing.T, cm *almanac.CompiledMachine, ext map[string]c
 	rng := rand.New(rand.NewSource(911))
 	diff := func(step int) {
 		t.Helper()
-		if ri.State() != rv.State() {
-			t.Fatalf("%s step %d: state %q vs %q", cm.Name, step, ri.State(), rv.State())
-		}
-		if ai, av := ri.TakeActionCount(), rv.TakeActionCount(); ai != av {
-			t.Fatalf("%s step %d: action count %d vs %d", cm.Name, step, ai, av)
-		}
-		fi, fv := snapFingerprint(ri.Snapshot()), snapFingerprint(rv.Snapshot())
-		if fi != fv {
-			t.Fatalf("%s step %d: snapshot divergence:\n--- interp\n%s--- vm\n%s", cm.Name, step, fi, fv)
-		}
-		if len(hi.trace) != len(hv.trace) {
-			t.Fatalf("%s step %d: trace length %d vs %d", cm.Name, step, len(hi.trace), len(hv.trace))
-		}
-		for i := range hi.trace {
-			if hi.trace[i] != hv.trace[i] {
-				t.Fatalf("%s step %d: trace[%d] %q vs %q", cm.Name, step, i, hi.trace[i], hv.trace[i])
+		f0, a0 := snapFingerprint(runners[0].Snapshot()), runners[0].TakeActionCount()
+		for i := 1; i < n; i++ {
+			name := parityBackends[i].String()
+			if runners[0].State() != runners[i].State() {
+				t.Fatalf("%s step %d: state interp %q vs %s %q", cm.Name, step, runners[0].State(), name, runners[i].State())
+			}
+			if a := runners[i].TakeActionCount(); a0 != a {
+				t.Fatalf("%s step %d: action count interp %d vs %s %d", cm.Name, step, a0, name, a)
+			}
+			if f := snapFingerprint(runners[i].Snapshot()); f0 != f {
+				t.Fatalf("%s step %d: snapshot divergence:\n--- interp\n%s--- %s\n%s", cm.Name, step, f0, name, f)
+			}
+			if len(hosts[0].trace) != len(hosts[i].trace) {
+				t.Fatalf("%s step %d: trace length interp %d vs %s %d", cm.Name, step, len(hosts[0].trace), name, len(hosts[i].trace))
+			}
+			for j := range hosts[0].trace {
+				if hosts[0].trace[j] != hosts[i].trace[j] {
+					t.Fatalf("%s step %d: trace[%d] interp %q vs %s %q", cm.Name, step, j, hosts[0].trace[j], name, hosts[i].trace[j])
+				}
 			}
 		}
 	}
@@ -236,34 +265,38 @@ func driveTaskParity(t *testing.T, cm *almanac.CompiledMachine, ext map[string]c
 	const steps = 400
 	for step := 0; step < steps; step++ {
 		now := time.Duration(step) * 7 * time.Millisecond
-		hi.now, hv.now = now, now
-		var e1, e2 error
+		for _, h := range hosts {
+			h.now = now
+		}
 		switch rng.Intn(10) {
 		case 0, 1, 2, 3, 4, 5:
 			tr := triggers[rng.Intn(len(triggers))]
 			v := taskPayload(rng)
-			e1 = ri.HandleTrigger(tr, v)
-			e2 = rv.HandleTrigger(tr, v)
+			every(step, func(r core.Runner) error { return r.HandleTrigger(tr, core.CloneValue(v)) })
 		case 6, 7:
 			from := core.MsgSource{Harvester: true}
 			if rng.Intn(2) == 0 {
 				from = core.MsgSource{Machine: cm.Name, Switch: "s1"}
 			}
 			v := taskPayload(rng)
-			e1 = ri.HandleRecv(from, v)
-			e2 = rv.HandleRecv(from, v)
+			every(step, func(r core.Runner) error { return r.HandleRecv(from, core.CloneValue(v)) })
 		case 8:
-			e1 = ri.HandleRealloc()
-			e2 = rv.HandleRealloc()
+			every(step, func(r core.Runner) error { return r.HandleRealloc() })
 		default:
-			// Cross-restore: each back end resumes from the other's
-			// snapshot, which must be a no-op divergence-wise.
-			si, sv := ri.Snapshot(), rv.Snapshot()
-			e1 = ri.Restore(sv)
-			e2 = rv.Restore(si)
-		}
-		if errStr(e1) != errStr(e2) {
-			t.Fatalf("%s step %d: error divergence: interp %v vs vm %v", cm.Name, step, e1, e2)
+			// Cross-restore rotation: each back end resumes from the
+			// next one's snapshot, which must be a no-op
+			// divergence-wise.
+			snaps := make([]core.Snapshot, n)
+			for i, r := range runners {
+				snaps[i] = r.Snapshot()
+			}
+			for i, r := range runners {
+				src := (i + 1) % n
+				if err := r.Restore(snaps[src]); err != nil {
+					t.Fatalf("%s step %d: restore %s snapshot into %s: %v",
+						cm.Name, step, parityBackends[src], parityBackends[i], err)
+				}
+			}
 		}
 		if step%37 == 0 || step == steps-1 {
 			diff(step)
