@@ -10,17 +10,25 @@
 //	farm-bench -list
 //
 // Experiments: tab1 tab4 tab5 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-// ablation engine-scale packet-path workload-scale placement-scale
-// transport-scale seed-path fleet-soak.
+// ablation engine-scale engine-loop packet-path workload-scale
+// placement-scale transport-scale seed-path fleet-soak.
 //
 // -json prints the selected experiment's result as machine-readable
 // JSON instead of a table (supported by packet-path, workload-scale,
-// placement-scale, transport-scale, and seed-path; CI archives
-// `farm-bench -exp packet-path -json` as BENCH_packetpath.json, `-exp
-// workload-scale -json` as BENCH_workload.json, `-exp placement-scale
-// -json` as BENCH_placement.json, `-exp transport-scale -json` as
-// BENCH_transport.json, and `-exp seed-path -json` as
-// BENCH_seedpath.json).
+// placement-scale, transport-scale, seed-path, and engine-loop; CI
+// archives `farm-bench -exp packet-path -json` as BENCH_packetpath.json,
+// `-exp workload-scale -json` as BENCH_workload.json, `-exp
+// placement-scale -json` as BENCH_placement.json, `-exp transport-scale
+// -json` as BENCH_transport.json, `-exp seed-path -json` as
+// BENCH_seedpath.json, and `-exp engine-loop -json` as
+// BENCH_engineloop.json).
+//
+// engine-loop is the scheduler queue's A/B gate: the attack cocktail
+// plus per-switch polling seeds run on every engine × queue-backend
+// combination (serial/sharded × container-heap/timing-wheel); traffic
+// digests, delivery counters, and central-link bytes must be
+// byte-identical — the wheel may change wall clock and allocation
+// rate, never event order. Any divergence exits non-zero.
 //
 // seed-path is the bytecode VM's A/B gate: every catalogue task runs
 // at fabric scale once on the AST interpreter and once on the
@@ -152,6 +160,7 @@ func main() {
 		{"fig10", "Fig. 10: seed<->soil transport latency", runFig10},
 		{"ablation", "Ablations: Alg. 1 passes, migration cost", runAblation},
 		{"engine-scale", "Engine scaling: Fig. 4 pipeline on a 500-switch fat-tree", runEngineScale},
+		{"engine-loop", "Engine loop: timing wheel vs container/heap scheduler queue (digest A/B)", runEngineLoop},
 		{"packet-path", "Packet path: linear classifier vs bucketed index + flow cache", runPacketPath},
 		{"workload-scale", "Workload scale: serial vs sharded traffic generation (digest A/B)", runWorkloadScale},
 		{"placement-scale", "Placement scale: serial vs parallel vs warm-start solves (digest A/B)", runPlacementScale},
@@ -312,6 +321,31 @@ func runEngineScale(full bool) error {
 	fmt.Print(res.Table().Render())
 	fmt.Print(res.ParallelStats())
 	return nil
+}
+
+func runEngineLoop(full bool) error {
+	cfg := experiments.EngineLoopConfig{}
+	if full {
+		cfg.Leaves = 24
+		cfg.HostsPerLeaf = 16
+		cfg.Tasks = 6
+		cfg.Duration = 5 * time.Second
+	}
+	// Like workload-scale, a divergence returns the measured result AND
+	// an error: render first, then fail the process.
+	res, err := experiments.EngineLoop(cfg)
+	if res != nil {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+		} else {
+			fmt.Print(res.Table().Render())
+		}
+	}
+	return err
 }
 
 func runPacketPath(full bool) error {

@@ -151,6 +151,7 @@ func BenchmarkEngineLargeFabric(b *testing.B) {
 const engineBenchSimTime = 2 * time.Second
 
 func BenchmarkEngineSerial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bytes := runEngineScenario(b, engine.NewSerial(), engineBenchSimTime)
 		b.ReportMetric(float64(bytes), "central-bytes")
@@ -160,6 +161,7 @@ func BenchmarkEngineSerial(b *testing.B) {
 func BenchmarkEngineSharded(b *testing.B) {
 	for _, workers := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				x := engine.NewSharded(engine.ShardedOptions{
 					Shards:    66,

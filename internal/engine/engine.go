@@ -110,7 +110,11 @@ type Partitioned interface {
 }
 
 // ticker is the engine-generic Ticker: it re-arms itself through any
-// Scheduler, so both engines (and shard views) share one implementation.
+// Scheduler, allocating a fresh event and Timer handle per firing.
+// Queue-backed schedulers on the wheel backend get the zero-alloc
+// queueTicker fast path instead (wheel.go); this implementation remains
+// for foreign Scheduler implementations and as the reference side of
+// the heap-vs-wheel A/B comparison.
 type ticker struct {
 	s        Scheduler
 	interval time.Duration
@@ -118,6 +122,7 @@ type ticker struct {
 	fire     func() // the re-arming callback, built once so periodic re-arms don't allocate a closure per firing
 	timer    Timer
 	stopped  bool
+	firing   bool
 }
 
 // EveryOn implements Scheduler.Every over any Scheduler.
@@ -125,12 +130,20 @@ func EveryOn(s Scheduler, interval time.Duration, fn func()) Ticker {
 	if interval <= 0 {
 		panic("engine: non-positive ticker interval")
 	}
+	if o, ok := s.(queueOwner); ok && o.queue().kind == QueueWheel {
+		return newQueueTicker(o, interval, fn)
+	}
+	if r, ok := s.(*RealTime); ok {
+		return newRealTicker(r, interval, fn)
+	}
 	t := &ticker{s: s, interval: interval, fn: fn}
 	t.fire = func() {
 		if t.stopped {
 			return
 		}
+		t.firing = true
 		t.fn()
+		t.firing = false
 		if !t.stopped {
 			t.arm()
 		}
@@ -157,11 +170,13 @@ func (t *ticker) SetInterval(interval time.Duration) {
 	if interval <= 0 {
 		panic("engine: non-positive ticker interval")
 	}
-	if t.stopped {
-		t.interval = interval
+	t.interval = interval
+	if t.stopped || t.firing {
+		// Inside our own callback the fire epilogue re-arms with the
+		// new interval; arming here too would leave two live timers
+		// ticking the same callback.
 		return
 	}
 	t.timer.Stop()
-	t.interval = interval
 	t.arm()
 }

@@ -5,17 +5,22 @@ import (
 	"time"
 )
 
-// forEachEngine runs a subtest against both engine implementations. The
-// sharded engine runs with several shards and workers even though these
-// conformance tests schedule through the root view (shard 0), so epoch
-// bookkeeping is exercised.
+// forEachEngine runs a subtest against both engine implementations on
+// both queue backends (the default timing wheel and the container/heap
+// reference). The sharded engine runs with several shards and workers
+// even though these conformance tests schedule through the root view
+// (shard 0), so epoch bookkeeping is exercised.
 func forEachEngine(t *testing.T, fn func(t *testing.T, s Scheduler)) {
 	t.Run("serial", func(t *testing.T) { fn(t, NewSerial()) })
-	t.Run("sharded", func(t *testing.T) {
-		x := NewSharded(ShardedOptions{Shards: 4, Workers: 2, ForceWorkers: true})
-		t.Cleanup(x.Stop)
-		fn(t, x)
-	})
+	t.Run("serial-heap", func(t *testing.T) { fn(t, NewSerialQueue(QueueHeap)) })
+	for _, kind := range []QueueBackend{QueueWheel, QueueHeap} {
+		kind := kind
+		t.Run("sharded-"+kind.String(), func(t *testing.T) {
+			x := NewSharded(ShardedOptions{Shards: 4, Workers: 2, ForceWorkers: true, Queue: kind})
+			t.Cleanup(x.Stop)
+			fn(t, x)
+		})
+	}
 }
 
 func TestAfterOrdering(t *testing.T) {

@@ -23,13 +23,20 @@ import (
 // for demos and wall-clock measurements, never for the reproducible
 // experiments (those stay on virtual time).
 //
+// Events share the pooled event type and free list with the virtual
+// time engines (an eventQueue on the heap backend — sleeps dominate
+// here, so the wheel would buy nothing, but the pooling does: periodic
+// work on a long-lived daemon stops churning the garbage collector).
+//
 // RealTime implements Partitioned trivially (one shard, CrossAfter =
 // After), like Serial, so a fabric can be built directly on it.
 type RealTime struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// q is the pending-event queue, guarded by mu (heap backend: the
+	// run loop needs cheap head peeks and SetInterval re-keys in place
+	// with heap.Fix).
+	q      eventQueue
 	start  time.Time
-	events eventHeap
-	seq    uint64
 	closed bool
 	// wake preempts a sleeping run loop when a new earliest event
 	// arrives from another goroutine.
@@ -41,11 +48,13 @@ type RealTime struct {
 
 // NewRealTime returns a wall-clock scheduler whose time starts now.
 func NewRealTime() *RealTime {
-	return &RealTime{
+	r := &RealTime{
 		start: time.Now(),
 		wake:  make(chan struct{}, 1),
 		done:  make(chan struct{}),
 	}
+	r.q.kind = QueueHeap
+	return r
 }
 
 // Close shuts the scheduler down: any goroutine blocked in
@@ -80,6 +89,14 @@ func (r *RealTime) Closed() bool {
 // Now returns the elapsed wall time since construction.
 func (r *RealTime) Now() time.Duration { return time.Since(r.start) }
 
+// wakeup preempts a run loop sleeping toward a stale head deadline.
+func (r *RealTime) wakeup() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
 // At schedules fn at elapsed-time at (in the past means: as soon as the
 // run loop gets to it).
 func (r *RealTime) At(at time.Duration, fn func()) Timer {
@@ -93,20 +110,16 @@ func (r *RealTime) At(at time.Duration, fn func()) Timer {
 	if now := r.Now(); at < now {
 		at = now
 	}
-	ev := &event{at: at, seq: r.seq, fn: fn}
-	r.seq++
-	heap.Push(&r.events, ev)
-	isHead := r.events[0] == ev
+	ev := r.q.add(at, fn)
+	t := &realTimer{r: r, ev: ev, gen: ev.gen}
+	isHead := r.q.heap[0] == ev
 	r.mu.Unlock()
 	if isHead {
 		// New earliest deadline: wake a run loop sleeping toward the
 		// previous head.
-		select {
-		case r.wake <- struct{}{}:
-		default:
-		}
+		r.wakeup()
 	}
-	return &realTimer{r: r, ev: ev}
+	return t
 }
 
 // After schedules fn after delay d of wall time.
@@ -114,17 +127,37 @@ func (r *RealTime) After(d time.Duration, fn func()) Timer {
 	return r.At(r.Now()+d, fn)
 }
 
+// schedule arms fn after d without materializing a Timer handle (see
+// ScheduleOn).
+func (r *RealTime) schedule(d time.Duration, fn func()) {
+	at := r.Now() + d
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if now := r.Now(); at < now {
+		at = now
+	}
+	ev := r.q.add(at, fn)
+	isHead := r.q.heap[0] == ev
+	r.mu.Unlock()
+	if isHead {
+		r.wakeup()
+	}
+}
+
 // Every schedules a periodic callback.
 func (r *RealTime) Every(interval time.Duration, fn func()) Ticker {
 	return EveryOn(r, interval, fn)
 }
 
-// Pending returns the number of scheduled events (cancelled ones count
-// until the run loop pops them, as on the serial engine).
+// Pending returns the number of scheduled (unfired, uncancelled)
+// events. Cancelled events awaiting reclaim are not counted.
 func (r *RealTime) Pending() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.q.live
 }
 
 // Step waits for the earliest pending event's wall deadline, runs it,
@@ -142,22 +175,26 @@ func (r *RealTime) runNext(bound time.Duration) bool {
 			r.mu.Unlock()
 			return false
 		}
-		for len(r.events) > 0 && r.events[0].stopped {
-			heap.Pop(&r.events)
+		for len(r.q.heap) > 0 && r.q.heap[0].stopped {
+			r.q.release(r.q.pop())
 		}
-		if len(r.events) == 0 {
+		if len(r.q.heap) == 0 {
 			r.mu.Unlock()
 			return false
 		}
-		head := r.events[0]
+		head := r.q.heap[0]
 		if bound >= 0 && head.at > bound {
 			r.mu.Unlock()
 			return false
 		}
 		if head.at <= r.Now() {
-			ev := heap.Pop(&r.events).(*event)
+			ev := r.q.pop()
+			fn := ev.fn
+			if !ev.held {
+				r.q.release(ev)
+			}
 			r.mu.Unlock()
-			ev.fn()
+			fn()
 			return true
 		}
 		wait := head.at - r.Now()
@@ -235,10 +272,13 @@ func (r *RealTime) CrossAfter(from, to int, d time.Duration, fn func()) {
 	r.After(d, fn)
 }
 
-// realTimer is the Timer handle of the real-time engine.
+// realTimer is the Timer handle of the real-time engine. Like the
+// virtual-time handles it carries the generation the event had when
+// scheduled, so a handle whose event fired and was recycled is inert.
 type realTimer struct {
-	r  *RealTime
-	ev *event
+	r   *RealTime
+	ev  *event
+	gen uint64
 }
 
 // Stop implements Timer. Unlike the virtual-time engines it may be
@@ -249,10 +289,119 @@ func (t *realTimer) Stop() bool {
 	}
 	t.r.mu.Lock()
 	defer t.r.mu.Unlock()
-	if t.ev.stopped {
+	ev := t.ev
+	if ev.gen != t.gen || ev.stopped || ev.index < 0 {
 		return false
 	}
-	fired := t.ev.index < 0
-	t.ev.stopped = true
-	return !fired
+	t.r.q.stop(ev)
+	return true
+}
+
+// realTicker is the RealTime fast-path Ticker: one event and one
+// closure for the ticker's lifetime, re-armed under the scheduler lock,
+// so a daemon's periodic work (heartbeats, background traffic, poll
+// loops) allocates nothing per firing. Stop and SetInterval are safe
+// from any goroutine, matching the scheduler's concurrency contract —
+// the generic re-arm ticker never was.
+type realTicker struct {
+	r        *RealTime
+	ev       *event
+	fire     func()
+	interval time.Duration
+	fn       func()
+	stopped  bool
+}
+
+func newRealTicker(r *RealTime, interval time.Duration, fn func()) *realTicker {
+	t := &realTicker{r: r, interval: interval, fn: fn}
+	t.fire = func() {
+		t.fn()
+		r.mu.Lock()
+		if !t.stopped && !r.closed && t.ev != nil {
+			ev := t.ev
+			r.q.rearm(ev, r.Now()+t.interval)
+			isHead := r.q.heap[0] == ev
+			r.mu.Unlock()
+			if isHead {
+				r.wakeup()
+			}
+			return
+		}
+		if ev := t.ev; ev != nil {
+			// Stopped (or closed) while firing: hand the held event
+			// back to the pool.
+			t.ev = nil
+			ev.held = false
+			r.q.release(ev)
+		}
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	if r.closed {
+		t.stopped = true
+		r.mu.Unlock()
+		return t
+	}
+	ev := r.q.alloc(r.Now()+interval, t.fire)
+	ev.held = true
+	r.q.enqueue(ev)
+	t.ev = ev
+	isHead := r.q.heap[0] == ev
+	r.mu.Unlock()
+	if isHead {
+		r.wakeup()
+	}
+	return t
+}
+
+func (t *realTicker) Stop() {
+	r := t.r
+	r.mu.Lock()
+	if t.stopped {
+		r.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	if ev := t.ev; ev != nil && ev.index >= 0 {
+		// Armed: cancel the pending firing; the run loop or compaction
+		// reclaims it. If the event is mid-fire instead, the fire
+		// epilogue sees stopped and releases it.
+		t.ev = nil
+		ev.held = false
+		r.q.stop(ev)
+	}
+	r.mu.Unlock()
+}
+
+func (t *realTicker) Interval() time.Duration {
+	t.r.mu.Lock()
+	defer t.r.mu.Unlock()
+	return t.interval
+}
+
+func (t *realTicker) SetInterval(interval time.Duration) {
+	if interval <= 0 {
+		panic("engine: non-positive ticker interval")
+	}
+	r := t.r
+	r.mu.Lock()
+	t.interval = interval
+	if ev := t.ev; !t.stopped && ev != nil && ev.index >= 0 {
+		// Armed: re-key the pending firing to interval from now. The
+		// heap supports an in-place Fix, and a fresh sequence number
+		// keeps FIFO order against events already scheduled at the same
+		// instant (mirroring the virtual-time tickers). Mid-fire, the
+		// epilogue re-arms with the new interval instead.
+		ev.at = r.Now() + interval
+		ev.seq = r.q.seq
+		r.q.seq++
+		heap.Fix(&r.q.heap, ev.index)
+		isHead := r.q.heap[0] == ev
+		r.mu.Unlock()
+		if isHead {
+			r.wakeup()
+		}
+		return
+	}
+	r.mu.Unlock()
 }

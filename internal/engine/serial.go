@@ -1,9 +1,6 @@
 package engine
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Serial is the single-threaded discrete-event scheduler over virtual
 // time (formerly simclock.Loop). All scheduled callbacks run inline on
@@ -16,44 +13,61 @@ import (
 // clock measures exactly while a simulated minute completes in
 // milliseconds of wall time.
 //
+// Events live in a pooled timing-wheel queue (see wheel.go): insert,
+// fire, and ticker re-arm are O(1) and allocation-free in steady state.
 // The zero value is ready to use, starting at virtual time 0.
 type Serial struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
+	now time.Duration
+	q   eventQueue
 }
 
-// NewSerial returns a fresh serial scheduler at virtual time 0.
+// NewSerial returns a fresh serial scheduler at virtual time 0, backed
+// by the timing wheel.
 func NewSerial() *Serial { return &Serial{} }
+
+// NewSerialQueue returns a serial scheduler on an explicit queue
+// backend. QueueHeap selects the original container/heap implementation
+// (per-call event and handle allocations included), kept as the
+// reference side of the engine-loop A/B gate and the heap-vs-wheel
+// benchmarks.
+func NewSerialQueue(kind QueueBackend) *Serial {
+	l := &Serial{}
+	l.q.kind = kind
+	l.q.nopool = kind == QueueHeap
+	return l
+}
+
+// Queue returns the queue backend this scheduler runs on.
+func (l *Serial) Queue() QueueBackend { return l.q.kind }
 
 // Now returns the current virtual time.
 func (l *Serial) Now() time.Duration { return l.now }
 
-// Pending returns the number of scheduled (unfired, uncancelled) events.
-func (l *Serial) Pending() int { return len(l.events) }
+// Pending returns the number of scheduled (unfired, uncancelled)
+// events. Cancelled events awaiting lazy reclaim are not counted.
+func (l *Serial) Pending() int { return l.q.live }
 
-type event struct {
-	at      time.Duration
-	seq     uint64
-	fn      func()
-	stopped bool
-	index   int
-	// gen is bumped each time the sharded engine recycles the event
-	// through a shard free list; shardTimer handles compare it to detect
-	// staleness. The serial engine never recycles, so gen stays 0 there.
+// serialTimer is the Timer handle of the serial engine. It carries the
+// generation the event had when scheduled, so once the event fires and
+// is recycled the stale handle deactivates itself.
+type serialTimer struct {
+	l   *Serial
+	ev  *event
 	gen uint64
 }
 
-// serialTimer is the Timer handle of the serial engine.
-type serialTimer struct{ ev *event }
-
 func (t *serialTimer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped {
+	if t == nil || t.ev == nil {
 		return false
 	}
-	fired := t.ev.index < 0
-	t.ev.stopped = true
-	return !fired
+	ev := t.ev
+	if ev.gen != t.gen || ev.stopped || ev.index < 0 {
+		// Recycled (fired), already cancelled, or fired on the unpooled
+		// reference backend.
+		return false
+	}
+	t.l.q.stop(ev)
+	return true
 }
 
 // At implements Scheduler.
@@ -61,10 +75,8 @@ func (l *Serial) At(at time.Duration, fn func()) Timer {
 	if at < l.now {
 		at = l.now
 	}
-	ev := &event{at: at, seq: l.seq, fn: fn}
-	l.seq++
-	heap.Push(&l.events, ev)
-	return &serialTimer{ev: ev}
+	ev := l.q.add(at, fn)
+	return &serialTimer{l: l, ev: ev, gen: ev.gen}
 }
 
 // After implements Scheduler.
@@ -72,30 +84,64 @@ func (l *Serial) After(d time.Duration, fn func()) Timer {
 	return l.At(l.now+d, fn)
 }
 
+// schedule arms fn after d without materializing a Timer handle (see
+// ScheduleOn).
+func (l *Serial) schedule(d time.Duration, fn func()) {
+	at := l.now + d
+	if at < l.now {
+		at = l.now
+	}
+	l.q.add(at, fn)
+}
+
 // Every implements Scheduler.
 func (l *Serial) Every(interval time.Duration, fn func()) Ticker {
 	return EveryOn(l, interval, fn)
 }
 
+// queue implements queueOwner for the ticker fast path.
+func (l *Serial) queue() *eventQueue { return &l.q }
+
+// checkTickerContext implements queueOwner: the serial engine is
+// single-threaded, every context may mutate the queue.
+func (l *Serial) checkTickerContext(string) {}
+
+// noteQueueChanged implements queueOwner: nothing to maintain.
+func (l *Serial) noteQueueChanged() {}
+
 // Step runs the earliest pending event, advancing virtual time to it.
 // It reports whether an event ran.
 func (l *Serial) Step() bool {
-	for len(l.events) > 0 {
-		ev := heap.Pop(&l.events).(*event)
+	for {
+		ev := l.q.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.stopped {
+			l.q.release(ev)
 			continue
 		}
 		l.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		if !ev.held {
+			// Recycle before running, so an At inside the callback can
+			// reuse the slot; the handle generation was bumped, keeping
+			// a Stop on the fired timer inert.
+			l.q.release(ev)
+		}
+		fn()
 		return true
 	}
-	return false
 }
 
 // RunUntil processes all events scheduled at or before t, then advances
 // the clock to exactly t.
 func (l *Serial) RunUntil(t time.Duration) {
-	for len(l.events) > 0 && l.events[0].at <= t {
+	for {
+		at, ok := l.q.nextAt()
+		if !ok || at > t {
+			break
+		}
 		if !l.Step() {
 			break
 		}
@@ -133,51 +179,4 @@ func (l *Serial) Shard(i int) Scheduler {
 // cross, so it degenerates to After.
 func (l *Serial) CrossAfter(from, to int, d time.Duration, fn func()) {
 	l.After(d, fn)
-}
-
-// eventHeap orders events by (at, seq) for deterministic FIFO behaviour
-// among simultaneous events.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// up restores the heap invariant for element j against its ancestors —
-// the same sift container/heap.Push performs after an append. The
-// sharded engine's batched barrier merge appends a batch of events and
-// then calls up on each appended index in order, which is exactly
-// equivalent to the sequence of individual heap.Push calls.
-func (h eventHeap) up(j int) {
-	for {
-		i := (j - 1) / 2
-		if i == j || !h.Less(j, i) {
-			break
-		}
-		h.Swap(i, j)
-		j = i
-	}
 }

@@ -40,6 +40,10 @@ type ShardedOptions struct {
 	// setting goroutine labels on every phase transition costs a few
 	// percent on the hot loop.
 	ProfileLabels bool
+	// Queue selects each shard's event-queue backend. The zero value is
+	// QueueWheel; QueueHeap keeps the original container/heap for the
+	// engine-loop A/B gate.
+	Queue QueueBackend
 }
 
 // DefaultLookahead matches the default fabric's minimum cross-switch
@@ -138,11 +142,13 @@ type Sharded struct {
 // shard is one event partition. Between epochs it is owned by the
 // driving goroutine; during an epoch it is owned by exactly one worker.
 type shard struct {
-	x      *Sharded
-	id     int
-	now    time.Duration
-	events eventHeap
-	seq    uint64
+	x   *Sharded
+	id  int
+	now time.Duration
+	// q holds the shard's pending events: pooled free list, sequence
+	// counter, and the wheel (or reference heap) behind one type shared
+	// with the serial engine. Single owner, so no locking.
+	q      eventQueue
 	outbox []crossEvent
 	ran    int
 	// ranTotal is the cumulative event count this shard has executed
@@ -154,22 +160,15 @@ type shard struct {
 	headAt time.Duration
 	pos    int
 
-	// free is the event free list. A popped event is recycled here and
-	// handed back out by the next At on this shard; single owner, so no
-	// locking. Timer handles survive recycling via a generation check.
-	free []*event
-
 	// executing is true while run() owns the shard, used to diagnose
 	// cross-shard Timer.Stop misuse (see shardTimer.Stop).
 	executing bool
 
-	// merging/pendingN track this shard as a destination during one
-	// barrier merge: pendingN events have been appended to the heap
-	// slice but not yet sifted into place.
-	merging  bool
-	pendingN int
-	queued   bool // in x.mergeSrc
-	dirty    bool // in the barrier's fix list (dedup mark, cleared each barrier)
+	// merging tracks this shard as a destination during one barrier
+	// merge (it is in x.mergeDst awaiting flushMerge + head re-key).
+	merging bool
+	queued  bool // in x.mergeSrc
+	dirty   bool // in the barrier's fix list (dedup mark, cleared each barrier)
 }
 
 type crossEvent struct {
@@ -195,6 +194,7 @@ func NewSharded(opts ShardedOptions) *Sharded {
 	x.heads = make(shardHeap, opts.Shards)
 	for i := range x.shards {
 		s := &shard{x: x, id: i, pos: i, headAt: headInf}
+		s.q.kind = opts.Queue
 		x.shards[i] = s
 		x.heads[i] = s
 	}
@@ -226,6 +226,9 @@ func (x *Sharded) Workers() int { return x.opts.Workers }
 // Lookahead returns the conservative window. Consumers validate their
 // minimum cross-shard latency against it.
 func (x *Sharded) Lookahead() time.Duration { return x.opts.Lookahead }
+
+// Queue returns the queue backend the shards run on.
+func (x *Sharded) Queue() QueueBackend { return x.opts.Queue }
 
 // EpochStats reports how many epochs have run and the total shard-runs
 // dispatched across them. Their ratio is the mean number of shards
@@ -314,11 +317,13 @@ func (x *Sharded) Every(interval time.Duration, fn func()) Ticker {
 	return EveryOn(x.shards[0], interval, fn)
 }
 
-// Pending returns scheduled events across all shards and outboxes.
+// Pending returns scheduled (unfired, uncancelled) events across all
+// shards and outboxes. Cancelled events awaiting lazy reclaim are not
+// counted.
 func (x *Sharded) Pending() int {
 	n := 0
 	for _, s := range x.shards {
-		n += len(s.events) + len(s.outbox)
+		n += s.q.live + len(s.outbox)
 	}
 	return n
 }
@@ -331,9 +336,9 @@ const headInf = time.Duration(1<<63 - 1)
 // matching heap repair, so the heap stays valid w.r.t. stored keys at
 // every intermediate step.
 func (s *shard) headChanged() bool {
-	at := headInf
-	if len(s.events) > 0 {
-		at = s.events[0].at
+	at, ok := s.q.nextAt()
+	if !ok {
+		at = headInf
 	}
 	return at != s.headAt
 }
@@ -341,9 +346,9 @@ func (s *shard) headChanged() bool {
 // syncHead stores the shard's current head time as its heap key,
 // reporting whether it moved (the caller then owes a heap.Fix or Init).
 func (s *shard) syncHead() bool {
-	at := headInf
-	if len(s.events) > 0 {
-		at = s.events[0].at
+	at, ok := s.q.nextAt()
+	if !ok {
+		at = headInf
 	}
 	if at == s.headAt {
 		return false
@@ -517,19 +522,21 @@ func (x *Sharded) runEpoch(end time.Duration) int {
 	return total
 }
 
-// barrier merges every outstanding outbox into the destination heaps in
-// (source shard, emission order) order, assigning destination sequence
-// numbers deterministically, then re-keys the head-time heap for every
-// shard whose head may have moved (ran shards and merge destinations).
+// barrier merges every outstanding outbox into the destination queues
+// in (source shard, emission order) order, assigning destination
+// sequence numbers deterministically, then re-keys the head-time heap
+// for every shard whose head may have moved (ran shards and merge
+// destinations).
 //
-// The merge is batched per destination: events are appended raw to the
-// destination heap slice and repaired in one pass — a sift-up per
-// appended event when the batch is small relative to the heap (exactly
-// equivalent to sequential heap.Push), or a single heap.Init when the
-// batch dominates. Both paths produce a valid heap over the same (at,
-// seq) set, and since (at, seq) is a strict total order the pop sequence
-// — the only thing downstream code can observe — is independent of the
-// internal heap shape. So batching cannot perturb determinism.
+// On the wheel backend each merge insert is O(1) already; on the heap
+// reference backend the merge stays batched per destination — events
+// are appended raw and repaired in one flushMerge pass (a sift-up per
+// appended event when the batch is small relative to the heap, exactly
+// equivalent to sequential heap.Push, or a single heap.Init when the
+// batch dominates). Either way the queue holds the same (at, seq) set,
+// and since (at, seq) is a strict total order the pop sequence — the
+// only thing downstream code can observe — is independent of the
+// internal shape. So batching cannot perturb determinism.
 func (x *Sharded) barrier() {
 	x.phase(x.lblMerge)
 	// Collect sources: shards that ran this epoch plus driver-context
@@ -553,10 +560,7 @@ func (x *Sharded) barrier() {
 			if now := d.effNow(); at < now {
 				at = now
 			}
-			ev := d.alloc(at, ce.fn)
-			ev.index = len(d.events)
-			d.events = append(d.events, ev)
-			d.pendingN++
+			d.q.merge(at, ce.fn)
 			if !d.merging {
 				d.merging = true
 				x.mergeDst = append(x.mergeDst, d)
@@ -567,17 +571,9 @@ func (x *Sharded) barrier() {
 		s.queued = false
 	}
 	x.mergeSrc = src[:0]
-	// Repair destination heaps in one batch each.
+	// Repair destination queues in one batch each (no-op on the wheel).
 	for _, d := range x.mergeDst {
-		k, n := d.pendingN, len(d.events)
-		if k*(bits.Len(uint(n))+1) < n {
-			for i := n - k; i < n; i++ {
-				d.events.up(i)
-			}
-		} else {
-			heap.Init(&d.events)
-		}
-		d.pendingN = 0
+		d.q.flushMerge()
 		d.merging = false
 	}
 	// Re-key the head-time heap. First collect the heads that actually
@@ -651,47 +647,30 @@ func (s *shard) effNow() time.Duration {
 	return s.x.now
 }
 
-// alloc takes an event off the free list (or allocates one) and stamps
-// it with the shard's next sequence number.
-func (s *shard) alloc(at time.Duration, fn func()) *event {
-	var ev *event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.stopped = at, s.seq, fn, false
-	} else {
-		ev = &event{at: at, seq: s.seq}
-		ev.fn = fn
-	}
-	s.seq++
-	return ev
-}
-
-// recycle returns a popped event to the free list. Bumping the
-// generation invalidates any Timer handle still pointing at it, so a
-// later Stop on the old handle is a no-op instead of cancelling whatever
-// event the slot is reused for.
-func (s *shard) recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	s.free = append(s.free, ev)
-}
-
 // run executes the shard's events strictly before end in (time, seq)
 // order. Called with exclusive ownership of the shard.
 func (s *shard) run(end time.Duration) {
 	s.executing = true
 	s.ran = 0
-	for len(s.events) > 0 && s.events[0].at < end {
-		ev := heap.Pop(&s.events).(*event)
+	for {
+		at, ok := s.q.nextAt()
+		if !ok || at >= end {
+			break
+		}
+		ev := s.q.pop()
 		if ev.stopped {
-			s.recycle(ev)
+			s.q.release(ev)
 			continue
 		}
 		s.now = ev.at
 		fn := ev.fn
-		s.recycle(ev)
+		if !ev.held {
+			// Recycle before running, so an At inside the callback can
+			// reuse the slot; the handle generation was bumped, keeping
+			// a Stop on the fired timer inert. Ticker-held events skip
+			// the pool — their owner re-arms the same object in place.
+			s.q.release(ev)
+		}
 		fn()
 		s.ran++
 	}
@@ -710,8 +689,7 @@ func (s *shard) At(at time.Duration, fn func()) Timer {
 	if now := s.effNow(); at < now {
 		at = now
 	}
-	ev := s.alloc(at, fn)
-	heap.Push(&s.events, ev)
+	ev := s.q.add(at, fn)
 	if !s.x.inEpoch {
 		// Driver-context scheduling: the head-time heap is ours to fix.
 		// Inside an epoch the shard is by contract the executing one;
@@ -726,13 +704,49 @@ func (s *shard) After(d time.Duration, fn func()) Timer {
 	return s.At(s.effNow()+d, fn)
 }
 
+// schedule arms fn after d without materializing a Timer handle (see
+// ScheduleOn).
+func (s *shard) schedule(d time.Duration, fn func()) {
+	now := s.effNow()
+	at := now + d
+	if at < now {
+		at = now
+	}
+	s.q.add(at, fn)
+	if !s.x.inEpoch {
+		s.x.refreshHead(s)
+	}
+}
+
 // Every schedules a periodic callback on this shard.
 func (s *shard) Every(interval time.Duration, fn func()) Ticker {
 	return EveryOn(s, interval, fn)
 }
 
-// Pending returns this shard's scheduled event count.
-func (s *shard) Pending() int { return len(s.events) }
+// queue implements queueOwner for the ticker fast path.
+func (s *shard) queue() *eventQueue { return &s.q }
+
+// checkTickerContext implements queueOwner: mutating another shard's
+// ticker during an epoch is a data race on live state, same as
+// shardTimer.Stop.
+func (s *shard) checkTickerContext(op string) {
+	if s.x.inEpoch && !s.executing {
+		panic(fmt.Sprintf("engine: %s on shard %d from outside its execution context (mutate tickers from their owning shard, or between runs)", op, s.id))
+	}
+}
+
+// noteQueueChanged implements queueOwner: in driver context the shard
+// owns its head-time heap entry and re-keys it; inside an epoch the
+// barrier does.
+func (s *shard) noteQueueChanged() {
+	if !s.x.inEpoch {
+		s.x.refreshHead(s)
+	}
+}
+
+// Pending returns this shard's scheduled (unfired, uncancelled) event
+// count.
+func (s *shard) Pending() int { return s.q.live }
 
 func (s *shard) Step() bool               { panic("engine: drive the root executor, not a shard view") }
 func (s *shard) RunUntil(t time.Duration) { panic("engine: drive the root executor, not a shard view") }
@@ -768,7 +782,13 @@ func (t *shardTimer) Stop() bool {
 		// Recycled (fired) or already cancelled.
 		return false
 	}
-	ev.stopped = true
+	s.q.stop(ev)
+	// A compaction may have removed the stored head; re-key it in
+	// driver context (inside an epoch the barrier re-keys, and a
+	// transiently-early stored head only costs an empty epoch anyway).
+	if !s.x.inEpoch {
+		s.x.refreshHead(s)
+	}
 	return true
 }
 

@@ -110,8 +110,9 @@ func runPoolScript(s Scheduler, script []poolScriptOp, runFor time.Duration) []i
 // TestPooledOrderMatchesSerial is the pooling property test: a
 // single-shard sharded executor — whose events are recycled through the
 // shard free list, with batched barrier repairs and the head-time heap
-// in play — must produce the exact firing order of the serial engine,
-// which never recycles, across randomized schedules with duplicate
+// in play — must produce the exact firing order of the serial engine
+// (itself pinned against the unpooled container/heap reference by
+// TestWheelMatchesHeapPopOrder), across randomized schedules with duplicate
 // times, nested scheduling, and Stop/cancel interleavings (including
 // stops of already-fired, already-recycled events).
 func TestPooledOrderMatchesSerial(t *testing.T) {

@@ -1,0 +1,748 @@
+package engine
+
+import (
+	"container/heap"
+	"math/bits"
+	"time"
+)
+
+// QueueBackend selects the event-queue data structure of an executor.
+type QueueBackend uint8
+
+const (
+	// QueueWheel is the default: a hierarchical timing wheel for the
+	// near future with a min-heap overflow for events beyond the wheel
+	// horizon. Insert and re-arm are O(1) for the periodic workloads
+	// that dominate the emulator (poll groups, time triggers, traffic
+	// schedules, bus flushes).
+	QueueWheel QueueBackend = iota
+	// QueueHeap is the original container/heap backend, kept as the
+	// reference implementation for the engine-loop A/B digest gate and
+	// the heap-vs-wheel benchmark variants.
+	QueueHeap
+)
+
+// String names the backend for experiment tables and -json output.
+func (k QueueBackend) String() string {
+	if k == QueueHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// event is the one scheduled-callback record shared by every executor
+// (serial, sharded shards, RealTime).
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	// index is >= 0 while the event is queued (it is the heap index on
+	// heap-backed queues and a plain queued marker on the wheel) and -1
+	// once popped. Timer handles and the ticker fast path use it to
+	// distinguish armed from in-flight events.
+	index int
+	// gen is bumped each time the event is recycled through a free
+	// list; Timer handles compare it to detect staleness, so a Stop on
+	// a handle whose event has fired and been reused is inert.
+	gen uint64
+	// held marks an event owned by a fast-path ticker: the queue never
+	// recycles it on pop, so the ticker can re-arm the same object with
+	// a fresh (at, seq) every period — zero allocations per firing.
+	held bool
+}
+
+// eventLess is the executor-wide total order: time first, then the
+// submission sequence number, so simultaneous events run FIFO.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is the pooled pending-event set of one execution lane (the
+// serial engine, or one shard of the sharded engine). It owns the event
+// free list and the (at, seq) sequence counter, and orders events behind
+// one of two backends: the timing wheel (default) or the reference
+// container/heap. Both produce the identical pop sequence — (at, seq) is
+// a strict total order, so the internal shape is unobservable.
+type eventQueue struct {
+	kind QueueBackend
+	// nopool disables event recycling. Only the serial heap reference
+	// backend sets it, to stay byte-faithful to the original allocation
+	// behaviour that the A/B benchmarks compare against.
+	nopool bool
+	seq    uint64
+	// live and dead partition the queued events into unfired-uncancelled
+	// and cancelled-awaiting-reclaim; Pending reports live only.
+	live int
+	dead int
+
+	heap eventHeap
+	// mergePending counts events appended raw to the heap during a
+	// sharded barrier-merge batch, repaired in one flushMerge pass.
+	mergePending int
+
+	w *wheel
+
+	free []*event
+}
+
+// alloc takes an event off the free list (or allocates one) and stamps
+// it with the queue's next sequence number.
+func (q *eventQueue) alloc(at time.Duration, fn func()) *event {
+	var ev *event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.stopped = at, q.seq, fn, false
+	} else {
+		ev = &event{at: at, seq: q.seq, fn: fn}
+	}
+	q.seq++
+	return ev
+}
+
+// release returns a popped event to the free list. Bumping the
+// generation invalidates any Timer handle still pointing at it.
+func (q *eventQueue) release(ev *event) {
+	ev.fn = nil
+	if q.nopool {
+		return
+	}
+	ev.gen++
+	q.free = append(q.free, ev)
+}
+
+// add allocates, stamps, and enqueues a new event.
+func (q *eventQueue) add(at time.Duration, fn func()) *event {
+	ev := q.alloc(at, fn)
+	q.enqueue(ev)
+	return ev
+}
+
+// rearm re-enqueues an event the caller still owns (a ticker's held
+// event) with a fresh time and sequence number.
+func (q *eventQueue) rearm(ev *event, at time.Duration) {
+	ev.at, ev.seq, ev.stopped = at, q.seq, false
+	q.seq++
+	q.enqueue(ev)
+}
+
+func (q *eventQueue) enqueue(ev *event) {
+	q.live++
+	if q.kind == QueueHeap {
+		heap.Push(&q.heap, ev)
+		return
+	}
+	if q.w == nil {
+		q.w = &wheel{}
+	}
+	if q.live+q.dead == 1 {
+		// Empty queue: move the wheel origin to the event so placement
+		// never cascades through the dead range in between.
+		q.w.base = int64(ev.at) >> wheelTickShift
+	}
+	ev.index = 0
+	q.w.place(ev)
+}
+
+// merge enqueues a barrier-merge event. On the heap backend the event
+// is appended raw and repaired in one flushMerge batch (exactly
+// equivalent to sequential pushes); on the wheel, placement is O(1)
+// already and no repair pass is needed.
+func (q *eventQueue) merge(at time.Duration, fn func()) {
+	if q.kind != QueueHeap {
+		q.add(at, fn)
+		return
+	}
+	ev := q.alloc(at, fn)
+	q.live++
+	ev.index = len(q.heap)
+	q.heap = append(q.heap, ev)
+	q.mergePending++
+}
+
+// flushMerge repairs the heap after a merge batch: a sift-up per
+// appended event when the batch is small relative to the heap, or one
+// heap.Init when the batch dominates. Both yield a valid heap over the
+// same (at, seq) set, so the pop sequence is unaffected.
+func (q *eventQueue) flushMerge() {
+	k, n := q.mergePending, len(q.heap)
+	if k == 0 {
+		return
+	}
+	if k*(bits.Len(uint(n))+1) < n {
+		for i := n - k; i < n; i++ {
+			q.heap.up(i)
+		}
+	} else {
+		heap.Init(&q.heap)
+	}
+	q.mergePending = 0
+}
+
+// nextAt peeks the earliest queued event time (cancelled events
+// included, mirroring the heap-head semantics the sharded executor's
+// epoch selection has always used).
+func (q *eventQueue) nextAt() (time.Duration, bool) {
+	if q.kind == QueueHeap {
+		if len(q.heap) == 0 {
+			return 0, false
+		}
+		return q.heap[0].at, true
+	}
+	if q.w == nil || !q.w.ensureCur() {
+		return 0, false
+	}
+	return q.w.cur[q.w.curPos].at, true
+}
+
+// pop removes and returns the earliest queued event, or nil.
+func (q *eventQueue) pop() *event {
+	var ev *event
+	if q.kind == QueueHeap {
+		if len(q.heap) == 0 {
+			return nil
+		}
+		ev = heap.Pop(&q.heap).(*event)
+	} else {
+		if q.w == nil || !q.w.ensureCur() {
+			return nil
+		}
+		w := q.w
+		ev = w.cur[w.curPos]
+		w.cur[w.curPos] = nil
+		w.curPos++
+		if w.curPos == len(w.cur) {
+			w.cur = w.cur[:0]
+			w.curPos = 0
+		}
+		ev.index = -1
+	}
+	if ev.stopped {
+		q.dead--
+	} else {
+		q.live--
+	}
+	return ev
+}
+
+// stop cancels a queued event in place. The slot is reclaimed lazily:
+// on pop, or by compact once cancelled events dominate the queue (so a
+// mass cancel — e.g. removing a seed and its timers — cannot strand an
+// arbitrarily large dead tail).
+func (q *eventQueue) stop(ev *event) {
+	ev.stopped = true
+	q.live--
+	q.dead++
+	if q.dead >= compactMinDead && q.dead >= q.live {
+		q.compact()
+	}
+}
+
+// compactMinDead is the lazy-compaction floor: below it the dead tail
+// is too small to be worth a sweep regardless of the live count.
+const compactMinDead = 64
+
+// compact removes every cancelled event from the queue. Firing order is
+// untouched — only events that would have been skipped on pop vanish —
+// so digests cannot move; on the sharded engine the epoch structure may
+// change (a cancelled head no longer opens a window), which is equally
+// unobservable because skipped events never advance a shard clock.
+func (q *eventQueue) compact() {
+	if q.kind == QueueHeap {
+		kept := q.heap[:0]
+		for _, ev := range q.heap {
+			if ev.stopped {
+				q.release(ev)
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		for i := len(kept); i < len(q.heap); i++ {
+			q.heap[i] = nil
+		}
+		q.heap = kept
+		for i, ev := range q.heap {
+			ev.index = i
+		}
+		heap.Init(&q.heap)
+		q.mergePending = 0
+		q.dead = 0
+		return
+	}
+	w := q.w
+	// cur: filter in place, preserving sorted order.
+	j := w.curPos
+	for i := w.curPos; i < len(w.cur); i++ {
+		ev := w.cur[i]
+		if ev.stopped {
+			ev.index = -1
+			q.release(ev)
+		} else {
+			w.cur[j] = ev
+			j++
+		}
+	}
+	for i := j; i < len(w.cur); i++ {
+		w.cur[i] = nil
+	}
+	w.cur = w.cur[:j]
+	if w.curPos == len(w.cur) {
+		w.cur = w.cur[:0]
+		w.curPos = 0
+	}
+	// slots: order within a slot is irrelevant (drain sorts), so filter
+	// each occupied one.
+	for level := 0; level < wheelLevels; level++ {
+		for word := range w.occ[level] {
+			m := w.occ[level][word]
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &^= 1 << b
+				idx := word<<6 + b
+				slot := w.slot[level][idx]
+				k := 0
+				for _, ev := range slot {
+					if ev.stopped {
+						ev.index = -1
+						q.release(ev)
+					} else {
+						slot[k] = ev
+						k++
+					}
+				}
+				for i := k; i < len(slot); i++ {
+					slot[i] = nil
+				}
+				w.slot[level][idx] = slot[:k]
+				if k == 0 {
+					w.occ[level][word] &^= 1 << b
+				}
+			}
+		}
+	}
+	// overflow: filter and rebuild.
+	kept := w.over[:0]
+	for _, ev := range w.over {
+		if ev.stopped {
+			ev.index = -1
+			q.release(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(w.over); i++ {
+		w.over[i] = nil
+	}
+	w.over = kept
+	for i, ev := range w.over {
+		ev.index = i
+	}
+	heap.Init(&w.over)
+	q.dead = 0
+}
+
+// Wheel geometry: 16.384µs level-0 ticks, 128 slots per level, three
+// levels. Aligned blocks (not sliding windows) keep placement a pure
+// function of (tick, base): level 0 spans the current 2.1ms block,
+// level 1 the current 268ms block, level 2 the current 34.4s block, and
+// everything beyond the level-2 block waits in the overflow heap.
+const (
+	wheelTickShift = 14
+	wheelSlotBits  = 7
+	wheelSlots     = 1 << wheelSlotBits
+	wheelSlotMask  = wheelSlots - 1
+	wheelLevels    = 3
+)
+
+// wheel is the QueueWheel backend state. Invariants, with base the
+// level-0 tick of the wheel origin:
+//
+//   - every event in cur has tick < base; cur is sorted by (at, seq)
+//     and consumed from curPos, so cur's remainder is globally earliest;
+//   - every event in a slot or the overflow has tick >= base;
+//   - the level-1 slot at base's own index and the level-2 slot at
+//     base's own index are empty except immediately after base enters a
+//     new block (a drain rollover), and ensureCur cascades them before
+//     any further draining — so a block's leftovers can never be
+//     overtaken by later events already sitting in level 0.
+type wheel struct {
+	base   int64
+	cur    []*event
+	curPos int
+	slot   [wheelLevels][wheelSlots][]*event
+	occ    [wheelLevels][wheelSlots / 64]uint64
+	over   eventHeap
+}
+
+// place routes an event by its tick relative to base. O(1): no loops,
+// no sifting.
+func (w *wheel) place(ev *event) {
+	tick := int64(ev.at) >> wheelTickShift
+	if tick < w.base {
+		w.curInsert(ev)
+		return
+	}
+	switch {
+	case tick>>wheelSlotBits == w.base>>wheelSlotBits:
+		w.put(0, int(tick)&wheelSlotMask, ev)
+	case tick>>(2*wheelSlotBits) == w.base>>(2*wheelSlotBits):
+		w.put(1, int(tick>>wheelSlotBits)&wheelSlotMask, ev)
+	case tick>>(3*wheelSlotBits) == w.base>>(3*wheelSlotBits):
+		w.put(2, int(tick>>(2*wheelSlotBits))&wheelSlotMask, ev)
+	default:
+		heap.Push(&w.over, ev)
+	}
+}
+
+func (w *wheel) put(level, idx int, ev *event) {
+	ev.index = 0
+	w.slot[level][idx] = append(w.slot[level][idx], ev)
+	w.occ[level][idx>>6] |= 1 << (idx & 63)
+}
+
+// curInsert places an event scheduled before the wheel origin (clamped
+// "now" scheduling during a drain) into the sorted cur window. Callers
+// clamp at >= now, so the insertion point is always at or after curPos.
+func (w *wheel) curInsert(ev *event) {
+	ev.index = 0
+	lo, hi := w.curPos, len(w.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(w.cur[mid], ev) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.cur = append(w.cur, nil)
+	copy(w.cur[lo+1:], w.cur[lo:])
+	w.cur[lo] = ev
+}
+
+// scan returns the lowest occupied slot index >= from at the given
+// level.
+func (w *wheel) scan(level, from int) (int, bool) {
+	if from >= wheelSlots {
+		return 0, false
+	}
+	occ := &w.occ[level]
+	word, bit := from>>6, from&63
+	if v := occ[word] &^ (1<<bit - 1); v != 0 {
+		return word<<6 + bits.TrailingZeros64(v), true
+	}
+	for i := word + 1; i < len(occ); i++ {
+		if occ[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(occ[i]), true
+		}
+	}
+	return 0, false
+}
+
+func (w *wheel) occupied(level, idx int) bool {
+	return w.occ[level][idx>>6]&(1<<(idx&63)) != 0
+}
+
+// ensureCur refills the sorted cur window when it is exhausted: cascade
+// any leftovers in the current upper-level slots, migrate due overflow,
+// then drain the earliest occupied level-0 slot. Reports whether any
+// event is queued.
+func (w *wheel) ensureCur() bool {
+	if w.curPos < len(w.cur) {
+		return true
+	}
+	for {
+		// Overflow events whose tick entered base's level-2 block (base
+		// only moves between drains, so this runs before any draining in
+		// the new block).
+		for len(w.over) > 0 && int64(w.over[0].at)>>wheelTickShift>>(3*wheelSlotBits) == w.base>>(3*wheelSlotBits) {
+			w.place(heap.Pop(&w.over).(*event))
+		}
+		// Leftovers in the current upper-level slots — present only just
+		// after base rolled into a new block — must cascade down before
+		// level 0 is trusted, or later events already in level 0 would
+		// overtake them.
+		if idx := int(w.base>>(2*wheelSlotBits)) & wheelSlotMask; w.occupied(2, idx) {
+			w.cascade(2, idx)
+			continue
+		}
+		if idx := int(w.base>>wheelSlotBits) & wheelSlotMask; w.occupied(1, idx) {
+			w.cascade(1, idx)
+			continue
+		}
+		if idx, ok := w.scan(0, int(w.base)&wheelSlotMask); ok {
+			w.drain(idx)
+			return true
+		}
+		if idx, ok := w.scan(1, int(w.base>>wheelSlotBits)&wheelSlotMask+1); ok {
+			w.cascade(1, idx)
+			continue
+		}
+		if idx, ok := w.scan(2, int(w.base>>(2*wheelSlotBits))&wheelSlotMask+1); ok {
+			w.cascade(2, idx)
+			continue
+		}
+		if len(w.over) > 0 {
+			// Everything pending is beyond the wheel horizon: jump the
+			// origin to it and migrate.
+			w.base = int64(w.over[0].at) >> wheelTickShift
+			continue
+		}
+		return false
+	}
+}
+
+// cascade empties one upper-level slot, advancing base to the slot's
+// block start if that is ahead, and re-places its events — each lands
+// at a lower level (or cur), never back in the same slot.
+func (w *wheel) cascade(level, idx int) {
+	evs := w.slot[level][idx]
+	w.slot[level][idx] = evs[:0]
+	w.occ[level][idx>>6] &^= 1 << (idx & 63)
+	shift := uint(level * wheelSlotBits)
+	blockStart := (w.base &^ (1<<(shift+wheelSlotBits) - 1)) | int64(idx)<<shift
+	if blockStart > w.base {
+		w.base = blockStart
+	}
+	for i, ev := range evs {
+		evs[i] = nil
+		w.place(ev)
+	}
+}
+
+// drain moves one level-0 slot into cur (sorted by (at, seq) so
+// simultaneous events keep FIFO order) and advances base past it. The
+// slot keeps its backing array and cur keeps its own, so each converges
+// to its individual high-water capacity and steady state allocates
+// nothing. (An earlier draft swapped the two backings instead; rotating
+// arrays through all 128 slots meant the smallest array in the rotation
+// set the realloc rate, which kept a slow allocation trickle alive.)
+func (w *wheel) drain(idx int) {
+	evs := w.slot[0][idx]
+	w.slot[0][idx] = evs[:0]
+	w.occ[0][idx>>6] &^= 1 << (idx & 63)
+	w.base = (w.base&^wheelSlotMask | int64(idx)) + 1
+	sortEvents(evs)
+	w.cur = append(w.cur[:0], evs...)
+	w.curPos = 0
+	for i := range evs {
+		evs[i] = nil // the retained slot backing must not pin fired events
+	}
+}
+
+// sortEvents orders events by (at, seq) in place without allocating:
+// insertion sort for typical slot sizes, heapsort beyond. The order is
+// a strict total order, so the result is unique either way.
+func sortEvents(evs []*event) {
+	n := len(evs)
+	if n < 2 {
+		return
+	}
+	if n <= 32 {
+		for i := 1; i < n; i++ {
+			ev := evs[i]
+			j := i - 1
+			for j >= 0 && eventLess(ev, evs[j]) {
+				evs[j+1] = evs[j]
+				j--
+			}
+			evs[j+1] = ev
+		}
+		return
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownEvents(evs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		evs[0], evs[i] = evs[i], evs[0]
+		siftDownEvents(evs, 0, i)
+	}
+}
+
+func siftDownEvents(evs []*event, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && eventLess(evs[c], evs[c+1]) {
+			c++
+		}
+		if !eventLess(evs[i], evs[c]) {
+			return
+		}
+		evs[i], evs[c] = evs[c], evs[i]
+		i = c
+	}
+}
+
+// eventHeap orders events by (at, seq) for deterministic FIFO behaviour
+// among simultaneous events. It backs the QueueHeap reference mode, the
+// wheel's overflow, and the RealTime scheduler.
+type eventHeap []*event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// up restores the heap invariant for element j against its ancestors —
+// the same sift container/heap.Push performs after an append. flushMerge
+// calls it per raw-appended event when a barrier batch is small, which
+// is exactly equivalent to the sequence of individual heap.Push calls.
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+// queueOwner is implemented by schedulers whose pending events live in
+// an eventQueue — the serial engine and the sharded engine's shard
+// views. EveryOn routes Ticker construction through it onto the
+// zero-alloc fast path.
+type queueOwner interface {
+	Scheduler
+	queue() *eventQueue
+	// checkTickerContext panics when the caller may not mutate the
+	// queue right now (a cross-shard ticker mutation during an epoch).
+	checkTickerContext(op string)
+	// noteQueueChanged runs the owner's post-mutation maintenance after
+	// a direct queue insert or cancel (the sharded engine re-keys the
+	// shard's entry in the head-time heap when in driver context; the
+	// serial engine needs nothing). The ticker fire path skips it: a
+	// firing ticker is by definition inside its owner's run loop, where
+	// the epoch barrier re-keys heads anyway.
+	noteQueueChanged()
+}
+
+// queueTicker is the fast-path Ticker: one event object and one closure
+// for the ticker's lifetime, re-armed in place with a fresh (at, seq)
+// after each firing. Steady state allocates nothing — the generic
+// re-arm ticker allocates an event and a Timer handle per firing.
+type queueTicker struct {
+	o        queueOwner
+	ev       *event
+	fire     func()
+	interval time.Duration
+	fn       func()
+	stopped  bool
+}
+
+func newQueueTicker(o queueOwner, interval time.Duration, fn func()) *queueTicker {
+	t := &queueTicker{o: o, interval: interval, fn: fn}
+	t.fire = func() {
+		// Run the callback before re-arming, like the generic ticker:
+		// events the callback schedules take their sequence numbers
+		// first, so the FIFO order among simultaneous events is
+		// bit-identical to the allocate-per-fire implementation.
+		t.fn()
+		q := t.o.queue()
+		if !t.stopped {
+			q.rearm(t.ev, t.o.Now()+t.interval)
+		} else if ev := t.ev; ev != nil {
+			// Stopped from inside its own callback: the held event is
+			// in flight, so the epilogue hands it back to the pool.
+			t.ev = nil
+			ev.held = false
+			q.release(ev)
+		}
+	}
+	q := o.queue()
+	ev := q.alloc(o.Now()+interval, t.fire)
+	ev.held = true
+	q.enqueue(ev)
+	t.ev = ev
+	o.noteQueueChanged()
+	return t
+}
+
+func (t *queueTicker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.o.checkTickerContext("Ticker.Stop")
+	t.stopped = true
+	if ev := t.ev; ev != nil && ev.index >= 0 {
+		// Armed: cancel the pending firing; the queue reclaims the
+		// event lazily (pop or compaction).
+		t.ev = nil
+		ev.held = false
+		t.o.queue().stop(ev)
+		t.o.noteQueueChanged()
+	}
+}
+
+func (t *queueTicker) Interval() time.Duration { return t.interval }
+
+func (t *queueTicker) SetInterval(interval time.Duration) {
+	if interval <= 0 {
+		panic("engine: non-positive ticker interval")
+	}
+	if t.stopped {
+		t.interval = interval
+		return
+	}
+	t.o.checkTickerContext("Ticker.SetInterval")
+	t.interval = interval
+	if ev := t.ev; ev != nil && ev.index >= 0 {
+		// Armed: reschedule the pending firing to interval from now.
+		// The queued event is abandoned in place and a fresh one takes
+		// a new sequence number — the same ordering the generic
+		// ticker's Stop+After produced, so an event already scheduled
+		// at the same instant still fires first.
+		q := t.o.queue()
+		ev.held = false
+		q.stop(ev)
+		nev := q.alloc(t.o.Now()+interval, t.fire)
+		nev.held = true
+		q.enqueue(nev)
+		t.ev = nev
+		t.o.noteQueueChanged()
+	}
+	// Inside our own callback the epilogue re-arms at interval from
+	// now, which is the same instant the armed path would pick.
+}
+
+// scheduleOnly is implemented by schedulers that can arm a one-shot
+// callback without materializing a Timer handle.
+type scheduleOnly interface {
+	schedule(d time.Duration, fn func())
+}
+
+// ScheduleOn schedules fn after d on s without returning a Timer. For
+// callers that never cancel (the bus flush path re-arms one prebuilt
+// closure per subscriber), this skips the per-call handle allocation
+// entirely: on a pooled queue the steady state allocates nothing.
+func ScheduleOn(s Scheduler, d time.Duration, fn func()) {
+	if p, ok := s.(scheduleOnly); ok {
+		p.schedule(d, fn)
+		return
+	}
+	s.After(d, fn)
+}

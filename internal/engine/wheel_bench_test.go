@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkSerialTickerStorm is the regime the pooled wheel exists for:
+// a large population of periodic timers re-arming forever, the shape of
+// the fabric's steady state (every switch polling counters, every seed
+// on its interval). Setup and warm-up are outside the timer; the
+// measured region is pure steady-state firing. On the wheel backend a
+// re-arm reuses the ticker's one held event in place, so the measured
+// loop must run at 0 B/op; the heap backend is the seed behavior, two
+// allocations per fire (event + timer handle).
+func BenchmarkSerialTickerStorm(b *testing.B) {
+	for _, kind := range []QueueBackend{QueueWheel, QueueHeap} {
+		b.Run(kind.String(), func(b *testing.B) {
+			l := NewSerialQueue(kind)
+			const tickers = 1024
+			if kind == QueueWheel {
+				// One-time capacity convergence: the aligned-block wheel
+				// touches a fresh top-level slot every 268ms and only
+				// revisits it one full rotation (34.4s) later, so slot
+				// arrays keep growing for the first rotation of virtual
+				// time. Spray one tick-sized batch per top-level slot
+				// across a whole rotation so every array reaches its
+				// steady-state capacity before the measured region.
+				for d := 250 * time.Millisecond; d <= 36*time.Second; d += 250 * time.Millisecond {
+					for k := 0; k < tickers; k++ {
+						l.At(d+time.Duration(k)*300*time.Nanosecond, func() {})
+					}
+				}
+				l.Drain(1 << 30)
+			}
+			for i := 0; i < tickers; i++ {
+				interval := time.Duration(100+i%400) * time.Microsecond
+				l.Every(interval, func() {})
+			}
+			l.RunFor(2 * time.Second) // converge level-0/1 occupancy highs
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.RunFor(time.Millisecond)
+			}
+		})
+	}
+}
+
+// BenchmarkSerialAtStop measures one-shot churn with heavy
+// cancellation: arm a batch, cancel half, drain. This exercises the
+// pooled free list, lazy compaction, and wheel placement across the
+// near levels.
+func BenchmarkSerialAtStop(b *testing.B) {
+	for _, kind := range []QueueBackend{QueueWheel, QueueHeap} {
+		b.Run(kind.String(), func(b *testing.B) {
+			l := NewSerialQueue(kind)
+			var timers [256]Timer
+			l.RunFor(time.Millisecond) // move off t=0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range timers {
+					d := time.Duration(1+(i+j)%500) * time.Microsecond
+					timers[j] = l.After(d, func() {})
+				}
+				for j := 0; j < len(timers); j += 2 {
+					timers[j].Stop()
+				}
+				l.RunFor(600 * time.Microsecond)
+			}
+		})
+	}
+}

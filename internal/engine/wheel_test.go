@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// --- wheel-vs-heap equivalence ---
+
+// runSerialScript drives a randomized scheduling script — one-shots
+// across every wheel range (cur window, all three levels, overflow),
+// nested scheduling, cancels, tickers with SetInterval and Stop, a mass
+// cancel, and chunked runs — and returns the exact firing log. The
+// script is a pure function of the seed, so the wheel and heap backends
+// must produce byte-identical logs.
+func runSerialScript(kind QueueBackend, seed uint64) []string {
+	l := NewSerialQueue(kind)
+	rng := seed
+	next := func(n int) int {
+		rng = mix(rng, 0x6a09e667f3bcc909)
+		return int(rng % uint64(n))
+	}
+	deltas := []time.Duration{
+		0,
+		1,
+		300 * time.Nanosecond,
+		7 * time.Microsecond,
+		100 * time.Microsecond,
+		900 * time.Microsecond,
+		3 * time.Millisecond, // beyond level 0's 2.1ms block
+		47 * time.Millisecond,
+		800 * time.Millisecond, // beyond level 1's 268ms block
+		2 * time.Second,
+		40 * time.Second, // beyond level 2's 34.4s block: overflow
+		11 * time.Minute,
+	}
+	var log []string
+	var timers []Timer
+	id := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		myid := id
+		id++
+		d := deltas[next(len(deltas))]
+		tm := l.After(d, func() {
+			log = append(log, fmt.Sprintf("%d@%d", myid, l.Now()))
+			if depth < 3 {
+				for i, k := 0, next(4); i < k; i++ {
+					spawn(depth + 1)
+				}
+			}
+			if len(timers) > 0 && next(3) == 0 {
+				timers[next(len(timers))].Stop()
+			}
+		})
+		if next(4) == 0 {
+			timers = append(timers, tm)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		spawn(0)
+	}
+	for i := 0; i < 6; i++ {
+		tid := id
+		id++
+		iv := deltas[3+next(6)]
+		fires := 0
+		var tk Ticker
+		tk = l.Every(iv, func() {
+			fires++
+			log = append(log, fmt.Sprintf("t%d@%d", tid, l.Now()))
+			switch {
+			case fires == 4:
+				tk.SetInterval(iv + iv/2)
+			case fires >= 8:
+				tk.Stop()
+			}
+		})
+	}
+	l.RunFor(10 * time.Second)
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	l.RunFor(11 * time.Minute)
+	l.Drain(1 << 20)
+	return log
+}
+
+func TestWheelMatchesHeapPopOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		wheel := runSerialScript(QueueWheel, seed)
+		ref := runSerialScript(QueueHeap, seed)
+		if len(wheel) == 0 {
+			t.Fatalf("seed %d: empty firing log", seed)
+		}
+		if len(wheel) != len(ref) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(wheel), len(ref))
+		}
+		for i := range wheel {
+			if wheel[i] != ref[i] {
+				t.Fatalf("seed %d: firing %d diverged: wheel %s, heap %s", seed, i, wheel[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardedWheelMatchesHeap pins the cross-shard workload digest
+// across queue backends on both engines — the in-test form of the
+// farm-bench engine-loop A/B gate.
+func TestShardedWheelMatchesHeap(t *testing.T) {
+	const nodes = 24
+	run := func(part Partitioned, sched Scheduler) string {
+		w := startNodes(part, nodes)
+		sched.RunFor(50 * time.Millisecond)
+		return w.digest()
+	}
+	serialWheel := NewSerial()
+	want := run(serialWheel, serialWheel)
+
+	serialHeap := NewSerialQueue(QueueHeap)
+	if got := run(serialHeap, serialHeap); got != want {
+		t.Errorf("serial heap diverged:\n got %s\nwant %s", got, want)
+	}
+	for _, kind := range []QueueBackend{QueueWheel, QueueHeap} {
+		x := NewSharded(ShardedOptions{Shards: 5, Workers: 3, Lookahead: testLookahead, ForceWorkers: true, Queue: kind})
+		got := run(x, x)
+		x.Stop()
+		if got != want {
+			t.Errorf("sharded %v diverged:\n got %s\nwant %s", kind, got, want)
+		}
+	}
+}
+
+// --- Pending and lazy compaction ---
+
+// TestPendingExcludesCancelled is the regression test for the
+// documented contract: Pending counts unfired, uncancelled events.
+// (The heap-era Serial counted cancelled events until they drained.)
+func TestPendingExcludesCancelled(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		l.After(time.Millisecond, func() {})
+		tm := l.After(2*time.Millisecond, func() {})
+		l.After(3*time.Millisecond, func() {})
+		tk := l.Every(4*time.Millisecond, func() {})
+		if n := l.Pending(); n != 4 {
+			t.Fatalf("Pending() = %d before cancel, want 4", n)
+		}
+		tm.Stop()
+		if n := l.Pending(); n != 3 {
+			t.Fatalf("Pending() = %d after Timer.Stop, want 3", n)
+		}
+		tk.Stop()
+		if n := l.Pending(); n != 2 {
+			t.Fatalf("Pending() = %d after Ticker.Stop, want 2", n)
+		}
+		l.RunFor(10 * time.Millisecond)
+		if n := l.Pending(); n != 0 {
+			t.Fatalf("Pending() = %d after drain, want 0", n)
+		}
+	})
+}
+
+// TestMassCancelCompacts cancels a large far-future batch and requires
+// the queue to reclaim the dead entries immediately instead of
+// stranding them until their (distant) pop time.
+func TestMassCancelCompacts(t *testing.T) {
+	for _, kind := range []QueueBackend{QueueWheel, QueueHeap} {
+		t.Run(kind.String(), func(t *testing.T) {
+			l := NewSerialQueue(kind)
+			const n = 10000
+			timers := make([]Timer, 0, n)
+			for i := 0; i < n; i++ {
+				// Spread across every wheel level and the overflow.
+				d := time.Duration(i) * 7 * time.Millisecond
+				timers = append(timers, l.After(time.Millisecond+d, func() {}))
+			}
+			ran := 0
+			l.After(500*time.Microsecond, func() { ran++ })
+			for _, tm := range timers {
+				if !tm.Stop() {
+					t.Fatal("Stop on pending timer reported false")
+				}
+			}
+			if l.q.dead >= compactMinDead {
+				t.Fatalf("%d cancelled events still queued after mass cancel, want < %d", l.q.dead, compactMinDead)
+			}
+			if n := l.Pending(); n != 1 {
+				t.Fatalf("Pending() = %d after mass cancel, want 1", n)
+			}
+			l.RunFor(time.Second)
+			if ran != 1 {
+				t.Fatalf("surviving event ran %d times, want 1", ran)
+			}
+			if n := l.Pending(); n != 0 {
+				t.Fatalf("Pending() = %d after drain, want 0", n)
+			}
+		})
+	}
+}
+
+// TestSerialStaleHandleAfterRecycle mirrors the sharded pool test: once
+// an event fires and its slot is reused, the old handle's Stop must be
+// inert rather than cancelling the slot's new occupant.
+func TestSerialStaleHandleAfterRecycle(t *testing.T) {
+	l := NewSerial()
+	tm1 := l.After(time.Millisecond, func() {})
+	l.RunFor(2 * time.Millisecond)
+	ran := false
+	l.After(time.Millisecond, func() { ran = true }) // reuses the pooled event
+	if tm1.Stop() {
+		t.Fatal("Stop on a fired (recycled) handle reported true")
+	}
+	l.RunFor(2 * time.Millisecond)
+	if !ran {
+		t.Fatal("stale handle Stop cancelled the recycled slot's new event")
+	}
+}
+
+// --- ticker edge semantics ---
+
+// TestTickerSetIntervalVsSimultaneous: rescheduling an armed ticker
+// takes a fresh sequence number, so an event already scheduled at the
+// rescheduled instant keeps FIFO priority over the ticker's firing.
+func TestTickerSetIntervalVsSimultaneous(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var log []string
+		tk := l.Every(10*time.Millisecond, func() { log = append(log, "tick") })
+		l.After(5*time.Millisecond, func() {
+			// First the one-shot lands at 15ms, then the ticker is
+			// rescheduled to the same instant: FIFO says X fires first.
+			l.After(10*time.Millisecond, func() { log = append(log, "X") })
+			tk.SetInterval(10 * time.Millisecond)
+		})
+		l.RunFor(26 * time.Millisecond)
+		want := []string{"X", "tick", "tick"}
+		if fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("log = %v, want %v (one-shot before rescheduled ticker at 15ms, next tick at 25ms)", log, want)
+		}
+	})
+}
+
+// TestTickerRearmFIFOAmongSameTick: tickers sharing an instant fire in
+// creation order on every round — the in-place re-arm must keep
+// assigning sequence numbers in firing order.
+func TestTickerRearmFIFOAmongSameTick(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var log []string
+		for _, name := range []string{"A", "B", "C"} {
+			name := name
+			l.Every(time.Millisecond, func() { log = append(log, name) })
+		}
+		l.RunFor(4 * time.Millisecond)
+		want := []string{"A", "B", "C", "A", "B", "C", "A", "B", "C", "A", "B", "C"}
+		if fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("log = %v, want 4 rounds of [A B C]", log)
+		}
+	})
+}
+
+// TestTickerStopReleasesHeldEvent: a fast-path ticker owns one event
+// for its lifetime; stopping it from inside its own callback must hand
+// that event back to the pool (the fire epilogue path), and stopping
+// while armed must reclaim it lazily without counting it as pending.
+func TestTickerStopReleasesHeldEvent(t *testing.T) {
+	l := NewSerial()
+	fires := 0
+	var tk Ticker
+	tk = l.Every(time.Millisecond, func() {
+		fires++
+		if fires == 2 {
+			tk.Stop()
+		}
+	})
+	l.RunFor(10 * time.Millisecond)
+	if fires != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", fires)
+	}
+	if n := l.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after ticker stop, want 0", n)
+	}
+	if len(l.q.free) == 0 {
+		t.Fatal("held ticker event was not returned to the pool")
+	}
+	// The pooled event must be reusable.
+	ran := false
+	l.After(time.Millisecond, func() { ran = true })
+	l.RunFor(2 * time.Millisecond)
+	if !ran {
+		t.Fatal("event pooled from a stopped ticker did not fire when reused")
+	}
+}
+
+// --- RealTime ticker semantics (wall clock: generous assertions) ---
+
+func TestRealTimeTickerStopInsideCallback(t *testing.T) {
+	r := NewRealTime()
+	fires := 0
+	var tk Ticker
+	tk = r.Every(2*time.Millisecond, func() {
+		fires++
+		if fires == 2 {
+			tk.Stop()
+		}
+	})
+	r.RunFor(20 * time.Millisecond)
+	if fires != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", fires)
+	}
+	if n := r.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after ticker stop, want 0", n)
+	}
+}
+
+func TestRealTimeTickerRearmFIFO(t *testing.T) {
+	r := NewRealTime()
+	var log []string
+	rounds := 0
+	r.Every(5*time.Millisecond, func() { log = append(log, "A") })
+	r.Every(5*time.Millisecond, func() { log = append(log, "B"); rounds++ })
+	for i := 0; i < 40 && rounds < 3; i++ {
+		r.RunFor(5 * time.Millisecond)
+	}
+	if rounds < 3 {
+		t.Fatalf("only %d rounds completed", rounds)
+	}
+	for i := 0; i+1 < 2*rounds; i += 2 {
+		if log[i] != "A" || log[i+1] != "B" {
+			t.Fatalf("round %d fired as %v, want A before B every round", i/2, log[i:i+2])
+		}
+	}
+}
+
+func TestRealTimeTickerSetIntervalWhileArmed(t *testing.T) {
+	r := NewRealTime()
+	fires := 0
+	tk := r.Every(time.Hour, func() { fires++ })
+	if n := r.Pending(); n != 1 {
+		t.Fatalf("Pending() = %d with one armed ticker, want 1", n)
+	}
+	// Re-key the armed firing from an hour out to milliseconds.
+	tk.SetInterval(2 * time.Millisecond)
+	if got := tk.Interval(); got != 2*time.Millisecond {
+		t.Fatalf("Interval() = %v, want 2ms", got)
+	}
+	for i := 0; i < 40 && fires < 2; i++ {
+		r.RunFor(2 * time.Millisecond)
+	}
+	if fires < 2 {
+		t.Fatal("rescheduled ticker never fired on the shortened interval")
+	}
+	tk.Stop()
+	if n := r.Pending(); n != 0 {
+		t.Fatalf("Pending() = %d after Stop, want 0", n)
+	}
+}
+
+func TestRealTimeStaleHandleAfterRecycle(t *testing.T) {
+	r := NewRealTime()
+	tm1 := r.After(time.Millisecond, func() {})
+	r.RunFor(5 * time.Millisecond)
+	ran := false
+	r.After(2*time.Millisecond, func() { ran = true }) // reuses the pooled event
+	if tm1.Stop() {
+		t.Fatal("Stop on a fired (recycled) handle reported true")
+	}
+	r.RunFor(10 * time.Millisecond)
+	if !ran {
+		t.Fatal("stale handle Stop cancelled the recycled slot's new event")
+	}
+}
+
+// --- ScheduleOn ---
+
+func TestScheduleOn(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, l Scheduler) {
+		var got []int
+		ScheduleOn(l, 2*time.Millisecond, func() { got = append(got, 2) })
+		ScheduleOn(l, time.Millisecond, func() { got = append(got, 1) })
+		if n := l.Pending(); n != 2 {
+			t.Fatalf("Pending() = %d, want 2", n)
+		}
+		l.RunFor(5 * time.Millisecond)
+		if fmt.Sprint(got) != fmt.Sprint([]int{1, 2}) {
+			t.Fatalf("fired as %v, want [1 2]", got)
+		}
+	})
+	// RealTime implements the handle-free path too.
+	r := NewRealTime()
+	ran := false
+	ScheduleOn(r, time.Millisecond, func() { ran = true })
+	r.RunFor(15 * time.Millisecond)
+	if !ran {
+		t.Fatal("ScheduleOn event did not fire on RealTime")
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/engine"
+	"farm/internal/netmodel"
+	"farm/internal/seeder"
+	"farm/internal/traffic"
+)
+
+// EngineLoopConfig parameterizes the scheduler-queue A/B experiment:
+// the same pipeline — the Tab. I attack cocktail plus staggered
+// per-switch HH monitoring tasks, i.e. both the one-shot-heavy traffic
+// path and the ticker-heavy polling path — driven on every engine ×
+// queue-backend combination, comparing digests against the serial
+// container/heap reference. The timing wheel must change wall clock and
+// allocation rate, never event order: any digest divergence is an
+// error and a non-zero farm-bench exit.
+type EngineLoopConfig struct {
+	// Spines/Leaves/HostsPerLeaf shape the fabric; defaults 2/12/8
+	// (96 host ports, 14 switches).
+	Spines, Leaves, HostsPerLeaf int
+	// Tasks is the number of staggered HH monitoring tasks; each places
+	// one polling seed on every switch. Default 3.
+	Tasks int
+	// Duration is the virtual time driven per run; 0 means 2 s.
+	Duration time.Duration
+	// Workers is the worker count for the sharded runs; 0 means 4.
+	Workers int
+	// Seed feeds the traffic generator; 0 means 11.
+	Seed int64
+	// ForceWorkers forces the worker pool on even on a single-CPU
+	// process (the race-detector tests set it).
+	ForceWorkers bool
+}
+
+// EngineLoopRun is one (engine, queue backend) measurement.
+type EngineLoopRun struct {
+	Label   string `json:"label"`
+	Queue   string `json:"queue"`
+	Workers int    `json:"workers"` // 0 = serial
+	// Digest folds the per-switch traffic emission digests, the
+	// delivered-packet count, and the central-link byte count (the HH
+	// seeds' change reports) — byte-identical across all four runs by
+	// the (at, seq) determinism contract.
+	Digest    string `json:"digest"`
+	Delivered uint64 `json:"packets_delivered"`
+	// CentralBytes is the harvester-bound report traffic: the
+	// seed-visible half of the digest.
+	CentralBytes uint64 `json:"central_bytes"`
+	// Mallocs is the whole-process heap-allocation count for the run —
+	// the pooling A/B axis. Includes scheduler and GC noise; the
+	// surgical per-op numbers live in BenchmarkSerialTickerStorm.
+	Mallocs   uint64  `json:"mallocs"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Consistent reports whether this run's digest matched the
+	// serial-heap reference (vacuously true for the reference itself).
+	Consistent bool `json:"consistent"`
+}
+
+// EngineLoopResult is the full A/B outcome.
+type EngineLoopResult struct {
+	Switches   int             `json:"switches"`
+	Ports      int             `json:"ports"`
+	Seeds      int             `json:"seeds"`
+	Duration   time.Duration   `json:"duration_virtual_ns"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Runs       []EngineLoopRun `json:"runs"`
+}
+
+// elDigests is everything a run must reproduce exactly.
+type elDigests struct {
+	perSwitch    map[netmodel.SwitchID]uint64
+	delivered    uint64
+	centralBytes uint64
+}
+
+func (d elDigests) equal(o elDigests) bool {
+	return digestsEqual(d.perSwitch, o.perSwitch) &&
+		d.delivered == o.delivered && d.centralBytes == o.centralBytes
+}
+
+func (d elDigests) fold() string {
+	h := fnvOffset64
+	for _, v := range []uint64{d.delivered, d.centralBytes} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	return fmt.Sprintf("%s/%08x", combineDigests(d.perSwitch), uint32(h^h>>32))
+}
+
+// EngineLoop runs the queue-backend A/B on both engines and errors on
+// any digest divergence from the serial container/heap reference.
+func EngineLoop(cfg EngineLoopConfig) (*EngineLoopResult, error) {
+	if cfg.Spines == 0 {
+		cfg.Spines = 2
+	}
+	if cfg.Leaves == 0 {
+		cfg.Leaves = 12
+	}
+	if cfg.HostsPerLeaf == 0 {
+		cfg.HostsPerLeaf = 8
+	}
+	if cfg.Tasks == 0 {
+		cfg.Tasks = 3
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 11
+	}
+	switches := cfg.Spines + cfg.Leaves
+	res := &EngineLoopResult{
+		Switches:   switches,
+		Ports:      cfg.Leaves * cfg.HostsPerLeaf,
+		Seeds:      cfg.Tasks * switches,
+		Duration:   cfg.Duration,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	runOne := func(label string, workers int, queue engine.QueueBackend) (EngineLoopRun, elDigests, error) {
+		eng := EngineConfig{Workers: workers, ForceWorkers: cfg.ForceWorkers, Queue: queue}
+		fab, loop, stop, err := newFabricOn(eng, cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf)
+		if err != nil {
+			return EngineLoopRun{}, elDigests{}, err
+		}
+		defer stop()
+		sd := seeder.New(fab, seeder.Options{})
+		for i := 0; i < cfg.Tasks; i++ {
+			if err := sd.AddTask(seeder.TaskSpec{
+				Name:   fmt.Sprintf("hh%d", i),
+				Source: fmt.Sprintf(engineScaleHH, i, 10+i),
+				// The attack cocktail's per-port loads are far below the
+				// bulk workload's, so the HH threshold sits low enough
+				// that change reports actually flow — the digest must
+				// cover the seeds' ticker-driven reporting path, not just
+				// the data plane.
+				Externals: map[string]map[string]core.Value{
+					fmt.Sprintf("HHDelta%d", i): {"threshold": int64(2_000)},
+				},
+			}); err != nil {
+				return EngineLoopRun{}, elDigests{}, err
+			}
+		}
+		gen := traffic.NewGenerator(fab, cfg.Seed)
+		stopMid, stops := workloadMix(fab, gen, cfg.Leaves)
+
+		var msBefore, msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		loop.RunFor(cfg.Duration / 2)
+		stopMid() // mid-run cancellation must not perturb determinism
+		loop.RunFor(cfg.Duration - cfg.Duration/2)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&msAfter)
+		for _, s := range stops {
+			s()
+		}
+
+		d := elDigests{
+			perSwitch:    gen.PerSwitchDigest(),
+			delivered:    fab.Delivered(),
+			centralBytes: fab.CentralNet.Bytes(),
+		}
+		run := EngineLoopRun{
+			Label:        label,
+			Queue:        queue.String(),
+			Workers:      workers,
+			Digest:       d.fold(),
+			Delivered:    d.delivered,
+			CentralBytes: d.centralBytes,
+			Mallocs:      msAfter.Mallocs - msBefore.Mallocs,
+			ElapsedMS:    float64(elapsed.Nanoseconds()) / 1e6,
+		}
+		return run, d, nil
+	}
+
+	ref, refDigests, err := runOne("serial-heap", 0, engine.QueueHeap)
+	if err != nil {
+		return nil, err
+	}
+	ref.Consistent = true
+	res.Runs = append(res.Runs, ref)
+
+	var firstDivergence error
+	for _, m := range []struct {
+		label   string
+		workers int
+		queue   engine.QueueBackend
+	}{
+		{"serial-wheel", 0, engine.QueueWheel},
+		{fmt.Sprintf("sharded-heap-%dw", cfg.Workers), cfg.Workers, engine.QueueHeap},
+		{fmt.Sprintf("sharded-wheel-%dw", cfg.Workers), cfg.Workers, engine.QueueWheel},
+	} {
+		run, d, err := runOne(m.label, m.workers, m.queue)
+		if err != nil {
+			return nil, err
+		}
+		run.Consistent = d.equal(refDigests)
+		if !run.Consistent && firstDivergence == nil {
+			firstDivergence = fmt.Errorf(
+				"engine-loop: %s diverged from serial-heap (digest %s vs %s, delivered %d vs %d, central bytes %d vs %d)",
+				m.label, run.Digest, ref.Digest, run.Delivered, ref.Delivered, run.CentralBytes, ref.CentralBytes)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, firstDivergence
+}
+
+// Table renders the result. Mallocs and ElapsedMS vary by backend and
+// host by design (they are the point of the experiment); the Digest
+// column is the determinism artifact.
+func (r *EngineLoopResult) Table() *Table {
+	t := &Table{
+		Title:   "Engine loop: timing wheel vs container/heap scheduler queue (digest A/B)",
+		Columns: []string{"queue", "digest", "delivered", "central bytes", "mallocs", "wall ms"},
+	}
+	for _, run := range r.Runs {
+		t.Rows = append(t.Rows, Row{
+			Label: run.Label,
+			Values: []string{
+				run.Queue,
+				run.Digest,
+				fmt.Sprintf("%d", run.Delivered),
+				fmt.Sprintf("%d", run.CentralBytes),
+				fmt.Sprintf("%d", run.Mallocs),
+				fmtFloat(run.ElapsedMS),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d switches, %d host ports, %d polling seeds, %s virtual per run", r.Switches, r.Ports, r.Seeds, r.Duration),
+		"digest = per-leaf emission digests + delivered packets + central-link bytes; identical across all runs by the (at, seq) contract",
+		"mallocs = whole-process heap allocations per run; the wheel's pooled re-arms are the delta")
+	return t
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineLoopConsistent is the in-test form of the farm-bench
+// engine-loop gate: all four engine × queue-backend combinations must
+// reproduce the serial container/heap reference digest exactly.
+func TestEngineLoopConsistent(t *testing.T) {
+	res, err := EngineLoop(EngineLoopConfig{
+		Leaves:       8,
+		HostsPerLeaf: 4,
+		Tasks:        2,
+		Duration:     600 * time.Millisecond,
+		ForceWorkers: true,
+	})
+	if err != nil {
+		t.Fatalf("EngineLoop: %v", err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		if !run.Consistent {
+			t.Errorf("%s diverged from the serial-heap reference (digest %s vs %s)",
+				run.Label, run.Digest, res.Runs[0].Digest)
+		}
+		if run.Delivered == 0 || run.CentralBytes == 0 {
+			t.Errorf("%s: empty run (delivered %d, central bytes %d)", run.Label, run.Delivered, run.CentralBytes)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"time"
 
+	"farm/internal/engine"
 	"farm/internal/transport/bus"
 )
 
@@ -187,7 +188,7 @@ func (r *Replica) monitor() {
 	if now-r.lastHB <= r.svc.cfg.HeartbeatTimeout {
 		return
 	}
-	r.svc.rt.After(0, func() {
+	engine.ScheduleOn(r.svc.rt, 0, func() {
 		if r.role != roleStandby {
 			return
 		}

@@ -290,7 +290,7 @@ func (s *Service) drive() {
 // state once the service is running.
 func (s *Service) exec(fn func()) error {
 	done := make(chan struct{})
-	s.rt.After(0, func() {
+	engine.ScheduleOn(s.rt, 0, func() {
 		fn()
 		close(done)
 	})

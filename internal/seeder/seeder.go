@@ -14,6 +14,7 @@ import (
 
 	"farm/internal/almanac"
 	"farm/internal/core"
+	"farm/internal/engine"
 	"farm/internal/fabric"
 	"farm/internal/harvest"
 	"farm/internal/netmodel"
@@ -784,7 +785,7 @@ func (sd *Seeder) migrateSeed(s *seedInst, a placement.Assignment) error {
 	target := sd.soils[a.Switch]
 	machine := s.machine
 	ext := s.externals
-	sd.fab.CentralSched().After(delay, func() {
+	engine.ScheduleOn(sd.fab.CentralSched(), delay, func() {
 		if err := target.RestoreSeed(ref, machine, ext, a.Alloc, snap); err != nil {
 			sd.logf("seeder: migration restore %s: %v", s.id, err)
 		}

@@ -159,7 +159,7 @@ func (g *Generator) StartFlow(spec FlowSpec) (stop func()) {
 		if d <= 0 {
 			d = time.Nanosecond
 		}
-		sched.After(d, emit)
+		engine.ScheduleOn(sched, d, emit)
 	}
 	emit = func() {
 		if stopped {

@@ -161,7 +161,7 @@ func (b *Broker) Publish(topic string, payload any) {
 			continue
 		}
 		sub.scheduled = true
-		b.loop.After(d, sub.flush)
+		engine.ScheduleOn(b.loop, d, sub.flush)
 	}
 }
 
@@ -199,7 +199,7 @@ func (b *Broker) flush(sub *subscription) {
 		if d < 0 {
 			d = 0
 		}
-		b.loop.After(d, sub.flush)
+		engine.ScheduleOn(b.loop, d, sub.flush)
 	}
 }
 
